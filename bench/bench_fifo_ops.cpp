@@ -1,0 +1,237 @@
+// Microbenchmarks of individual FIFO operations (paper SIII.B/SIII.C):
+//   * write/read transfer cost: Smart FIFO vs regular FIFO vs SyncFifo;
+//   * is_empty / is_full: "two tests instead of one for a regular FIFO" --
+//     constant time, marginally slower;
+//   * get_size: "the Smart FIFO is slower than a regular FIFO for get_size
+//     accesses" -- linear in the depth, acceptable because the monitor
+//     interface is low-rate.
+//
+// Each benchmark runs a complete mini-simulation per batch; the reported
+// rate is per FIFO operation.
+#include <benchmark/benchmark.h>
+
+#include "core/arbiter.h"
+#include "core/local_time.h"
+#include "core/smart_fifo.h"
+#include "core/sync_fifo.h"
+#include "kernel/kernel.h"
+
+namespace {
+
+using tdsim::Kernel;
+using tdsim::SmartFifo;
+using tdsim::SyncFifo;
+using tdsim::Time;
+using tdsim::UntimedFifo;
+using namespace tdsim::time_literals;
+
+constexpr std::uint64_t kWordsPerBatch = 1 << 14;
+
+/// Producer/consumer transfer through any FifoInterface; producer and
+/// consumer are decoupled threads annotating 3 ns / 2 ns per word.
+template <typename FifoT>
+void transfer_batch(std::size_t depth, std::uint64_t words, bool decoupled) {
+  Kernel kernel;
+  FifoT fifo(kernel, "bench.fifo", depth);
+  kernel.spawn_thread("producer", [&] {
+    for (std::uint64_t i = 0; i < words; ++i) {
+      if (decoupled) {
+        tdsim::td::inc(3_ns);
+      } else {
+        tdsim::wait(3_ns);
+      }
+      fifo.write(static_cast<std::uint32_t>(i));
+    }
+  });
+  kernel.spawn_thread("consumer", [&] {
+    std::uint32_t sum = 0;
+    for (std::uint64_t i = 0; i < words; ++i) {
+      sum += fifo.read();
+      if (decoupled) {
+        tdsim::td::inc(2_ns);
+      } else {
+        tdsim::wait(2_ns);
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  });
+  kernel.run();
+}
+
+void BM_TransferSmart(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    transfer_batch<SmartFifo<std::uint32_t>>(depth, kWordsPerBatch, true);
+  }
+  state.SetItemsProcessed(state.iterations() * kWordsPerBatch * 2);
+}
+BENCHMARK(BM_TransferSmart)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TransferSyncPerAccess(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    transfer_batch<SyncFifo<std::uint32_t>>(depth, kWordsPerBatch, true);
+  }
+  state.SetItemsProcessed(state.iterations() * kWordsPerBatch * 2);
+}
+BENCHMARK(BM_TransferSyncPerAccess)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_TransferRegularUntimed(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    transfer_batch<UntimedFifo<std::uint32_t>>(depth, kWordsPerBatch, true);
+  }
+  state.SetItemsProcessed(state.iterations() * kWordsPerBatch * 2);
+}
+BENCHMARK(BM_TransferRegularUntimed)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+/// is_empty on a Smart FIFO: constant-time, two tests.
+void BM_IsEmptySmart(benchmark::State& state) {
+  constexpr std::uint64_t kQueries = 1 << 16;
+  for (auto _ : state) {
+    Kernel kernel;
+    SmartFifo<std::uint32_t> fifo(kernel, "bench.fifo", 64);
+    kernel.spawn_thread("prober", [&] {
+      fifo.write(1);
+      bool acc = false;
+      for (std::uint64_t i = 0; i < kQueries; ++i) {
+        acc ^= fifo.is_empty();
+        tdsim::td::inc(1_ns);
+      }
+      benchmark::DoNotOptimize(acc);
+      benchmark::DoNotOptimize(fifo.read());
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kQueries);
+}
+BENCHMARK(BM_IsEmptySmart);
+
+/// is_empty (empty()) on a regular FIFO: one test.
+void BM_IsEmptyRegular(benchmark::State& state) {
+  constexpr std::uint64_t kQueries = 1 << 16;
+  for (auto _ : state) {
+    Kernel kernel;
+    UntimedFifo<std::uint32_t> fifo(kernel, "bench.fifo", 64);
+    kernel.spawn_thread("prober", [&] {
+      fifo.write(1);
+      bool acc = false;
+      for (std::uint64_t i = 0; i < kQueries; ++i) {
+        acc ^= fifo.is_empty();
+        tdsim::td::inc(1_ns);
+      }
+      benchmark::DoNotOptimize(acc);
+      benchmark::DoNotOptimize(fifo.read());
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kQueries);
+}
+BENCHMARK(BM_IsEmptyRegular);
+
+/// get_size on a half-full Smart FIFO: O(depth) reconstruction from the
+/// per-cell date pairs.
+void BM_GetSizeSmart(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kQueries = 1 << 12;
+  for (auto _ : state) {
+    Kernel kernel;
+    SmartFifo<std::uint32_t> fifo(kernel, "bench.fifo", depth);
+    kernel.spawn_thread("monitor", [&] {
+      for (std::size_t i = 0; i < depth / 2; ++i) {
+        fifo.write(static_cast<std::uint32_t>(i));
+      }
+      std::size_t acc = 0;
+      for (std::uint64_t i = 0; i < kQueries; ++i) {
+        acc += fifo.get_size();
+      }
+      benchmark::DoNotOptimize(acc);
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kQueries);
+}
+BENCHMARK(BM_GetSizeSmart)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+/// Size query on a regular FIFO: O(1).
+void BM_GetSizeRegular(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  constexpr std::uint64_t kQueries = 1 << 12;
+  for (auto _ : state) {
+    Kernel kernel;
+    UntimedFifo<std::uint32_t> fifo(kernel, "bench.fifo", depth);
+    kernel.spawn_thread("monitor", [&] {
+      for (std::size_t i = 0; i < depth / 2; ++i) {
+        fifo.write(static_cast<std::uint32_t>(i));
+      }
+      std::size_t acc = 0;
+      for (std::uint64_t i = 0; i < kQueries; ++i) {
+        acc += fifo.get_size();
+      }
+      benchmark::DoNotOptimize(acc);
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kQueries);
+}
+BENCHMARK(BM_GetSizeRegular)->Arg(4)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+/// Arbitrated access (ablation): the WriteArbiter/ReadArbiter synchronize
+/// every access to keep side dates monotone across multiple clients --
+/// "decoupling cannot be preserved across an arbitration point". Expect
+/// sync-per-access performance even on a Smart FIFO.
+void BM_TransferSmartArbitrated(benchmark::State& state) {
+  for (auto _ : state) {
+    Kernel kernel;
+    SmartFifo<std::uint32_t> fifo(kernel, "bench.fifo", 16);
+    tdsim::WriteArbiter<std::uint32_t> write_side(fifo);
+    tdsim::ReadArbiter<std::uint32_t> read_side(fifo);
+    kernel.spawn_thread("producer", [&] {
+      for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
+        tdsim::td::inc(3_ns);
+        write_side.write(static_cast<std::uint32_t>(i));
+      }
+    });
+    kernel.spawn_thread("consumer", [&] {
+      std::uint32_t sum = 0;
+      for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
+        sum += read_side.read();
+        tdsim::td::inc(2_ns);
+      }
+      benchmark::DoNotOptimize(sum);
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kWordsPerBatch * 2);
+}
+BENCHMARK(BM_TransferSmartArbitrated);
+
+/// Cost of the side-ordering runtime check (ablation: it is on by default).
+void BM_TransferSmartNoOrderCheck(benchmark::State& state) {
+  for (auto _ : state) {
+    Kernel kernel;
+    SmartFifo<std::uint32_t> fifo(kernel, "bench.fifo", 16);
+    fifo.set_side_order_checking(false);
+    kernel.spawn_thread("producer", [&] {
+      for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
+        tdsim::td::inc(3_ns);
+        fifo.write(static_cast<std::uint32_t>(i));
+      }
+    });
+    kernel.spawn_thread("consumer", [&] {
+      std::uint32_t sum = 0;
+      for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
+        sum += fifo.read();
+        tdsim::td::inc(2_ns);
+      }
+      benchmark::DoNotOptimize(sum);
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kWordsPerBatch * 2);
+}
+BENCHMARK(BM_TransferSmartNoOrderCheck);
+
+}  // namespace
+
+BENCHMARK_MAIN();

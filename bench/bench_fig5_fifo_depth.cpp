@@ -1,0 +1,139 @@
+// Reproduces Fig. 5 of the paper: "Execution durations depending on the
+// FIFO depth" for the three-module benchmark system (source, transmitter,
+// sink, 2 FIFOs; 1000 blocks of 1000 words, varying data rates).
+//
+// Paper shape to verify:
+//   * TDless executes at roughly the same speed for all FIFO depths (one
+//     context switch per access);
+//   * untimed and TDfull get faster as the FIFO deepens (context switch
+//     only when internally full/empty);
+//   * TDfull is about twice as slow as untimed (the cost of timing);
+//   * TDfull vs TDless: slower at depth 1, faster from depth 2, about 2x
+//     at depth 4, saturating at a several-x gain for large depths.
+//
+// Usage: bench_fig5_fifo_depth [--blocks N] [--words N] [--depths a,b,c]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workloads/pipeline.h"
+
+namespace {
+
+using tdsim::Kernel;
+using tdsim::Time;
+using tdsim::workloads::ModelKind;
+using tdsim::workloads::Pipeline;
+using tdsim::workloads::PipelineConfig;
+
+struct RunResult {
+  double wall_seconds = 0;
+  Time end_date;
+  std::uint64_t context_switches = 0;
+  bool correct = false;
+};
+
+RunResult run_once(ModelKind kind, std::size_t depth, std::uint64_t blocks,
+                   std::uint64_t words_per_block) {
+  PipelineConfig config;
+  config.kind = kind;
+  config.fifo_depth = depth;
+  config.blocks = blocks;
+  config.words_per_block = words_per_block;
+
+  Kernel kernel;
+  Pipeline pipeline(kernel, config);
+  const auto start = std::chrono::steady_clock::now();
+  const Time end_date = pipeline.run_to_completion();
+  const auto stop = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  result.end_date = end_date;
+  result.context_switches = kernel.stats().context_switches;
+  result.correct = pipeline.correct();
+  return result;
+}
+
+std::vector<std::size_t> parse_depths(const char* arg) {
+  std::vector<std::size_t> depths;
+  std::string s(arg);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) {
+      comma = s.size();
+    }
+    depths.push_back(
+        static_cast<std::size_t>(std::strtoull(s.substr(pos, comma - pos).c_str(),
+                                               nullptr, 10)));
+    pos = comma + 1;
+  }
+  return depths;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t blocks = 1000;
+  std::uint64_t words_per_block = 1000;
+  std::vector<std::size_t> depths = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                     1024};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--blocks") == 0 && i + 1 < argc) {
+      blocks = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--words") == 0 && i + 1 < argc) {
+      words_per_block = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--depths") == 0 && i + 1 < argc) {
+      depths = parse_depths(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--blocks N] [--words N] [--depths a,b,c]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("Fig. 5 reproduction: execution duration vs FIFO depth\n");
+  std::printf("workload: %llu blocks x %llu words, varying rates\n\n",
+              static_cast<unsigned long long>(blocks),
+              static_cast<unsigned long long>(words_per_block));
+  std::printf(
+      "%7s | %12s %12s %12s | %11s %11s | %9s %9s | %s\n", "depth",
+      "untimed[s]", "TDless[s]", "TDfull[s]", "sw(TDless)", "sw(TDfull)",
+      "TDl/TDf", "TDf/unt", "dates");
+
+  bool all_ok = true;
+  for (std::size_t depth : depths) {
+    const RunResult untimed =
+        run_once(ModelKind::Untimed, depth, blocks, words_per_block);
+    const RunResult tdless =
+        run_once(ModelKind::TDless, depth, blocks, words_per_block);
+    const RunResult tdfull =
+        run_once(ModelKind::TDfull, depth, blocks, words_per_block);
+
+    const bool dates_equal = tdless.end_date == tdfull.end_date;
+    const bool ok = untimed.correct && tdless.correct && tdfull.correct &&
+                    dates_equal;
+    all_ok = all_ok && ok;
+
+    std::printf(
+        "%7zu | %12.3f %12.3f %12.3f | %11llu %11llu | %9.2f %9.2f | %s\n",
+        depth, untimed.wall_seconds, tdless.wall_seconds, tdfull.wall_seconds,
+        static_cast<unsigned long long>(tdless.context_switches),
+        static_cast<unsigned long long>(tdfull.context_switches),
+        tdless.wall_seconds / tdfull.wall_seconds,
+        tdfull.wall_seconds / untimed.wall_seconds,
+        ok ? (dates_equal ? "equal" : "-") : "MISMATCH");
+  }
+
+  if (!all_ok) {
+    std::fprintf(stderr,
+                 "ERROR: checksum or TDless/TDfull date mismatch detected\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Kernel primitive costs (ablation for the paper's SI premise: "context
+// switches are costly in terms of simulation speed... the context switches
+// would become the bottleneck of the simulation").
+//
+// Measures, per operation:
+//   * thread context switch (wait of a timed duration -- the cost a
+//     per-access synchronization pays);
+//   * thread event ping-pong (two switches plus event dispatch);
+//   * method activation (run-to-completion, no stack switch -- why the
+//     paper models routers and network interfaces with SC_METHODs);
+//   * td::inc() (the temporal-decoupling annotation -- orders of magnitude
+//     cheaper than any of the above);
+//   * timed event notification through the scheduler queue.
+#include <benchmark/benchmark.h>
+
+#include "core/local_time.h"
+#include "kernel/event.h"
+#include "kernel/kernel.h"
+
+namespace {
+
+using tdsim::Event;
+using tdsim::Kernel;
+using tdsim::MethodOptions;
+using namespace tdsim::time_literals;
+
+constexpr std::uint64_t kOpsPerBatch = 1 << 14;
+
+/// One wait(duration) = suspend + scheduler turn + resume.
+void BM_ThreadTimedWait(benchmark::State& state) {
+  for (auto _ : state) {
+    Kernel kernel;
+    kernel.spawn_thread("waiter", [&] {
+      for (std::uint64_t i = 0; i < kOpsPerBatch; ++i) {
+        tdsim::wait(1_ns);
+      }
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerBatch);
+}
+BENCHMARK(BM_ThreadTimedWait);
+
+/// Two threads alternating on a pair of events: one handover = two context
+/// switches, the tightest producer/consumer synchronization pattern.
+void BM_ThreadEventPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    Kernel kernel;
+    Event ping(kernel, "ping");
+    Event pong(kernel, "pong");
+    kernel.spawn_thread("a", [&] {
+      for (std::uint64_t i = 0; i < kOpsPerBatch; ++i) {
+        ping.notify_delta();
+        tdsim::wait(pong);
+      }
+    });
+    kernel.spawn_thread("b", [&] {
+      for (std::uint64_t i = 0; i < kOpsPerBatch; ++i) {
+        tdsim::wait(ping);
+        pong.notify_delta();
+      }
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerBatch);
+}
+BENCHMARK(BM_ThreadEventPingPong);
+
+/// One method activation per simulated nanosecond: no stack, no switch.
+void BM_MethodActivation(benchmark::State& state) {
+  for (auto _ : state) {
+    Kernel kernel;
+    std::uint64_t remaining = kOpsPerBatch;
+    kernel.spawn_method("ticker", [&] {
+      if (--remaining > 0) {
+        tdsim::next_trigger(1_ns);
+      }
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerBatch);
+}
+BENCHMARK(BM_MethodActivation);
+
+/// The decoupling annotation itself: a local-date addition.
+void BM_IncAnnotation(benchmark::State& state) {
+  for (auto _ : state) {
+    Kernel kernel;
+    kernel.spawn_thread("annotator", [&] {
+      for (std::uint64_t i = 0; i < kOpsPerBatch; ++i) {
+        tdsim::td::inc(1_ns);
+      }
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerBatch);
+}
+BENCHMARK(BM_IncAnnotation);
+
+/// inc() + sync() -- equivalent to wait(), paper SII.B; the pair costs a
+/// context switch, confirming that removing sync() is what pays.
+void BM_IncThenSync(benchmark::State& state) {
+  for (auto _ : state) {
+    Kernel kernel;
+    kernel.spawn_thread("syncer", [&] {
+      for (std::uint64_t i = 0; i < kOpsPerBatch; ++i) {
+        tdsim::td::inc(1_ns);
+        tdsim::td::sync();
+      }
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerBatch);
+}
+BENCHMARK(BM_IncThenSync);
+
+/// Timed notification scheduling + firing through the priority queue.
+void BM_TimedEventNotify(benchmark::State& state) {
+  for (auto _ : state) {
+    Kernel kernel;
+    Event tick(kernel, "tick");
+    std::uint64_t remaining = kOpsPerBatch;
+    MethodOptions opts;
+    opts.sensitivity.push_back(&tick);
+    kernel.spawn_method(
+        "scheduler",
+        [&] {
+          if (remaining-- > 0) {
+            tick.notify(1_ns);
+          }
+        },
+        opts);
+    kernel.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kOpsPerBatch);
+}
+BENCHMARK(BM_TimedEventNotify);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,167 @@
+// Ablation of the Smart FIFO burst extension (paper SIV.C: the network
+// interface's Smart FIFO "had to be slightly extended to manage efficiently
+// the packetization").
+//
+//   * word-at-a-time vs write_burst/read_burst transfer through a Smart
+//     FIFO (the extension amortizes per-access bookkeeping);
+//   * a full NoC path (producer -> Smart FIFO -> packetizing NI -> 2x1
+//     mesh -> deframing NI -> Smart FIFO -> sink) with the paper's method
+//     NIs versus the synchronized word-paced baseline NIs, sweeping the
+//     packet size.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/local_time.h"
+#include "core/smart_fifo.h"
+#include "core/sync_fifo.h"
+#include "kernel/module.h"
+#include "noc/mesh.h"
+#include "noc/network_interface.h"
+
+namespace {
+
+using tdsim::Kernel;
+using tdsim::Module;
+using tdsim::SmartFifo;
+using namespace tdsim::time_literals;
+namespace noc = tdsim::noc;
+
+constexpr std::uint64_t kWordsPerBatch = 1 << 14;
+constexpr std::size_t kDepth = 64;
+
+/// Per-word writes and reads, each paying the full access path.
+void BM_SmartFifoWordAtATime(benchmark::State& state) {
+  for (auto _ : state) {
+    Kernel kernel;
+    SmartFifo<std::uint32_t> fifo(kernel, "bench.fifo", kDepth);
+    kernel.spawn_thread("producer", [&] {
+      for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
+        fifo.write(static_cast<std::uint32_t>(i));
+        tdsim::td::inc(1_ns);
+      }
+    });
+    kernel.spawn_thread("consumer", [&] {
+      std::uint32_t sum = 0;
+      for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
+        sum += fifo.read();
+        tdsim::td::inc(1_ns);
+      }
+      benchmark::DoNotOptimize(sum);
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kWordsPerBatch);
+}
+BENCHMARK(BM_SmartFifoWordAtATime);
+
+/// Burst writes and reads of `packet` words (the NI extension).
+void BM_SmartFifoBurst(benchmark::State& state) {
+  const auto packet = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Kernel kernel;
+    SmartFifo<std::uint32_t> fifo(kernel, "bench.fifo", kDepth);
+    kernel.spawn_thread("producer", [&] {
+      std::vector<std::uint32_t> burst(packet);
+      for (std::uint64_t i = 0; i < kWordsPerBatch; i += packet) {
+        for (std::size_t w = 0; w < packet; ++w) {
+          burst[w] = static_cast<std::uint32_t>(i + w);
+        }
+        fifo.write_burst(burst.begin(), burst.end(), 1_ns);
+      }
+    });
+    kernel.spawn_thread("consumer", [&] {
+      std::vector<std::uint32_t> burst(packet);
+      std::uint32_t sum = 0;
+      for (std::uint64_t i = 0; i < kWordsPerBatch; i += packet) {
+        fifo.read_burst(burst.begin(), packet, 1_ns);
+        for (std::uint32_t w : burst) {
+          sum += w;
+        }
+      }
+      benchmark::DoNotOptimize(sum);
+    });
+    kernel.run();
+  }
+  state.SetItemsProcessed(state.iterations() * kWordsPerBatch);
+}
+BENCHMARK(BM_SmartFifoBurst)->Arg(4)->Arg(16)->Arg(64);
+
+/// Full path across a 2x1 mesh, with either the paper's decoupled method
+/// NIs over Smart FIFOs (smart=1) or the synchronized word-paced NIs over
+/// per-access-sync FIFOs (smart=0), sweeping the packet size.
+template <bool Smart>
+void noc_path_batch(std::size_t packet_words) {
+  Kernel kernel;
+  Module top(kernel, "bench");
+
+  noc::Mesh::Config mesh_config;
+  mesh_config.columns = 2;
+  mesh_config.rows = 1;
+  tdsim::noc::Mesh mesh(kernel, "bench.noc", mesh_config);
+
+  using Fifo = std::conditional_t<Smart, SmartFifo<std::uint32_t>,
+                                  tdsim::SyncFifo<std::uint32_t>>;
+  Fifo to_ni(kernel, "bench.to_ni", kDepth);
+  Fifo from_ni(kernel, "bench.from_ni", kDepth);
+
+  using Ni = std::conditional_t<Smart, tdsim::noc::SmartNetworkInterface,
+                                tdsim::noc::SyncNetworkInterface>;
+  Ni ni0(top, "ni0", 0, mesh.local_in(0), mesh.local_out(0));
+  Ni ni1(top, "ni1", 1, mesh.local_in(1), mesh.local_out(1));
+
+  tdsim::noc::RxChannelConfig rx;
+  rx.fifo = &from_ni;
+  rx.per_word = 1_ns;
+  const tdsim::noc::ChannelId channel = ni1.add_rx_channel(rx);
+
+  tdsim::noc::TxChannelConfig tx;
+  tx.fifo = &to_ni;
+  tx.dest = 1;
+  tx.dest_channel = channel;
+  tx.packet_words = packet_words;
+  tx.per_word = 1_ns;
+  ni0.add_tx_channel(tx);
+
+  ni0.elaborate();
+  ni1.elaborate();
+
+  kernel.spawn_thread("producer", [&] {
+    for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
+      tdsim::td::inc(2_ns);
+      to_ni.write(static_cast<std::uint32_t>(i));
+    }
+  });
+  kernel.spawn_thread("sink", [&] {
+    std::uint32_t sum = 0;
+    for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
+      sum += from_ni.read();
+      tdsim::td::inc(2_ns);
+    }
+    benchmark::DoNotOptimize(sum);
+  });
+  kernel.run();
+}
+
+void BM_NocPathSmartNi(benchmark::State& state) {
+  const auto packet = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    noc_path_batch<true>(packet);
+  }
+  state.SetItemsProcessed(state.iterations() * kWordsPerBatch);
+}
+BENCHMARK(BM_NocPathSmartNi)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_NocPathSyncNi(benchmark::State& state) {
+  const auto packet = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    noc_path_batch<false>(packet);
+  }
+  state.SetItemsProcessed(state.iterations() * kWordsPerBatch);
+}
+BENCHMARK(BM_NocPathSyncNi)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// DMA offload: embedded software programs a DMA engine over the bus to
+// move buffers while it keeps working, then takes the date-accurate
+// completion "interrupt" -- the memory-mapped half of the case-study SoC's
+// temporal decoupling (paper SIV.C: "all communications done by TLM
+// transactions are temporally decoupled using existing methods").
+//
+// Shows the loosely-timed initiator pattern: every register/memory access
+// folds its annotated latency into the software's local time; a context
+// switch happens only when the global quantum is exhausted -- and the
+// completion still lands on exactly the right date.
+//
+// Build & run:  ./examples/dma_offload
+#include <cstdio>
+#include <numeric>
+
+#include "core/local_time.h"
+#include "kernel/module.h"
+#include "tlm/bus.h"
+#include "tlm/dma.h"
+#include "tlm/memory.h"
+
+using namespace tdsim;
+using namespace tdsim::time_literals;
+
+namespace {
+constexpr std::uint64_t kMemBase = 0x2000'0000;
+constexpr std::uint64_t kDmaBase = 0x1000'0000;
+constexpr std::uint32_t kBlock = 4096;
+}  // namespace
+
+int main() {
+  Kernel kernel;
+  kernel.set_global_quantum(1_us);
+
+  Module top(kernel, "top");
+  tlm::Bus bus("top.bus", 2_ns);
+  tlm::Memory memory("top.mem", 64 * 1024, 1_ns);
+  tlm::DmaEngine dma(top, "dma");
+  bus.map(kMemBase, memory.size(), memory);
+  bus.map(kDmaBase, tlm::DmaEngine::kRegisterCount * 4, dma.registers());
+  dma.socket().bind(bus);
+
+  // Source buffer contents, written through the backdoor (as a loader
+  // would).
+  std::iota(memory.backdoor(), memory.backdoor() + kBlock, std::uint8_t{0});
+
+  tlm::InitiatorSocket cpu("top.cpu");
+  cpu.bind(bus);
+
+  kernel.spawn_thread("software", [&] {
+    using Dma = tlm::DmaEngine;
+    const auto reg = [](std::size_t r) { return kDmaBase + r * 4; };
+
+    // Program the transfer through the bus (decoupled register writes).
+    cpu.write32(reg(Dma::kSrc), kMemBase);
+    cpu.write32(reg(Dma::kDst), kMemBase + 32 * 1024);
+    cpu.write32(reg(Dma::kLen), kBlock);
+    cpu.write32(reg(Dma::kCtrl), 1);
+    std::printf("sw:  DMA started at %s (local date)\n",
+                td::local_time_stamp().to_string().c_str());
+
+    // Overlap: crunch numbers while the engine copies.
+    for (int i = 0; i < 1000; ++i) {
+      td::inc(50_ns);
+      if (td::needs_sync()) {
+        td::sync();
+      }
+    }
+    std::printf("sw:  compute phase done at %s\n",
+                td::local_time_stamp().to_string().c_str());
+
+    // Wait for the completion interrupt (sync first: waiting is a
+    // synchronization point).
+    td::sync();
+    while (cpu.read32(reg(Dma::kStatus)) != Dma::kDone) {
+      tdsim::wait(dma.done_event());
+    }
+    std::printf("sw:  completion observed at %s\n",
+                td::local_time_stamp().to_string().c_str());
+
+    // Verify through timed reads.
+    bool ok = true;
+    for (std::uint32_t offset = 0; offset < kBlock; offset += 4) {
+      const std::uint32_t expect = (offset & 0xFF) |
+                                   ((offset + 1) & 0xFF) << 8 |
+                                   ((offset + 2) & 0xFF) << 16 |
+                                   ((offset + 3) & 0xFF) << 24;
+      if (cpu.read32(kMemBase + 32 * 1024 + offset) != expect) {
+        ok = false;
+        break;
+      }
+    }
+    std::printf("sw:  copy check: %s\n", ok ? "ok" : "CORRUPT");
+  });
+
+  kernel.run();
+  std::printf("simulation ended at %s, %llu context switches, "
+              "%llu words copied\n",
+              kernel.now().to_string().c_str(),
+              static_cast<unsigned long long>(
+                  kernel.stats().context_switches),
+              static_cast<unsigned long long>(dma.words_copied()));
+  return 0;
+}

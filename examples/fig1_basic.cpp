@@ -1,0 +1,131 @@
+// The paper's running example (Figs. 1-3): a writer producing three values
+// with 20 ns spacing into a depth-1 FIFO, and a reader consuming them with
+// 15 ns spacing.
+//
+// The example runs the model three ways and prints each execution trace:
+//
+//   1. Reference (Fig. 2)  -- wait() annotations + per-access sync: the
+//      faithful dates (reads at 15/35/55 ns... the third read *waits* for
+//      data);
+//   2. Naive TD (Fig. 3)   -- inc() annotations, date-unaware FIFO, no
+//      syncs: "the reader executes as if data were already available",
+//      wrong dates;
+//   3. Smart FIFO          -- inc() annotations + the paper's channel: the
+//      reference dates, with fewer context switches.
+//
+// Build & run:  ./examples/fig1_basic
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/local_time.h"
+#include "core/smart_fifo.h"
+#include "core/sync_fifo.h"
+#include "kernel/kernel.h"
+
+using namespace tdsim;
+using namespace tdsim::time_literals;
+
+namespace {
+
+enum class Style { Reference, NaiveTD, SmartTD };
+
+struct TraceLine {
+  Time date;
+  std::string text;
+};
+
+void run_model(Style style, std::vector<TraceLine>& trace,
+               std::uint64_t& switches) {
+  Kernel kernel;
+  std::unique_ptr<FifoInterface<int>> fifo;
+  switch (style) {
+    case Style::Reference:
+      fifo = std::make_unique<SyncFifo<int>>(kernel, "fifo", 1);
+      break;
+    case Style::NaiveTD:
+      fifo = std::make_unique<UntimedFifo<int>>(kernel, "fifo", 1);
+      break;
+    case Style::SmartTD:
+      fifo = std::make_unique<SmartFifo<int>>(kernel, "fifo", 1);
+      break;
+  }
+  const bool decoupled = style != Style::Reference;
+  const auto delay = [&](Time d) {
+    if (decoupled) {
+      td::inc(d);
+    } else {
+      kernel.wait(d);
+    }
+  };
+
+  kernel.spawn_thread("writer", [&] {
+    for (int v = 1; v <= 3; ++v) {
+      fifo->write(v);
+      trace.push_back({td::local_time_stamp(),
+                       "writer: wr " + std::to_string(v)});
+      delay(20_ns);
+    }
+  });
+  kernel.spawn_thread("reader", [&] {
+    for (int i = 0; i < 3; ++i) {
+      delay(15_ns);
+      const int v = fifo->read();
+      trace.push_back({td::local_time_stamp(),
+                       "reader: rd -> " + std::to_string(v)});
+    }
+  });
+
+  kernel.run();
+  switches = kernel.stats().context_switches;
+}
+
+void print(const char* title, const std::vector<TraceLine>& trace,
+           std::uint64_t switches) {
+  std::printf("%s (%llu context switches)\n", title,
+              static_cast<unsigned long long>(switches));
+  for (const TraceLine& line : trace) {
+    std::printf("  t=%-8s %s\n", line.date.to_string().c_str(),
+                line.text.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::vector<TraceLine> reference, naive, smart;
+  std::uint64_t sw_ref = 0, sw_naive = 0, sw_smart = 0;
+  run_model(Style::Reference, reference, sw_ref);
+  run_model(Style::NaiveTD, naive, sw_naive);
+  run_model(Style::SmartTD, smart, sw_smart);
+
+  print("Fig. 2 -- reference (timed, no decoupling)", reference, sw_ref);
+  print("Fig. 3 -- naive decoupling (regular FIFO, no syncs): WRONG dates",
+        naive, sw_naive);
+  print("Smart FIFO -- decoupled, same dates as the reference", smart,
+        sw_smart);
+
+  // The headline property, checked programmatically: after reordering by
+  // date (the paper's SIV.A criterion -- with decoupling, dates may
+  // decrease when the scheduler switches process), the Smart FIFO trace is
+  // identical to the reference trace.
+  const auto sorted = [](std::vector<TraceLine> t) {
+    std::sort(t.begin(), t.end(), [](const TraceLine& a, const TraceLine& b) {
+      return a.date != b.date ? a.date < b.date : a.text < b.text;
+    });
+    return t;
+  };
+  const std::vector<TraceLine> ref_sorted = sorted(reference);
+  const std::vector<TraceLine> smart_sorted = sorted(smart);
+  bool equal = ref_sorted.size() == smart_sorted.size();
+  for (std::size_t i = 0; equal && i < ref_sorted.size(); ++i) {
+    equal = ref_sorted[i].date == smart_sorted[i].date &&
+            ref_sorted[i].text == smart_sorted[i].text;
+  }
+  std::printf("Smart FIFO trace %s the reference trace\n",
+              equal ? "matches" : "DOES NOT match");
+  return equal ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+// Side arbiters for the Smart FIFO (paper SIII: "if it is not the case in
+// the design, then an arbiter must be added to ensure that two successive
+// accesses on the same side cannot have decreasing local dates").
+//
+// The arbiter synchronizes each caller before forwarding the access: all
+// arbitrated accesses then carry the global date, which is monotonic, so
+// the side-ordering requirement holds for any number of client processes.
+// The price is one context switch per arbitrated access -- decoupling
+// cannot be preserved across an arbitration point without lookahead, which
+// is exactly why the paper models heavy arbitration (NoC routers) with
+// method processes instead.
+#pragma once
+
+#include "core/fifo_interface.h"
+#include "core/local_time.h"
+
+namespace tdsim {
+
+template <typename T>
+class WriteArbiter {
+ public:
+  explicit WriteArbiter(FifoInterface<T>& target) : target_(target) {}
+
+  /// Synchronizing write; safe from any number of thread processes. The
+  /// caller may additionally be advanced to the date of the last access
+  /// that went through this arbiter (queuing at the arbitration point):
+  /// a previous client's access can carry a future date when the FIFO
+  /// bumped it to a cell's freeing date.
+  void write(T value) {
+    td::sync();
+    td::advance_local_to(last_date_);
+    target_.write(std::move(value));
+    last_date_ = td::local_time_stamp();
+  }
+
+  bool is_full() {
+    td::sync();
+    return target_.is_full();
+  }
+
+  Event& not_full_event() { return target_.not_full_event(); }
+
+ private:
+  FifoInterface<T>& target_;
+  Time last_date_{};
+};
+
+template <typename T>
+class ReadArbiter {
+ public:
+  explicit ReadArbiter(FifoInterface<T>& target) : target_(target) {}
+
+  /// Synchronizing read; safe from any number of thread processes. As for
+  /// WriteArbiter, the caller queues behind the last arbitrated access.
+  T read() {
+    td::sync();
+    td::advance_local_to(last_date_);
+    T value = target_.read();
+    last_date_ = td::local_time_stamp();
+    return value;
+  }
+
+  bool is_empty() {
+    td::sync();
+    return target_.is_empty();
+  }
+
+  Event& not_empty_event() { return target_.not_empty_event(); }
+
+ private:
+  FifoInterface<T>& target_;
+  Time last_date_{};
+};
+
+}  // namespace tdsim

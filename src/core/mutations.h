@@ -1,0 +1,52 @@
+// Mutation hooks for the Smart FIFO, reproducing the paper's SIV.A mutation
+// testing ("we select a line in the Smart FIFO implementation, we modify
+// something, we run the test suite again and check that at least one test
+// fails"). Each flag disables or corrupts one specific mechanism; the test
+// suite asserts that every mutation is caught by at least one scenario.
+#pragma once
+
+namespace tdsim {
+
+struct SmartFifoMutations {
+  /// Drop write step 2: do not raise the writer's local date to the first
+  /// free cell's freeing date.
+  bool skip_writer_time_bump = false;
+
+  /// Drop read step 2: do not raise the reader's local date to the first
+  /// busy cell's insertion date.
+  bool skip_reader_time_bump = false;
+
+  /// Do not record insertion dates (cells behave as if written at the
+  /// epoch).
+  bool skip_insertion_date = false;
+
+  /// Do not record freeing dates.
+  bool skip_freeing_date = false;
+
+  /// is_empty() ignores a future insertion date on the first busy cell
+  /// (collapses the external view onto the internal state).
+  bool naive_is_empty = false;
+
+  /// is_full() ignores a future freeing date on the first free cell.
+  bool naive_is_full = false;
+
+  /// External not_empty/not_full notifications fire immediately instead of
+  /// being delayed to the insertion/freeing date.
+  bool undelayed_external_events = false;
+
+  /// get_size() returns the internal occupancy instead of reconstructing
+  /// the real occupancy from the cell date pairs.
+  bool naive_get_size = false;
+
+  /// Skip the writer synchronization before blocking on a full FIFO.
+  bool skip_sync_on_block = false;
+
+  bool any() const {
+    return skip_writer_time_bump || skip_reader_time_bump ||
+           skip_insertion_date || skip_freeing_date || naive_is_empty ||
+           naive_is_full || undelayed_external_events || naive_get_size ||
+           skip_sync_on_block;
+  }
+};
+
+}  // namespace tdsim

@@ -1,0 +1,65 @@
+// Payload event queue (TLM-2.0 peq_with_get analog, cited by the paper as
+// the precedent for timestamped hand-off in memory-mapped interconnect
+// models): payloads are posted with a delay and become retrievable once the
+// global date reaches their annotated date.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "kernel/event.h"
+#include "kernel/kernel.h"
+
+namespace tdsim {
+
+template <typename Payload>
+class PeqWithGet {
+ public:
+  PeqWithGet(Kernel& kernel, std::string name)
+      : kernel_(kernel),
+        name_(std::move(name)),
+        event_(kernel, name_ + ".get_event") {}
+
+  /// Posts `payload` for delivery at now + delay.
+  void notify(Payload payload, Time delay) {
+    const Time at = kernel_.now() + delay;
+    queue_.emplace(at, std::move(payload));
+    event_.notify(delay);
+  }
+
+  /// Posts `payload` for immediate (next-delta) delivery.
+  void notify(Payload payload) { notify(std::move(payload), Time{}); }
+
+  /// Retrieves the next payload whose date has been reached, or nullopt.
+  /// When payloads remain in the future, get_event() is re-armed for the
+  /// earliest one.
+  std::optional<Payload> get_next() {
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    auto it = queue_.begin();
+    if (it->first <= kernel_.now()) {
+      Payload p = std::move(it->second);
+      queue_.erase(it);
+      return p;
+    }
+    event_.notify(it->first - kernel_.now());
+    return std::nullopt;
+  }
+
+  /// Notified when a payload becomes (or is about to become) retrievable.
+  Event& get_event() { return event_; }
+
+  std::size_t pending() const { return queue_.size(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  Kernel& kernel_;
+  std::string name_;
+  std::multimap<Time, Payload> queue_;
+  Event event_;
+};
+
+}  // namespace tdsim

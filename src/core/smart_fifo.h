@@ -1,0 +1,384 @@
+// The Smart FIFO (paper SIII) -- the primary contribution of the
+// reproduction.
+//
+// A bounded FIFO channel aware of the per-process local dates of temporal
+// decoupling. Each cell stores the date of its last data insertion and the
+// date of its last freeing:
+//
+//   * write raises the writer's local date to the first free cell's freeing
+//     date, then stamps the insertion;
+//   * read raises the reader's local date to the first busy cell's
+//     insertion date, then stamps the freeing;
+//   * a context switch happens only when the FIFO is *internally* full
+//     (writer) or empty (reader): the process synchronizes and waits.
+//
+// This computes exactly the bounded-Kahn timing recurrence of the reference
+// model (regular FIFO + one synchronization per access) while eliding
+// almost all context switches; the test suite asserts bit-exact date
+// equality between the two (paper SIV.A).
+//
+// Three interfaces are provided, per paper Fig. 4:
+//   * writer side: write / is_full / not_full_event  (ordered dates),
+//   * reader side: read / is_empty / not_empty_event (ordered dates),
+//   * monitor    : get_size (synchronizing, low rate).
+//
+// Each side must always be accessed by the same process (or by processes
+// whose access dates never decrease); this is checked at runtime. Use
+// WriteArbiter / ReadArbiter when several processes share a side.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fifo_interface.h"
+#include "core/local_time.h"
+#include "core/mutations.h"
+#include "kernel/event.h"
+#include "kernel/kernel.h"
+#include "kernel/report.h"
+
+namespace tdsim {
+
+template <typename T>
+class SmartFifo final : public FifoInterface<T> {
+ public:
+  /// A Smart FIFO with as many cells as the hardware FIFO it models.
+  /// `mutations`, when non-null, must outlive the FIFO (testing only).
+  SmartFifo(Kernel& kernel, std::string name, std::size_t depth,
+            const SmartFifoMutations* mutations = nullptr)
+      : kernel_(kernel),
+        name_(std::move(name)),
+        cells_(depth),
+        mutations_(mutations),
+        internal_data_(kernel, name_ + ".internal_data"),
+        internal_space_(kernel, name_ + ".internal_space"),
+        not_empty_(kernel, name_ + ".not_empty"),
+        not_full_(kernel, name_ + ".not_full") {
+    if (depth == 0) {
+      Report::error("SmartFifo " + name_ + ": depth must be >= 1");
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Writer-side interface
+  // ------------------------------------------------------------------
+
+  /// Blocking write (paper SIII.A). The data is stamped with the writer's
+  /// local date. Suspends (one context switch) only when every cell is
+  /// internally busy. Callable from a method process only when guarded by
+  /// is_full().
+  void write(T value) override {
+    check_side_order(last_write_date_, "write");
+    if (busy_count_ == cells_.size()) {
+      // Step 1: internally full -- synchronize, then wait for a free cell.
+      // The synchronization may already let the (possibly decoupled, but
+      // behind in execution order) reader run and free cells, so the
+      // condition is re-checked before suspending on the event.
+      writer_blocks_++;
+      if (!mut(&SmartFifoMutations::skip_sync_on_block)) {
+        td::sync();
+      }
+      while (busy_count_ == cells_.size()) {
+        kernel_.wait(internal_space_);
+      }
+    }
+    Cell& cell = cells_[first_free_];
+    // Step 2: the cell may still be "occupied" in real time; push the
+    // writer's local date to the date the cell was freed.
+    if (!mut(&SmartFifoMutations::skip_writer_time_bump)) {
+      td::advance_local_to(cell.freeing_date);
+    }
+    const Time date = td::local_time_stamp();
+    last_write_date_ = date;
+    const bool was_internally_empty = (busy_count_ == 0);
+    // Step 3: fill the cell and stamp the insertion.
+    cell.data = std::move(value);
+    cell.busy = true;
+    if (!mut(&SmartFifoMutations::skip_insertion_date)) {
+      cell.insertion_date = date;
+    }
+    first_free_ = next_index(first_free_);
+    busy_count_++;
+    total_writes_++;
+    // Step 4: wake up a blocked reader, if any.
+    internal_data_.notify_delta();
+    // External view (paper SIII.B, not_empty case 1): the FIFO stopped
+    // being internally empty; observers must see data appear at the
+    // insertion date.
+    if (was_internally_empty) {
+      schedule_external(not_empty_, date);
+    }
+    // not_full case 2: the next free cell exists but is still occupied in
+    // real time until its freeing date.
+    if (busy_count_ < cells_.size()) {
+      const Time freeing = cells_[first_free_].freeing_date;
+      if (freeing > date) {
+        schedule_external(not_full_, freeing);
+      }
+    }
+  }
+
+  /// External view of fullness at the caller's local date (paper SIII.B):
+  /// full iff every cell is internally busy, or the first free cell's
+  /// freeing date is still in the future. Constant time.
+  bool is_full() override {
+    if (busy_count_ == cells_.size()) {
+      return true;
+    }
+    if (mut(&SmartFifoMutations::naive_is_full)) {
+      return false;
+    }
+    const Time freeing = cells_[first_free_].freeing_date;
+    if (freeing > td::local_time_stamp()) {
+      // Externally full until `freeing`. Re-arm the delayed notification:
+      // an earlier pending notification may already have fired (waking the
+      // caller spuriously) and consumed the one scheduled by read().
+      schedule_external(not_full_, freeing);
+      return true;
+    }
+    return false;
+  }
+
+  /// Notified (with a delay reaching the relevant freeing date) when the
+  /// external view transitions away from full.
+  Event& not_full_event() override { return not_full_; }
+
+  // ------------------------------------------------------------------
+  // Reader-side interface
+  // ------------------------------------------------------------------
+
+  /// Blocking read, symmetrical to write (paper SIII.A).
+  T read() override {
+    check_side_order(last_read_date_, "read");
+    if (busy_count_ == 0) {
+      // Internally empty -- synchronize, then wait for data; re-check
+      // after the synchronization (see write()).
+      reader_blocks_++;
+      if (!mut(&SmartFifoMutations::skip_sync_on_block)) {
+        td::sync();
+      }
+      while (busy_count_ == 0) {
+        kernel_.wait(internal_data_);
+      }
+    }
+    Cell& cell = cells_[first_busy_];
+    // The data may not have arrived yet in real time; push the reader's
+    // local date to the insertion date.
+    if (!mut(&SmartFifoMutations::skip_reader_time_bump)) {
+      td::advance_local_to(cell.insertion_date);
+    }
+    const Time date = td::local_time_stamp();
+    last_read_date_ = date;
+    const bool was_internally_full = (busy_count_ == cells_.size());
+    T value = std::move(cell.data);
+    cell.busy = false;
+    if (!mut(&SmartFifoMutations::skip_freeing_date)) {
+      cell.freeing_date = date;
+    }
+    first_busy_ = next_index(first_busy_);
+    busy_count_--;
+    total_reads_++;
+    // Wake up a blocked writer, if any.
+    internal_space_.notify_delta();
+    // External view: the FIFO stopped being internally full; space appears
+    // at the freeing date (paper SIII.B, not_full case 1).
+    if (was_internally_full) {
+      schedule_external(not_full_, date);
+    }
+    // not_empty case 2: the next busy cell exists but its data only
+    // arrives in real time at its insertion date.
+    if (busy_count_ > 0) {
+      const Time insertion = cells_[first_busy_].insertion_date;
+      if (insertion > date) {
+        schedule_external(not_empty_, insertion);
+      }
+    }
+    return value;
+  }
+
+  /// External view of emptiness at the caller's local date (paper SIII.B):
+  /// empty iff every cell is internally free, or the first busy cell's
+  /// insertion date is still in the future. Constant time ("two tests
+  /// instead of one for a regular FIFO").
+  bool is_empty() override {
+    if (busy_count_ == 0) {
+      return true;
+    }
+    if (mut(&SmartFifoMutations::naive_is_empty)) {
+      return false;
+    }
+    const Time insertion = cells_[first_busy_].insertion_date;
+    if (insertion > td::local_time_stamp()) {
+      // Externally empty until `insertion`; re-arm the delayed
+      // notification (see is_full()).
+      schedule_external(not_empty_, insertion);
+      return true;
+    }
+    return false;
+  }
+
+  /// Notified (delayed to the relevant insertion date) when the external
+  /// view transitions away from empty.
+  Event& not_empty_event() override { return not_empty_; }
+
+  // ------------------------------------------------------------------
+  // Monitor interface (paper SIII.C)
+  // ------------------------------------------------------------------
+
+  /// Real occupancy of the modeled hardware FIFO at the caller's date.
+  /// Synchronizes the caller, then reconstructs the occupancy from the
+  /// per-cell (insertion date, freeing date) pairs; a cell's internal state
+  /// may be ahead of its real state because writers and readers run ahead
+  /// of the global date. Linear in the depth -- this is the low-rate
+  /// interface.
+  std::size_t get_size() override {
+    td::sync();  // 1. synchronize the caller
+    monitor_queries_++;
+    if (mut(&SmartFifoMutations::naive_get_size)) {
+      return busy_count_;
+    }
+    const Time now = kernel_.now();
+    std::size_t count = 0;
+    // 2. iterate over both internally busy and internally free cells.
+    for (const Cell& cell : cells_) {
+      if (cell.busy) {
+        // Really busy if the insertion already happened, or if the cell
+        // was freed-and-refilled ahead of real time (the previous data is
+        // then still present at `now`).
+        if (cell.insertion_date <= now || cell.freeing_date > now) {
+          count++;
+        }
+      } else {
+        // Really busy if the freeing is still ahead of real time and the
+        // data insertion already happened.
+        if (cell.freeing_date > now && cell.insertion_date <= now) {
+          count++;
+        }
+      }
+    }
+    return count;
+  }
+
+  // ------------------------------------------------------------------
+  // Burst extension (paper SIV.C: "slightly extended to manage efficiently
+  // the packetization")
+  // ------------------------------------------------------------------
+
+  /// Writes `values`, advancing the writer's local date by `per_word`
+  /// after each word, with a single side-ordering check. This is what a
+  /// packetizing network interface uses to emit a whole packet.
+  template <typename It>
+  void write_burst(It first, It last, Time per_word) {
+    for (It it = first; it != last; ++it) {
+      write(*it);
+      td::inc(per_word);
+    }
+  }
+
+  /// Reads `count` words into `out`, advancing the reader's local date by
+  /// `per_word` after each word.
+  template <typename OutIt>
+  void read_burst(OutIt out, std::size_t count, Time per_word) {
+    for (std::size_t i = 0; i < count; ++i) {
+      *out++ = read();
+      td::inc(per_word);
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Introspection
+  // ------------------------------------------------------------------
+
+  std::size_t depth() const override { return cells_.size(); }
+  const std::string& name() const { return name_; }
+  Kernel& kernel() const { return kernel_; }
+
+  /// Internal occupancy (how many cells hold data, regardless of dates).
+  /// Debug only -- the real occupancy is get_size().
+  std::size_t internal_size() const { return busy_count_; }
+
+  std::uint64_t total_writes() const override { return total_writes_; }
+  std::uint64_t total_reads() const override { return total_reads_; }
+  /// Number of times the writer (reader) suspended on an internally
+  /// full (empty) FIFO -- i.e. the context switches the paper counts.
+  std::uint64_t writer_blocks() const { return writer_blocks_; }
+  std::uint64_t reader_blocks() const { return reader_blocks_; }
+  std::uint64_t monitor_queries() const { return monitor_queries_; }
+
+  /// Disables the runtime check that dates never decrease on a side.
+  /// Only for benchmarks measuring the check's cost.
+  void set_side_order_checking(bool enabled) { check_side_order_ = enabled; }
+
+ private:
+  struct Cell {
+    T data{};
+    /// Date of the last data insertion into this cell.
+    Time insertion_date{};
+    /// Date of the last freeing of this cell.
+    Time freeing_date{};
+    bool busy = false;
+  };
+
+  std::size_t next_index(std::size_t i) const {
+    return (i + 1 == cells_.size()) ? 0 : i + 1;
+  }
+
+  bool mut(bool SmartFifoMutations::* flag) const {
+    return mutations_ != nullptr && mutations_->*flag;
+  }
+
+  /// Both sides require non-decreasing access dates (paper Fig. 4
+  /// "requires ordered dates"); violating this means an arbiter is
+  /// missing in the design.
+  void check_side_order(Time last_date, const char* side) const {
+    if (check_side_order_ && td::local_time_stamp() < last_date) {
+      Report::error("SmartFifo " + name_ + ": " + side +
+                    " access date went backwards (" +
+                    td::local_time_stamp().to_string() + " after " +
+                    last_date.to_string() + "); an arbiter is required");
+    }
+  }
+
+  /// Schedules an external-view event at absolute date `at` (>= now). The
+  /// notification is delayed so that synchronized observers see the state
+  /// change exactly when the real FIFO changes (paper SIII.B).
+  void schedule_external(Event& event, Time at) {
+    if (mut(&SmartFifoMutations::undelayed_external_events)) {
+      event.notify_delta();
+      return;
+    }
+    event.notify(at - kernel_.now());
+  }
+
+  Kernel& kernel_;
+  std::string name_;
+  std::vector<Cell> cells_;
+  const SmartFifoMutations* mutations_;
+
+  /// Index of the first free cell (next write target).
+  std::size_t first_free_ = 0;
+  /// Index of the first busy cell (next read target).
+  std::size_t first_busy_ = 0;
+  std::size_t busy_count_ = 0;
+
+  Time last_write_date_{};
+  Time last_read_date_{};
+  bool check_side_order_ = true;
+
+  /// Immediate (delta) wake-ups for suspended blocking calls.
+  Event internal_data_;
+  Event internal_space_;
+  /// Delayed external-view events (paper Fig. 4).
+  Event not_empty_;
+  Event not_full_;
+
+  std::uint64_t total_writes_ = 0;
+  std::uint64_t total_reads_ = 0;
+  std::uint64_t writer_blocks_ = 0;
+  std::uint64_t reader_blocks_ = 0;
+  std::uint64_t monitor_queries_ = 0;
+};
+
+}  // namespace tdsim

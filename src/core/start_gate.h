@@ -1,0 +1,85 @@
+// Timestamped command hand-off between a temporally decoupled commander
+// and a worker thread.
+//
+// The recurring pattern of the case-study SoC (paper SIV.C): embedded
+// software running ahead of the global date writes a "start" register;
+// the hardware thread must begin processing at the *commander's local
+// date*, not at the global date the write physically executed at. This is
+// the same idea as a Smart FIFO insertion (a date travels with the data),
+// specialized to a single command slot. Used by the accelerators and the
+// DMA engine.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/local_time.h"
+#include "kernel/event.h"
+#include "kernel/kernel.h"
+
+namespace tdsim {
+
+template <typename Command>
+class StartGate {
+ public:
+  StartGate(Kernel& kernel, std::string name)
+      : kernel_(kernel), event_(kernel, name + ".start") {}
+
+  /// Posts `command`, stamped with the caller's local date. Callable from
+  /// any process (or hook running on behalf of one). Returns false when a
+  /// command is already pending (the worker has not consumed it yet).
+  bool post(Command command) {
+    if (pending_.has_value()) {
+      return false;
+    }
+    pending_.emplace(std::move(command));
+    date_ = td::local_time_stamp();
+    event_.notify();
+    return true;
+  }
+
+  bool has_pending() const { return pending_.has_value(); }
+
+  /// Worker side: blocks until a command is posted, advances the worker's
+  /// local date to the commander's date (timestamped hand-off), and
+  /// returns the command. Thread processes only.
+  Command await() {
+    if (!pending_.has_value()) {
+      // Synchronize before blocking (paper SIII.A: "synchronize the
+      // process and wait") -- suspending with a non-zero offset would
+      // make the local date drift with the global date.
+      td::sync();
+      while (!pending_.has_value()) {
+        kernel_.wait(event_);
+      }
+    }
+    td::advance_local_to(date_);
+    Command command = std::move(*pending_);
+    pending_.reset();
+    return command;
+  }
+
+  /// Non-blocking worker-side probe for method processes: the command and
+  /// its date, if any (the method applies the date itself via td::inc or
+  /// scheduling).
+  std::optional<std::pair<Command, Time>> try_take() {
+    if (!pending_.has_value()) {
+      return std::nullopt;
+    }
+    std::pair<Command, Time> out{std::move(*pending_), date_};
+    pending_.reset();
+    return out;
+  }
+
+  /// Notified (immediately) when a command is posted.
+  Event& event() { return event_; }
+
+ private:
+  Kernel& kernel_;
+  Event event_;
+  std::optional<Command> pending_;
+  Time date_;
+};
+
+}  // namespace tdsim

@@ -1,0 +1,91 @@
+// Reference timed FIFO ("TDless", paper SII.B): a regular FIFO with a
+// sync() at the beginning of each public method. One context switch per
+// access, but "it represents the behavior and the timing of the real system
+// as faithfully as possible" -- the Smart FIFO must match its dates exactly.
+//
+// Also UntimedFifo, the regular FIFO behind the FifoInterface, for the
+// untimed model of the paper's Fig. 5 benchmark.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "core/fifo_interface.h"
+#include "core/local_time.h"
+#include "kernel/fifo.h"
+
+namespace tdsim {
+
+template <typename T>
+class SyncFifo final : public FifoInterface<T> {
+ public:
+  SyncFifo(Kernel& kernel, std::string name, std::size_t depth)
+      : fifo_(kernel, std::move(name), depth) {}
+
+  void write(T value) override {
+    td::sync();
+    fifo_.write(std::move(value));
+  }
+
+  T read() override {
+    td::sync();
+    return fifo_.read();
+  }
+
+  bool is_full() override {
+    td::sync();
+    return fifo_.full();
+  }
+
+  bool is_empty() override {
+    td::sync();
+    return fifo_.empty();
+  }
+
+  std::size_t get_size() override {
+    td::sync();
+    return fifo_.num_available();
+  }
+
+  /// Fires on every write; a synchronized observer re-checking is_empty()
+  /// sees exactly the regular FIFO's state.
+  Event& not_empty_event() override { return fifo_.data_written_event(); }
+  Event& not_full_event() override { return fifo_.data_read_event(); }
+
+  std::size_t depth() const override { return fifo_.depth(); }
+  std::uint64_t total_writes() const override { return fifo_.total_writes(); }
+  std::uint64_t total_reads() const override { return fifo_.total_reads(); }
+
+  Fifo<T>& underlying() { return fifo_; }
+
+ private:
+  Fifo<T> fifo_;
+};
+
+/// The plain FIFO behind the common interface, for untimed models: accesses
+/// carry no timing and never synchronize (processes in an untimed model
+/// have a zero offset anyway).
+template <typename T>
+class UntimedFifo final : public FifoInterface<T> {
+ public:
+  UntimedFifo(Kernel& kernel, std::string name, std::size_t depth)
+      : fifo_(kernel, std::move(name), depth) {}
+
+  void write(T value) override { fifo_.write(std::move(value)); }
+  T read() override { return fifo_.read(); }
+  bool is_full() override { return fifo_.full(); }
+  bool is_empty() override { return fifo_.empty(); }
+  std::size_t get_size() override { return fifo_.num_available(); }
+  Event& not_empty_event() override { return fifo_.data_written_event(); }
+  Event& not_full_event() override { return fifo_.data_read_event(); }
+  std::size_t depth() const override { return fifo_.depth(); }
+  std::uint64_t total_writes() const override { return fifo_.total_writes(); }
+  std::uint64_t total_reads() const override { return fifo_.total_reads(); }
+
+  Fifo<T>& underlying() { return fifo_; }
+
+ private:
+  Fifo<T> fifo_;
+};
+
+}  // namespace tdsim

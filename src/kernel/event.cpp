@@ -1,0 +1,71 @@
+#include "kernel/event.h"
+
+#include <algorithm>
+
+#include "kernel/kernel.h"
+#include "kernel/process.h"
+#include "kernel/report.h"
+
+namespace tdsim {
+
+Event::Event(Kernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)) {}
+
+Event::~Event() {
+  // Detach any process still referring to this event so the kernel never
+  // dereferences a dangling pointer. Waiting on a destroyed event is a
+  // modeling bug, but it must fail loudly, not corrupt memory.
+  for (Process* p : dynamic_waiters_) {
+    p->waiting_event_ = nullptr;
+  }
+  for (Process* p : static_waiters_) {
+    auto& list = p->static_sensitivity_;
+    list.erase(std::remove(list.begin(), list.end(), this), list.end());
+  }
+  generation_++;  // invalidate scheduled firings
+}
+
+void Event::notify() {
+  // Immediate notification overrides any pending one.
+  cancel();
+  kernel_.trigger_event(*this);
+}
+
+void Event::notify_delta() {
+  if (pending_ == Pending::Delta) {
+    return;  // already pending at the earliest possible date
+  }
+  if (pending_ == Pending::Timed) {
+    generation_++;  // delta overrides timed
+  }
+  pending_ = Pending::Delta;
+  kernel_.delta_notifications_.emplace_back(this, generation_);
+}
+
+void Event::notify(Time delay) {
+  if (delay.is_zero()) {
+    notify_delta();
+    return;
+  }
+  const Time at = kernel_.now() + delay;
+  if (pending_ == Pending::Delta) {
+    return;  // pending delta is earlier than any timed notification
+  }
+  if (pending_ == Pending::Timed && pending_at_ <= at) {
+    return;  // an earlier-or-equal notification is already pending
+  }
+  generation_++;  // supersede a later pending timed notification, if any
+  pending_ = Pending::Timed;
+  pending_at_ = at;
+  kernel_.schedule_event_fire(*this, at);
+}
+
+void Event::cancel() {
+  if (pending_ == Pending::None) {
+    return;
+  }
+  generation_++;
+  pending_ = Pending::None;
+}
+
+}  // namespace tdsim

@@ -1,0 +1,68 @@
+// Simulation events with SystemC notification semantics: immediate, delta,
+// and timed notification, with at most one pending notification per event
+// (an earlier notification overrides a later one).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/time.h"
+
+namespace tdsim {
+
+class Kernel;
+class Process;
+
+class Event {
+ public:
+  explicit Event(Kernel& kernel, std::string name = {});
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+  ~Event();
+
+  /// Immediate notification: waiting processes become runnable in the
+  /// current evaluation phase. Overrides (cancels) any pending notification.
+  void notify();
+
+  /// Delta notification: waiting processes run in the next delta cycle.
+  void notify_delta();
+
+  /// Timed notification after `delay` (delta if zero). Ignored if an
+  /// earlier-or-equal notification is already pending.
+  void notify(Time delay);
+
+  /// Cancels any pending (delta or timed) notification.
+  void cancel();
+
+  bool has_pending_notification() const { return pending_ != Pending::None; }
+
+  /// Absolute date of the pending timed notification (only meaningful when
+  /// a timed notification is pending).
+  Time pending_notification_date() const { return pending_at_; }
+
+  const std::string& name() const { return name_; }
+  Kernel& kernel() const { return kernel_; }
+
+ private:
+  friend class Kernel;
+  friend class Process;
+
+  enum class Pending { None, Delta, Timed };
+
+  Kernel& kernel_;
+  std::string name_;
+
+  /// Methods statically sensitive to this event (permanent).
+  std::vector<Process*> static_waiters_;
+  /// Processes dynamically waiting (thread wait / method next_trigger);
+  /// cleared each time the event is triggered.
+  std::vector<Process*> dynamic_waiters_;
+
+  Pending pending_ = Pending::None;
+  Time pending_at_;
+  /// Bumped on cancel/override; invalidates scheduled delta/timed firings.
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace tdsim

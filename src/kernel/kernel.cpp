@@ -1,0 +1,469 @@
+#include "kernel/kernel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "kernel/report.h"
+
+namespace tdsim {
+
+namespace {
+thread_local Kernel* g_current_kernel = nullptr;
+
+Kernel& current_kernel_checked() {
+  if (g_current_kernel == nullptr) {
+    Report::error("tdsim free function called outside of a running kernel");
+  }
+  return *g_current_kernel;
+}
+}  // namespace
+
+Kernel::Kernel() = default;
+
+Kernel::~Kernel() {
+  kill_all_threads();
+}
+
+Kernel* Kernel::current() {
+  return g_current_kernel;
+}
+
+// --------------------------------------------------------------------------
+// Elaboration
+// --------------------------------------------------------------------------
+
+Process* Kernel::spawn_thread(std::string name, std::function<void()> body,
+                              ThreadOptions opts) {
+  auto process = std::unique_ptr<Process>(
+      new Process(*this, std::move(name), ProcessKind::Thread, std::move(body),
+                  opts.stack_size, next_process_id_++));
+  process->dont_initialize_ = opts.dont_initialize;
+  Process* raw = process.get();
+  processes_.push_back(std::move(process));
+  stats_.processes_spawned++;
+  if (initialized_ && !raw->dont_initialize_) {
+    make_runnable(raw);  // dynamically spawned: runs in the current phase
+  }
+  return raw;
+}
+
+Process* Kernel::spawn_method(std::string name, std::function<void()> body,
+                              MethodOptions opts) {
+  auto process = std::unique_ptr<Process>(
+      new Process(*this, std::move(name), ProcessKind::Method, std::move(body),
+                  0, next_process_id_++));
+  process->dont_initialize_ = opts.dont_initialize;
+  Process* raw = process.get();
+  processes_.push_back(std::move(process));
+  stats_.processes_spawned++;
+  for (Event* e : opts.sensitivity) {
+    add_static_sensitivity(raw, *e);
+  }
+  if (initialized_ && !raw->dont_initialize_) {
+    make_runnable(raw);
+  }
+  return raw;
+}
+
+void Kernel::add_static_sensitivity(Process* method, Event& event) {
+  if (method->kind() != ProcessKind::Method) {
+    Report::error("static sensitivity is only supported for method processes");
+  }
+  event.static_waiters_.push_back(method);
+  method->static_sensitivity_.push_back(&event);
+}
+
+// --------------------------------------------------------------------------
+// Scheduling core
+// --------------------------------------------------------------------------
+
+void Kernel::make_runnable(Process* p) {
+  if (p->in_runnable_ || p->state_ == ProcessState::Terminated) {
+    return;
+  }
+  p->in_runnable_ = true;
+  if (p->state_ == ProcessState::Waiting) {
+    p->state_ = ProcessState::Ready;
+  }
+  runnable_.push_back(p);
+}
+
+void Kernel::trigger_event(Event& e) {
+  stats_.event_triggers++;
+  for (Process* m : e.static_waiters_) {
+    if (!m->trigger_override_) {
+      make_runnable(m);
+    }
+  }
+  // Move the dynamic list out first: woken processes may immediately wait on
+  // this very event again (from a method re-arming next_trigger).
+  std::vector<Process*> waiters = std::move(e.dynamic_waiters_);
+  e.dynamic_waiters_.clear();
+  for (Process* p : waiters) {
+    p->waiting_event_ = nullptr;
+    p->trigger_override_ = false;
+    p->woke_by_event_ = true;
+    p->wake_generation_++;  // invalidate a pending timeout, if any
+    make_runnable(p);
+  }
+}
+
+void Kernel::schedule_event_fire(Event& e, Time at) {
+  TimedEntry entry;
+  entry.when = at;
+  entry.seq = next_timed_seq_++;
+  entry.kind = TimedEntry::Kind::EventFire;
+  entry.event = &e;
+  entry.event_generation = e.generation_;
+  timed_queue_.push(entry);
+}
+
+void Kernel::schedule_process_resume(Process& p, Time at) {
+  TimedEntry entry;
+  entry.when = at;
+  entry.seq = next_timed_seq_++;
+  entry.kind = TimedEntry::Kind::ProcessResume;
+  entry.process = &p;
+  entry.process_generation = p.wake_generation_;
+  timed_queue_.push(entry);
+}
+
+bool Kernel::is_stale(const TimedEntry& entry) const {
+  switch (entry.kind) {
+    case TimedEntry::Kind::EventFire:
+      return entry.event->pending_ != Event::Pending::Timed ||
+             entry.event->generation_ != entry.event_generation;
+    case TimedEntry::Kind::ProcessResume:
+      return entry.process->wake_generation_ != entry.process_generation ||
+             entry.process->state_ == ProcessState::Terminated;
+  }
+  return true;
+}
+
+void Kernel::initialize_processes() {
+  initialized_ = true;
+  for (const auto& p : processes_) {
+    if (!p->dont_initialize_) {
+      make_runnable(p.get());
+    }
+  }
+}
+
+void Kernel::run_update_phase() {
+  // Updates may request further updates (rare); process until drained.
+  while (!update_requests_.empty()) {
+    std::vector<UpdateListener*> batch = std::move(update_requests_);
+    update_requests_.clear();
+    for (UpdateListener* listener : batch) {
+      listener->update();
+    }
+  }
+}
+
+void Kernel::fire_delta_notifications() {
+  std::vector<std::pair<Event*, std::uint64_t>> batch =
+      std::move(delta_notifications_);
+  delta_notifications_.clear();
+  for (auto& [event, generation] : batch) {
+    if (event->pending_ == Event::Pending::Delta &&
+        event->generation_ == generation) {
+      event->pending_ = Event::Pending::None;
+      trigger_event(*event);
+    }
+  }
+}
+
+void Kernel::run(Time until) {
+  if (current_process_ != nullptr) {
+    Report::error("Kernel::run() called from inside a simulation process");
+  }
+  Kernel* previous = std::exchange(g_current_kernel, this);
+  stop_requested_ = false;
+  if (!initialized_) {
+    initialize_processes();
+  }
+  try {
+    while (!stop_requested_) {
+      // Evaluation phase.
+      while (!runnable_.empty()) {
+        Process* p = runnable_.front();
+        runnable_.pop_front();
+        p->in_runnable_ = false;
+        if (p->state_ == ProcessState::Terminated) {
+          continue;
+        }
+        dispatch(p);
+        if (stop_requested_) {
+          break;
+        }
+      }
+      if (stop_requested_) {
+        break;
+      }
+      // Update phase.
+      run_update_phase();
+      // Delta-notification phase.
+      if (!delta_notifications_.empty() || !delta_resume_.empty()) {
+        stats_.delta_cycles++;
+        if (delta_limit_ != 0 && ++deltas_at_current_date_ > delta_limit_) {
+          Report::error("delta-cycle limit (" + std::to_string(delta_limit_) +
+                        ") exceeded at date " + now_.to_string() +
+                        "; livelocked model?");
+        }
+        for (Process* p : std::exchange(delta_resume_, {})) {
+          if (p->state_ != ProcessState::Terminated) {
+            make_runnable(p);
+          }
+        }
+        fire_delta_notifications();
+        continue;
+      }
+      // Timed-notification phase. Drop stale entries (cancelled or
+      // superseded notifications) first so they never advance time.
+      while (!timed_queue_.empty() && is_stale(timed_queue_.top())) {
+        timed_queue_.pop();
+      }
+      if (timed_queue_.empty()) {
+        break;
+      }
+      const Time next = timed_queue_.top().when;
+      if (next > until) {
+        now_ = until;
+        break;
+      }
+      now_ = next;
+      deltas_at_current_date_ = 0;
+      stats_.timed_waves++;
+      stats_.delta_cycles++;
+      while (!timed_queue_.empty() && timed_queue_.top().when == now_) {
+        TimedEntry entry = timed_queue_.top();
+        timed_queue_.pop();
+        switch (entry.kind) {
+          case TimedEntry::Kind::EventFire:
+            if (entry.event->pending_ == Event::Pending::Timed &&
+                entry.event->generation_ == entry.event_generation) {
+              entry.event->pending_ = Event::Pending::None;
+              trigger_event(*entry.event);
+            }
+            break;
+          case TimedEntry::Kind::ProcessResume:
+            if (entry.process->wake_generation_ == entry.process_generation &&
+                entry.process->state_ != ProcessState::Terminated) {
+              cancel_dynamic_wait(*entry.process);
+              entry.process->woke_by_event_ = false;
+              entry.process->wake_generation_++;
+              make_runnable(entry.process);
+            }
+            break;
+        }
+      }
+    }
+  } catch (...) {
+    g_current_kernel = previous;
+    throw;
+  }
+  g_current_kernel = previous;
+}
+
+void Kernel::stop() {
+  stop_requested_ = true;
+}
+
+void Kernel::dispatch(Process* p) {
+  p->activation_count_++;
+  if (p->kind() == ProcessKind::Thread) {
+    dispatch_thread(p);
+  } else {
+    dispatch_method(p);
+  }
+}
+
+void Kernel::dispatch_thread(Process* p) {
+  stats_.context_switches++;
+  if (!p->thread_started_) {
+    p->start_thread_context(&scheduler_context_);
+  }
+  p->state_ = ProcessState::Running;
+  Process* previous = std::exchange(current_process_, p);
+  swapcontext(&scheduler_context_, &p->context_);
+  current_process_ = previous;
+  if (p->pending_exception_) {
+    std::exception_ptr ex = std::exchange(p->pending_exception_, nullptr);
+    std::rethrow_exception(ex);
+  }
+}
+
+void Kernel::dispatch_method(Process* p) {
+  stats_.method_activations++;
+  // The next_trigger override is consumed by this activation: unless the
+  // body re-arms one, the method falls back to its static sensitivity
+  // (SystemC semantics). The event-trigger path already cleared it; the
+  // timed-resume path relies on this reset.
+  p->trigger_override_ = false;
+  // A method activation starts synchronized: its local date is the global
+  // date at which it was triggered. inc() may then advance it within the
+  // activation (used by packetizing network interfaces, paper SIV.C).
+  p->set_local_offset(Time{});
+  p->state_ = ProcessState::Running;
+  Process* previous = std::exchange(current_process_, p);
+  try {
+    p->body_();
+  } catch (...) {
+    current_process_ = previous;
+    p->state_ = ProcessState::Terminated;
+    throw;
+  }
+  current_process_ = previous;
+  if (p->state_ == ProcessState::Running) {
+    // A method is perpetually waiting on its (static or overridden)
+    // sensitivity between activations.
+    p->state_ = ProcessState::Waiting;
+  }
+}
+
+void Kernel::yield_current_thread() {
+  Process* p = current_process_;
+  swapcontext(&p->context_, &scheduler_context_);
+  // Resumed. If the kernel is tearing down, unwind this stack now.
+  if (p->kill_requested_) {
+    throw ProcessKilled{};
+  }
+}
+
+Process* Kernel::require_thread(const char* what) const {
+  if (current_process_ == nullptr ||
+      current_process_->kind() != ProcessKind::Thread) {
+    Report::error(std::string(what) +
+                  " may only be called from a thread process");
+  }
+  return current_process_;
+}
+
+Process* Kernel::require_method(const char* what) const {
+  if (current_process_ == nullptr ||
+      current_process_->kind() != ProcessKind::Method) {
+    Report::error(std::string(what) +
+                  " may only be called from a method process");
+  }
+  return current_process_;
+}
+
+// --------------------------------------------------------------------------
+// Process-facing API
+// --------------------------------------------------------------------------
+
+void Kernel::wait(Time duration) {
+  Process* p = require_thread("wait(duration)");
+  schedule_process_resume(*p, now_ + duration);
+  p->state_ = ProcessState::Waiting;
+  yield_current_thread();
+}
+
+void Kernel::wait(Event& event) {
+  Process* p = require_thread("wait(event)");
+  event.dynamic_waiters_.push_back(p);
+  p->waiting_event_ = &event;
+  p->state_ = ProcessState::Waiting;
+  yield_current_thread();
+}
+
+bool Kernel::wait(Event& event, Time timeout) {
+  Process* p = require_thread("wait(event, timeout)");
+  event.dynamic_waiters_.push_back(p);
+  p->waiting_event_ = &event;
+  schedule_process_resume(*p, now_ + timeout);
+  p->state_ = ProcessState::Waiting;
+  yield_current_thread();
+  return p->woke_by_event_;
+}
+
+void Kernel::wait_delta() {
+  Process* p = require_thread("wait_delta()");
+  delta_resume_.push_back(p);
+  p->wake_generation_++;  // invalidate any stale timers
+  p->state_ = ProcessState::Waiting;
+  yield_current_thread();
+}
+
+void Kernel::next_trigger(Event& event) {
+  Process* p = require_method("next_trigger(event)");
+  cancel_dynamic_wait(*p);  // last call wins
+  p->wake_generation_++;    // cancel a pending next_trigger(delay)
+  event.dynamic_waiters_.push_back(p);
+  p->waiting_event_ = &event;
+  p->trigger_override_ = true;
+}
+
+void Kernel::next_trigger(Time delay) {
+  Process* p = require_method("next_trigger(delay)");
+  cancel_dynamic_wait(*p);
+  p->wake_generation_++;
+  schedule_process_resume(*p, now_ + delay);
+  p->trigger_override_ = true;
+}
+
+void Kernel::cancel_dynamic_wait(Process& p) {
+  if (p.waiting_event_ != nullptr) {
+    auto& waiters = p.waiting_event_->dynamic_waiters_;
+    waiters.erase(std::remove(waiters.begin(), waiters.end(), &p),
+                  waiters.end());
+    p.waiting_event_ = nullptr;
+  }
+}
+
+void Kernel::request_update(UpdateListener* listener) {
+  update_requests_.push_back(listener);
+}
+
+void Kernel::kill_all_threads() {
+  // Resume every suspended thread so ProcessKilled unwinds its stack and
+  // destructors of stack objects run.
+  for (const auto& p : processes_) {
+    if (p->kind() == ProcessKind::Thread && p->thread_started_ &&
+        p->state_ != ProcessState::Terminated) {
+      p->kill_requested_ = true;
+      Process* previous = std::exchange(current_process_, p.get());
+      swapcontext(&scheduler_context_, &p->context_);
+      current_process_ = previous;
+      if (p->state_ != ProcessState::Terminated) {
+        Report::warning("process " + p->name() +
+                        " survived kill request; abandoning its stack");
+      }
+      p->pending_exception_ = nullptr;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Free functions
+// --------------------------------------------------------------------------
+
+void wait(Time duration) {
+  current_kernel_checked().wait(duration);
+}
+
+void wait(Event& event) {
+  current_kernel_checked().wait(event);
+}
+
+bool wait(Event& event, Time timeout) {
+  return current_kernel_checked().wait(event, timeout);
+}
+
+void wait_delta() {
+  current_kernel_checked().wait_delta();
+}
+
+void next_trigger(Event& event) {
+  current_kernel_checked().next_trigger(event);
+}
+
+void next_trigger(Time delay) {
+  current_kernel_checked().next_trigger(delay);
+}
+
+Time sim_time_stamp() {
+  return current_kernel_checked().now();
+}
+
+}  // namespace tdsim

@@ -1,0 +1,203 @@
+// The discrete-event scheduler: evaluate -> update -> delta-notify phases,
+// timed notification queue, process dispatch. This is the SystemC-kernel
+// substrate the paper's techniques run on.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "kernel/event.h"
+#include "kernel/process.h"
+#include "kernel/stats.h"
+#include "kernel/time.h"
+
+namespace tdsim {
+
+/// Implemented by primitive channels (e.g. Signal) that need the SystemC
+/// evaluate/update two-phase protocol.
+class UpdateListener {
+ public:
+  virtual ~UpdateListener() = default;
+  virtual void update() = 0;
+};
+
+/// Options for spawning a thread process.
+struct ThreadOptions {
+  std::size_t stack_size = 256 * 1024;
+  bool dont_initialize = false;
+};
+
+/// Options for spawning a method process.
+struct MethodOptions {
+  std::vector<Event*> sensitivity;
+  bool dont_initialize = false;
+};
+
+/// One simulation: owns processes, time, and the scheduler queues. Multiple
+/// kernels may coexist (each test builds its own); the one currently inside
+/// run() is reachable via Kernel::current() for SystemC-style free functions.
+class Kernel {
+ public:
+  Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+  ~Kernel();
+
+  // --- elaboration ---
+
+  /// Spawns a stackful thread process. Runs at initialization unless
+  /// opts.dont_initialize.
+  Process* spawn_thread(std::string name, std::function<void()> body,
+                        ThreadOptions opts = {});
+
+  /// Spawns a run-to-completion method process with the given static
+  /// sensitivity. Runs once at initialization unless opts.dont_initialize.
+  Process* spawn_method(std::string name, std::function<void()> body,
+                        MethodOptions opts = {});
+
+  /// Adds an event to a method's static sensitivity list.
+  void add_static_sensitivity(Process* method, Event& event);
+
+  // --- simulation control ---
+
+  /// Runs until no activity remains or `until` is reached (time is then
+  /// left at `until`). May be called repeatedly to advance further.
+  void run(Time until = Time::max());
+
+  /// Requests the current run() to return after the current delta cycle.
+  /// Callable from inside a process.
+  void stop();
+
+  /// Current global simulated date (sc_time_stamp analog).
+  Time now() const { return now_; }
+
+  std::uint64_t delta_count() const { return stats_.delta_cycles; }
+  const KernelStats& stats() const { return stats_; }
+
+  /// Global temporal-decoupling quantum (TLM-2.0 tlm_global_quantum
+  /// analog): the maximum local-time offset a well-behaved decoupled
+  /// process accumulates before synchronizing. Zero disables
+  /// quantum-driven decoupling.
+  Time global_quantum() const { return global_quantum_; }
+  void set_global_quantum(Time quantum) { global_quantum_ = quantum; }
+
+  /// Safety valve against delta-cycle livelock (processes endlessly
+  /// re-triggering each other without time advancing): when non-zero,
+  /// run() raises a SimulationError after this many consecutive delta
+  /// cycles at the same simulated date.
+  void set_delta_cycle_limit(std::uint64_t limit) { delta_limit_ = limit; }
+
+  /// The kernel currently executing run() on this OS thread, or null.
+  static Kernel* current();
+
+  /// The simulation process currently executing, or null (e.g. during
+  /// elaboration or from the scheduler itself).
+  Process* current_process() const { return current_process_; }
+
+  // --- process-facing API (called from inside processes) ---
+
+  /// Suspends the current thread process for `duration` of simulated time.
+  void wait(Time duration);
+
+  /// Suspends the current thread process until `event` is notified.
+  void wait(Event& event);
+
+  /// Suspends until `event` or until `timeout` elapses; returns true when
+  /// woken by the event, false on timeout.
+  bool wait(Event& event, Time timeout);
+
+  /// Yields the current thread process for one delta cycle.
+  void wait_delta();
+
+  /// Arms a one-shot dynamic trigger for the current method process,
+  /// overriding its static sensitivity for the next activation.
+  void next_trigger(Event& event);
+  void next_trigger(Time delay);
+
+  // --- channel-facing API ---
+
+  /// Requests listener->update() at the end of the current evaluation
+  /// phase. Deduplication is the caller's responsibility.
+  void request_update(UpdateListener* listener);
+
+  /// All processes, in spawn order.
+  const std::vector<std::unique_ptr<Process>>& processes() const {
+    return processes_;
+  }
+
+ private:
+  friend class Event;
+  friend class Process;
+
+  struct TimedEntry {
+    Time when;
+    std::uint64_t seq;
+    enum class Kind { EventFire, ProcessResume } kind;
+    Event* event = nullptr;
+    std::uint64_t event_generation = 0;
+    Process* process = nullptr;
+    std::uint64_t process_generation = 0;
+
+    bool operator>(const TimedEntry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  bool is_stale(const TimedEntry& entry) const;
+  void initialize_processes();
+  void dispatch(Process* p);
+  void dispatch_thread(Process* p);
+  void dispatch_method(Process* p);
+  void make_runnable(Process* p);
+  void trigger_event(Event& e);
+  void yield_current_thread();
+  Process* require_thread(const char* what) const;
+  Process* require_method(const char* what) const;
+  void schedule_event_fire(Event& e, Time at);
+  void schedule_process_resume(Process& p, Time at);
+  void cancel_dynamic_wait(Process& p);
+  void kill_all_threads();
+  void run_update_phase();
+  void fire_delta_notifications();
+
+  Time now_;
+  Time global_quantum_;
+  std::uint64_t delta_limit_ = 0;
+  std::uint64_t deltas_at_current_date_ = 0;
+  KernelStats stats_;
+  std::uint64_t next_process_id_ = 1;
+  std::uint64_t next_timed_seq_ = 0;
+  bool initialized_ = false;
+  bool stop_requested_ = false;
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::deque<Process*> runnable_;
+  std::vector<std::pair<Event*, std::uint64_t>> delta_notifications_;
+  std::vector<Process*> delta_resume_;
+  std::vector<UpdateListener*> update_requests_;
+  std::priority_queue<TimedEntry, std::vector<TimedEntry>,
+                      std::greater<TimedEntry>>
+      timed_queue_;
+
+  Process* current_process_ = nullptr;
+  ucontext_t scheduler_context_{};
+};
+
+/// Free-function conveniences mirroring SystemC's global wait()/time API.
+/// They operate on Kernel::current() and therefore only work from inside a
+/// running simulation.
+void wait(Time duration);
+void wait(Event& event);
+bool wait(Event& event, Time timeout);
+void wait_delta();
+void next_trigger(Event& event);
+void next_trigger(Time delay);
+Time sim_time_stamp();
+
+}  // namespace tdsim

@@ -1,0 +1,27 @@
+#include "kernel/module.h"
+
+namespace tdsim {
+
+Module::Module(Kernel& kernel, std::string name)
+    : kernel_(kernel), name_(std::move(name)), full_name_(name_) {}
+
+Module::Module(Module& parent, std::string name)
+    : kernel_(parent.kernel_),
+      parent_(&parent),
+      name_(std::move(name)),
+      full_name_(parent.full_name_ + "." + name_) {
+  parent.children_.push_back(this);
+}
+
+Process* Module::thread(const std::string& name, std::function<void()> body,
+                        ThreadOptions opts) {
+  return kernel_.spawn_thread(full_name_ + "." + name, std::move(body), opts);
+}
+
+Process* Module::method(const std::string& name, std::function<void()> body,
+                        MethodOptions opts) {
+  return kernel_.spawn_method(full_name_ + "." + name, std::move(body),
+                              std::move(opts));
+}
+
+}  // namespace tdsim

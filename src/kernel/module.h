@@ -1,0 +1,46 @@
+// Hierarchical module base class (sc_module analog): names, parent/child
+// hierarchy, and helpers to register processes owned by the module.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+
+namespace tdsim {
+
+class Module {
+ public:
+  /// Top-level module.
+  Module(Kernel& kernel, std::string name);
+  /// Child module; full_name() becomes "<parent>.<name>".
+  Module(Module& parent, std::string name);
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  Kernel& kernel() const { return kernel_; }
+  const std::string& name() const { return name_; }
+  const std::string& full_name() const { return full_name_; }
+  Module* parent() const { return parent_; }
+  const std::vector<Module*>& children() const { return children_; }
+
+ protected:
+  /// Registers a thread process named "<full_name>.<name>".
+  Process* thread(const std::string& name, std::function<void()> body,
+                  ThreadOptions opts = {});
+
+  /// Registers a method process named "<full_name>.<name>".
+  Process* method(const std::string& name, std::function<void()> body,
+                  MethodOptions opts = {});
+
+ private:
+  Kernel& kernel_;
+  Module* parent_ = nullptr;
+  std::string name_;
+  std::string full_name_;
+  std::vector<Module*> children_;
+};
+
+}  // namespace tdsim

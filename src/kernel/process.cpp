@@ -1,0 +1,56 @@
+#include "kernel/process.h"
+
+#include <cstdint>
+
+#include "kernel/kernel.h"
+#include "kernel/report.h"
+
+namespace tdsim {
+
+Process::Process(Kernel& kernel, std::string name, ProcessKind kind,
+                 std::function<void()> body, std::size_t stack_size,
+                 std::uint64_t id)
+    : kernel_(kernel),
+      name_(std::move(name)),
+      kind_(kind),
+      body_(std::move(body)),
+      id_(id),
+      stack_size_(kind == ProcessKind::Thread ? stack_size : 0) {
+  if (kind_ == ProcessKind::Thread) {
+    stack_ = std::make_unique<char[]>(stack_size_);
+  }
+}
+
+Process::~Process() = default;
+
+void Process::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Process*>(
+      (static_cast<std::uintptr_t>(hi) << 32) |
+      static_cast<std::uintptr_t>(lo));
+  try {
+    self->body_();
+  } catch (const ProcessKilled&) {
+    // Normal teardown path: stack unwound, nothing to report.
+  } catch (...) {
+    self->pending_exception_ = std::current_exception();
+  }
+  self->state_ = ProcessState::Terminated;
+  // Hand control back to the scheduler; never returns here again.
+  swapcontext(&self->context_, &self->kernel_.scheduler_context_);
+}
+
+void Process::start_thread_context(ucontext_t* return_ctx) {
+  if (getcontext(&context_) != 0) {
+    Report::error("getcontext failed for process " + name_);
+  }
+  context_.uc_stack.ss_sp = stack_.get();
+  context_.uc_stack.ss_size = stack_size_;
+  context_.uc_link = return_ctx;
+  const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&context_, reinterpret_cast<void (*)()>(&Process::trampoline), 2,
+              static_cast<unsigned>(ptr >> 32),
+              static_cast<unsigned>(ptr & 0xffffffffu));
+  thread_started_ = true;
+}
+
+}  // namespace tdsim

@@ -1,0 +1,118 @@
+// Simulation processes: stackful threads (SC_THREAD analog) and
+// run-to-completion methods (SC_METHOD analog).
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/time.h"
+
+namespace tdsim {
+
+class Kernel;
+class Event;
+
+enum class ProcessKind {
+  /// Stackful coroutine; may call Kernel::wait(). Resuming one costs a
+  /// machine context switch.
+  Thread,
+  /// Plain function invoked by the scheduler; must return, may call
+  /// Kernel::next_trigger(). No stack of its own, so no context switch.
+  Method,
+};
+
+enum class ProcessState { Ready, Running, Waiting, Terminated };
+
+/// Internal exception thrown at a thread's suspension point when the kernel
+/// tears down, so the thread's stack unwinds and RAII cleanup runs. User
+/// code should not catch it (catch(...) handlers should rethrow).
+struct ProcessKilled {};
+
+/// A simulation process. Created only through Kernel::spawn_thread /
+/// Kernel::spawn_method; identified by a stable pointer (the "process
+/// handle" that the paper's local-time map is keyed by).
+class Process {
+ public:
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process();
+
+  const std::string& name() const { return name_; }
+  ProcessKind kind() const { return kind_; }
+  ProcessState state() const { return state_; }
+  bool terminated() const { return state_ == ProcessState::Terminated; }
+  std::uint64_t id() const { return id_; }
+  Kernel& kernel() const { return kernel_; }
+
+  /// Number of times this process has been dispatched. Used by the
+  /// temporal-decoupling layer to reset a method's local-time offset at the
+  /// start of each activation.
+  std::uint64_t activation_count() const { return activation_count_; }
+
+  /// Temporal-decoupling local-time offset: the process's local date is
+  /// kernel.now() + local_offset(). The paper keeps this association in a
+  /// map keyed by the process handle; owning our kernel, we store it in the
+  /// process itself for O(1) access (see DESIGN.md). Methods have their
+  /// offset reset to zero at each activation.
+  Time local_offset() const { return local_offset_; }
+  void set_local_offset(Time offset) { local_offset_ = offset; }
+
+ private:
+  friend class Kernel;
+  friend class Event;
+
+  Process(Kernel& kernel, std::string name, ProcessKind kind,
+          std::function<void()> body, std::size_t stack_size,
+          std::uint64_t id);
+
+  void start_thread_context(ucontext_t* return_ctx);
+  static void trampoline(unsigned hi, unsigned lo);
+
+  Kernel& kernel_;
+  std::string name_;
+  ProcessKind kind_;
+  std::function<void()> body_;
+  std::uint64_t id_;
+
+  ProcessState state_ = ProcessState::Ready;
+  bool in_runnable_ = false;
+  bool dont_initialize_ = false;
+  std::uint64_t activation_count_ = 0;
+
+  /// Bumped whenever the process is woken or re-armed; invalidates stale
+  /// timed queue entries referring to it.
+  std::uint64_t wake_generation_ = 0;
+
+  /// See local_offset().
+  Time local_offset_{};
+
+  /// Event this process is dynamically waiting on (thread wait(event) or
+  /// method next_trigger(event)), for removal on cancellation/timeout.
+  Event* waiting_event_ = nullptr;
+
+  /// Set by Event when the process is woken by an event (vs a timeout);
+  /// consumed by Kernel::wait(Event&, Time).
+  bool woke_by_event_ = false;
+
+  // --- thread-only state ---
+  std::size_t stack_size_ = 0;
+  std::unique_ptr<char[]> stack_;
+  ucontext_t context_{};
+  bool thread_started_ = false;
+  bool kill_requested_ = false;
+  std::exception_ptr pending_exception_;
+
+  // --- method-only state ---
+  std::vector<Event*> static_sensitivity_;
+  /// True while a next_trigger() override is armed; static sensitivity is
+  /// ignored until the dynamic trigger fires.
+  bool trigger_override_ = false;
+};
+
+}  // namespace tdsim

@@ -1,0 +1,67 @@
+#include "kernel/report.h"
+
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <mutex>
+#include <utility>
+
+namespace tdsim {
+namespace {
+
+std::mutex g_mutex;
+Report::Handler g_handler;
+std::atomic<std::uint64_t> g_warning_count{0};
+
+void default_sink(Severity severity, const std::string& message) {
+  switch (severity) {
+    case Severity::Info:
+      std::cout << "[tdsim info] " << message << '\n';
+      break;
+    case Severity::Warning:
+      std::cerr << "[tdsim warning] " << message << '\n';
+      break;
+    case Severity::Error:
+      std::cerr << "[tdsim error] " << message << '\n';
+      break;
+  }
+}
+
+}  // namespace
+
+void Report::emit(Severity severity, const std::string& message) {
+  if (severity == Severity::Warning) {
+    g_warning_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    handler = g_handler;
+  }
+  if (handler) {
+    handler(severity, message);
+  } else {
+    default_sink(severity, message);
+  }
+  if (severity == Severity::Error) {
+    throw SimulationError(message);
+  }
+}
+
+void Report::error(const std::string& message) {
+  emit(Severity::Error, message);
+  // emit() throws for errors; this is unreachable but keeps [[noreturn]]
+  // honest for the compiler.
+  throw SimulationError(message);
+}
+
+Report::Handler Report::set_handler(Handler handler) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return std::exchange(g_handler, std::move(handler));
+}
+
+std::uint64_t Report::warning_count() {
+  return g_warning_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace tdsim

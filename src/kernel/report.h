@@ -1,0 +1,49 @@
+// Diagnostic reporting, a slimmed-down analog of sc_report.
+//
+// Errors raise SimulationError (an exception) so tests can assert on misuse
+// of the kernel or of the channels; warnings and infos go to a stream that
+// can be silenced or captured.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+namespace tdsim {
+
+/// Thrown on fatal misuse of the simulator (wait() from a method process,
+/// decreasing dates on a Smart FIFO side, binding errors, ...).
+class SimulationError : public std::runtime_error {
+ public:
+  explicit SimulationError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+enum class Severity { Info, Warning, Error };
+
+/// Process-wide report sink. Defaults to stderr for warnings and stdout for
+/// infos; replaceable for tests.
+class Report {
+ public:
+  using Handler = std::function<void(Severity, const std::string&)>;
+
+  /// Emits a report. Severity::Error additionally throws SimulationError.
+  static void emit(Severity severity, const std::string& message);
+
+  static void info(const std::string& message) {
+    emit(Severity::Info, message);
+  }
+  static void warning(const std::string& message) {
+    emit(Severity::Warning, message);
+  }
+  [[noreturn]] static void error(const std::string& message);
+
+  /// Replaces the sink; returns the previous one. Pass nullptr to restore
+  /// the default sink.
+  static Handler set_handler(Handler handler);
+
+  /// Number of warnings emitted since process start (for tests).
+  static std::uint64_t warning_count();
+};
+
+}  // namespace tdsim

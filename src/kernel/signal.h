@@ -1,0 +1,59 @@
+// Signal channel with SystemC evaluate/update semantics: a write becomes
+// visible in the next delta cycle and fires value_changed_event() only when
+// the value actually changed.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "kernel/event.h"
+#include "kernel/kernel.h"
+
+namespace tdsim {
+
+template <typename T>
+class Signal : public UpdateListener {
+ public:
+  Signal(Kernel& kernel, std::string name, T initial = T{})
+      : kernel_(kernel),
+        name_(std::move(name)),
+        current_(initial),
+        next_(initial),
+        value_changed_(kernel, name_ + ".value_changed") {}
+
+  /// Current (committed) value.
+  const T& read() const { return current_; }
+
+  /// Schedules `value` to become visible at the next delta boundary. The
+  /// last write in an evaluation phase wins.
+  void write(const T& value) {
+    next_ = value;
+    if (!update_requested_) {
+      update_requested_ = true;
+      kernel_.request_update(this);
+    }
+  }
+
+  /// Notified (delta) whenever the committed value changes.
+  Event& value_changed_event() { return value_changed_; }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  void update() override {
+    update_requested_ = false;
+    if (!(next_ == current_)) {
+      current_ = next_;
+      value_changed_.notify_delta();
+    }
+  }
+
+  Kernel& kernel_;
+  std::string name_;
+  T current_;
+  T next_;
+  bool update_requested_ = false;
+  Event value_changed_;
+};
+
+}  // namespace tdsim

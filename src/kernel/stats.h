@@ -1,0 +1,46 @@
+// Kernel instrumentation counters.
+//
+// The paper's whole premise is that context switches dominate the cost of a
+// finely-annotated TLM simulation, so the kernel counts them (and the other
+// scheduler activities) explicitly; benchmarks report these next to wall
+// time.
+#pragma once
+
+#include <cstdint>
+
+namespace tdsim {
+
+struct KernelStats {
+  /// Number of resumes of stackful thread processes. Each resume costs two
+  /// machine context switches (in and out); we count resumes, matching how
+  /// the paper counts "one context switch per access".
+  std::uint64_t context_switches = 0;
+
+  /// Number of run-to-completion method activations (no stack switch).
+  std::uint64_t method_activations = 0;
+
+  /// Number of delta cycles executed.
+  std::uint64_t delta_cycles = 0;
+
+  /// Number of distinct simulated dates the kernel advanced to.
+  std::uint64_t timed_waves = 0;
+
+  /// Number of event trigger operations (immediate, delta or timed firing).
+  std::uint64_t event_triggers = 0;
+
+  /// Number of processes ever spawned.
+  std::uint64_t processes_spawned = 0;
+
+  KernelStats operator-(const KernelStats& o) const {
+    KernelStats r = *this;
+    r.context_switches -= o.context_switches;
+    r.method_activations -= o.method_activations;
+    r.delta_cycles -= o.delta_cycles;
+    r.timed_waves -= o.timed_waves;
+    r.event_triggers -= o.event_triggers;
+    r.processes_spawned -= o.processes_spawned;
+    return r;
+  }
+};
+
+}  // namespace tdsim

@@ -1,0 +1,36 @@
+#include "kernel/time.h"
+
+#include <array>
+#include <ostream>
+
+namespace tdsim {
+
+std::string Time::to_string() const {
+  if (ps_ == 0) {
+    return "0 s";
+  }
+  struct UnitName {
+    TimeUnit unit;
+    const char* name;
+  };
+  static constexpr std::array<UnitName, 5> kUnits = {{
+      {TimeUnit::S, "s"},
+      {TimeUnit::MS, "ms"},
+      {TimeUnit::US, "us"},
+      {TimeUnit::NS, "ns"},
+      {TimeUnit::PS, "ps"},
+  }};
+  for (const auto& u : kUnits) {
+    const std::uint64_t scale = picoseconds_per(u.unit);
+    if (ps_ % scale == 0) {
+      return std::to_string(ps_ / scale) + " " + u.name;
+    }
+  }
+  return std::to_string(ps_) + " ps";
+}
+
+std::ostream& operator<<(std::ostream& os, Time t) {
+  return os << t.to_string();
+}
+
+}  // namespace tdsim

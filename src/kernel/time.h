@@ -1,0 +1,127 @@
+// tdsim -- SystemC-like discrete-event simulation substrate.
+//
+// Simulated time. The kernel resolution is one picosecond, stored in an
+// unsigned 64-bit counter (enough for ~213 simulated days). This mirrors the
+// role of sc_time in SystemC with a fixed 1 ps resolution.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+
+namespace tdsim {
+
+/// Time units accepted when constructing a Time from a count.
+enum class TimeUnit : int {
+  PS = 0,
+  NS = 1,
+  US = 2,
+  MS = 3,
+  S = 4,
+};
+
+/// Returns the number of picoseconds in one `unit`.
+constexpr std::uint64_t picoseconds_per(TimeUnit unit) {
+  switch (unit) {
+    case TimeUnit::PS: return 1ull;
+    case TimeUnit::NS: return 1'000ull;
+    case TimeUnit::US: return 1'000'000ull;
+    case TimeUnit::MS: return 1'000'000'000ull;
+    case TimeUnit::S: return 1'000'000'000'000ull;
+  }
+  return 1ull;
+}
+
+/// An absolute date or a duration in simulated time.
+///
+/// Time is a regular value type: totally ordered, hashable via ps(), and
+/// closed under addition/subtraction (subtraction saturates at zero, which is
+/// convenient when computing "how far ahead of the global date am I").
+class Time {
+ public:
+  /// Zero time.
+  constexpr Time() = default;
+
+  /// `count` units, e.g. Time(20, TimeUnit::NS).
+  constexpr Time(std::uint64_t count, TimeUnit unit)
+      : ps_(count * picoseconds_per(unit)) {}
+
+  /// Named constructor from raw picoseconds.
+  static constexpr Time from_ps(std::uint64_t ps) {
+    Time t;
+    t.ps_ = ps;
+    return t;
+  }
+
+  /// Largest representable time; used as "never" / "no deadline".
+  static constexpr Time max() {
+    return from_ps(std::numeric_limits<std::uint64_t>::max());
+  }
+
+  /// Raw picosecond count.
+  constexpr std::uint64_t ps() const { return ps_; }
+
+  /// Value converted to `unit` (truncating).
+  constexpr std::uint64_t count_in(TimeUnit unit) const {
+    return ps_ / picoseconds_per(unit);
+  }
+
+  /// Value in seconds as a double (for reporting only).
+  constexpr double to_seconds() const { return static_cast<double>(ps_) * 1e-12; }
+
+  constexpr bool is_zero() const { return ps_ == 0; }
+
+  friend constexpr auto operator<=>(Time a, Time b) = default;
+
+  constexpr Time& operator+=(Time other) {
+    ps_ += other.ps_;
+    return *this;
+  }
+
+  /// Saturating subtraction: a - b is zero when b >= a.
+  constexpr Time& operator-=(Time other) {
+    ps_ = (ps_ > other.ps_) ? ps_ - other.ps_ : 0;
+    return *this;
+  }
+
+  constexpr Time& operator*=(std::uint64_t k) {
+    ps_ *= k;
+    return *this;
+  }
+
+  friend constexpr Time operator+(Time a, Time b) { return a += b; }
+  friend constexpr Time operator-(Time a, Time b) { return a -= b; }
+  friend constexpr Time operator*(Time a, std::uint64_t k) { return a *= k; }
+  friend constexpr Time operator*(std::uint64_t k, Time a) { return a *= k; }
+
+  /// Human-readable rendering with the largest exact unit, e.g. "20 ns".
+  std::string to_string() const;
+
+ private:
+  std::uint64_t ps_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Time t);
+
+inline namespace time_literals {
+
+constexpr Time operator""_ps(unsigned long long v) {
+  return Time(v, TimeUnit::PS);
+}
+constexpr Time operator""_ns(unsigned long long v) {
+  return Time(v, TimeUnit::NS);
+}
+constexpr Time operator""_us(unsigned long long v) {
+  return Time(v, TimeUnit::US);
+}
+constexpr Time operator""_ms(unsigned long long v) {
+  return Time(v, TimeUnit::MS);
+}
+constexpr Time operator""_s(unsigned long long v) {
+  return Time(v, TimeUnit::S);
+}
+
+}  // namespace time_literals
+}  // namespace tdsim

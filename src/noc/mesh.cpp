@@ -1,0 +1,91 @@
+#include "noc/mesh.h"
+
+#include "kernel/report.h"
+
+namespace tdsim::noc {
+
+Mesh::Mesh(Kernel& kernel, const std::string& name, Config config)
+    : Module(kernel, name), config_(config) {
+  if (config_.columns == 0 || config_.rows == 0) {
+    Report::error("Mesh " + full_name() + ": degenerate geometry");
+  }
+  const std::size_t nodes = node_count();
+  routers_.reserve(nodes);
+  local_in_.resize(nodes);
+  local_out_.resize(nodes);
+  for (std::uint16_t y = 0; y < config_.rows; ++y) {
+    for (std::uint16_t x = 0; x < config_.columns; ++x) {
+      routers_.push_back(std::make_unique<Router>(
+          *this, "r" + std::to_string(x) + "_" + std::to_string(y), x, y,
+          config_.columns, config_.rows, config_.timing));
+    }
+  }
+  auto at = [&](std::uint16_t x, std::uint16_t y) -> Router& {
+    return *routers_[static_cast<std::size_t>(y) * config_.columns + x];
+  };
+  // Neighbor links (one FIFO per direction).
+  for (std::uint16_t y = 0; y < config_.rows; ++y) {
+    for (std::uint16_t x = 0; x < config_.columns; ++x) {
+      const std::string base =
+          full_name() + ".l" + std::to_string(x) + "_" + std::to_string(y);
+      if (x + 1 < config_.columns) {
+        Fifo<Packet>& east = make_link(base + ".E");
+        at(x, y).connect_output(Port::East, east);
+        at(x + 1, y).connect_input(Port::West, east);
+        Fifo<Packet>& west = make_link(base + ".Wrev");
+        at(x + 1, y).connect_output(Port::West, west);
+        at(x, y).connect_input(Port::East, west);
+      }
+      if (y + 1 < config_.rows) {
+        Fifo<Packet>& south = make_link(base + ".S");
+        at(x, y).connect_output(Port::South, south);
+        at(x, y + 1).connect_input(Port::North, south);
+        Fifo<Packet>& north = make_link(base + ".Nrev");
+        at(x, y + 1).connect_output(Port::North, north);
+        at(x, y).connect_input(Port::South, north);
+      }
+    }
+  }
+  // Local attachment links.
+  for (std::size_t id = 0; id < nodes; ++id) {
+    Fifo<Packet>& in = make_link(full_name() + ".local_in" +
+                                 std::to_string(id));
+    Fifo<Packet>& out = make_link(full_name() + ".local_out" +
+                                  std::to_string(id));
+    routers_[id]->connect_input(Port::Local, in);
+    routers_[id]->connect_output(Port::Local, out);
+    local_in_[id] = &in;
+    local_out_[id] = &out;
+  }
+  for (auto& router : routers_) {
+    router->elaborate();
+  }
+}
+
+Fifo<Packet>& Mesh::make_link(const std::string& name) {
+  links_.push_back(
+      std::make_unique<Fifo<Packet>>(kernel(), name, config_.link_depth));
+  return *links_.back();
+}
+
+Fifo<Packet>& Mesh::local_in(NodeId id) {
+  return *local_in_.at(id);
+}
+
+Fifo<Packet>& Mesh::local_out(NodeId id) {
+  return *local_out_.at(id);
+}
+
+Router& Mesh::router(NodeId id) {
+  return *routers_.at(id);
+}
+
+std::uint64_t Mesh::total_forwarded() const {
+  std::uint64_t total = 0;
+  for (const auto& router : routers_) {
+    total += router->forwarded();
+  }
+  return total;
+}
+
+}  // namespace tdsim::noc

@@ -1,0 +1,53 @@
+// 2D mesh of routers with local attachment points for network interfaces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/fifo.h"
+#include "kernel/module.h"
+#include "noc/packet.h"
+#include "noc/router.h"
+
+namespace tdsim::noc {
+
+class Mesh : public Module {
+ public:
+  struct Config {
+    std::uint16_t columns = 2;
+    std::uint16_t rows = 2;
+    /// Depth (in packets) of every link FIFO.
+    std::size_t link_depth = 2;
+    Router::Timing timing;
+  };
+
+  Mesh(Kernel& kernel, const std::string& name, Config config);
+
+  /// Link carrying packets from node `id`'s network interface into the
+  /// mesh, and out of the mesh towards it.
+  Fifo<Packet>& local_in(NodeId id);
+  Fifo<Packet>& local_out(NodeId id);
+
+  Router& router(NodeId id);
+  std::uint16_t columns() const { return config_.columns; }
+  std::uint16_t rows() const { return config_.rows; }
+  std::size_t node_count() const {
+    return static_cast<std::size_t>(config_.columns) * config_.rows;
+  }
+
+  /// Total packets forwarded by all routers.
+  std::uint64_t total_forwarded() const;
+
+ private:
+  Fifo<Packet>& make_link(const std::string& name);
+
+  Config config_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Fifo<Packet>>> links_;
+  std::vector<Fifo<Packet>*> local_in_;
+  std::vector<Fifo<Packet>*> local_out_;
+};
+
+}  // namespace tdsim::noc

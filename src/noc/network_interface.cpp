@@ -1,0 +1,289 @@
+#include "noc/network_interface.h"
+
+#include "core/local_time.h"
+#include "kernel/report.h"
+
+namespace tdsim::noc {
+
+NetworkInterfaceBase::NetworkInterfaceBase(Module& parent,
+                                           const std::string& name, NodeId id,
+                                           Fifo<Packet>& to_router,
+                                           Fifo<Packet>& from_router)
+    : Module(parent, name),
+      id_(id),
+      to_router_(to_router),
+      from_router_(from_router) {}
+
+void NetworkInterfaceBase::check_not_elaborated() const {
+  if (elaborated_) {
+    Report::error("NetworkInterface " + full_name() +
+                  ": channels must be added before elaborate()");
+  }
+}
+
+ChannelId NetworkInterfaceBase::add_tx_channel(const TxChannelConfig& config) {
+  check_not_elaborated();
+  if (config.fifo == nullptr || config.packet_words == 0) {
+    Report::error("NetworkInterface " + full_name() +
+                  ": invalid TX channel configuration");
+  }
+  tx_channels_.push_back(config);
+  return static_cast<ChannelId>(tx_channels_.size() - 1);
+}
+
+ChannelId NetworkInterfaceBase::add_rx_channel(const RxChannelConfig& config) {
+  check_not_elaborated();
+  if (config.fifo == nullptr) {
+    Report::error("NetworkInterface " + full_name() +
+                  ": invalid RX channel configuration");
+  }
+  rx_channels_.push_back(config);
+  return static_cast<ChannelId>(rx_channels_.size() - 1);
+}
+
+MethodOptions NetworkInterfaceBase::tx_sensitivity() {
+  MethodOptions opts;
+  for (auto& ch : tx_channels_) {
+    opts.sensitivity.push_back(&ch.fifo->not_empty_event());
+  }
+  opts.sensitivity.push_back(&to_router_.data_read_event());
+  return opts;
+}
+
+void NetworkInterfaceBase::account_rx(const Packet& packet) {
+  // Acceptance happens at the global date (both NI flavors pop packets
+  // synchronized), so now - injected_at is the network transit latency.
+  rx_latency_.account(kernel().now() - packet.injected_at);
+}
+
+MethodOptions NetworkInterfaceBase::rx_sensitivity() {
+  MethodOptions opts;
+  for (auto& ch : rx_channels_) {
+    opts.sensitivity.push_back(&ch.fifo->not_full_event());
+  }
+  opts.sensitivity.push_back(&from_router_.data_written_event());
+  return opts;
+}
+
+// ---------------------------------------------------------------------
+// SmartNetworkInterface
+// ---------------------------------------------------------------------
+
+void SmartNetworkInterface::elaborate() {
+  elaborated_ = true;
+  if (!tx_channels_.empty()) {
+    method("tx", [this] { tx_step(); }, tx_sensitivity());
+  }
+  if (!rx_channels_.empty()) {
+    method("rx", [this] { rx_step(); }, rx_sensitivity());
+  }
+}
+
+void SmartNetworkInterface::tx_step() {
+  // Resume the production front: the method's offset restarts at zero each
+  // activation, but the pipeline may be ahead of the global date.
+  td::advance_local_to(tx_date_);
+  for (;;) {
+    if (tx_pending_.has_value()) {
+      // A fully assembled packet waits for injection at its real date.
+      if (kernel().now() < tx_pending_date_) {
+        tx_date_ = td::local_time_stamp();
+        kernel().next_trigger(tx_pending_date_ - kernel().now());
+        return;
+      }
+      if (to_router_.full()) {
+        tx_date_ = td::local_time_stamp();
+        return;  // woken by to_router_ data_read
+      }
+      tx_pending_->injected_at = tx_pending_date_;
+      words_sent_ += tx_pending_->size_words();
+      packets_sent_++;
+      to_router_.nb_write(std::move(*tx_pending_));
+      tx_pending_.reset();
+      continue;
+    }
+    if (!tx_assembling_.has_value()) {
+      // Round-robin arbitration among the incoming streams.
+      for (std::size_t n = 0; n < tx_channels_.size(); ++n) {
+        const std::size_t c = (tx_rr_next_ + n) % tx_channels_.size();
+        if (!tx_channels_[c].fifo->is_empty()) {
+          tx_assembling_ = c;
+          tx_rr_next_ = (c + 1) % tx_channels_.size();
+          break;
+        }
+      }
+      if (!tx_assembling_.has_value()) {
+        tx_date_ = td::local_time_stamp();
+        return;  // woken by any channel's not_empty
+      }
+    }
+    TxChannelConfig& ch = tx_channels_[*tx_assembling_];
+    while (tx_partial_.size() < ch.packet_words) {
+      if (ch.fifo->is_empty()) {
+        // Head-of-line: keep assembling this packet once data arrives.
+        tx_date_ = td::local_time_stamp();
+        return;
+      }
+      tx_partial_.push_back(ch.fifo->read());
+      td::inc(ch.per_word);  // packetization cost, inside the activation
+    }
+    Packet packet;
+    packet.src = id_;
+    packet.dest = ch.dest;
+    packet.channel = ch.dest_channel;
+    packet.words = std::move(tx_partial_);
+    tx_partial_.clear();
+    tx_pending_ = std::move(packet);
+    tx_pending_date_ = td::local_time_stamp();
+    tx_assembling_.reset();
+  }
+}
+
+void SmartNetworkInterface::rx_step() {
+  td::advance_local_to(rx_date_);
+  for (;;) {
+    if (!rx_packet_.has_value()) {
+      // Only accept the next packet once the previous one has really been
+      // delivered: popping early would release link backpressure too soon.
+      if (kernel().now() < rx_date_) {
+        kernel().next_trigger(rx_date_ - kernel().now());
+        return;
+      }
+      if (from_router_.empty()) {
+        return;  // woken by from_router_ data_written
+      }
+      Packet packet;
+      from_router_.nb_read(packet);
+      if (packet.channel >= rx_channels_.size()) {
+        Report::error("NetworkInterface " + full_name() +
+                      ": packet for unknown channel " +
+                      std::to_string(packet.channel));
+      }
+      account_rx(packet);
+      rx_packet_ = std::move(packet);
+      rx_word_index_ = 0;
+    }
+    RxChannelConfig& ch = rx_channels_[rx_packet_->channel];
+    while (rx_word_index_ < rx_packet_->words.size()) {
+      if (ch.fifo->is_full()) {
+        rx_date_ = td::local_time_stamp();
+        return;  // woken by the channel's not_full
+      }
+      ch.fifo->write(rx_packet_->words[rx_word_index_++]);
+      td::inc(ch.per_word);
+      words_received_++;
+    }
+    packets_received_++;
+    rx_packet_.reset();
+    rx_date_ = td::local_time_stamp();
+  }
+}
+
+// ---------------------------------------------------------------------
+// SyncNetworkInterface
+// ---------------------------------------------------------------------
+
+void SyncNetworkInterface::elaborate() {
+  elaborated_ = true;
+  if (!tx_channels_.empty()) {
+    method("tx", [this] { tx_step(); }, tx_sensitivity());
+  }
+  if (!rx_channels_.empty()) {
+    method("rx", [this] { rx_step(); }, rx_sensitivity());
+  }
+}
+
+void SyncNetworkInterface::tx_step() {
+  // Fully synchronized: at most one word (or one injection) per
+  // activation, paced to the production front with next_trigger.
+  if (kernel().now() < tx_date_) {
+    kernel().next_trigger(tx_date_ - kernel().now());
+    return;
+  }
+  if (tx_pending_.has_value()) {
+    if (kernel().now() < tx_pending_date_) {
+      kernel().next_trigger(tx_pending_date_ - kernel().now());
+      return;
+    }
+    if (to_router_.full()) {
+      return;
+    }
+    tx_pending_->injected_at = tx_pending_date_;
+    words_sent_ += tx_pending_->size_words();
+    packets_sent_++;
+    to_router_.nb_write(std::move(*tx_pending_));
+    tx_pending_.reset();
+    // Fall through: maybe a next word is already available now.
+  }
+  for (;;) {
+    if (!tx_assembling_.has_value()) {
+      for (std::size_t n = 0; n < tx_channels_.size(); ++n) {
+        const std::size_t c = (tx_rr_next_ + n) % tx_channels_.size();
+        if (!tx_channels_[c].fifo->is_empty()) {
+          tx_assembling_ = c;
+          tx_rr_next_ = (c + 1) % tx_channels_.size();
+          break;
+        }
+      }
+      if (!tx_assembling_.has_value()) {
+        return;
+      }
+    }
+    TxChannelConfig& ch = tx_channels_[*tx_assembling_];
+    if (ch.fifo->is_empty()) {
+      return;  // head-of-line wait for this channel
+    }
+    tx_partial_.push_back(ch.fifo->read());
+    tx_date_ = kernel().now() + ch.per_word;
+    if (tx_partial_.size() == ch.packet_words) {
+      Packet packet;
+      packet.src = id_;
+      packet.dest = ch.dest;
+      packet.channel = ch.dest_channel;
+      packet.words = std::move(tx_partial_);
+      tx_partial_.clear();
+      tx_pending_ = std::move(packet);
+      tx_pending_date_ = tx_date_;
+      tx_assembling_.reset();
+    }
+    kernel().next_trigger(ch.per_word);  // pace to the next word
+    return;
+  }
+}
+
+void SyncNetworkInterface::rx_step() {
+  if (kernel().now() < rx_date_) {
+    kernel().next_trigger(rx_date_ - kernel().now());
+    return;
+  }
+  if (!rx_packet_.has_value()) {
+    if (from_router_.empty()) {
+      return;
+    }
+    Packet packet;
+    from_router_.nb_read(packet);
+    if (packet.channel >= rx_channels_.size()) {
+      Report::error("NetworkInterface " + full_name() +
+                    ": packet for unknown channel " +
+                    std::to_string(packet.channel));
+    }
+    account_rx(packet);
+    rx_packet_ = std::move(packet);
+    rx_word_index_ = 0;
+  }
+  RxChannelConfig& ch = rx_channels_[rx_packet_->channel];
+  if (ch.fifo->is_full()) {
+    return;  // woken by not_full
+  }
+  ch.fifo->write(rx_packet_->words[rx_word_index_++]);
+  words_received_++;
+  rx_date_ = kernel().now() + ch.per_word;
+  if (rx_word_index_ == rx_packet_->words.size()) {
+    packets_received_++;
+    rx_packet_.reset();
+  }
+  kernel().next_trigger(ch.per_word);
+  return;
+}
+
+}  // namespace tdsim::noc

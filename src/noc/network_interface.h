@@ -1,0 +1,152 @@
+// Network interfaces: packetization and arbitration between the
+// accelerators' word FIFOs and the packet NoC (paper SIV.C).
+//
+// Two implementations with identical timing:
+//
+//  * SmartNetworkInterface -- the paper's design: method processes (no
+//    context switch) that advance their local date with inc() while
+//    assembling/deframing a packet, reading/writing the accelerator-side
+//    Smart FIFOs through the guarded non-blocking interfaces. "Thanks to
+//    the possibility to use inc() in a SC_METHOD, we succeeded to model
+//    this module without any SC_THREAD."
+//
+//  * SyncNetworkInterface -- the baseline: method processes that stay
+//    synchronized and pace themselves word by word with next_trigger,
+//    suited to the synchronizing FIFOs of the reference model.
+//
+// Both share the channel configuration and the pacing discipline, so the
+// word- and packet-level dates they produce are identical; only the number
+// of scheduler activations (and, on the FIFO side, context switches in the
+// connected accelerators) differs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fifo_interface.h"
+#include "kernel/fifo.h"
+#include "kernel/module.h"
+#include "noc/packet.h"
+
+namespace tdsim::noc {
+
+/// An outbound stream: words drained from `fifo`, packetized and sent to
+/// channel `dest_channel` of node `dest`.
+struct TxChannelConfig {
+  FifoInterface<std::uint32_t>* fifo = nullptr;
+  NodeId dest = 0;
+  ChannelId dest_channel = 0;
+  std::size_t packet_words = 16;
+  /// Packetization cost per word.
+  Time per_word = 1_ns;
+};
+
+/// An inbound stream: payload words of packets addressed to this channel
+/// are written into `fifo`.
+struct RxChannelConfig {
+  FifoInterface<std::uint32_t>* fifo = nullptr;
+  /// Deframing cost per word.
+  Time per_word = 1_ns;
+};
+
+/// State and statistics shared by both implementations.
+class NetworkInterfaceBase : public Module {
+ public:
+  NetworkInterfaceBase(Module& parent, const std::string& name, NodeId id,
+                       Fifo<Packet>& to_router, Fifo<Packet>& from_router);
+
+  /// Adds an outbound (inbound) stream; returns its channel id. All
+  /// channels must be added before elaborate().
+  ChannelId add_tx_channel(const TxChannelConfig& config);
+  ChannelId add_rx_channel(const RxChannelConfig& config);
+
+  /// Spawns the TX/RX processes; call once after adding channels.
+  virtual void elaborate() = 0;
+
+  NodeId id() const { return id_; }
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_received() const { return packets_received_; }
+  std::uint64_t words_sent() const { return words_sent_; }
+  std::uint64_t words_received() const { return words_received_; }
+
+  /// Network latency accounting: injection (packet.injected_at) to
+  /// acceptance by this receiving interface.
+  struct LatencyStats {
+    std::uint64_t packets = 0;
+    Time total;
+    Time min = Time::max();
+    Time max;
+
+    void account(Time latency) {
+      packets++;
+      total += latency;
+      if (latency < min) min = latency;
+      if (latency > max) max = latency;
+    }
+    /// Mean latency (zero when no packet was received).
+    Time mean() const {
+      return packets == 0 ? Time{} : Time::from_ps(total.ps() / packets);
+    }
+  };
+
+  const LatencyStats& rx_latency() const { return rx_latency_; }
+
+ protected:
+  NodeId id_;
+  Fifo<Packet>& to_router_;
+  Fifo<Packet>& from_router_;
+  std::vector<TxChannelConfig> tx_channels_;
+  std::vector<RxChannelConfig> rx_channels_;
+  bool elaborated_ = false;
+
+  // --- TX state ---
+  std::size_t tx_rr_next_ = 0;
+  std::optional<std::size_t> tx_assembling_;
+  std::vector<std::uint32_t> tx_partial_;
+  std::optional<Packet> tx_pending_;
+  Time tx_pending_date_;
+  Time tx_date_;  ///< The TX pipeline's production front.
+
+  // --- RX state ---
+  std::optional<Packet> rx_packet_;
+  std::size_t rx_word_index_ = 0;
+  Time rx_date_;  ///< The RX pipeline's delivery front.
+
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_received_ = 0;
+  std::uint64_t words_sent_ = 0;
+  std::uint64_t words_received_ = 0;
+  LatencyStats rx_latency_;
+
+  void check_not_elaborated() const;
+  /// Called when a packet is popped from the router link.
+  void account_rx(const Packet& packet);
+  MethodOptions tx_sensitivity();
+  MethodOptions rx_sensitivity();
+};
+
+/// The paper's NI: decoupled methods using inc() (see file header).
+class SmartNetworkInterface final : public NetworkInterfaceBase {
+ public:
+  using NetworkInterfaceBase::NetworkInterfaceBase;
+  void elaborate() override;
+
+ private:
+  void tx_step();
+  void rx_step();
+};
+
+/// Baseline NI: synchronized methods paced word-by-word with next_trigger.
+class SyncNetworkInterface final : public NetworkInterfaceBase {
+ public:
+  using NetworkInterfaceBase::NetworkInterfaceBase;
+  void elaborate() override;
+
+ private:
+  void tx_step();
+  void rx_step();
+};
+
+}  // namespace tdsim::noc

@@ -1,0 +1,48 @@
+// Stream NoC substrate (case-study SoC, paper SIV.C): packets carried
+// between store-and-forward routers over regular bounded FIFOs. The NoC is
+// deliberately *not* temporally decoupled -- "where a lot of arbitration
+// has to be done", the paper models routers with plain method processes at
+// the global date, which regular FIFOs serve fine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/time.h"
+
+namespace tdsim::noc {
+
+/// Node (network-interface) identifier; position in the mesh is
+/// id = y * columns + x.
+using NodeId = std::uint16_t;
+
+/// Stream channel index within a network interface.
+using ChannelId = std::uint16_t;
+
+struct Packet {
+  NodeId src = 0;
+  NodeId dest = 0;
+  ChannelId channel = 0;  ///< Destination stream channel.
+  std::vector<std::uint32_t> words;
+  Time injected_at;  ///< For latency statistics.
+
+  std::size_t size_words() const { return words.size(); }
+};
+
+/// Router ports, in arbitration order.
+enum class Port : std::uint8_t { North = 0, East, South, West, Local };
+inline constexpr std::size_t kPortCount = 5;
+
+inline const char* to_string(Port p) {
+  switch (p) {
+    case Port::North: return "N";
+    case Port::East: return "E";
+    case Port::South: return "S";
+    case Port::West: return "W";
+    case Port::Local: return "L";
+  }
+  return "?";
+}
+
+}  // namespace tdsim::noc

@@ -1,0 +1,125 @@
+#include "noc/router.h"
+
+#include "kernel/report.h"
+
+namespace tdsim::noc {
+
+Router::Router(Module& parent, const std::string& name, std::uint16_t x,
+               std::uint16_t y, std::uint16_t columns, std::uint16_t rows,
+               Timing timing)
+    : Module(parent, name),
+      x_(x),
+      y_(y),
+      columns_(columns),
+      rows_(rows),
+      timing_(timing) {
+  for (std::size_t p = 0; p < kPortCount; ++p) {
+    in_flight_[p].emplace(kernel(),
+                          full_name() + ".flight." +
+                              to_string(static_cast<Port>(p)));
+  }
+}
+
+void Router::connect_input(Port port, Fifo<Packet>& link) {
+  inputs_[static_cast<std::size_t>(port)] = &link;
+}
+
+void Router::connect_output(Port port, Fifo<Packet>& link) {
+  outputs_[static_cast<std::size_t>(port)] = &link;
+}
+
+Port Router::route(NodeId dest) const {
+  const std::uint16_t dx = dest % columns_;
+  const std::uint16_t dy = static_cast<std::uint16_t>(dest / columns_);
+  if (dx != x_) {
+    return dx > x_ ? Port::East : Port::West;
+  }
+  if (dy != y_) {
+    return dy > y_ ? Port::South : Port::North;
+  }
+  return Port::Local;
+}
+
+void Router::elaborate() {
+  if (elaborated_) {
+    Report::error("Router " + full_name() + ": elaborate() called twice");
+  }
+  elaborated_ = true;
+  MethodOptions opts;
+  for (std::size_t p = 0; p < kPortCount; ++p) {
+    if (inputs_[p] != nullptr) {
+      opts.sensitivity.push_back(&inputs_[p]->data_written_event());
+    }
+    if (outputs_[p] != nullptr) {
+      opts.sensitivity.push_back(&outputs_[p]->data_read_event());
+    }
+    opts.sensitivity.push_back(&in_flight_[p]->get_event());
+  }
+  method("step", [this] { step(); }, std::move(opts));
+}
+
+void Router::step() {
+  // Drain and arbitrate until no progress is possible; every blocking
+  // condition is covered by the static sensitivity, so the method simply
+  // returns and is re-triggered.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (std::size_t p = 0; p < kPortCount; ++p) {
+      progress |= try_deliver(p);
+      progress |= try_arbitrate(p);
+    }
+  }
+}
+
+bool Router::try_deliver(std::size_t out_index) {
+  if (outputs_[out_index] == nullptr) {
+    return false;
+  }
+  auto& staged = staged_[out_index];
+  if (!staged.has_value()) {
+    auto packet = in_flight_[out_index]->get_next();
+    if (!packet.has_value()) {
+      return false;  // nothing ready (get_next re-armed the event if any)
+    }
+    staged = std::move(packet);
+  }
+  if (outputs_[out_index]->full()) {
+    return false;  // backpressure; data_read sensitivity re-triggers us
+  }
+  outputs_[out_index]->nb_write(std::move(*staged));
+  staged.reset();
+  forwarded_++;
+  return true;
+}
+
+bool Router::try_arbitrate(std::size_t out_index) {
+  if (outputs_[out_index] == nullptr) {
+    return false;
+  }
+  // The in-flight stage serializes the output: one packet at a time.
+  if (in_flight_[out_index]->pending() != 0 ||
+      staged_[out_index].has_value()) {
+    return false;
+  }
+  for (std::size_t n = 0; n < kPortCount; ++n) {
+    const std::size_t in_index = (rr_next_[out_index] + n) % kPortCount;
+    Fifo<Packet>* in = inputs_[in_index];
+    if (in == nullptr || in->empty()) {
+      continue;
+    }
+    if (static_cast<std::size_t>(route(in->front().dest)) != out_index) {
+      continue;
+    }
+    Packet packet;
+    in->nb_read(packet);
+    const Time latency =
+        timing_.header_latency + timing_.word_latency * packet.size_words();
+    in_flight_[out_index]->notify(std::move(packet), latency);
+    rr_next_[out_index] = (in_index + 1) % kPortCount;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tdsim::noc

@@ -1,0 +1,70 @@
+// Store-and-forward XY router modeled as a single method process (no
+// context switches): per-output round-robin arbitration over the input
+// links, a per-output in-flight stage modeling the forwarding latency, and
+// backpressure through the bounded output links.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/peq.h"
+#include "kernel/fifo.h"
+#include "kernel/module.h"
+#include "noc/packet.h"
+
+namespace tdsim::noc {
+
+class Router : public Module {
+ public:
+  struct Timing {
+    /// Fixed per-hop cost charged to every packet.
+    Time header_latency = 5_ns;
+    /// Additional cost per payload word.
+    Time word_latency = 1_ns;
+  };
+
+  Router(Module& parent, const std::string& name, std::uint16_t x,
+         std::uint16_t y, std::uint16_t columns, std::uint16_t rows,
+         Timing timing);
+
+  /// Wires `link` as the input (output) of this router on `port`.
+  /// All connected ports must be wired before elaborate().
+  void connect_input(Port port, Fifo<Packet>& link);
+  void connect_output(Port port, Fifo<Packet>& link);
+
+  /// Spawns the router method; call once after wiring.
+  void elaborate();
+
+  std::uint16_t x() const { return x_; }
+  std::uint16_t y() const { return y_; }
+  std::uint64_t forwarded() const { return forwarded_; }
+
+  /// XY dimension-ordered routing decision for `dest` seen from this
+  /// router.
+  Port route(NodeId dest) const;
+
+ private:
+  void step();
+  bool try_deliver(std::size_t port_index);
+  bool try_arbitrate(std::size_t out_index);
+
+  std::uint16_t x_, y_, columns_, rows_;
+  Timing timing_;
+
+  std::array<Fifo<Packet>*, kPortCount> inputs_{};
+  std::array<Fifo<Packet>*, kPortCount> outputs_{};
+  /// One in-flight stage per output port, modeling the forwarding latency.
+  std::array<std::optional<PeqWithGet<Packet>>, kPortCount> in_flight_;
+  /// Packet popped from the in-flight stage but stalled on a full output
+  /// link (backpressure).
+  std::array<std::optional<Packet>, kPortCount> staged_;
+  /// Round-robin arbitration pointer per output port.
+  std::array<std::size_t, kPortCount> rr_next_{};
+
+  std::uint64_t forwarded_ = 0;
+  bool elaborated_ = false;
+};
+
+}  // namespace tdsim::noc

@@ -1,0 +1,88 @@
+#include "soc/accelerator.h"
+
+#include "core/local_time.h"
+#include "kernel/report.h"
+
+namespace tdsim::soc {
+
+Accelerator::Accelerator(Module& parent, const std::string& name,
+                         Config config)
+    : Module(parent, name),
+      config_(config),
+      registers_(full_name() + ".regs", kRegisterCount, 1_ns),
+      start_gate_(kernel(), full_name()) {
+  if (config_.total_words == 0 || config_.block_words == 0) {
+    Report::error("Accelerator " + full_name() + ": empty work");
+  }
+  // Start command: the gate captures the initiator's local date so
+  // processing begins exactly when the (decoupled) software issued it.
+  registers_.set_write_hook(kCtrl, [this](std::uint32_t value) {
+    if (value != 0) {
+      start_gate_.post(value);
+    }
+  });
+  // FIFO fill-level monitor (paper SIII.C: "knowing the FIFO filling
+  // levels can be used for debug and dynamic performance tuning"). The
+  // read synchronizes the polling initiator via get_size().
+  registers_.set_read_hook(kInputLevel, [this]() -> std::uint32_t {
+    if (config_.input == nullptr) {
+      return 0;
+    }
+    return static_cast<std::uint32_t>(config_.input->get_size());
+  });
+  thread("process", [this] { process(); });
+}
+
+std::uint32_t Accelerator::next_input_word() {
+  if (config_.input != nullptr) {
+    return config_.input->read();
+  }
+  // Source: generate the stream locally.
+  return static_cast<std::uint32_t>(source_index_++);
+}
+
+void Accelerator::emit_output_word(std::uint32_t word) {
+  const std::uint32_t transformed = word * config_.mul + config_.add;
+  if (config_.output != nullptr) {
+    config_.output->write(transformed);
+  } else {
+    checksum_ = checksum_ * 31 + transformed;  // sink: accumulate
+  }
+}
+
+void Accelerator::process() {
+  start_gate_.await();
+  if (recorder_ != nullptr) {
+    recorder_->record(full_name() + " start");
+  }
+  std::uint64_t in_block = 0;
+  for (std::uint64_t i = 0; i < config_.total_words; ++i) {
+    const std::uint32_t word = next_input_word();
+    td::inc(config_.per_word);
+    emit_output_word(word);
+    words_processed_++;
+    if (++in_block == config_.block_words) {
+      in_block = 0;
+      // Publish progress date-accurately: plain variables crossing
+      // decoupled processes are synchronization points (paper SII.A), so
+      // sync before the update.
+      td::sync();
+      registers_.poke(kProgress,
+                      static_cast<std::uint32_t>(words_processed_));
+      if (recorder_ != nullptr) {
+        recorder_->record(full_name() + " block",
+                          static_cast<std::uint64_t>(words_processed_));
+      }
+    }
+  }
+  completion_date_ = td::local_time_stamp();
+  td::sync();  // synchronization point: the done flag must be date-accurate
+  registers_.poke(kProgress, static_cast<std::uint32_t>(words_processed_));
+  registers_.poke(kStatus, 1);
+  done_ = true;
+  if (recorder_ != nullptr) {
+    recorder_->record(full_name() + " done");
+  }
+}
+
+}  // namespace tdsim::soc

@@ -1,0 +1,83 @@
+// Hardware accelerator model (case-study SoC, paper SIV.C): a temporally
+// decoupled thread streaming words from an input FIFO to an output FIFO
+// with a per-word processing latency, controlled and monitored by the
+// embedded software through a register bank.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/fifo_interface.h"
+#include "core/start_gate.h"
+#include "kernel/module.h"
+#include "tlm/register_bank.h"
+#include "trace/trace.h"
+
+namespace tdsim::soc {
+
+class Accelerator : public Module {
+ public:
+  /// Register map (32-bit registers, byte address = index * 4).
+  enum Register : std::size_t {
+    kCtrl = 0,       ///< Write 1 to start.
+    kStatus = 1,     ///< 1 once processing finished (date-accurate).
+    kProgress = 2,   ///< Words processed so far (updated per block).
+    kInputLevel = 3, ///< Read hook: input FIFO fill level (monitor).
+    kRegisterCount = 4,
+  };
+
+  struct Config {
+    /// Input stream; when null the accelerator is a source generating
+    /// `total_words` pseudo-data words.
+    FifoInterface<std::uint32_t>* input = nullptr;
+    /// Output stream; when null the accelerator is a sink accumulating a
+    /// checksum.
+    FifoInterface<std::uint32_t>* output = nullptr;
+    /// Per-word processing latency.
+    Time per_word = 2_ns;
+    /// Word transform: out = in * mul + add (source: f(i) = i * mul + add).
+    std::uint32_t mul = 1;
+    std::uint32_t add = 0;
+    /// Total words to process before reporting done.
+    std::uint64_t total_words = 0;
+    /// Status/progress granularity: the progress register is refreshed
+    /// (with a synchronization, keeping it date-accurate) once per block.
+    std::uint64_t block_words = 64;
+  };
+
+  Accelerator(Module& parent, const std::string& name, Config config);
+
+  /// The control/status registers, to be mapped on the SoC bus.
+  tlm::RegisterBank& registers() { return registers_; }
+
+  /// Optional trace recorder: logs start/done (and per-block marks) with
+  /// the accelerator's local dates, for cross-mode validation.
+  void set_recorder(trace::Recorder* recorder) { recorder_ = recorder; }
+
+  bool done() const { return done_; }
+  std::uint64_t words_processed() const { return words_processed_; }
+  std::uint32_t checksum() const { return checksum_; }
+  Time completion_date() const { return completion_date_; }
+
+ private:
+  void process();
+  std::uint32_t next_input_word();
+  void emit_output_word(std::uint32_t word);
+
+  Config config_;
+  tlm::RegisterBank registers_;
+  /// Start command carrying the software's local date at the register
+  /// write -- a timestamped hand-off, so the start is as accurate as a
+  /// Smart FIFO insertion.
+  StartGate<std::uint32_t> start_gate_;
+
+  trace::Recorder* recorder_ = nullptr;
+  bool done_ = false;
+  std::uint64_t words_processed_ = 0;
+  std::uint64_t source_index_ = 0;
+  std::uint32_t checksum_ = 0;
+  Time completion_date_;
+};
+
+}  // namespace tdsim::soc

@@ -1,0 +1,73 @@
+#include "soc/control_core.h"
+
+#include "core/local_time.h"
+#include "soc/accelerator.h"
+
+namespace tdsim::soc {
+
+ControlCore::ControlCore(Module& parent, const std::string& name,
+                         Config config)
+    : Module(parent, name),
+      config_(std::move(config)),
+      socket_(full_name() + ".socket") {
+  thread("software", [this] { software(); });
+}
+
+void ControlCore::software() {
+  const auto reg_address = [](std::uint64_t base, std::size_t index) {
+    return base + index * 4;
+  };
+  // Kick off every accelerator.
+  for (std::uint64_t base : config_.accelerator_bases) {
+    socket_.write32(reg_address(base, Accelerator::kCtrl), 1);
+  }
+  if (recorder_ != nullptr) {
+    recorder_->record("core: all accelerators started");
+  }
+  // Move the polling dates off the streams' integer-nanosecond grid (see
+  // Config::poll_phase).
+  td::inc(config_.poll_phase);
+  // Poll until everything reports done; read the FIFO-level monitor
+  // registers on some rounds (low-rate accesses, paper SIII.C).
+  std::vector<bool> done(config_.accelerator_bases.size(), false);
+  std::size_t remaining = done.size();
+  unsigned round = 0;
+  while (remaining > 0) {
+    td::inc(config_.poll_period);
+    if (td::needs_sync()) {
+      td::sync();
+    }
+    round++;
+    for (std::size_t i = 0; i < done.size(); ++i) {
+      if (done[i]) {
+        continue;
+      }
+      polls_++;
+      const std::uint64_t base = config_.accelerator_bases[i];
+      if (socket_.read32(reg_address(base, Accelerator::kStatus)) != 0) {
+        done[i] = true;
+        remaining--;
+        if (recorder_ != nullptr) {
+          recorder_->record("core: accelerator " + std::to_string(i) +
+                            " done");
+        }
+      } else if (config_.monitor_every != 0 &&
+                 round % config_.monitor_every == 0) {
+        const std::uint32_t level =
+            socket_.read32(reg_address(base, Accelerator::kInputLevel));
+        if (recorder_ != nullptr) {
+          recorder_->record("core: accelerator " + std::to_string(i) +
+                                " input level",
+                            level);
+        }
+      }
+    }
+  }
+  td::sync();
+  all_done_date_ = td::local_time_stamp();
+  if (recorder_ != nullptr) {
+    recorder_->record("core: all done");
+  }
+}
+
+}  // namespace tdsim::soc

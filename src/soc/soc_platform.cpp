@@ -1,0 +1,193 @@
+#include "soc/soc_platform.h"
+
+#include "core/smart_fifo.h"
+#include "core/sync_fifo.h"
+#include "kernel/report.h"
+
+namespace tdsim::soc {
+
+namespace {
+constexpr std::uint64_t kRegsBase = 0x1000'0000;
+constexpr std::uint64_t kRegsStride = 0x100;
+constexpr std::uint64_t kMemoryBase = 0x2000'0000;
+constexpr std::size_t kMemorySize = 64 * 1024;
+}  // namespace
+
+SocPlatform::SocPlatform(Kernel& kernel, const SocConfig& config)
+    : Module(kernel, "soc"), config_(config) {
+  if (config_.streams == 0) {
+    Report::error("SocPlatform: at least one stream required");
+  }
+  if (config_.words_per_stream % config_.packet_words != 0) {
+    Report::error(
+        "SocPlatform: words_per_stream must be a multiple of packet_words");
+  }
+  kernel.set_global_quantum(config_.quantum);
+
+  bus_ = std::make_unique<tlm::Bus>("soc.bus", 2_ns);
+  memory_ = std::make_unique<tlm::Memory>("soc.mem", kMemorySize, 1_ns);
+  bus_->map(kMemoryBase, kMemorySize, *memory_);
+
+  noc::Mesh::Config mesh_config;
+  mesh_config.columns = config_.mesh_columns;
+  mesh_config.rows = config_.mesh_rows;
+  mesh_config.link_depth = config_.noc_link_depth;
+  mesh_config.timing = config_.router_timing;
+  mesh_ = std::make_unique<noc::Mesh>(kernel, "soc.noc", mesh_config);
+  const std::size_t nodes = mesh_->node_count();
+
+  // One network interface per mesh node, flavor-matched.
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const auto id = static_cast<noc::NodeId>(n);
+    const std::string name = "ni" + std::to_string(n);
+    if (config_.flavor == FifoFlavor::Smart) {
+      nis_.push_back(std::make_unique<noc::SmartNetworkInterface>(
+          *this, name, id, mesh_->local_in(id), mesh_->local_out(id)));
+    } else {
+      nis_.push_back(std::make_unique<noc::SyncNetworkInterface>(
+          *this, name, id, mesh_->local_in(id), mesh_->local_out(id)));
+    }
+  }
+
+  // Streams: source --fifo--> transform --fifo--> NI ~NoC~ NI --fifo--> sink.
+  std::vector<std::uint64_t> bases;
+  for (std::size_t s = 0; s < config_.streams; ++s) {
+    const auto src_node = static_cast<noc::NodeId>(s % nodes);
+    const auto dst_node = static_cast<noc::NodeId>((s + 1) % nodes);
+    const std::string prefix = "s" + std::to_string(s);
+
+    auto& src_to_mid = make_fifo(prefix + ".src_mid");
+    auto& mid_to_ni = make_fifo(prefix + ".mid_ni");
+    auto& ni_to_sink = make_fifo(prefix + ".ni_sink");
+
+    // Destination-side channel first, to learn its channel id.
+    noc::RxChannelConfig rx;
+    rx.fifo = &ni_to_sink;
+    rx.per_word = config_.ni_per_word;
+    const noc::ChannelId rx_channel = nis_[dst_node]->add_rx_channel(rx);
+
+    noc::TxChannelConfig tx;
+    tx.fifo = &mid_to_ni;
+    tx.dest = dst_node;
+    tx.dest_channel = rx_channel;
+    tx.packet_words = config_.packet_words;
+    tx.per_word = config_.ni_per_word;
+    nis_[src_node]->add_tx_channel(tx);
+
+    Accelerator::Config src_cfg;
+    src_cfg.output = &src_to_mid;
+    src_cfg.per_word = config_.source_per_word;
+    src_cfg.mul = 1;
+    src_cfg.add = static_cast<std::uint32_t>(s);
+    src_cfg.total_words = config_.words_per_stream;
+    src_cfg.block_words = config_.block_words;
+    accelerators_.push_back(
+        std::make_unique<Accelerator>(*this, prefix + ".src", src_cfg));
+
+    Accelerator::Config mid_cfg;
+    mid_cfg.input = &src_to_mid;
+    mid_cfg.output = &mid_to_ni;
+    mid_cfg.per_word = config_.transform_per_word;
+    mid_cfg.mul = 3;
+    mid_cfg.add = 1;
+    mid_cfg.total_words = config_.words_per_stream;
+    mid_cfg.block_words = config_.block_words;
+    accelerators_.push_back(
+        std::make_unique<Accelerator>(*this, prefix + ".mid", mid_cfg));
+
+    Accelerator::Config sink_cfg;
+    sink_cfg.input = &ni_to_sink;
+    sink_cfg.per_word = config_.sink_per_word;
+    sink_cfg.total_words = config_.words_per_stream;
+    sink_cfg.block_words = config_.block_words;
+    accelerators_.push_back(
+        std::make_unique<Accelerator>(*this, prefix + ".sink", sink_cfg));
+    sink_index_.push_back(accelerators_.size() - 1);
+  }
+
+  for (auto& ni : nis_) {
+    ni->elaborate();
+  }
+
+  // Map every accelerator's register bank on the bus.
+  for (std::size_t i = 0; i < accelerators_.size(); ++i) {
+    const std::uint64_t base = kRegsBase + i * kRegsStride;
+    bus_->map(base, Accelerator::kRegisterCount * 4,
+              accelerators_[i]->registers());
+    bases.push_back(base);
+  }
+
+  ControlCore::Config core_config;
+  core_config.accelerator_bases = std::move(bases);
+  core_config.poll_period = config_.poll_period;
+  core_config.monitor_every = config_.monitor_every;
+  core_config.poll_phase = config_.poll_phase;
+  core_ = std::make_unique<ControlCore>(*this, "core", core_config);
+  core_->socket().bind(*bus_);
+}
+
+FifoInterface<std::uint32_t>& SocPlatform::make_fifo(const std::string& name) {
+  const std::string full = full_name() + "." + name;
+  if (config_.flavor == FifoFlavor::Smart) {
+    fifos_.push_back(std::make_unique<SmartFifo<std::uint32_t>>(
+        kernel(), full, config_.fifo_depth));
+  } else {
+    fifos_.push_back(std::make_unique<SyncFifo<std::uint32_t>>(
+        kernel(), full, config_.fifo_depth));
+  }
+  return *fifos_.back();
+}
+
+Time SocPlatform::run_to_completion() {
+  kernel().run();
+  for (const auto& accelerator : accelerators_) {
+    if (!accelerator->done()) {
+      Report::error("SocPlatform: " + accelerator->full_name() +
+                    " did not finish (deadlock in the model?)");
+    }
+  }
+  return kernel().now();
+}
+
+void SocPlatform::set_recorder(trace::Recorder* recorder) {
+  for (auto& accelerator : accelerators_) {
+    accelerator->set_recorder(recorder);
+  }
+  core_->set_recorder(recorder);
+}
+
+std::uint32_t SocPlatform::sink_checksum(std::size_t s) const {
+  return accelerators_.at(sink_index_.at(s))->checksum();
+}
+
+std::uint32_t SocPlatform::expected_checksum(std::size_t s) const {
+  // source emits i + s; transform multiplies by 3 and adds 1; the sink
+  // accumulates c = c * 31 + word.
+  std::uint32_t c = 0;
+  for (std::uint64_t i = 0; i < config_.words_per_stream; ++i) {
+    const std::uint32_t src = static_cast<std::uint32_t>(i) +
+                              static_cast<std::uint32_t>(s);
+    const std::uint32_t mid = src * 3 + 1;
+    c = c * 31 + mid;
+  }
+  return c;
+}
+
+bool SocPlatform::all_streams_correct() const {
+  for (std::size_t s = 0; s < config_.streams; ++s) {
+    if (sink_checksum(s) != expected_checksum(s)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t SocPlatform::total_fifo_accesses() const {
+  std::uint64_t total = 0;
+  for (const auto& fifo : fifos_) {
+    total += fifo->total_writes() + fifo->total_reads();
+  }
+  return total;
+}
+
+}  // namespace tdsim::soc

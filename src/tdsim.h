@@ -1,0 +1,51 @@
+// Umbrella header: the full public API of the tdsim library.
+//
+// Downstream users can include this single header; fine-grained includes
+// (e.g. just "core/smart_fifo.h" + "kernel/kernel.h") keep builds leaner.
+#pragma once
+
+// Discrete-event kernel substrate.
+#include "kernel/event.h"
+#include "kernel/fifo.h"
+#include "kernel/kernel.h"
+#include "kernel/module.h"
+#include "kernel/process.h"
+#include "kernel/report.h"
+#include "kernel/signal.h"
+#include "kernel/stats.h"
+#include "kernel/time.h"
+
+// Temporal decoupling and the Smart FIFO (the paper's contribution).
+#include "core/arbiter.h"
+#include "core/fifo_interface.h"
+#include "core/local_time.h"
+#include "core/peq.h"
+#include "core/smart_fifo.h"
+#include "core/start_gate.h"
+#include "core/sync_fifo.h"
+
+// Memory-mapped TLM substrate.
+#include "tlm/bus.h"
+#include "tlm/dma.h"
+#include "tlm/memory.h"
+#include "tlm/payload.h"
+#include "tlm/register_bank.h"
+#include "tlm/socket.h"
+
+// Stream NoC substrate.
+#include "noc/mesh.h"
+#include "noc/network_interface.h"
+#include "noc/packet.h"
+#include "noc/router.h"
+
+// Case-study SoC and the Fig. 5 workload.
+#include "soc/accelerator.h"
+#include "soc/control_core.h"
+#include "soc/soc_platform.h"
+#include "workloads/pipeline.h"
+
+// Validation and debug tooling.
+#include "trace/probe.h"
+#include "trace/scenario.h"
+#include "trace/trace.h"
+#include "trace/vcd.h"

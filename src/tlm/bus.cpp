@@ -1,0 +1,58 @@
+#include "tlm/bus.h"
+
+#include <algorithm>
+
+#include "kernel/report.h"
+
+namespace tdsim::tlm {
+
+void Bus::map(std::uint64_t base, std::uint64_t size, TransportIf& target) {
+  if (size == 0) {
+    Report::error("Bus " + name_ + ": zero-sized region at " +
+                  std::to_string(base));
+  }
+  for (const Region& r : regions_) {
+    const bool disjoint = base + size <= r.base || r.base + r.size <= base;
+    if (!disjoint) {
+      Report::error("Bus " + name_ + ": region [" + std::to_string(base) +
+                    ", +" + std::to_string(size) + ") overlaps existing [" +
+                    std::to_string(r.base) + ", +" + std::to_string(r.size) +
+                    ")");
+    }
+  }
+  regions_.push_back(Region{base, size, &target});
+  std::sort(regions_.begin(), regions_.end(),
+            [](const Region& a, const Region& b) { return a.base < b.base; });
+}
+
+const Bus::Region* Bus::decode(std::uint64_t address,
+                               std::size_t length) const {
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), address,
+      [](std::uint64_t addr, const Region& r) { return addr < r.base; });
+  if (it == regions_.begin()) {
+    return nullptr;
+  }
+  --it;
+  if (address + length > it->base + it->size) {
+    return nullptr;  // out of region (or straddling its end)
+  }
+  return &*it;
+}
+
+void Bus::b_transport(Payload& payload, Time& delay) {
+  delay += hop_latency_;
+  const Region* region = decode(payload.address, payload.length);
+  if (region == nullptr) {
+    decode_errors_++;
+    payload.response = Response::AddressError;
+    return;
+  }
+  routed_++;
+  const std::uint64_t original = payload.address;
+  payload.address -= region->base;
+  region->target->b_transport(payload, delay);
+  payload.address = original;
+}
+
+}  // namespace tdsim::tlm

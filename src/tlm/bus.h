@@ -1,0 +1,46 @@
+// Address-decoding interconnect: routes transactions to mapped targets and
+// adds a per-hop latency to the annotation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tlm/payload.h"
+
+namespace tdsim::tlm {
+
+class Bus final : public TransportIf {
+ public:
+  /// `hop_latency` is added to every transaction's delay annotation.
+  Bus(std::string name, Time hop_latency)
+      : name_(std::move(name)), hop_latency_(hop_latency) {}
+
+  /// Maps [base, base+size) to `target`. Regions must not overlap. The
+  /// forwarded payload carries the *offset* within the region.
+  void map(std::uint64_t base, std::uint64_t size, TransportIf& target);
+
+  void b_transport(Payload& payload, Time& delay) override;
+
+  const std::string& name() const { return name_; }
+  std::size_t region_count() const { return regions_.size(); }
+  std::uint64_t routed() const { return routed_; }
+  std::uint64_t decode_errors() const { return decode_errors_; }
+
+ private:
+  struct Region {
+    std::uint64_t base;
+    std::uint64_t size;
+    TransportIf* target;
+  };
+
+  const Region* decode(std::uint64_t address, std::size_t length) const;
+
+  std::string name_;
+  Time hop_latency_;
+  std::vector<Region> regions_;  // kept sorted by base
+  std::uint64_t routed_ = 0;
+  std::uint64_t decode_errors_ = 0;
+};
+
+}  // namespace tdsim::tlm

@@ -1,0 +1,89 @@
+// DMA engine: a bus master programmed through a register bank that copies
+// a block of memory word by word, temporally decoupled with the global
+// quantum (the standard loosely-timed TLM initiator pattern the case-study
+// SoC uses for all memory-mapped traffic, paper SIV.C).
+//
+// Register map (32-bit registers):
+//   kSrc    -- source byte address
+//   kDst    -- destination byte address
+//   kLen    -- transfer length in bytes (multiple of 4)
+//   kCtrl   -- write 1 to start; rejected while busy
+//   kStatus -- 0 idle, 1 busy, 2 done (sticky until the next start)
+//
+// The completion is also signaled through done_event(), the analog of an
+// interrupt line, with a date-accurate notification: the engine
+// synchronizes before raising it, so a decoupled observer sees the
+// completion at the same date in any model flavor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/start_gate.h"
+#include "kernel/event.h"
+#include "kernel/module.h"
+#include "tlm/register_bank.h"
+#include "tlm/socket.h"
+
+namespace tdsim::tlm {
+
+class DmaEngine : public Module {
+ public:
+  enum Register : std::size_t {
+    kSrc = 0,
+    kDst = 1,
+    kLen = 2,
+    kCtrl = 3,
+    kStatus = 4,
+    kRegisterCount = 5,
+  };
+
+  enum Status : std::uint32_t {
+    kIdle = 0,
+    kBusy = 1,
+    kDone = 2,
+  };
+
+  struct Config {
+    /// Latency charged by the engine per copied word, on top of the bus
+    /// and memory latencies returned through b_transport.
+    Time per_word = Time(1, TimeUnit::NS);
+    /// Register-access latency seen by the programming initiator.
+    Time register_latency = Time(1, TimeUnit::NS);
+  };
+
+  DmaEngine(Module& parent, const std::string& name, Config config);
+  /// Default configuration.
+  DmaEngine(Module& parent, const std::string& name);
+
+  /// The control/status registers, to be mapped on the bus.
+  RegisterBank& registers() { return registers_; }
+
+  /// The engine's master port; bind to the bus (or directly to a target).
+  InitiatorSocket& socket() { return socket_; }
+
+  /// Notified (date-accurately) when a transfer completes.
+  Event& done_event() { return done_event_; }
+
+  /// Direct (software-free) programming helper: equivalent to the
+  /// register sequence src, dst, len, ctrl=1.
+  void start(std::uint64_t src, std::uint64_t dst, std::uint32_t length);
+
+  bool busy() const { return registers_.peek(kStatus) == kBusy; }
+  std::uint64_t transfers_completed() const { return transfers_completed_; }
+  std::uint64_t words_copied() const { return words_copied_; }
+
+ private:
+  void engine();
+
+  Config config_;
+  RegisterBank registers_;
+  InitiatorSocket socket_;
+  /// Timestamped start hand-off (see StartGate).
+  StartGate<std::uint32_t> start_gate_;
+  Event done_event_;
+  std::uint64_t transfers_completed_ = 0;
+  std::uint64_t words_copied_ = 0;
+};
+
+}  // namespace tdsim::tlm

@@ -1,0 +1,33 @@
+#include "tlm/memory.h"
+
+#include <cstring>
+
+namespace tdsim::tlm {
+
+Memory::Memory(std::string name, std::size_t size, Time word_latency)
+    : name_(std::move(name)), word_latency_(word_latency), storage_(size) {}
+
+void Memory::b_transport(Payload& payload, Time& delay) {
+  if (payload.address + payload.length > storage_.size() ||
+      payload.data == nullptr) {
+    payload.response = Response::AddressError;
+    return;
+  }
+  const std::uint64_t words = (payload.length + 3) / 4;
+  delay += word_latency_ * words;
+  switch (payload.command) {
+    case Command::Read:
+      std::memcpy(payload.data, storage_.data() + payload.address,
+                  payload.length);
+      reads_++;
+      break;
+    case Command::Write:
+      std::memcpy(storage_.data() + payload.address, payload.data,
+                  payload.length);
+      writes_++;
+      break;
+  }
+  payload.response = Response::Ok;
+}
+
+}  // namespace tdsim::tlm

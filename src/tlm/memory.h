@@ -1,0 +1,36 @@
+// Byte-addressable memory target with word-granular access latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tlm/payload.h"
+
+namespace tdsim::tlm {
+
+class Memory final : public TransportIf {
+ public:
+  /// `word_latency` is charged per started 4-byte word of the transfer.
+  Memory(std::string name, std::size_t size, Time word_latency);
+
+  void b_transport(Payload& payload, Time& delay) override;
+
+  /// Backdoor (debug) access without timing, as DMI would provide.
+  std::uint8_t* backdoor() { return storage_.data(); }
+  const std::uint8_t* backdoor() const { return storage_.data(); }
+
+  std::size_t size() const { return storage_.size(); }
+  const std::string& name() const { return name_; }
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+
+ private:
+  std::string name_;
+  Time word_latency_;
+  std::vector<std::uint8_t> storage_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace tdsim::tlm

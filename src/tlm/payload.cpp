@@ -1,0 +1,14 @@
+#include "tlm/payload.h"
+
+namespace tdsim::tlm {
+
+const char* to_string(Response response) {
+  switch (response) {
+    case Response::Ok: return "Ok";
+    case Response::AddressError: return "AddressError";
+    case Response::GenericError: return "GenericError";
+  }
+  return "?";
+}
+
+}  // namespace tdsim::tlm

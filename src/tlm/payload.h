@@ -1,0 +1,49 @@
+// Memory-mapped TLM substrate (TLM-2.0 loosely-timed analog): generic
+// payload and the blocking-transport interface with a time annotation.
+//
+// The delay reference parameter of b_transport is the TLM-2.0 timing
+// annotation: targets *add* their latency to it, and the initiator folds
+// the accumulated delay into its local time (td::inc) -- this is the
+// "existing method" the paper uses for all memory-mapped communications of
+// the case-study SoC.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/time.h"
+
+namespace tdsim::tlm {
+
+enum class Command { Read, Write };
+
+enum class Response {
+  Ok,
+  AddressError,   ///< No target mapped at the address.
+  GenericError,   ///< Target-specific failure.
+};
+
+const char* to_string(Response response);
+
+/// Generic payload: byte-addressed transfer of `length` bytes at `address`
+/// from/to the buffer `data` (owned by the initiator).
+struct Payload {
+  Command command = Command::Read;
+  std::uint64_t address = 0;
+  std::uint8_t* data = nullptr;
+  std::size_t length = 0;
+  Response response = Response::GenericError;
+
+  bool ok() const { return response == Response::Ok; }
+};
+
+/// Blocking transport interface implemented by targets and interconnects.
+class TransportIf {
+ public:
+  virtual ~TransportIf() = default;
+
+  /// Processes `payload`, adding the modeled latency to `delay`.
+  virtual void b_transport(Payload& payload, Time& delay) = 0;
+};
+
+}  // namespace tdsim::tlm

@@ -1,0 +1,76 @@
+#include "tlm/register_bank.h"
+
+#include <cstring>
+
+#include "kernel/report.h"
+
+namespace tdsim::tlm {
+
+RegisterBank::RegisterBank(std::string name, std::size_t count,
+                           Time access_latency)
+    : name_(std::move(name)),
+      access_latency_(access_latency),
+      values_(count, 0),
+      hooks_(count) {}
+
+void RegisterBank::set_read_hook(std::size_t index, ReadHook hook) {
+  if (index >= hooks_.size()) {
+    Report::error("RegisterBank " + name_ + ": hook index out of range");
+  }
+  hooks_[index].read = std::move(hook);
+}
+
+void RegisterBank::set_write_hook(std::size_t index, WriteHook hook) {
+  if (index >= hooks_.size()) {
+    Report::error("RegisterBank " + name_ + ": hook index out of range");
+  }
+  hooks_[index].write = std::move(hook);
+}
+
+std::uint32_t RegisterBank::peek(std::size_t index) const {
+  if (index >= values_.size()) {
+    Report::error("RegisterBank " + name_ + ": peek index out of range");
+  }
+  return values_[index];
+}
+
+void RegisterBank::poke(std::size_t index, std::uint32_t value) {
+  if (index >= values_.size()) {
+    Report::error("RegisterBank " + name_ + ": poke index out of range");
+  }
+  values_[index] = value;
+}
+
+void RegisterBank::b_transport(Payload& payload, Time& delay) {
+  // Register access must be whole, aligned, single 32-bit words.
+  if (payload.length != 4 || payload.address % 4 != 0 ||
+      payload.address / 4 >= values_.size() || payload.data == nullptr) {
+    payload.response = Response::AddressError;
+    return;
+  }
+  delay += access_latency_;
+  const std::size_t index = payload.address / 4;
+  switch (payload.command) {
+    case Command::Read: {
+      std::uint32_t value = values_[index];
+      if (hooks_[index].read) {
+        value = hooks_[index].read();
+        values_[index] = value;
+      }
+      std::memcpy(payload.data, &value, 4);
+      break;
+    }
+    case Command::Write: {
+      std::uint32_t value = 0;
+      std::memcpy(&value, payload.data, 4);
+      values_[index] = value;
+      if (hooks_[index].write) {
+        hooks_[index].write(value);
+      }
+      break;
+    }
+  }
+  payload.response = Response::Ok;
+}
+
+}  // namespace tdsim::tlm

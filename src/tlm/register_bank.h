@@ -1,0 +1,54 @@
+// Bank of 32-bit registers with per-register read/write hooks -- the
+// control/status interface of the case study's hardware accelerators
+// ("knowing the FIFO filling levels can be used for debug and dynamic
+// performance tuning", paper SIII).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tlm/payload.h"
+
+namespace tdsim::tlm {
+
+class RegisterBank final : public TransportIf {
+ public:
+  /// Called on a register read; returns the value. May synchronize the
+  /// calling (initiator) process, e.g. a FIFO-level register backed by
+  /// SmartFifo::get_size().
+  using ReadHook = std::function<std::uint32_t()>;
+  /// Called with the value on a register write.
+  using WriteHook = std::function<void(std::uint32_t)>;
+
+  /// `count` registers of 4 bytes each; `access_latency` per transaction.
+  RegisterBank(std::string name, std::size_t count, Time access_latency);
+
+  /// Installs hooks for register `index` (byte address index*4). Either
+  /// hook may be null: reads then return the stored value, writes store it.
+  void set_read_hook(std::size_t index, ReadHook hook);
+  void set_write_hook(std::size_t index, WriteHook hook);
+
+  /// Direct (untimed) access for the owning module.
+  std::uint32_t peek(std::size_t index) const;
+  void poke(std::size_t index, std::uint32_t value);
+
+  void b_transport(Payload& payload, Time& delay) override;
+
+  std::size_t count() const { return values_.size(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Hooks {
+    ReadHook read;
+    WriteHook write;
+  };
+
+  std::string name_;
+  Time access_latency_;
+  std::vector<std::uint32_t> values_;
+  std::vector<Hooks> hooks_;
+};
+
+}  // namespace tdsim::tlm

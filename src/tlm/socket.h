@@ -1,0 +1,92 @@
+// Initiator-side socket: binding, word-level convenience accessors, and
+// the loosely-timed decoupling pattern (accumulate annotated delay into the
+// initiator's local time, synchronize on quantum overflow).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/local_time.h"
+#include "kernel/report.h"
+#include "tlm/payload.h"
+
+namespace tdsim::tlm {
+
+class InitiatorSocket {
+ public:
+  explicit InitiatorSocket(std::string name) : name_(std::move(name)) {}
+
+  /// Binds to the transport target (bus or device). Must be called exactly
+  /// once before simulation.
+  void bind(TransportIf& target) {
+    if (target_ != nullptr) {
+      Report::error("InitiatorSocket " + name_ + ": already bound");
+    }
+    target_ = &target;
+  }
+
+  bool is_bound() const { return target_ != nullptr; }
+
+  /// Raw transport; the caller manages the delay annotation.
+  void b_transport(Payload& payload, Time& delay) {
+    if (target_ == nullptr) {
+      Report::error("InitiatorSocket " + name_ + ": not bound");
+    }
+    target_->b_transport(payload, delay);
+    transactions_++;
+  }
+
+  /// Loosely-timed 32-bit read at `address`: the annotated delay is folded
+  /// into the caller's local time and a sync happens only when the global
+  /// quantum is exhausted.
+  std::uint32_t read32(std::uint64_t address) {
+    std::uint32_t value = 0;
+    Payload p;
+    p.command = Command::Read;
+    p.address = address;
+    p.data = reinterpret_cast<std::uint8_t*>(&value);
+    p.length = sizeof(value);
+    Time delay;
+    b_transport(p, delay);
+    check(p, address);
+    td::inc(delay);
+    if (td::needs_sync()) {
+      td::sync();
+    }
+    return value;
+  }
+
+  /// Loosely-timed 32-bit write; see read32.
+  void write32(std::uint64_t address, std::uint32_t value) {
+    Payload p;
+    p.command = Command::Write;
+    p.address = address;
+    p.data = reinterpret_cast<std::uint8_t*>(&value);
+    p.length = sizeof(value);
+    Time delay;
+    b_transport(p, delay);
+    check(p, address);
+    td::inc(delay);
+    if (td::needs_sync()) {
+      td::sync();
+    }
+  }
+
+  const std::string& name() const { return name_; }
+  std::uint64_t transactions() const { return transactions_; }
+
+ private:
+  void check(const Payload& p, std::uint64_t address) const {
+    if (!p.ok()) {
+      Report::error("InitiatorSocket " + name_ + ": access at address " +
+                    std::to_string(address) + " failed: " +
+                    to_string(p.response));
+    }
+  }
+
+  std::string name_;
+  TransportIf* target_ = nullptr;
+  std::uint64_t transactions_ = 0;
+};
+
+}  // namespace tdsim::tlm

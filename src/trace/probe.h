@@ -1,0 +1,69 @@
+// Level probes: periodic sampling of FIFO occupancy into VCD variables.
+//
+// A probe is the monitor-interface consumer of paper SIII.C packaged as a
+// reusable component: a synchronized thread that samples get_size() at a
+// fixed period and records the level. The default sampling phase is half a
+// picosecond grid step off the common integer-nanosecond word grid -- the
+// same idiom as SocConfig::poll_phase -- so samples never race the
+// producer/consumer accesses they observe.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fifo_interface.h"
+#include "core/local_time.h"
+#include "kernel/kernel.h"
+#include "trace/vcd.h"
+
+namespace tdsim::trace {
+
+class FifoLevelProbe {
+ public:
+  struct Config {
+    /// Sampling period.
+    Time period = Time(500, TimeUnit::NS);
+    /// One-time phase offset applied before the first sample.
+    Time phase = Time(500, TimeUnit::PS);
+    /// Stop after this many samples (0 = run for the whole simulation --
+    /// note that an endless probe keeps the simulation alive, so bounded
+    /// runs should either set a count or run the kernel with `until`).
+    std::size_t max_samples = 0;
+  };
+
+  /// Samples `fifo`'s real occupancy into `variable` every period.
+  template <typename T>
+  FifoLevelProbe(Kernel& kernel, std::string name, FifoInterface<T>& fifo,
+                 VcdVariable variable, Config config)
+      : variable_(std::move(variable)) {
+    kernel.spawn_thread(std::move(name), [this, &kernel, &fifo, config] {
+      td::inc(config.phase);
+      for (std::size_t sample = 0;
+           config.max_samples == 0 || sample < config.max_samples;
+           ++sample) {
+        td::inc(config.period);
+        td::sync();
+        const std::size_t level = fifo.get_size();
+        variable_.record(kernel.now(), level);
+        samples_++;
+        if (level > high_watermark_) {
+          high_watermark_ = level;
+        }
+      }
+    });
+  }
+
+  std::size_t samples() const { return samples_; }
+  /// Highest occupancy ever sampled (for quick sizing studies without a
+  /// waveform viewer).
+  std::size_t high_watermark() const { return high_watermark_; }
+
+ private:
+  VcdVariable variable_;
+  std::size_t samples_ = 0;
+  std::size_t high_watermark_ = 0;
+};
+
+}  // namespace tdsim::trace

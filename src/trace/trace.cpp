@@ -1,0 +1,79 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/local_time.h"
+#include "kernel/process.h"
+
+namespace tdsim::trace {
+
+void Recorder::record(std::string text) {
+  Entry entry;
+  entry.text = std::move(text);
+  Process* p = kernel_.current_process();
+  if (p != nullptr) {
+    entry.process = p->name();
+    entry.date = kernel_.now() + p->local_offset();
+  } else {
+    entry.date = kernel_.now();
+  }
+  entries_.push_back(std::move(entry));
+}
+
+namespace {
+
+std::string render(const Entry& e) {
+  return "t=" + std::to_string(e.date.ps()) + "ps [" + e.process + "] " +
+         e.text;
+}
+
+std::vector<Entry> sorted_entries(const Recorder& r) {
+  std::vector<Entry> v = r.entries();
+  std::stable_sort(v.begin(), v.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.date, a.process, a.text) <
+           std::tie(b.date, b.process, b.text);
+  });
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::string> Recorder::lines() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    out.push_back(render(e));
+  }
+  return out;
+}
+
+std::vector<std::string> Recorder::sorted_lines() const {
+  std::vector<std::string> out;
+  for (const Entry& e : sorted_entries(*this)) {
+    out.push_back(render(e));
+  }
+  return out;
+}
+
+std::optional<std::string> compare_sorted(const Recorder& a,
+                                          const Recorder& b) {
+  const std::vector<Entry> ea = sorted_entries(a);
+  const std::vector<Entry> eb = sorted_entries(b);
+  const std::size_t n = std::min(ea.size(), eb.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(ea[i] == eb[i])) {
+      return "traces diverge at sorted line " + std::to_string(i) +
+             ":\n  first:  " + render(ea[i]) + "\n  second: " + render(eb[i]);
+    }
+  }
+  if (ea.size() != eb.size()) {
+    const auto& longer = ea.size() > eb.size() ? ea : eb;
+    return "trace lengths differ (" + std::to_string(ea.size()) + " vs " +
+           std::to_string(eb.size()) + "); first extra line:\n  " +
+           render(longer[n]);
+  }
+  return std::nullopt;
+}
+
+}  // namespace tdsim::trace

@@ -1,0 +1,64 @@
+// Trace-based validation (paper SIV.A).
+//
+// Every test prints traces; each trace carries the local date of the
+// process that printed it. Runs in different modes schedule processes
+// differently (with temporal decoupling, dates may decrease when switching
+// process), so raw trace order differs -- but after reordering by date the
+// trace files must be *identical*, "meaning that the behavior and the
+// timing are not changed at all".
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "kernel/time.h"
+
+namespace tdsim::trace {
+
+struct Entry {
+  Time date;            ///< Local date of the recording process.
+  std::string process;  ///< Name of the recording process ("" outside one).
+  std::string text;
+
+  friend bool operator==(const Entry& a, const Entry& b) {
+    return a.date == b.date && a.process == b.process && a.text == b.text;
+  }
+};
+
+class Recorder {
+ public:
+  explicit Recorder(Kernel& kernel) : kernel_(kernel) {}
+
+  /// Records `text` stamped with the current process's local date and name.
+  void record(std::string text);
+
+  /// Records "<tag>=<value>".
+  void record(const std::string& tag, std::uint64_t value) {
+    record(tag + "=" + std::to_string(value));
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Entries in emission order, one line each ("t=<date> <process> <text>").
+  std::vector<std::string> lines() const;
+
+  /// Entries reordered by (date, process, text) -- the paper's
+  /// "reordering of traces" -- then rendered as lines.
+  std::vector<std::string> sorted_lines() const;
+
+ private:
+  Kernel& kernel_;
+  std::vector<Entry> entries_;
+};
+
+/// Compares two recorders after reordering. Returns nullopt when the
+/// sorted traces are identical, otherwise a human-readable diff of the
+/// first divergence.
+std::optional<std::string> compare_sorted(const Recorder& a,
+                                          const Recorder& b);
+
+}  // namespace tdsim::trace

@@ -1,0 +1,208 @@
+#include "trace/vcd.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "kernel/report.h"
+
+namespace tdsim::trace {
+
+// ---------------------------------------------------------------------
+// VcdVariable
+// ---------------------------------------------------------------------
+
+void VcdVariable::record(Time date, std::uint64_t value) {
+  auto& samples = writer_->variables_[index_].samples;
+  if (!samples.empty() && samples.back().date > date) {
+    // Out-of-date-order recording on a *single* variable indicates the
+    // model probed it from processes with decreasing dates; insert in
+    // order so the dump stays well-formed.
+    const auto pos = std::upper_bound(
+        samples.begin(), samples.end(), date,
+        [](Time d, const VcdWriter::Sample& s) { return d < s.date; });
+    samples.insert(pos, {date, value});
+    return;
+  }
+  samples.push_back({date, value});
+}
+
+const std::string& VcdVariable::name() const {
+  return writer_->variables_[index_].name;
+}
+
+unsigned VcdVariable::width() const {
+  return writer_->variables_[index_].width;
+}
+
+// ---------------------------------------------------------------------
+// VcdWriter
+// ---------------------------------------------------------------------
+
+VcdWriter::VcdWriter(std::string timescale) : timescale_(std::move(timescale)) {
+  if (timescale_ == "1ps") {
+    ps_per_tick_ = 1;
+  } else if (timescale_ == "1ns") {
+    ps_per_tick_ = 1'000;
+  } else if (timescale_ == "1us") {
+    ps_per_tick_ = 1'000'000;
+  } else if (timescale_ == "1ms") {
+    ps_per_tick_ = 1'000'000'000;
+  } else {
+    Report::error("VcdWriter: unsupported timescale " + timescale_);
+  }
+}
+
+std::string VcdWriter::make_identifier(std::size_t index) {
+  // Printable ASCII 33..126, base-94, shortest-first -- the conventional
+  // VCD identifier-code encoding.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>(33 + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return id;
+}
+
+VcdVariable VcdWriter::add_variable(const std::string& name, unsigned width) {
+  if (width == 0 || width > 64) {
+    Report::error("VcdWriter: variable " + name + ": width must be 1..64");
+  }
+  if (name.empty()) {
+    Report::error("VcdWriter: variable name must not be empty");
+  }
+  Variable variable;
+  variable.name = name;
+  variable.identifier = make_identifier(variables_.size());
+  variable.width = width;
+  variables_.push_back(std::move(variable));
+  return VcdVariable(*this, variables_.size() - 1);
+}
+
+std::size_t VcdWriter::sample_count() const {
+  std::size_t count = 0;
+  for (const Variable& v : variables_) {
+    count += v.samples.size();
+  }
+  return count;
+}
+
+namespace {
+
+/// Scope tree node built from the dot-separated variable names.
+struct Scope {
+  std::map<std::string, Scope> children;
+  /// (leaf name, variable index) pairs declared directly in this scope.
+  std::vector<std::pair<std::string, std::size_t>> variables;
+};
+
+void declare(std::ostream& os, const Scope& scope,
+             const std::vector<std::string>& identifiers,
+             const std::vector<unsigned>& widths) {
+  for (const auto& [leaf, index] : scope.variables) {
+    os << "$var wire " << widths[index] << " " << identifiers[index] << " "
+       << leaf << " $end\n";
+  }
+  for (const auto& [name, child] : scope.children) {
+    os << "$scope module " << name << " $end\n";
+    declare(os, child, identifiers, widths);
+    os << "$upscope $end\n";
+  }
+}
+
+void emit_value(std::ostream& os, std::uint64_t value, unsigned width,
+                const std::string& identifier) {
+  if (width == 1) {
+    os << (value & 1) << identifier << "\n";
+    return;
+  }
+  // Binary vector value, most significant bit first, no leading zeros
+  // (but at least one digit).
+  char bits[65];
+  int n = 0;
+  for (int b = static_cast<int>(width) - 1; b >= 0; --b) {
+    const char bit = ((value >> b) & 1) ? '1' : '0';
+    if (n == 0 && bit == '0' && b != 0) {
+      continue;
+    }
+    bits[n++] = bit;
+  }
+  bits[n] = '\0';
+  os << "b" << bits << " " << identifier << "\n";
+}
+
+}  // namespace
+
+void VcdWriter::write(std::ostream& os) const {
+  os << "$comment tdsim value change dump $end\n";
+  os << "$timescale " << timescale_ << " $end\n";
+
+  // Build the scope tree from dotted names.
+  Scope root;
+  std::vector<std::string> identifiers;
+  std::vector<unsigned> widths;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    const Variable& v = variables_[i];
+    identifiers.push_back(v.identifier);
+    widths.push_back(v.width);
+    Scope* scope = &root;
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t dot = v.name.find('.', pos);
+      if (dot == std::string::npos) {
+        scope->variables.emplace_back(v.name.substr(pos), i);
+        break;
+      }
+      scope = &scope->children[v.name.substr(pos, dot - pos)];
+      pos = dot + 1;
+    }
+  }
+  declare(os, root, identifiers, widths);
+  os << "$enddefinitions $end\n";
+
+  // Merge all samples into one date-ordered change list, deduplicating
+  // consecutive identical values per variable.
+  struct Change {
+    std::uint64_t tick;
+    std::size_t variable;
+    std::uint64_t value;
+  };
+  std::vector<Change> changes;
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    const auto& samples = variables_[i].samples;
+    bool have_last = false;
+    std::uint64_t last = 0;
+    for (const Sample& s : samples) {
+      if (have_last && s.value == last) {
+        continue;
+      }
+      changes.push_back({s.date.ps() / ps_per_tick_, i, s.value});
+      have_last = true;
+      last = s.value;
+    }
+  }
+  std::stable_sort(changes.begin(), changes.end(),
+                   [](const Change& a, const Change& b) {
+                     return a.tick < b.tick;
+                   });
+
+  bool first = true;
+  std::uint64_t current_tick = 0;
+  for (const Change& change : changes) {
+    if (first || change.tick != current_tick) {
+      os << "#" << change.tick << "\n";
+      current_tick = change.tick;
+      first = false;
+    }
+    emit_value(os, change.value, variables_[change.variable].width,
+               variables_[change.variable].identifier);
+  }
+}
+
+std::string VcdWriter::to_string() const {
+  std::ostringstream os;
+  write(os);
+  return os.str();
+}
+
+}  // namespace tdsim::trace

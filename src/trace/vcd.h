@@ -1,0 +1,88 @@
+// Value-change-dump (VCD, IEEE 1364 SS18) waveform writer: the standard
+// debug artifact of event-driven hardware simulation. Models record scalar
+// samples (FIFO levels, register values, process states) against simulated
+// time; the writer emits a file that any waveform viewer (GTKWave etc.)
+// opens.
+//
+// Recording is date-ordered per variable but tolerates the out-of-order
+// *emission* typical of temporally decoupled models: samples are buffered
+// with their dates and merged at dump time, so a decoupled process may
+// record with its local date while a synchronized one records with the
+// global date.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "kernel/time.h"
+
+namespace tdsim::trace {
+
+class VcdWriter;
+
+/// Handle to one VCD variable (a wire of 1..64 bits). Obtained from
+/// VcdWriter::add_variable; records are stamped with an explicit date.
+class VcdVariable {
+ public:
+  /// Records `value` at `date`. Consecutive identical values are
+  /// deduplicated at dump time.
+  void record(Time date, std::uint64_t value);
+
+  const std::string& name() const;
+  unsigned width() const;
+
+ private:
+  friend class VcdWriter;
+  VcdVariable(VcdWriter& writer, std::size_t index)
+      : writer_(&writer), index_(index) {}
+
+  VcdWriter* writer_;
+  std::size_t index_;
+};
+
+/// Collects samples for any number of variables and renders the VCD file.
+class VcdWriter {
+ public:
+  /// `timescale` must be one of "1ps", "1ns", "1us", "1ms" -- dates are
+  /// divided down accordingly (sub-unit detail is truncated).
+  explicit VcdWriter(std::string timescale = "1ps");
+
+  /// Declares a wire of `width` bits (1..64) under `name`; dots in the
+  /// name create scopes ("soc.fifo0.level" lands in scope soc/fifo0).
+  VcdVariable add_variable(const std::string& name, unsigned width);
+
+  /// Renders the complete dump. Callable repeatedly (e.g. mid-simulation
+  /// checkpoints); samples are kept.
+  void write(std::ostream& os) const;
+
+  /// Convenience: renders into a string (tests, small dumps).
+  std::string to_string() const;
+
+  std::size_t variable_count() const { return variables_.size(); }
+  std::size_t sample_count() const;
+
+ private:
+  friend class VcdVariable;
+
+  struct Sample {
+    Time date;
+    std::uint64_t value;
+  };
+
+  struct Variable {
+    std::string name;
+    std::string identifier;  ///< Short VCD id code, e.g. "!", "%".
+    unsigned width = 1;
+    std::vector<Sample> samples;
+  };
+
+  static std::string make_identifier(std::size_t index);
+
+  std::string timescale_;
+  std::uint64_t ps_per_tick_;
+  std::vector<Variable> variables_;
+};
+
+}  // namespace tdsim::trace

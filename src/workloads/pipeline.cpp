@@ -1,0 +1,153 @@
+#include "workloads/pipeline.h"
+
+#include "core/local_time.h"
+#include "core/smart_fifo.h"
+#include "core/sync_fifo.h"
+#include "kernel/report.h"
+
+namespace tdsim::workloads {
+
+namespace {
+
+std::unique_ptr<FifoInterface<std::uint32_t>> make_fifo(Kernel& kernel,
+                                                        ModelKind kind,
+                                                        std::string name,
+                                                        std::size_t depth) {
+  switch (kind) {
+    case ModelKind::Untimed:
+      return std::make_unique<UntimedFifo<std::uint32_t>>(kernel,
+                                                          std::move(name),
+                                                          depth);
+    case ModelKind::TDless:
+      // With wait() annotations the producer/consumer are always
+      // synchronized, so the per-access sync() is a no-op and this behaves
+      // as the paper's "timed with no decoupling and regular FIFO".
+      return std::make_unique<SyncFifo<std::uint32_t>>(kernel,
+                                                       std::move(name), depth);
+    case ModelKind::TDfull:
+      return std::make_unique<SmartFifo<std::uint32_t>>(kernel,
+                                                        std::move(name),
+                                                        depth);
+    case ModelKind::NaiveTD:
+      // Decoupled processes over a date-unaware channel: the Fig. 3
+      // anti-pattern. Accesses carry no ordering with the other side.
+      return std::make_unique<UntimedFifo<std::uint32_t>>(kernel,
+                                                          std::move(name),
+                                                          depth);
+  }
+  Report::error("Pipeline: unknown model kind");
+  return nullptr;
+}
+
+/// The deterministic rate cycle: block b runs the source at x{1,2,3} and
+/// the sink at x{3,2,1}, so the chain alternates producer-limited and
+/// consumer-limited phases.
+constexpr std::uint64_t kRateCycle[3] = {1, 2, 3};
+
+}  // namespace
+
+Pipeline::Pipeline(Kernel& kernel, const PipelineConfig& config)
+    : kernel_(kernel), config_(config) {
+  if (config_.blocks == 0 || config_.words_per_block == 0) {
+    Report::error("Pipeline: empty workload");
+  }
+  if (config_.kind == ModelKind::NaiveTD) {
+    kernel.set_global_quantum(config_.quantum);
+  }
+  fifo_a_ = make_fifo(kernel, config_.kind, "pipeline.fifo_a",
+                      config_.fifo_depth);
+  fifo_b_ = make_fifo(kernel, config_.kind, "pipeline.fifo_b",
+                      config_.fifo_depth);
+  kernel.spawn_thread("pipeline.source", [this] { source_process(); });
+  kernel.spawn_thread("pipeline.transmit", [this] { transmit_process(); });
+  kernel.spawn_thread("pipeline.sink", [this] { sink_process(); });
+}
+
+Pipeline::~Pipeline() = default;
+
+void Pipeline::delay(Time duration) {
+  switch (config_.kind) {
+    case ModelKind::Untimed:
+      return;  // no timing annotations at all
+    case ModelKind::TDless:
+      kernel_.wait(duration);
+      return;
+    case ModelKind::TDfull:
+      td::inc(duration);
+      return;
+    case ModelKind::NaiveTD:
+      td::inc(duration);
+      if (td::needs_sync()) {
+        td::sync();
+      }
+      return;
+  }
+}
+
+Time Pipeline::scaled(Time base, std::uint64_t block, bool is_source) const {
+  if (!config_.vary_rates) {
+    return base;
+  }
+  // Counter-phase cycles: when the source is slow the sink is fast and
+  // vice versa.
+  const std::uint64_t k = is_source ? kRateCycle[block % 3]
+                                    : kRateCycle[2 - block % 3];
+  return base * k;
+}
+
+void Pipeline::source_process() {
+  std::uint32_t word = 0;
+  for (std::uint64_t b = 0; b < config_.blocks; ++b) {
+    delay(config_.per_block);
+    const Time per_word = scaled(config_.source_per_word, b, true);
+    for (std::uint64_t w = 0; w < config_.words_per_block; ++w) {
+      delay(per_word);
+      fifo_a_->write(word++);
+    }
+  }
+}
+
+void Pipeline::transmit_process() {
+  const std::uint64_t total = total_words();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    const std::uint32_t word = fifo_a_->read();
+    delay(config_.transmit_per_word);
+    fifo_b_->write(word ^ 0xA5A5A5A5u);
+  }
+}
+
+void Pipeline::sink_process() {
+  for (std::uint64_t b = 0; b < config_.blocks; ++b) {
+    delay(config_.per_block);
+    const Time per_word = scaled(config_.sink_per_word, b, false);
+    for (std::uint64_t w = 0; w < config_.words_per_block; ++w) {
+      const std::uint32_t word = fifo_b_->read();
+      delay(per_word);
+      checksum_ = checksum_ * 31 + word;
+    }
+  }
+  completion_date_ = (config_.kind == ModelKind::TDfull ||
+                      config_.kind == ModelKind::NaiveTD)
+                         ? td::local_time_stamp()
+                         : kernel_.now();
+  sink_done_ = true;
+}
+
+Time Pipeline::run_to_completion() {
+  kernel_.run();
+  if (!sink_done_) {
+    Report::error("Pipeline: sink did not finish (deadlocked model?)");
+  }
+  return completion_date_;
+}
+
+std::uint32_t Pipeline::expected_checksum() const {
+  std::uint32_t c = 0;
+  const std::uint64_t total = total_words();
+  for (std::uint64_t i = 0; i < total; ++i) {
+    c = c * 31 + (static_cast<std::uint32_t>(i) ^ 0xA5A5A5A5u);
+  }
+  return c;
+}
+
+}  // namespace tdsim::workloads

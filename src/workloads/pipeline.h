@@ -1,0 +1,123 @@
+// The paper's Fig. 5 benchmark system (paper SIV.B): "a simple system with
+// 3 modules (source, transmitter, and sink), connected by 2 FIFOs. 1000
+// blocks of 1000 words are transferred, with varying data rates. The FIFO
+// depth is controlled by a parameter."
+//
+// Three implementations are compared, exactly as in the paper:
+//   * Untimed -- regular FIFO, no timing annotations at all;
+//   * TDless  -- timed, no decoupling: wait() annotations + regular FIFO
+//                (one context switch per timing annotation and per access);
+//   * TDfull  -- timed with temporal decoupling: inc() annotations + Smart
+//                FIFO (context switches only on internal full/empty).
+//
+// TDless and TDfull must produce identical end-to-end dates; Untimed is the
+// speed-of-light reference with no timing.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/fifo_interface.h"
+#include "kernel/kernel.h"
+
+namespace tdsim::workloads {
+
+/// The paper's three Fig. 5 implementations, plus the cautionary fourth of
+/// Fig. 3: temporal decoupling with a regular FIFO and no per-access
+/// synchronization (quantum-driven syncs only), which is fast but reads
+/// "as if data were already available" -- wrong dates.
+enum class ModelKind {
+  Untimed,
+  TDless,
+  TDfull,
+  NaiveTD,
+};
+
+inline const char* to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::Untimed: return "untimed";
+    case ModelKind::TDless: return "TDless";
+    case ModelKind::TDfull: return "TDfull";
+    case ModelKind::NaiveTD: return "naiveTD";
+  }
+  return "?";
+}
+
+/// Workload and timing parameters of the three-module chain.
+struct PipelineConfig {
+  ModelKind kind = ModelKind::TDfull;
+  /// Depth of both FIFOs ("controlled by a parameter").
+  std::size_t fifo_depth = 4;
+  /// "1000 blocks of 1000 words are transferred".
+  std::uint64_t blocks = 1000;
+  std::uint64_t words_per_block = 1000;
+  /// Base per-word costs of the three stages.
+  Time source_per_word = Time(3, TimeUnit::NS);
+  Time transmit_per_word = Time(2, TimeUnit::NS);
+  Time sink_per_word = Time(3, TimeUnit::NS);
+  /// Fixed per-block overhead charged by source and sink (block header
+  /// processing).
+  Time per_block = Time(20, TimeUnit::NS);
+  /// "with varying data rates": when true, the source and sink per-word
+  /// costs are scaled per block through a small deterministic cycle in
+  /// counter-phase, alternating producer-limited and consumer-limited
+  /// phases so both full- and empty-FIFO blocking paths are exercised.
+  bool vary_rates = true;
+  /// Global quantum installed on the kernel; only the NaiveTD model
+  /// synchronizes on it (paper SII.A). Zero disables quantum syncs
+  /// entirely (the Fig. 3 extreme).
+  Time quantum = Time(1, TimeUnit::US);
+};
+
+/// Builds the three processes and two FIFOs in `kernel` according to the
+/// configuration, runs to completion, and checks the transfer.
+class Pipeline {
+ public:
+  Pipeline(Kernel& kernel, const PipelineConfig& config);
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Runs the kernel until the sink has consumed every word; returns the
+  /// simulated end date (zero for the untimed model).
+  Time run_to_completion();
+
+  const PipelineConfig& config() const { return config_; }
+
+  std::uint64_t total_words() const {
+    return config_.blocks * config_.words_per_block;
+  }
+
+  /// Sink-side checksum and its arithmetically computed expectation.
+  std::uint32_t checksum() const { return checksum_; }
+  std::uint32_t expected_checksum() const;
+  bool correct() const { return checksum() == expected_checksum(); }
+
+  /// Date the sink consumed the last word (its local date in decoupled
+  /// mode -- equal across TDless/TDfull).
+  Time completion_date() const { return completion_date_; }
+
+  FifoInterface<std::uint32_t>& first_fifo() { return *fifo_a_; }
+  FifoInterface<std::uint32_t>& second_fifo() { return *fifo_b_; }
+
+ private:
+  void source_process();
+  void transmit_process();
+  void sink_process();
+  /// Timing annotation: inc (TDfull), wait (TDless), nothing (Untimed).
+  void delay(Time duration);
+  /// Per-word cost of stage `base` in block `block` (rate variation).
+  Time scaled(Time base, std::uint64_t block, bool is_source) const;
+
+  Kernel& kernel_;
+  PipelineConfig config_;
+  std::unique_ptr<FifoInterface<std::uint32_t>> fifo_a_;
+  std::unique_ptr<FifoInterface<std::uint32_t>> fifo_b_;
+  std::uint32_t checksum_ = 0;
+  Time completion_date_;
+  bool sink_done_ = false;
+};
+
+}  // namespace tdsim::workloads

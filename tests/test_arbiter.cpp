@@ -1,0 +1,125 @@
+// Side arbiters: several processes sharing a Smart FIFO side must go
+// through an arbiter so access dates never decrease (paper SIII).
+#include "core/arbiter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/local_time.h"
+#include "core/smart_fifo.h"
+#include "kernel/kernel.h"
+#include "kernel/report.h"
+
+namespace tdsim {
+namespace {
+
+TEST(Arbiter, SharedWriteSideWithoutArbiterFails) {
+  Kernel k;
+  SmartFifo<int> f(k, "f", 8);
+  for (int w = 0; w < 2; ++w) {
+    k.spawn_thread("w" + std::to_string(w), [&, w] {
+      // The first writer (executing first) uses a slow pace, so the second
+      // writer's dates fall behind the dates already recorded on the side.
+      for (int i = 0; i < 3; ++i) {
+        td::inc(Time(static_cast<std::uint64_t>(60 - 50 * w), TimeUnit::NS));
+        f.write(w * 10 + i);
+      }
+    });
+  }
+  k.spawn_thread("rd", [&] {
+    for (int i = 0; i < 6; ++i) {
+      (void)f.read();
+    }
+  });
+  EXPECT_THROW(k.run(), SimulationError);
+}
+
+TEST(Arbiter, SharedWriteSideWithArbiterWorks) {
+  Kernel k;
+  SmartFifo<int> f(k, "f", 8);
+  WriteArbiter<int> arbiter(f);
+  std::multiset<int> got;
+  for (int w = 0; w < 3; ++w) {
+    k.spawn_thread("w" + std::to_string(w), [&, w] {
+      for (int i = 0; i < 4; ++i) {
+        td::inc(Time(static_cast<std::uint64_t>(7 + 13 * w), TimeUnit::NS));
+        arbiter.write(w * 100 + i);
+      }
+    });
+  }
+  k.spawn_thread("rd", [&] {
+    for (int i = 0; i < 12; ++i) {
+      got.insert(f.read());
+      td::inc(2_ns);
+    }
+  });
+  k.run();
+  EXPECT_EQ(got.size(), 12u);
+  for (int w = 0; w < 3; ++w) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(got.count(w * 100 + i), 1u);
+    }
+  }
+}
+
+TEST(Arbiter, SharedReadSideWithArbiterWorks) {
+  Kernel k;
+  SmartFifo<int> f(k, "f", 4);
+  ReadArbiter<int> arbiter(f);
+  std::multiset<int> got;
+  k.spawn_thread("wr", [&] {
+    for (int i = 0; i < 10; ++i) {
+      f.write(i);
+      td::inc(5_ns);
+    }
+  });
+  for (int r = 0; r < 2; ++r) {
+    k.spawn_thread("r" + std::to_string(r), [&, r] {
+      for (int i = 0; i < 5; ++i) {
+        td::inc(Time(static_cast<std::uint64_t>(3 + 11 * r), TimeUnit::NS));
+        got.insert(arbiter.read());
+      }
+    });
+  }
+  k.run();
+  EXPECT_EQ(got.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(got.count(i), 1u);
+  }
+}
+
+TEST(Arbiter, ArbitratedAccessesAreSynchronized) {
+  // The arbiter trades decoupling for ordering: after an arbitrated
+  // access the caller is synchronized.
+  Kernel k;
+  SmartFifo<int> f(k, "f", 4);
+  WriteArbiter<int> arbiter(f);
+  k.spawn_thread("w", [&] {
+    td::inc(42_ns);
+    arbiter.write(1);
+    EXPECT_TRUE(td::is_synchronized());
+    EXPECT_EQ(k.now(), 42_ns);
+  });
+  k.spawn_thread("rd", [&] { (void)f.read(); });
+  k.run();
+}
+
+TEST(Arbiter, IsFullAndIsEmptyForwarded) {
+  Kernel k;
+  SmartFifo<int> f(k, "f", 1);
+  WriteArbiter<int> wa(f);
+  ReadArbiter<int> ra(f);
+  k.spawn_thread("t", [&] {
+    EXPECT_TRUE(ra.is_empty());
+    EXPECT_FALSE(wa.is_full());
+    f.write(1);
+    EXPECT_FALSE(ra.is_empty());
+    EXPECT_TRUE(wa.is_full());
+  });
+  k.run();
+}
+
+}  // namespace
+}  // namespace tdsim

@@ -1,0 +1,132 @@
+// Arbiter stress properties: any number of decoupled producers/consumers
+// sharing Smart FIFO sides through WriteArbiter/ReadArbiter (paper SIII:
+// "an arbiter must be added to ensure that two successive accesses on the
+// same side cannot have decreasing local dates").
+//
+// Properties checked across a random sweep:
+//   * every item is delivered exactly once (no loss, no duplication);
+//   * the FIFO's side-ordering invariant is never violated (the Smart
+//     FIFO's runtime check stays enabled and must not fire);
+//   * items from one producer stay in that producer's order;
+//   * the simulation always terminates (no deadlock).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/arbiter.h"
+#include "core/local_time.h"
+#include "core/smart_fifo.h"
+#include "kernel/kernel.h"
+
+namespace tdsim {
+namespace {
+
+using namespace tdsim::time_literals;
+
+struct StressResult {
+  std::vector<std::uint32_t> delivered;
+  bool completed = false;
+};
+
+/// `producers` decoupled threads each write `per_producer` tagged words
+/// through one WriteArbiter; `consumers` threads drain through one
+/// ReadArbiter. Gaps are seeded-random per thread.
+StressResult run_stress(unsigned producers, unsigned consumers,
+                        std::size_t depth, unsigned seed,
+                        std::uint32_t per_producer) {
+  Kernel kernel;
+  SmartFifo<std::uint32_t> fifo(kernel, "fifo", depth);
+  WriteArbiter<std::uint32_t> write_side(fifo);
+  ReadArbiter<std::uint32_t> read_side(fifo);
+
+  StressResult result;
+  const std::uint32_t total = producers * per_producer;
+  result.delivered.reserve(total);
+
+  for (unsigned p = 0; p < producers; ++p) {
+    kernel.spawn_thread("producer" + std::to_string(p), [&, p] {
+      std::mt19937 rng(seed * 97 + p);
+      std::uniform_int_distribution<std::uint64_t> gap(0, 12);
+      for (std::uint32_t i = 0; i < per_producer; ++i) {
+        td::inc(Time(gap(rng), TimeUnit::NS));
+        write_side.write(p << 20 | i);
+      }
+    });
+  }
+  std::vector<std::uint32_t> share(consumers, total / consumers);
+  share[0] += total % consumers;
+  for (unsigned c = 0; c < consumers; ++c) {
+    kernel.spawn_thread("consumer" + std::to_string(c), [&, c] {
+      std::mt19937 rng(seed * 131 + c);
+      std::uniform_int_distribution<std::uint64_t> gap(0, 12);
+      for (std::uint32_t i = 0; i < share[c]; ++i) {
+        td::inc(Time(gap(rng), TimeUnit::NS));
+        result.delivered.push_back(read_side.read());
+      }
+    });
+  }
+
+  kernel.run();
+  result.completed = result.delivered.size() == total;
+  return result;
+}
+
+class ArbiterStress
+    : public ::testing::TestWithParam<
+          std::tuple<unsigned, unsigned, std::size_t, unsigned>> {};
+
+TEST_P(ArbiterStress, ExactlyOnceDeliveryAndPerProducerOrder) {
+  const auto [producers, consumers, depth, seed] = GetParam();
+  constexpr std::uint32_t kPerProducer = 60;
+  const StressResult result =
+      run_stress(producers, consumers, depth, seed, kPerProducer);
+  ASSERT_TRUE(result.completed);
+
+  // Exactly-once: the delivered multiset is exactly the produced set.
+  std::set<std::uint32_t> seen;
+  for (std::uint32_t word : result.delivered) {
+    EXPECT_TRUE(seen.insert(word).second) << "duplicate " << word;
+  }
+  EXPECT_EQ(seen.size(), producers * kPerProducer);
+
+  // Per-producer order: sequence numbers of each producer appear in
+  // increasing order in FIFO-insertion order. The FIFO is shared, so use
+  // the delivered order (single FIFO => insertion order == read order
+  // across all consumers' interleaved reads... reads may interleave, but
+  // each read takes the head, so the concatenated delivery respects
+  // insertion order per producer as long as we merge consumer streams by
+  // FIFO order; instead, check within what each producer inserted:
+  // extract each producer's subsequence from the global delivered list).
+  std::map<std::uint32_t, std::int64_t> last_index;
+  for (std::uint32_t word : result.delivered) {
+    const std::uint32_t producer = word >> 20;
+    const std::int64_t index = word & 0xFFFFF;
+    auto it = last_index.find(producer);
+    if (it != last_index.end()) {
+      EXPECT_LT(it->second, index)
+          << "producer " << producer << " reordered";
+    }
+    last_index[producer] = index;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ArbiterStress,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),      // producers
+                       ::testing::Values(1u, 2u, 3u),      // consumers
+                       ::testing::Values<std::size_t>(1, 4, 32),
+                       ::testing::Values(11u, 29u)));      // seeds
+
+TEST(ArbiterStress, ManyProducersSingleCell) {
+  // Worst case: depth 1, eight producers, one consumer -- maximal
+  // contention at the arbitration point.
+  const StressResult result = run_stress(8, 1, 1, 5, 40);
+  EXPECT_TRUE(result.completed);
+}
+
+}  // namespace
+}  // namespace tdsim

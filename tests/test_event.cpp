@@ -1,0 +1,277 @@
+// Event notification semantics: immediate / delta / timed, override rules,
+// cancellation, wait with timeout.
+#include "kernel/event.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+
+namespace tdsim {
+namespace {
+
+TEST(Event, TimedNotificationWakesWaiter) {
+  Kernel k;
+  Event e(k, "e");
+  Time woken_at;
+  k.spawn_thread("waiter", [&] {
+    k.wait(e);
+    woken_at = k.now();
+  });
+  k.spawn_thread("notifier", [&] { e.notify(25_ns); });
+  k.run();
+  EXPECT_EQ(woken_at, 25_ns);
+}
+
+TEST(Event, DeltaNotificationWakesInSameDate) {
+  Kernel k;
+  Event e(k, "e");
+  Time woken_at = Time::max();
+  std::uint64_t woken_delta = 0;
+  k.spawn_thread("waiter", [&] {
+    k.wait(e);
+    woken_at = k.now();
+    woken_delta = k.delta_count();
+  });
+  k.spawn_thread("notifier", [&] {
+    k.wait(10_ns);
+    e.notify_delta();
+  });
+  k.run();
+  EXPECT_EQ(woken_at, 10_ns);
+  EXPECT_GE(woken_delta, 1u);
+}
+
+TEST(Event, ImmediateNotificationWakesInSameEvaluation) {
+  Kernel k;
+  Event e(k, "e");
+  std::vector<std::string> order;
+  k.spawn_thread("waiter", [&] {
+    k.wait(e);
+    order.push_back("woken");
+  });
+  k.spawn_thread("notifier", [&] {
+    order.push_back("notify");
+    e.notify();
+    order.push_back("after");
+  });
+  k.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"notify", "after", "woken"}));
+  // Immediate wake costs no delta cycle.
+  EXPECT_EQ(k.now(), Time{});
+}
+
+TEST(Event, EarlierTimedNotificationOverridesLater) {
+  Kernel k;
+  Event e(k, "e");
+  Time woken_at;
+  int wakes = 0;
+  k.spawn_thread("waiter", [&] {
+    k.wait(e);
+    woken_at = k.now();
+    wakes++;
+  });
+  k.spawn_thread("notifier", [&] {
+    e.notify(50_ns);
+    e.notify(20_ns);  // earlier: overrides
+  });
+  k.run();
+  EXPECT_EQ(woken_at, 20_ns);
+  EXPECT_EQ(wakes, 1);
+}
+
+TEST(Event, LaterTimedNotificationIsIgnored) {
+  Kernel k;
+  Event e(k, "e");
+  Time woken_at;
+  k.spawn_thread("waiter", [&] {
+    k.wait(e);
+    woken_at = k.now();
+  });
+  k.spawn_thread("notifier", [&] {
+    e.notify(20_ns);
+    e.notify(50_ns);  // later: ignored
+  });
+  k.run();
+  EXPECT_EQ(woken_at, 20_ns);
+}
+
+TEST(Event, DeltaOverridesTimed) {
+  Kernel k;
+  Event e(k, "e");
+  Time woken_at = Time::max();
+  k.spawn_thread("waiter", [&] {
+    k.wait(e);
+    woken_at = k.now();
+  });
+  k.spawn_thread("notifier", [&] {
+    e.notify(50_ns);
+    e.notify_delta();
+  });
+  k.run();
+  EXPECT_EQ(woken_at, Time{});
+}
+
+TEST(Event, TimedIgnoredWhenDeltaPending) {
+  Kernel k;
+  Event e(k, "e");
+  int wakes = 0;
+  k.spawn_thread("waiter", [&] {
+    k.wait(e);
+    wakes++;
+    k.wait(e);
+    wakes++;  // must not be reached: only one notification pending
+  });
+  k.spawn_thread("notifier", [&] {
+    e.notify_delta();
+    e.notify(50_ns);  // ignored
+  });
+  k.run();
+  EXPECT_EQ(wakes, 1);
+}
+
+TEST(Event, CancelDropsPendingNotification) {
+  Kernel k;
+  Event e(k, "e");
+  bool woken = false;
+  k.spawn_thread("waiter", [&] {
+    k.wait(e);
+    woken = true;
+  });
+  k.spawn_thread("notifier", [&] {
+    e.notify(20_ns);
+    k.wait(5_ns);
+    e.cancel();
+  });
+  k.run();
+  EXPECT_FALSE(woken);
+  EXPECT_FALSE(e.has_pending_notification());
+}
+
+TEST(Event, NotifyAfterCancelWorks) {
+  Kernel k;
+  Event e(k, "e");
+  Time woken_at;
+  k.spawn_thread("waiter", [&] {
+    k.wait(e);
+    woken_at = k.now();
+  });
+  k.spawn_thread("notifier", [&] {
+    e.notify(20_ns);
+    e.cancel();
+    e.notify(40_ns);
+  });
+  k.run();
+  EXPECT_EQ(woken_at, 40_ns);
+}
+
+TEST(Event, NotifiesAllWaiters) {
+  Kernel k;
+  Event e(k, "e");
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    k.spawn_thread("w" + std::to_string(i), [&] {
+      k.wait(e);
+      woken++;
+    });
+  }
+  k.spawn_thread("notifier", [&] { e.notify(10_ns); });
+  k.run();
+  EXPECT_EQ(woken, 3);
+}
+
+TEST(Event, WaitWithTimeoutWokenByEvent) {
+  Kernel k;
+  Event e(k, "e");
+  bool by_event = false;
+  Time woken_at;
+  k.spawn_thread("waiter", [&] {
+    by_event = k.wait(e, 100_ns);
+    woken_at = k.now();
+  });
+  k.spawn_thread("notifier", [&] { e.notify(10_ns); });
+  k.run();
+  EXPECT_TRUE(by_event);
+  EXPECT_EQ(woken_at, 10_ns);
+  EXPECT_EQ(k.now(), 10_ns);  // stale timeout must not advance time
+}
+
+TEST(Event, WaitWithTimeoutExpires) {
+  Kernel k;
+  Event e(k, "e");
+  bool by_event = true;
+  Time woken_at;
+  k.spawn_thread("waiter", [&] {
+    by_event = k.wait(e, 30_ns);
+    woken_at = k.now();
+  });
+  k.run();
+  EXPECT_FALSE(by_event);
+  EXPECT_EQ(woken_at, 30_ns);
+}
+
+TEST(Event, TimeoutRemovesWaiterFromEventList) {
+  Kernel k;
+  Event e(k, "e");
+  int wakes = 0;
+  k.spawn_thread("waiter", [&] {
+    (void)k.wait(e, 10_ns);  // times out
+    wakes++;
+    k.wait(50_ns);
+  });
+  k.spawn_thread("notifier", [&] {
+    k.wait(20_ns);
+    e.notify();  // waiter no longer on the list; must not wake it
+  });
+  k.run();
+  EXPECT_EQ(wakes, 1);
+  EXPECT_EQ(k.now(), 60_ns);
+}
+
+TEST(Event, PendingNotificationIntrospection) {
+  Kernel k;
+  Event e(k, "e");
+  k.spawn_thread("t", [&] {
+    EXPECT_FALSE(e.has_pending_notification());
+    e.notify(30_ns);
+    EXPECT_TRUE(e.has_pending_notification());
+    EXPECT_EQ(e.pending_notification_date(), 30_ns);
+  });
+  k.run();
+}
+
+TEST(Event, NotifyZeroIsDelta) {
+  Kernel k;
+  Event e(k, "e");
+  Time woken_at = Time::max();
+  k.spawn_thread("waiter", [&] {
+    k.wait(e);
+    woken_at = k.now();
+  });
+  k.spawn_thread("notifier", [&] { e.notify(Time{}); });
+  k.run();
+  EXPECT_EQ(woken_at, Time{});
+}
+
+TEST(Event, DestroyedEventDetachesWaiters) {
+  // Destroying an event while a process waits on it must not corrupt the
+  // kernel; the waiter simply never wakes.
+  Kernel k;
+  auto e = std::make_unique<Event>(k, "e");
+  bool woken = false;
+  k.spawn_thread("waiter", [&] {
+    k.wait(*e);
+    woken = true;
+  });
+  k.spawn_thread("killer", [&] {
+    k.wait(1_ns);
+    e.reset();
+  });
+  k.run();
+  EXPECT_FALSE(woken);
+}
+
+}  // namespace
+}  // namespace tdsim

@@ -1,0 +1,191 @@
+// Regular bounded FIFO channel: Kahn behavior, blocking, events, counters.
+#include "kernel/fifo.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "kernel/report.h"
+
+namespace tdsim {
+namespace {
+
+TEST(Fifo, ZeroDepthRejected) {
+  Kernel k;
+  EXPECT_THROW(Fifo<int>(k, "f", 0), SimulationError);
+}
+
+TEST(Fifo, WriteThenReadSameValue) {
+  Kernel k;
+  Fifo<int> f(k, "f", 4);
+  int got = 0;
+  k.spawn_thread("wr", [&] { f.write(42); });
+  k.spawn_thread("rd", [&] { got = f.read(); });
+  k.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Fifo, PreservesOrder) {
+  Kernel k;
+  Fifo<int> f(k, "f", 2);
+  std::vector<int> got;
+  k.spawn_thread("wr", [&] {
+    for (int i = 0; i < 10; ++i) {
+      f.write(i);
+    }
+  });
+  k.spawn_thread("rd", [&] {
+    for (int i = 0; i < 10; ++i) {
+      got.push_back(f.read());
+    }
+  });
+  k.run();
+  std::vector<int> expect(10);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Fifo, ReaderBlocksUntilDataWritten) {
+  Kernel k;
+  Fifo<int> f(k, "f", 1);
+  Time read_at;
+  k.spawn_thread("rd", [&] {
+    (void)f.read();
+    read_at = k.now();
+  });
+  k.spawn_thread("wr", [&] {
+    k.wait(30_ns);
+    f.write(1);
+  });
+  k.run();
+  EXPECT_EQ(read_at, 30_ns);
+  EXPECT_EQ(f.reads_blocked(), 1u);
+}
+
+TEST(Fifo, WriterBlocksWhileFull) {
+  Kernel k;
+  Fifo<int> f(k, "f", 2);
+  Time third_write_done;
+  k.spawn_thread("wr", [&] {
+    f.write(1);
+    f.write(2);
+    f.write(3);  // blocks until the reader frees a cell at 50ns
+    third_write_done = k.now();
+  });
+  k.spawn_thread("rd", [&] {
+    k.wait(50_ns);
+    (void)f.read();
+  });
+  k.run();
+  EXPECT_EQ(third_write_done, 50_ns);
+  EXPECT_EQ(f.writes_blocked(), 1u);
+}
+
+TEST(Fifo, ImmediateVisibilityWithinSameDate) {
+  // A write at date t is readable at date t (Kahn semantics; see DESIGN.md
+  // substitution note).
+  Kernel k;
+  Fifo<int> f(k, "f", 4);
+  Time read_at = Time::max();
+  k.spawn_thread("rd", [&] {
+    (void)f.read();
+    read_at = k.now();
+  });
+  k.spawn_thread("wr", [&] {
+    k.wait(10_ns);
+    f.write(7);
+  });
+  k.run();
+  EXPECT_EQ(read_at, 10_ns);
+}
+
+TEST(Fifo, NbWriteFailsWhenFull) {
+  Kernel k;
+  Fifo<int> f(k, "f", 1);
+  k.spawn_thread("t", [&] {
+    EXPECT_TRUE(f.nb_write(1));
+    EXPECT_FALSE(f.nb_write(2));
+    int v = 0;
+    EXPECT_TRUE(f.nb_read(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_FALSE(f.nb_read(v));
+  });
+  k.run();
+}
+
+TEST(Fifo, OccupancyAccessors) {
+  Kernel k;
+  Fifo<int> f(k, "f", 3);
+  k.spawn_thread("t", [&] {
+    EXPECT_TRUE(f.empty());
+    EXPECT_EQ(f.num_free(), 3u);
+    f.write(1);
+    f.write(2);
+    EXPECT_EQ(f.num_available(), 2u);
+    EXPECT_EQ(f.num_free(), 1u);
+    EXPECT_FALSE(f.empty());
+    EXPECT_FALSE(f.full());
+    f.write(3);
+    EXPECT_TRUE(f.full());
+    EXPECT_EQ(f.front(), 1);
+  });
+  k.run();
+}
+
+TEST(Fifo, FrontOnEmptyIsError) {
+  Kernel k;
+  Fifo<int> f(k, "f", 1);
+  k.spawn_thread("t", [&] { (void)f.front(); });
+  EXPECT_THROW(k.run(), SimulationError);
+}
+
+TEST(Fifo, DataWrittenEventFiresPerWrite) {
+  Kernel k;
+  Fifo<int> f(k, "f", 8);
+  int notifications = 0;
+  MethodOptions opts;
+  opts.sensitivity = {&f.data_written_event()};
+  opts.dont_initialize = true;
+  k.spawn_method("observer", [&] { notifications++; }, std::move(opts));
+  k.spawn_thread("wr", [&] {
+    f.write(1);
+    k.wait(1_ns);
+    f.write(2);
+    k.wait(1_ns);
+  });
+  k.run();
+  EXPECT_EQ(notifications, 2);
+}
+
+TEST(Fifo, CountersTrackAccesses) {
+  Kernel k;
+  Fifo<int> f(k, "f", 2);
+  k.spawn_thread("wr", [&] {
+    for (int i = 0; i < 5; ++i) {
+      f.write(i);
+    }
+  });
+  k.spawn_thread("rd", [&] {
+    for (int i = 0; i < 5; ++i) {
+      (void)f.read();
+    }
+  });
+  k.run();
+  EXPECT_EQ(f.total_writes(), 5u);
+  EXPECT_EQ(f.total_reads(), 5u);
+}
+
+TEST(Fifo, MoveOnlyPayload) {
+  Kernel k;
+  Fifo<std::unique_ptr<int>> f(k, "f", 2);
+  int got = 0;
+  k.spawn_thread("wr", [&] { f.write(std::make_unique<int>(9)); });
+  k.spawn_thread("rd", [&] { got = *f.read(); });
+  k.run();
+  EXPECT_EQ(got, 9);
+}
+
+}  // namespace
+}  // namespace tdsim

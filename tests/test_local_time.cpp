@@ -1,0 +1,241 @@
+// Temporal-decoupling core: local dates, inc/sync, quantum keeper,
+// method-process offsets.
+#include "core/local_time.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "kernel/report.h"
+
+namespace tdsim {
+namespace {
+
+TEST(LocalTime, IncAdvancesLocalDateNotGlobal) {
+  Kernel k;
+  k.spawn_thread("t", [&] {
+    EXPECT_EQ(td::local_time_stamp(), Time{});
+    td::inc(10_ns);
+    EXPECT_EQ(td::local_time_stamp(), 10_ns);
+    EXPECT_EQ(k.now(), Time{});
+    EXPECT_EQ(td::local_offset(), 10_ns);
+    EXPECT_FALSE(td::is_synchronized());
+  });
+  k.run();
+}
+
+TEST(LocalTime, SyncCatchesGlobalUp) {
+  Kernel k;
+  k.spawn_thread("t", [&] {
+    td::inc(10_ns);
+    td::inc(5_ns);
+    td::sync();
+    EXPECT_EQ(k.now(), 15_ns);
+    EXPECT_EQ(td::local_time_stamp(), 15_ns);
+    EXPECT_TRUE(td::is_synchronized());
+  });
+  k.run();
+  EXPECT_EQ(k.now(), 15_ns);
+}
+
+TEST(LocalTime, SyncWhenSynchronizedIsFree) {
+  Kernel k;
+  k.spawn_thread("t", [&] {
+    td::sync();
+    td::sync();
+  });
+  k.run();
+  // Only the initial dispatch; sync() of a synchronized process must not
+  // yield.
+  EXPECT_EQ(k.stats().context_switches, 1u);
+}
+
+TEST(LocalTime, IncThenSyncEquivalentToWait) {
+  // The paper: "executing inc(d); sync() is equivalent to wait(d)".
+  Kernel a;
+  std::vector<Time> wait_stamps;
+  a.spawn_thread("t", [&] {
+    a.wait(20_ns);
+    wait_stamps.push_back(a.now());
+    a.wait(15_ns);
+    wait_stamps.push_back(a.now());
+  });
+  a.run();
+
+  Kernel b;
+  std::vector<Time> td_stamps;
+  b.spawn_thread("t", [&] {
+    td::inc(20_ns);
+    td::sync();
+    td_stamps.push_back(b.now());
+    td::inc(15_ns);
+    td::sync();
+    td_stamps.push_back(b.now());
+  });
+  b.run();
+
+  EXPECT_EQ(wait_stamps, td_stamps);
+}
+
+TEST(LocalTime, AdvanceLocalToOnlyMovesForward) {
+  Kernel k;
+  k.spawn_thread("t", [&] {
+    td::inc(10_ns);
+    td::advance_local_to(5_ns);  // in the past: no-op
+    EXPECT_EQ(td::local_time_stamp(), 10_ns);
+    td::advance_local_to(30_ns);
+    EXPECT_EQ(td::local_time_stamp(), 30_ns);
+  });
+  k.run();
+}
+
+TEST(LocalTime, OffsetsAreIndependentPerProcess) {
+  Kernel k;
+  k.spawn_thread("a", [&] {
+    td::inc(100_ns);
+    EXPECT_EQ(td::local_offset(), 100_ns);
+  });
+  k.spawn_thread("b", [&] {
+    EXPECT_EQ(td::local_offset(), Time{});
+    td::inc(7_ns);
+    EXPECT_EQ(td::local_offset(), 7_ns);
+  });
+  k.run();
+}
+
+TEST(LocalTime, LocalTimeOfOtherProcess) {
+  Kernel k;
+  Process* a = k.spawn_thread("a", [&] {
+    td::inc(100_ns);
+    k.wait(1_ns);
+  });
+  k.spawn_thread("b", [&] {
+    k.wait_delta();
+    EXPECT_EQ(td::local_time_of(*a), 100_ns);
+  });
+  k.run();
+}
+
+TEST(LocalTime, MethodOffsetResetsEachActivation) {
+  Kernel k;
+  std::vector<Time> local_dates;
+  int runs = 0;
+  k.spawn_method("m", [&] {
+    // Offset starts at zero every activation...
+    EXPECT_EQ(td::local_offset(), Time{});
+    td::inc(3_ns);
+    local_dates.push_back(td::local_time_stamp());
+    if (++runs < 3) {
+      td::method_sync_trigger();  // re-arm at our local date
+    }
+  });
+  k.run();
+  EXPECT_EQ(local_dates, (std::vector<Time>{3_ns, 6_ns, 9_ns}));
+}
+
+TEST(LocalTime, SyncFromMethodWithOffsetIsError) {
+  Kernel k;
+  k.spawn_method("m", [&] {
+    td::inc(1_ns);
+    td::sync();
+  });
+  EXPECT_THROW(k.run(), SimulationError);
+}
+
+TEST(LocalTime, SyncFromSynchronizedMethodIsAllowed) {
+  // get_size() calls sync(); a synchronized method must be able to use it.
+  Kernel k;
+  k.spawn_method("m", [&] { td::sync(); });
+  k.run();
+}
+
+TEST(LocalTime, MethodSyncTriggerFromThreadIsError) {
+  Kernel k;
+  k.spawn_thread("t", [&] { td::method_sync_trigger(); });
+  EXPECT_THROW(k.run(), SimulationError);
+}
+
+TEST(LocalTime, UseOutsideKernelIsError) {
+  EXPECT_THROW(td::inc(1_ns), SimulationError);
+  EXPECT_THROW(td::sync(), SimulationError);
+  EXPECT_THROW(td::local_offset(), SimulationError);
+}
+
+TEST(QuantumKeeper, NeedsSyncOnceQuantumExhausted) {
+  Kernel k;
+  k.set_global_quantum(1_us);
+  k.spawn_thread("t", [&] {
+    td::QuantumKeeper qk(k);
+    qk.inc(400_ns);
+    EXPECT_FALSE(qk.need_sync());
+    qk.inc(400_ns);
+    EXPECT_FALSE(qk.need_sync());
+    qk.inc(400_ns);
+    EXPECT_TRUE(qk.need_sync());
+    qk.sync();
+    EXPECT_EQ(k.now(), 1200_ns);
+  });
+  k.run();
+}
+
+TEST(QuantumKeeper, IncAndSyncIfNeededBatchesContextSwitches) {
+  Kernel k;
+  k.set_global_quantum(1_us);
+  k.spawn_thread("t", [&] {
+    td::QuantumKeeper qk(k);
+    for (int i = 0; i < 100; ++i) {
+      qk.inc_and_sync_if_needed(100_ns);  // 10 inc per quantum
+    }
+    td::sync();
+  });
+  k.run();
+  EXPECT_EQ(k.now(), 10_us);
+  // 1 initial dispatch + 10 quantum syncs (the final sync coincides with
+  // the 10th quantum boundary, already synchronized).
+  EXPECT_LE(k.stats().context_switches, 12u);
+  EXPECT_GE(k.stats().context_switches, 10u);
+}
+
+TEST(QuantumKeeper, ZeroQuantumSyncsEveryAnnotation) {
+  // The paper: "temporal decoupling can be disabled by setting it to zero".
+  Kernel k;
+  k.set_global_quantum(Time{});
+  k.spawn_thread("t", [&] {
+    td::QuantumKeeper qk(k);
+    for (int i = 0; i < 5; ++i) {
+      qk.inc_and_sync_if_needed(10_ns);
+    }
+  });
+  k.run();
+  EXPECT_EQ(k.now(), 50_ns);
+  EXPECT_EQ(k.stats().context_switches, 6u);  // initial + 5 syncs
+}
+
+TEST(LocalTime, QuantumErrorScenario) {
+  // Paper SII.A: a cancellation message sent at date T may be seen up to a
+  // quantum late by a decoupled receiver. Demonstrates why FIFO channels
+  // need the Smart FIFO rather than quantum-based decoupling.
+  Kernel k;
+  k.set_global_quantum(1_us);
+  bool flag = false;
+  Time observed_at;
+  k.spawn_thread("setter", [&] {
+    flag = true;
+    td::inc(10_ns);  // flag=1; inc(10ns); flag=0 from the paper
+    td::sync();
+    flag = false;
+  });
+  k.spawn_thread("poller", [&] {
+    td::QuantumKeeper qk(k);
+    qk.inc_and_sync_if_needed(1_us);  // quantum-paced polling
+    observed_at = td::local_time_stamp();
+    // The 10ns flag pulse is invisible at quantum granularity.
+    EXPECT_FALSE(flag);
+  });
+  k.run();
+  EXPECT_GE(observed_at, 10_ns);
+}
+
+}  // namespace
+}  // namespace tdsim

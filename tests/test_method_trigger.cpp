@@ -1,0 +1,214 @@
+// Method-process trigger semantics: the next_trigger override and its
+// interaction with static sensitivity. These are the semantics the
+// paper's network interfaces lean on ("Thanks to the possibility to use
+// inc() in a SC_METHOD, we succeeded to model this module without any
+// SC_THREAD"): a method paces itself with next_trigger(delay) some
+// activations and falls back to its static FIFO events on others.
+#include <gtest/gtest.h>
+
+#include "core/local_time.h"
+#include "kernel/event.h"
+#include "kernel/kernel.h"
+
+namespace tdsim {
+namespace {
+
+using namespace tdsim::time_literals;
+
+TEST(MethodTrigger, StaticSensitivityResumesAfterTimedNextTrigger) {
+  // Regression: a method that paces itself once with next_trigger(delay)
+  // must hear its static sensitivity again afterwards. (The override is
+  // consumed by the activation it causes.)
+  Kernel kernel;
+  Event data(kernel, "data");
+  int activations = 0;
+  MethodOptions opts;
+  opts.sensitivity.push_back(&data);
+  kernel.spawn_method(
+      "m",
+      [&] {
+        activations++;
+        if (activations == 1) {
+          next_trigger(5_ns);  // initialization run paces itself once
+        }
+        // Activations 2+ rely on the static sensitivity.
+      },
+      opts);
+  kernel.spawn_thread("stimulus", [&] {
+    wait(20_ns);
+    data.notify_delta();  // must reach the method
+    wait(20_ns);
+    data.notify_delta();
+  });
+  kernel.run();
+  EXPECT_EQ(activations, 4);  // init + timer + two notifications
+}
+
+TEST(MethodTrigger, OverrideSuppressesStaticEventsUntilConsumed) {
+  // While a next_trigger(delay) is armed, static events must NOT run the
+  // method (SystemC override semantics).
+  Kernel kernel;
+  Event data(kernel, "data");
+  std::vector<Time> activation_dates;
+  MethodOptions opts;
+  opts.sensitivity.push_back(&data);
+  kernel.spawn_method(
+      "m",
+      [&] {
+        activation_dates.push_back(kernel.now());
+        if (activation_dates.size() == 1) {
+          next_trigger(100_ns);
+        }
+      },
+      opts);
+  kernel.spawn_thread("stimulus", [&] {
+    wait(30_ns);
+    data.notify_delta();  // suppressed: override armed until 100 ns
+  });
+  kernel.run();
+  ASSERT_EQ(activation_dates.size(), 2u);
+  EXPECT_EQ(activation_dates[1], Time(100, TimeUnit::NS));
+}
+
+TEST(MethodTrigger, LastNextTriggerWins) {
+  Kernel kernel;
+  Event a(kernel, "a");
+  Event b(kernel, "b");
+  std::vector<std::string> log;
+  kernel.spawn_method("m", [&] {
+    if (log.empty()) {
+      log.push_back("init");
+      next_trigger(a);
+      next_trigger(b);  // replaces the wait on a
+    } else {
+      log.push_back("woken@" + kernel.now().to_string());
+    }
+  });
+  kernel.spawn_thread("stimulus", [&] {
+    wait(10_ns);
+    a.notify_delta();  // must be ignored (method re-armed onto b)
+    wait(10_ns);
+    b.notify_delta();
+  });
+  kernel.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[1], "woken@20 ns");
+}
+
+TEST(MethodTrigger, EventOverridesPendingTimer) {
+  Kernel kernel;
+  Event a(kernel, "a");
+  std::vector<Time> dates;
+  kernel.spawn_method("m", [&] {
+    dates.push_back(kernel.now());
+    if (dates.size() == 1) {
+      next_trigger(5_ns);
+      next_trigger(a);  // cancels the 5 ns timer
+    }
+  });
+  kernel.spawn_thread("stimulus", [&] {
+    wait(50_ns);
+    a.notify_delta();
+  });
+  kernel.run();
+  ASSERT_EQ(dates.size(), 2u);
+  EXPECT_EQ(dates[1], Time(50, TimeUnit::NS));  // not 5 ns
+}
+
+TEST(MethodTrigger, TimerOverridesPendingEventWait) {
+  Kernel kernel;
+  Event a(kernel, "a");
+  std::vector<Time> dates;
+  kernel.spawn_method("m", [&] {
+    dates.push_back(kernel.now());
+    if (dates.size() == 1) {
+      next_trigger(a);
+      next_trigger(5_ns);  // replaces the event wait
+    }
+  });
+  kernel.spawn_thread("stimulus", [&] {
+    wait(2_ns);
+    a.notify_delta();  // ignored
+  });
+  kernel.run();
+  ASSERT_EQ(dates.size(), 2u);
+  EXPECT_EQ(dates[1], Time(5, TimeUnit::NS));
+}
+
+TEST(MethodTrigger, MethodLocalOffsetResetsEachActivation) {
+  // dispatch_method starts every activation synchronized; inc() advances
+  // the local date only within the activation (paper SIV.C usage).
+  Kernel kernel;
+  std::vector<Time> local_dates;
+  std::uint64_t remaining = 3;
+  kernel.spawn_method("m", [&] {
+    EXPECT_TRUE(td::is_synchronized());
+    td::inc(7_ns);
+    local_dates.push_back(td::local_time_stamp());
+    if (--remaining > 0) {
+      next_trigger(10_ns);
+    }
+  });
+  kernel.run();
+  ASSERT_EQ(local_dates.size(), 3u);
+  EXPECT_EQ(local_dates[0], Time(7, TimeUnit::NS));
+  EXPECT_EQ(local_dates[1], Time(17, TimeUnit::NS));
+  EXPECT_EQ(local_dates[2], Time(27, TimeUnit::NS));
+}
+
+TEST(MethodTrigger, MethodSyncTriggerReactivatesAtLocalDate) {
+  // td::method_sync_trigger(): the method-process sync() -- re-run once
+  // the global date reaches the method's local date.
+  Kernel kernel;
+  std::vector<Time> dates;
+  bool first = true;
+  kernel.spawn_method("m", [&] {
+    dates.push_back(kernel.now());
+    if (first) {
+      first = false;
+      td::inc(25_ns);
+      td::method_sync_trigger();
+    }
+  });
+  kernel.run();
+  ASSERT_EQ(dates.size(), 2u);
+  EXPECT_EQ(dates[1], Time(25, TimeUnit::NS));
+}
+
+TEST(MethodTrigger, SensitivityToMultipleEventsTriggersOnEach) {
+  Kernel kernel;
+  Event a(kernel, "a");
+  Event b(kernel, "b");
+  int activations = 0;
+  MethodOptions opts;
+  opts.sensitivity.push_back(&a);
+  opts.sensitivity.push_back(&b);
+  opts.dont_initialize = true;
+  kernel.spawn_method("m", [&] { activations++; }, opts);
+  kernel.spawn_thread("stimulus", [&] {
+    wait(1_ns);
+    a.notify_delta();
+    wait(1_ns);
+    b.notify_delta();
+    wait(1_ns);
+    a.notify_delta();
+    b.notify_delta();  // same delta: one activation, not two
+  });
+  kernel.run();
+  EXPECT_EQ(activations, 3);
+}
+
+TEST(MethodTrigger, DontInitializeMethodWaitsForSensitivity) {
+  Kernel kernel;
+  Event a(kernel, "a");
+  int activations = 0;
+  MethodOptions opts;
+  opts.sensitivity.push_back(&a);
+  opts.dont_initialize = true;
+  kernel.spawn_method("m", [&] { activations++; }, opts);
+  kernel.run();
+  EXPECT_EQ(activations, 0);
+}
+
+}  // namespace
+}  // namespace tdsim

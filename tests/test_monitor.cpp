@@ -1,0 +1,201 @@
+// Monitor interface (paper SIII.C): get_size() must report the occupancy
+// of the *real* (reference) FIFO at the caller's date, reconstructed from
+// the per-cell insertion/freeing dates, even though the internal state ran
+// ahead of the global date.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/local_time.h"
+#include "core/smart_fifo.h"
+#include "kernel/kernel.h"
+#include "trace/scenario.h"
+
+namespace tdsim {
+namespace {
+
+using trace::Mode;
+using trace::Scenario;
+using trace::ScenarioEnv;
+
+void expect_all_modes_equal(const Scenario& scenario) {
+  auto reference = trace::run_scenario(scenario, Mode::Reference);
+  auto smart = trace::run_scenario(scenario, Mode::SmartDecoupled);
+  auto sync = trace::run_scenario(scenario, Mode::SyncDecoupled);
+  ASSERT_GT(reference->recorder().size(), 0u);
+  auto diff = trace::compare_sorted(reference->recorder(), smart->recorder());
+  EXPECT_FALSE(diff.has_value()) << "Reference vs SmartDecoupled: " << *diff;
+  diff = trace::compare_sorted(reference->recorder(), sync->recorder());
+  EXPECT_FALSE(diff.has_value()) << "Reference vs SyncDecoupled: " << *diff;
+}
+
+TEST(Monitor, SizeAccountsForFutureInsertion) {
+  // Paper example: a write made at global date 10 with local date 20
+  // changes the internal state at 10, but the real size increments at 20.
+  Kernel k;
+  SmartFifo<int> f(k, "f", 4);
+  std::vector<std::size_t> sizes;
+  k.spawn_thread("writer", [&] {
+    td::inc(20_ns);
+    f.write(1);  // internal change now (global 0), real change at 20
+    k.wait(1000_ns);
+  });
+  k.spawn_thread("monitor", [&] {
+    k.wait(10_ns);
+    sizes.push_back(f.get_size());  // at 10: not yet really written
+    k.wait(15_ns);
+    sizes.push_back(f.get_size());  // at 25: really present
+  });
+  k.run();
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{0u, 1u}));
+}
+
+TEST(Monitor, SizeAccountsForFutureFreeing) {
+  // A cell internally freed by a read dated in the future still counts.
+  Kernel k;
+  SmartFifo<int> f(k, "f", 4);
+  std::vector<std::size_t> sizes;
+  k.spawn_thread("writer", [&] { f.write(1); });  // inserted at 0
+  k.spawn_thread("reader", [&] {
+    td::inc(40_ns);
+    (void)f.read();  // frees at 40, executes at global 0
+    k.wait(1000_ns);
+  });
+  k.spawn_thread("monitor", [&] {
+    k.wait(10_ns);
+    sizes.push_back(f.get_size());  // at 10: still really present
+    k.wait(50_ns);
+    sizes.push_back(f.get_size());  // at 60: really gone
+  });
+  k.run();
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1u, 0u}));
+}
+
+TEST(Monitor, FreedAndRefilledCellCountsOldData) {
+  // Paper rule: an internally busy cell whose previous freeing date is in
+  // the future means the cell was freed and refilled ahead of real time;
+  // the *old* data still occupies the real FIFO.
+  Kernel k;
+  SmartFifo<int> f(k, "f", 1);
+  std::vector<std::size_t> sizes;
+  k.spawn_thread("writer", [&] {
+    f.write(1);       // inserted at 0
+    td::inc(60_ns);
+    f.write(2);       // waits for freeing at 40 -> inserted at 60
+    k.wait(1000_ns);
+  });
+  k.spawn_thread("reader", [&] {
+    td::inc(40_ns);
+    (void)f.read();  // frees at 40
+    td::inc(40_ns);
+    (void)f.read();  // second read at 80 (insertion 60 < 80)
+    k.wait(1000_ns);
+  });
+  k.spawn_thread("monitor", [&] {
+    k.wait(10_ns);
+    sizes.push_back(f.get_size());  // at 10: item 1 present
+    k.wait(40_ns);
+    sizes.push_back(f.get_size());  // at 50: between freeing(40) and insert(60)
+    k.wait(20_ns);
+    sizes.push_back(f.get_size());  // at 70: item 2 present
+    k.wait(30_ns);
+    sizes.push_back(f.get_size());  // at 100: all drained (read at 80)
+  });
+  k.run();
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1u, 0u, 1u, 0u}));
+}
+
+TEST(Monitor, GetSizeSynchronizesDecoupledCaller) {
+  Kernel k;
+  SmartFifo<int> f(k, "f", 2);
+  k.spawn_thread("monitor", [&] {
+    td::inc(25_ns);
+    EXPECT_EQ(k.now(), Time{});
+    (void)f.get_size();
+    // get_size must first synchronize the caller.
+    EXPECT_EQ(k.now(), 25_ns);
+    EXPECT_TRUE(td::is_synchronized());
+  });
+  k.run();
+}
+
+TEST(Monitor, EmptyAndFullExtremes) {
+  Kernel k;
+  SmartFifo<int> f(k, "f", 3);
+  k.spawn_thread("t", [&] {
+    EXPECT_EQ(f.get_size(), 0u);
+    f.write(1);
+    f.write(2);
+    f.write(3);
+    EXPECT_EQ(f.get_size(), 3u);
+    EXPECT_EQ(f.monitor_queries(), 2u);
+  });
+  k.run();
+}
+
+// Dual-mode scenarios where a monitor process polls the size while traffic
+// flows ("the monitor interfaces are used extensively to follow how the
+// FIFO sizes evolve").
+Scenario monitored_pipeline(std::size_t depth, Time write_period,
+                            Time read_period, Time poll_period, int items) {
+  return [=](ScenarioEnv& env) {
+    auto& fifo = env.fifo("f", depth);
+    env.kernel().spawn_thread("writer", [&env, &fifo, write_period, items] {
+      for (int i = 0; i < items; ++i) {
+        fifo.write(i);
+        env.delay(write_period);
+      }
+    });
+    env.kernel().spawn_thread("reader", [&env, &fifo, read_period, items] {
+      for (int i = 0; i < items; ++i) {
+        env.delay(read_period);
+        env.log("read", static_cast<std::uint64_t>(fifo.read()));
+      }
+    });
+    env.kernel().spawn_thread("monitor", [&env, &fifo, poll_period, items,
+                                          write_period] {
+      // Poll for roughly the duration of the traffic. The monitor itself
+      // is synchronized (low-rate software access).
+      const std::uint64_t polls =
+          (write_period.ps() * items) / poll_period.ps() + 2;
+      for (std::uint64_t p = 0; p < polls; ++p) {
+        env.kernel().wait(poll_period);
+        env.log("size", fifo.get_size());
+      }
+    });
+  };
+}
+
+TEST(Monitor, DualModeSlowConsumer) {
+  expect_all_modes_equal(monitored_pipeline(4, 10_ns, 25_ns, Time::from_ps(17001), 30));
+}
+
+TEST(Monitor, DualModeFastConsumer) {
+  expect_all_modes_equal(monitored_pipeline(4, 25_ns, 10_ns, Time::from_ps(13001), 30));
+}
+
+TEST(Monitor, DualModeDepthOne) {
+  expect_all_modes_equal(monitored_pipeline(1, 10_ns, 10_ns, Time::from_ps(7001), 25));
+}
+
+class MonitorSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int, int>> {};
+
+TEST_P(MonitorSweep, SizesMatchReferenceAcrossRatesAndDepths) {
+  const auto [depth, wp, rp] = GetParam();
+  expect_all_modes_equal(
+      monitored_pipeline(depth, Time(static_cast<std::uint64_t>(wp),
+                                     TimeUnit::NS),
+                         Time(static_cast<std::uint64_t>(rp), TimeUnit::NS),
+                         Time::from_ps(9001), 20));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MonitorSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 5, 8),
+                       ::testing::Values(3, 11, 20),
+                       ::testing::Values(4, 10, 21)));
+
+}  // namespace
+}  // namespace tdsim

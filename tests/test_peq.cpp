@@ -1,0 +1,115 @@
+// Payload event queue: timestamped hand-off semantics.
+#include "core/peq.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+
+namespace tdsim {
+namespace {
+
+TEST(Peq, DeliversAtAnnotatedDate) {
+  Kernel k;
+  PeqWithGet<int> peq(k, "peq");
+  std::vector<std::pair<Time, int>> got;
+  k.spawn_thread("producer", [&] {
+    peq.notify(1, 10_ns);
+    peq.notify(2, 30_ns);
+  });
+  k.spawn_thread("consumer", [&] {
+    for (int i = 0; i < 2; ++i) {
+      k.wait(peq.get_event());
+      for (auto p = peq.get_next(); p.has_value(); p = peq.get_next()) {
+        got.emplace_back(k.now(), *p);
+      }
+    }
+  });
+  k.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], std::make_pair(10_ns, 1));
+  EXPECT_EQ(got[1], std::make_pair(30_ns, 2));
+}
+
+TEST(Peq, OutOfOrderNotifiesDeliverInDateOrder) {
+  Kernel k;
+  PeqWithGet<int> peq(k, "peq");
+  std::vector<int> got;
+  k.spawn_thread("producer", [&] {
+    peq.notify(3, 30_ns);
+    peq.notify(1, 10_ns);
+    peq.notify(2, 20_ns);
+  });
+  k.spawn_thread("consumer", [&] {
+    while (got.size() < 3) {
+      k.wait(peq.get_event());
+      for (auto p = peq.get_next(); p.has_value(); p = peq.get_next()) {
+        got.push_back(*p);
+      }
+    }
+  });
+  k.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Peq, GetNextReturnsNulloptBeforeDate) {
+  Kernel k;
+  PeqWithGet<int> peq(k, "peq");
+  k.spawn_thread("t", [&] {
+    peq.notify(7, 50_ns);
+    EXPECT_FALSE(peq.get_next().has_value());  // too early; re-arms event
+    k.wait(peq.get_event());
+    EXPECT_EQ(k.now(), 50_ns);
+    auto p = peq.get_next();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 7);
+    EXPECT_FALSE(peq.get_next().has_value());  // drained
+  });
+  k.run();
+}
+
+TEST(Peq, ImmediateNotifyDeliversSameDate) {
+  Kernel k;
+  PeqWithGet<std::string> peq(k, "peq");
+  std::string got;
+  Time got_at = Time::max();
+  k.spawn_thread("producer", [&] {
+    k.wait(5_ns);
+    peq.notify(std::string("hello"));
+  });
+  k.spawn_thread("consumer", [&] {
+    k.wait(peq.get_event());
+    auto p = peq.get_next();
+    ASSERT_TRUE(p.has_value());
+    got = *p;
+    got_at = k.now();
+  });
+  k.run();
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(got_at, 5_ns);
+}
+
+TEST(Peq, SameDatePayloadsAllRetrievable) {
+  Kernel k;
+  PeqWithGet<int> peq(k, "peq");
+  std::vector<int> got;
+  k.spawn_thread("producer", [&] {
+    peq.notify(1, 10_ns);
+    peq.notify(2, 10_ns);
+    peq.notify(3, 10_ns);
+  });
+  k.spawn_thread("consumer", [&] {
+    k.wait(peq.get_event());
+    for (auto p = peq.get_next(); p.has_value(); p = peq.get_next()) {
+      got.push_back(*p);
+    }
+  });
+  k.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(peq.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace tdsim

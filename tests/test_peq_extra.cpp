@@ -1,0 +1,156 @@
+// Additional payload-event-queue behaviors: stress ordering with many
+// producers, event re-arming when payloads sit in the future, method-based
+// consumption (the router usage pattern), and interaction with the
+// get-side racing the notify-side.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/peq.h"
+#include "kernel/kernel.h"
+
+namespace tdsim {
+namespace {
+
+using namespace tdsim::time_literals;
+
+TEST(PeqExtra, ManyProducersDrainInDateOrder) {
+  Kernel kernel;
+  PeqWithGet<int> peq(kernel, "peq");
+  std::vector<std::pair<Time, int>> delivered;
+
+  for (int p = 0; p < 4; ++p) {
+    kernel.spawn_thread("producer" + std::to_string(p), [&, p] {
+      std::mt19937 rng(p * 1234 + 5);
+      std::uniform_int_distribution<std::uint64_t> delay(1, 40);
+      for (int i = 0; i < 25; ++i) {
+        wait(Time(delay(rng), TimeUnit::NS));
+        peq.notify(p * 100 + i, Time(delay(rng), TimeUnit::NS));
+      }
+    });
+  }
+  MethodOptions opts;
+  opts.sensitivity.push_back(&peq.get_event());
+  opts.dont_initialize = true;
+  kernel.spawn_method(
+      "consumer",
+      [&] {
+        while (auto payload = peq.get_next()) {
+          delivered.emplace_back(kernel.now(), *payload);
+        }
+      },
+      opts);
+  kernel.run();
+
+  ASSERT_EQ(delivered.size(), 100u);
+  for (std::size_t i = 1; i < delivered.size(); ++i) {
+    EXPECT_LE(delivered[i - 1].first, delivered[i].first);
+  }
+  EXPECT_EQ(peq.pending(), 0u);
+}
+
+TEST(PeqExtra, GetNextReArmsEventForFuturePayload) {
+  // A consumer polling too early must be woken again exactly at the
+  // payload's date, even if the original notification already fired.
+  Kernel kernel;
+  PeqWithGet<int> peq(kernel, "peq");
+  std::vector<Time> attempts;
+  bool got = false;
+
+  kernel.spawn_thread("producer", [&] {
+    peq.notify(7, 100_ns);
+    peq.notify(8, 10_ns);  // earlier payload wakes the consumer first
+  });
+  MethodOptions opts;
+  opts.sensitivity.push_back(&peq.get_event());
+  opts.dont_initialize = true;
+  kernel.spawn_method(
+      "consumer",
+      [&] {
+        attempts.push_back(kernel.now());
+        while (auto payload = peq.get_next()) {
+          got = *payload == 7;
+        }
+      },
+      opts);
+  kernel.run();
+  EXPECT_TRUE(got);
+  // Woken at 10 ns (payload 8), then re-armed and woken at 100 ns.
+  ASSERT_GE(attempts.size(), 2u);
+  EXPECT_EQ(attempts.front(), Time(10, TimeUnit::NS));
+  EXPECT_EQ(attempts.back(), Time(100, TimeUnit::NS));
+}
+
+TEST(PeqExtra, PendingCountsQueuedPayloads) {
+  Kernel kernel;
+  PeqWithGet<int> peq(kernel, "peq");
+  kernel.spawn_thread("t", [&] {
+    peq.notify(1, 5_ns);
+    peq.notify(2, 15_ns);
+    EXPECT_EQ(peq.pending(), 2u);
+    wait(20_ns);
+    EXPECT_TRUE(peq.get_next().has_value());
+    EXPECT_EQ(peq.pending(), 1u);
+    EXPECT_TRUE(peq.get_next().has_value());
+    EXPECT_EQ(peq.pending(), 0u);
+    EXPECT_FALSE(peq.get_next().has_value());
+  });
+  kernel.run();
+}
+
+TEST(PeqExtra, ZeroDelayBatchAllRetrievableSameDelta) {
+  Kernel kernel;
+  PeqWithGet<int> peq(kernel, "peq");
+  int drained = 0;
+  kernel.spawn_thread("producer", [&] {
+    wait(5_ns);
+    for (int i = 0; i < 10; ++i) {
+      peq.notify(i);
+    }
+  });
+  MethodOptions opts;
+  opts.sensitivity.push_back(&peq.get_event());
+  opts.dont_initialize = true;
+  kernel.spawn_method(
+      "consumer",
+      [&] {
+        while (peq.get_next().has_value()) {
+          drained++;
+        }
+        EXPECT_EQ(kernel.now(), Time(5, TimeUnit::NS));
+      },
+      opts);
+  kernel.run();
+  EXPECT_EQ(drained, 10);
+}
+
+TEST(PeqExtra, ThreadConsumerWithEventWait) {
+  // The thread-side consumption pattern (wait on get_event, then drain).
+  Kernel kernel;
+  PeqWithGet<int> peq(kernel, "peq");
+  std::vector<int> got;
+  kernel.spawn_thread("producer", [&] {
+    wait(3_ns);
+    peq.notify(1, 7_ns);   // due at 10 ns
+    wait(17_ns);           // t = 20 ns
+    peq.notify(2, 30_ns);  // due at 50 ns
+  });
+  kernel.spawn_thread("consumer", [&] {
+    while (got.size() < 2) {
+      if (auto payload = peq.get_next()) {
+        got.push_back(*payload);
+        continue;
+      }
+      wait(peq.get_event());
+    }
+    EXPECT_EQ(sim_time_stamp(), Time(50, TimeUnit::NS));
+  });
+  kernel.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], 1);
+  EXPECT_EQ(got[1], 2);
+}
+
+}  // namespace
+}  // namespace tdsim

@@ -1,0 +1,108 @@
+// FifoLevelProbe: sampling cadence, watermark tracking, equality of the
+// sampled profile across Smart and reference FIFOs, and the umbrella
+// header (this file includes only tdsim.h).
+#include <gtest/gtest.h>
+
+#include "tdsim.h"
+
+namespace tdsim {
+namespace {
+
+using namespace tdsim::time_literals;
+using trace::FifoLevelProbe;
+using trace::VcdWriter;
+
+FifoLevelProbe::Config probe_config(Time period, std::size_t max_samples) {
+  FifoLevelProbe::Config config;
+  config.period = period;
+  config.max_samples = max_samples;
+  return config;
+}
+
+TEST(Probe, SamplesAtTheConfiguredCadence) {
+  Kernel kernel;
+  SmartFifo<int> fifo(kernel, "fifo", 8);
+  VcdWriter writer("1ps");
+  FifoLevelProbe probe(kernel, "probe", fifo,
+                       writer.add_variable("fifo.level", 8),
+                       probe_config(100_ns, 5));
+  kernel.spawn_thread("producer", [&] {
+    for (int i = 0; i < 4; ++i) {
+      fifo.write(i);
+      td::inc(150_ns);
+    }
+  });
+  kernel.run();
+  EXPECT_EQ(probe.samples(), 5u);
+  // Dedup may drop repeats, but something was recorded.
+  EXPECT_GE(writer.sample_count(), 1u);
+}
+
+TEST(Probe, WatermarkTracksPeakOccupancy) {
+  Kernel kernel;
+  SmartFifo<int> fifo(kernel, "fifo", 8);
+  VcdWriter writer;
+  FifoLevelProbe probe(kernel, "probe", fifo,
+                       writer.add_variable("level", 8),
+                       probe_config(10_ns, 40));
+  kernel.spawn_thread("producer", [&] {
+    for (int i = 0; i < 6; ++i) {
+      fifo.write(i);
+      td::inc(20_ns);
+    }
+  });
+  kernel.spawn_thread("consumer", [&] {
+    td::inc(200_ns);  // let the FIFO fill to 6 first
+    for (int i = 0; i < 6; ++i) {
+      (void)fifo.read();
+      td::inc(5_ns);
+    }
+  });
+  kernel.run();
+  EXPECT_EQ(probe.high_watermark(), 6u);
+}
+
+TEST(Probe, ProfileIdenticalAcrossSmartAndReferenceFifos) {
+  // The probe observes the *real* FIFO; the sampled waveform must be
+  // identical whether the channel is a Smart FIFO under decoupling or the
+  // reference synchronizing FIFO (paper SIV.A, applied to waveforms).
+  const auto run_mode = [](bool smart) {
+    Kernel kernel;
+    std::unique_ptr<FifoInterface<int>> fifo;
+    if (smart) {
+      fifo = std::make_unique<SmartFifo<int>>(kernel, "fifo", 4);
+    } else {
+      fifo = std::make_unique<SyncFifo<int>>(kernel, "fifo", 4);
+    }
+    VcdWriter writer("1ps");
+    FifoLevelProbe probe(kernel, "probe", *fifo,
+                         writer.add_variable("level", 8),
+                         probe_config(30_ns, 30));
+    kernel.spawn_thread("producer", [&] {
+      for (int i = 0; i < 20; ++i) {
+        if (smart) {
+          td::inc(17_ns);
+        } else {
+          tdsim::wait(17_ns);
+        }
+        fifo->write(i);
+      }
+    });
+    kernel.spawn_thread("consumer", [&] {
+      for (int i = 0; i < 20; ++i) {
+        (void)fifo->read();
+        if (smart) {
+          td::inc(23_ns);
+        } else {
+          tdsim::wait(23_ns);
+        }
+      }
+    });
+    kernel.run();
+    return writer.to_string();
+  };
+  EXPECT_EQ(run_mode(true), run_mode(false));
+}
+
+}  // namespace
+}  // namespace tdsim

@@ -1,0 +1,98 @@
+// Signal channel: evaluate/update semantics and value-changed events.
+#include "kernel/signal.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernel/kernel.h"
+
+namespace tdsim {
+namespace {
+
+TEST(Signal, InitialValue) {
+  Kernel k;
+  Signal<int> s(k, "s", 7);
+  EXPECT_EQ(s.read(), 7);
+}
+
+TEST(Signal, WriteVisibleNextDelta) {
+  Kernel k;
+  Signal<int> s(k, "s");
+  std::vector<int> seen;
+  k.spawn_thread("t", [&] {
+    s.write(5);
+    seen.push_back(s.read());  // still old value in the same evaluation
+    k.wait_delta();
+    seen.push_back(s.read());  // committed
+  });
+  k.run();
+  EXPECT_EQ(seen, (std::vector<int>{0, 5}));
+}
+
+TEST(Signal, LastWriteInEvaluationWins) {
+  Kernel k;
+  Signal<int> s(k, "s");
+  k.spawn_thread("t", [&] {
+    s.write(1);
+    s.write(2);
+    s.write(3);
+    k.wait_delta();
+    EXPECT_EQ(s.read(), 3);
+  });
+  k.run();
+}
+
+TEST(Signal, ValueChangedFiresOnlyOnRealChange) {
+  Kernel k;
+  Signal<int> s(k, "s", 4);
+  int changes = 0;
+  MethodOptions opts;
+  opts.sensitivity = {&s.value_changed_event()};
+  opts.dont_initialize = true;
+  k.spawn_method("observer", [&] { changes++; }, std::move(opts));
+  k.spawn_thread("t", [&] {
+    s.write(4);  // same value: no event
+    k.wait(1_ns);
+    s.write(9);  // change: one event
+    k.wait(1_ns);
+    s.write(9);  // same again: no event
+    k.wait(1_ns);
+  });
+  k.run();
+  EXPECT_EQ(changes, 1);
+}
+
+TEST(Signal, ThreadCanWaitOnValueChange) {
+  Kernel k;
+  Signal<bool> done(k, "done", false);
+  Time woken_at;
+  k.spawn_thread("waiter", [&] {
+    while (!done.read()) {
+      k.wait(done.value_changed_event());
+    }
+    woken_at = k.now();
+  });
+  k.spawn_thread("setter", [&] {
+    k.wait(42_ns);
+    done.write(true);
+  });
+  k.run();
+  EXPECT_EQ(woken_at, 42_ns);
+}
+
+TEST(Signal, ManySignalsIndependent) {
+  Kernel k;
+  Signal<int> a(k, "a"), b(k, "b");
+  k.spawn_thread("t", [&] {
+    a.write(1);
+    b.write(2);
+    k.wait_delta();
+    EXPECT_EQ(a.read(), 1);
+    EXPECT_EQ(b.read(), 2);
+  });
+  k.run();
+}
+
+}  // namespace
+}  // namespace tdsim

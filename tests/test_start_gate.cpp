@@ -1,0 +1,117 @@
+// StartGate: timestamped command hand-off between decoupled processes
+// (the register-start pattern of the accelerators and the DMA engine).
+#include <gtest/gtest.h>
+
+#include "core/start_gate.h"
+#include "kernel/kernel.h"
+
+namespace tdsim {
+namespace {
+
+using namespace tdsim::time_literals;
+
+TEST(StartGate, CarriesTheCommandersLocalDate) {
+  Kernel kernel;
+  StartGate<int> gate(kernel, "gate");
+  Time worker_date;
+  int command = 0;
+  kernel.spawn_thread("commander", [&] {
+    td::inc(250_ns);  // decoupled: runs ahead without syncing
+    gate.post(42);
+  });
+  kernel.spawn_thread("worker", [&] {
+    command = gate.await();
+    worker_date = td::local_time_stamp();
+  });
+  kernel.run();
+  EXPECT_EQ(command, 42);
+  EXPECT_EQ(worker_date, Time(250, TimeUnit::NS));
+}
+
+TEST(StartGate, AwaitBeforePostBlocks) {
+  Kernel kernel;
+  StartGate<int> gate(kernel, "gate");
+  Time awaited_at;
+  kernel.spawn_thread("worker", [&] {
+    (void)gate.await();
+    awaited_at = sim_time_stamp();
+  });
+  kernel.spawn_thread("commander", [&] {
+    wait(100_ns);
+    gate.post(1);
+  });
+  kernel.run();
+  EXPECT_EQ(awaited_at, Time(100, TimeUnit::NS));
+}
+
+TEST(StartGate, PostAfterAwaitDoesNotRewindTheWorker) {
+  // A second command posted with an *earlier* local date than the
+  // worker's current date must not move the worker backwards
+  // (advance_local_to is monotone).
+  Kernel kernel;
+  StartGate<int> gate(kernel, "gate");
+  std::vector<Time> dates;
+  kernel.spawn_thread("commander", [&] {
+    td::inc(300_ns);
+    gate.post(1);
+    td::sync();
+  });
+  kernel.spawn_thread("late_commander", [&] {
+    wait(350_ns);  // global 350 ns; posts synchronized (local == global)
+    gate.post(2);
+  });
+  kernel.spawn_thread("worker", [&] {
+    (void)gate.await();
+    td::inc(400_ns);  // now at local 700 ns
+    (void)gate.await();
+    dates.push_back(td::local_time_stamp());
+  });
+  kernel.run();
+  ASSERT_EQ(dates.size(), 1u);
+  EXPECT_EQ(dates[0], Time(700, TimeUnit::NS));  // not rewound to 350 ns
+}
+
+TEST(StartGate, SecondPostWhilePendingIsRejected) {
+  Kernel kernel;
+  StartGate<int> gate(kernel, "gate");
+  bool first = false, second = false;
+  kernel.spawn_thread("commander", [&] {
+    first = gate.post(1);
+    second = gate.post(2);  // still pending: rejected
+  });
+  kernel.spawn_thread("worker", [&] { EXPECT_EQ(gate.await(), 1); });
+  kernel.run();
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+}
+
+TEST(StartGate, TryTakeForMethods) {
+  Kernel kernel;
+  StartGate<int> gate(kernel, "gate");
+  std::optional<std::pair<int, Time>> taken;
+  MethodOptions opts;
+  opts.sensitivity.push_back(&gate.event());
+  opts.dont_initialize = true;
+  kernel.spawn_method("worker", [&] { taken = gate.try_take(); }, opts);
+  kernel.spawn_thread("commander", [&] {
+    td::inc(75_ns);
+    gate.post(9);
+  });
+  kernel.run();
+  ASSERT_TRUE(taken.has_value());
+  EXPECT_EQ(taken->first, 9);
+  EXPECT_EQ(taken->second, Time(75, TimeUnit::NS));
+}
+
+TEST(StartGate, TryTakeEmptyReturnsNothing) {
+  Kernel kernel;
+  StartGate<int> gate(kernel, "gate");
+  kernel.spawn_thread("worker", [&] {
+    EXPECT_FALSE(gate.try_take().has_value());
+    EXPECT_FALSE(gate.has_pending());
+  });
+  kernel.run();
+}
+
+}  // namespace
+}  // namespace tdsim

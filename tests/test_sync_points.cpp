@@ -1,0 +1,140 @@
+// The synchronization-point rule of paper SII.A: shared state crossing
+// decoupled processes is only correct when the writer synchronizes at the
+// right places. "Consider the following code that sets a flag for 10ns:
+// flag=1; inc(10,SC_NS); flag=0. Unless the quantum is smaller than 10ns,
+// it is impossible for another process to see that this flag has been set.
+// The solution ... is to add an explicit sync() before resetting the flag."
+#include <gtest/gtest.h>
+
+#include "core/local_time.h"
+#include "kernel/kernel.h"
+#include "kernel/signal.h"
+
+namespace tdsim {
+namespace {
+
+using namespace tdsim::time_literals;
+
+/// The flag-pulse scenario. The setter raises a flag, holds it for 10 ns
+/// of simulated time, and resets it; an observer polls every nanosecond.
+/// Returns how many polls saw the flag up.
+int observed_pulse_polls(bool sync_before_reset) {
+  Kernel kernel;
+  bool flag = false;
+  int seen = 0;
+  kernel.spawn_thread("setter", [&] {
+    td::inc(5_ns);
+    td::sync();  // publish point for the rising edge
+    flag = true;
+    td::inc(10_ns);
+    if (sync_before_reset) {
+      td::sync();  // the paper's fix: the pulse lasts 10 real ns
+    }
+    flag = false;
+  });
+  kernel.spawn_thread("observer", [&] {
+    for (int i = 0; i < 30; ++i) {
+      tdsim::wait(1_ns);
+      if (flag) {
+        seen++;
+      }
+    }
+  });
+  return kernel.run(), seen;
+}
+
+TEST(SyncPoints, FlagPulseInvisibleWithoutSync) {
+  // Without the sync, the setter resets the flag in the same instant it
+  // set it (its inc() is invisible to the scheduler): no observer poll
+  // can ever see the pulse.
+  EXPECT_EQ(observed_pulse_polls(false), 0);
+}
+
+TEST(SyncPoints, FlagPulseLasts10nsWithSync) {
+  // With the explicit sync() before the reset, the flag is really up for
+  // the simulated interval (5, 15] ns: the 1 ns poller sees it 10 times.
+  EXPECT_EQ(observed_pulse_polls(true), 10);
+}
+
+TEST(SyncPoints, SignalPulseBehavesLikeTheFlag) {
+  // Same rule through the Signal channel (evaluate/update semantics do
+  // not change the decoupling requirement).
+  const auto run_mode = [](bool sync_before_reset) {
+    Kernel kernel;
+    Signal<bool> flag(kernel, "flag", false);
+    int rising = 0, falling = 0;
+    Time rise_date, fall_date;
+    kernel.spawn_thread("setter", [&] {
+      td::inc(5_ns);
+      td::sync();
+      flag.write(true);
+      td::inc(10_ns);
+      if (sync_before_reset) {
+        td::sync();
+      }
+      flag.write(false);
+    });
+    kernel.spawn_thread("watcher", [&] {
+      for (int i = 0; i < 2; ++i) {
+        tdsim::wait(flag.value_changed_event());
+        if (flag.read()) {
+          rising++;
+          rise_date = sim_time_stamp();
+        } else {
+          falling++;
+          fall_date = sim_time_stamp();
+        }
+      }
+    });
+    kernel.run();
+    return std::tuple(rising, falling, fall_date - rise_date);
+  };
+
+  {
+    const auto [rising, falling, width] = run_mode(true);
+    EXPECT_EQ(rising, 1);
+    EXPECT_EQ(falling, 1);
+    EXPECT_EQ(width, Time(10, TimeUnit::NS));  // date-accurate pulse
+  }
+  {
+    // Without the sync both writes land in the same evaluation; the
+    // last-write-wins update never shows a rising edge.
+    const auto [rising, falling, width] = run_mode(false);
+    EXPECT_EQ(rising + falling, 0);
+    (void)width;
+  }
+}
+
+TEST(SyncPoints, QuantumSmallerThanPulseCanSeeIt) {
+  // The paper's alternative: with a quantum below the pulse width, the
+  // quantum keeper's periodic syncs publish the flag often enough.
+  Kernel kernel;
+  kernel.set_global_quantum(2_ns);
+  bool flag = false;
+  int seen = 0;
+  kernel.spawn_thread("setter", [&] {
+    td::inc(5_ns);
+    td::sync();
+    flag = true;
+    for (int i = 0; i < 10; ++i) {
+      td::inc(1_ns);
+      if (td::needs_sync()) {
+        td::sync();  // quantum keeper pattern
+      }
+    }
+    flag = false;
+  });
+  kernel.spawn_thread("observer", [&] {
+    for (int i = 0; i < 30; ++i) {
+      tdsim::wait(1_ns);
+      if (flag) {
+        seen++;
+      }
+    }
+  });
+  kernel.run();
+  EXPECT_GT(seen, 0);
+}
+
+}  // namespace
+}  // namespace tdsim

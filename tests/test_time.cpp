@@ -1,0 +1,80 @@
+#include "kernel/time.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tdsim {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+  Time t;
+  EXPECT_EQ(t.ps(), 0u);
+  EXPECT_TRUE(t.is_zero());
+}
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(Time(1, TimeUnit::NS).ps(), 1'000u);
+  EXPECT_EQ(Time(1, TimeUnit::US).ps(), 1'000'000u);
+  EXPECT_EQ(Time(1, TimeUnit::MS).ps(), 1'000'000'000u);
+  EXPECT_EQ(Time(1, TimeUnit::S).ps(), 1'000'000'000'000u);
+  EXPECT_EQ(Time(7, TimeUnit::PS).ps(), 7u);
+}
+
+TEST(Time, Literals) {
+  EXPECT_EQ(20_ns, Time(20, TimeUnit::NS));
+  EXPECT_EQ(3_us, Time(3000, TimeUnit::NS));
+  EXPECT_EQ(1_s, Time(1000, TimeUnit::MS));
+  EXPECT_EQ(15_ps, Time::from_ps(15));
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(10_ns, 20_ns);
+  EXPECT_LE(10_ns, 10_ns);
+  EXPECT_GT(1_us, 999_ns);
+  EXPECT_EQ(1000_ns, 1_us);
+}
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ(10_ns + 5_ns, 15_ns);
+  EXPECT_EQ(10_ns - 4_ns, 6_ns);
+  EXPECT_EQ(3_ns * 4, 12_ns);
+  EXPECT_EQ(4 * 3_ns, 12_ns);
+}
+
+TEST(Time, SubtractionSaturatesAtZero) {
+  EXPECT_EQ(5_ns - 10_ns, Time{});
+  EXPECT_EQ((5_ns - 5_ns).ps(), 0u);
+}
+
+TEST(Time, CountIn) {
+  EXPECT_EQ((1500_ns).count_in(TimeUnit::US), 1u);
+  EXPECT_EQ((1500_ns).count_in(TimeUnit::NS), 1500u);
+  EXPECT_EQ((1500_ns).count_in(TimeUnit::PS), 1'500'000u);
+}
+
+TEST(Time, ToSeconds) {
+  EXPECT_DOUBLE_EQ((1_s).to_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ((500_ms).to_seconds(), 0.5);
+}
+
+TEST(Time, ToStringPicksLargestExactUnit) {
+  EXPECT_EQ((20_ns).to_string(), "20 ns");
+  EXPECT_EQ((1_us).to_string(), "1 us");
+  EXPECT_EQ((1001_ns).to_string(), "1001 ns");
+  EXPECT_EQ((Time::from_ps(3)).to_string(), "3 ps");
+  EXPECT_EQ(Time{}.to_string(), "0 s");
+}
+
+TEST(Time, StreamOutput) {
+  std::ostringstream os;
+  os << 42_ns;
+  EXPECT_EQ(os.str(), "42 ns");
+}
+
+TEST(Time, MaxActsAsInfinity) {
+  EXPECT_GT(Time::max(), 1000000_s);
+}
+
+}  // namespace
+}  // namespace tdsim

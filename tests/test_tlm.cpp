@@ -1,0 +1,246 @@
+// Memory-mapped TLM substrate: payload routing, latency annotation,
+// register hooks, and the loosely-timed decoupling pattern.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/local_time.h"
+#include "kernel/kernel.h"
+#include "kernel/report.h"
+#include "tlm/bus.h"
+#include "tlm/memory.h"
+#include "tlm/payload.h"
+#include "tlm/register_bank.h"
+#include "tlm/socket.h"
+
+namespace tdsim {
+namespace {
+
+using tlm::Bus;
+using tlm::Command;
+using tlm::InitiatorSocket;
+using tlm::Memory;
+using tlm::Payload;
+using tlm::RegisterBank;
+using tlm::Response;
+
+TEST(TlmMemory, ReadBackWrittenData) {
+  Memory mem("m", 1024, 1_ns);
+  std::uint32_t wdata = 0xdeadbeef;
+  Payload p;
+  p.command = Command::Write;
+  p.address = 64;
+  p.data = reinterpret_cast<std::uint8_t*>(&wdata);
+  p.length = 4;
+  Time delay;
+  mem.b_transport(p, delay);
+  EXPECT_TRUE(p.ok());
+  EXPECT_EQ(delay, 1_ns);
+
+  std::uint32_t rdata = 0;
+  p.command = Command::Read;
+  p.data = reinterpret_cast<std::uint8_t*>(&rdata);
+  mem.b_transport(p, delay);
+  EXPECT_TRUE(p.ok());
+  EXPECT_EQ(rdata, 0xdeadbeefu);
+  EXPECT_EQ(delay, 2_ns);  // accumulated
+}
+
+TEST(TlmMemory, LatencyScalesWithWords) {
+  Memory mem("m", 1024, 2_ns);
+  std::vector<std::uint8_t> buf(64);
+  Payload p;
+  p.command = Command::Read;
+  p.address = 0;
+  p.data = buf.data();
+  p.length = 64;  // 16 words
+  Time delay;
+  mem.b_transport(p, delay);
+  EXPECT_EQ(delay, 32_ns);
+}
+
+TEST(TlmMemory, OutOfRangeIsAddressError) {
+  Memory mem("m", 128, 1_ns);
+  std::uint32_t v = 0;
+  Payload p;
+  p.command = Command::Read;
+  p.address = 126;  // straddles the end
+  p.data = reinterpret_cast<std::uint8_t*>(&v);
+  p.length = 4;
+  Time delay;
+  mem.b_transport(p, delay);
+  EXPECT_EQ(p.response, Response::AddressError);
+}
+
+TEST(TlmBus, RoutesByAddressAndTranslates) {
+  Bus bus("bus", 5_ns);
+  Memory a("a", 256, 1_ns);
+  Memory b("b", 256, 1_ns);
+  bus.map(0x1000, 256, a);
+  bus.map(0x2000, 256, b);
+
+  std::uint32_t v = 42;
+  Payload p;
+  p.command = Command::Write;
+  p.address = 0x2010;
+  p.data = reinterpret_cast<std::uint8_t*>(&v);
+  p.length = 4;
+  Time delay;
+  bus.b_transport(p, delay);
+  EXPECT_TRUE(p.ok());
+  EXPECT_EQ(p.address, 0x2010u);  // restored after translation
+  EXPECT_EQ(delay, 6_ns);         // hop + word
+  // The write landed at offset 0x10 of target b.
+  EXPECT_EQ(*reinterpret_cast<std::uint32_t*>(b.backdoor() + 0x10), 42u);
+  EXPECT_EQ(a.writes(), 0u);
+  EXPECT_EQ(b.writes(), 1u);
+}
+
+TEST(TlmBus, UnmappedAddressIsError) {
+  Bus bus("bus", 1_ns);
+  Memory a("a", 256, 1_ns);
+  bus.map(0x1000, 256, a);
+  std::uint32_t v = 0;
+  Payload p;
+  p.command = Command::Read;
+  p.address = 0x3000;
+  p.data = reinterpret_cast<std::uint8_t*>(&v);
+  p.length = 4;
+  Time delay;
+  bus.b_transport(p, delay);
+  EXPECT_EQ(p.response, Response::AddressError);
+  EXPECT_EQ(bus.decode_errors(), 1u);
+}
+
+TEST(TlmBus, OverlappingRegionsRejected) {
+  Bus bus("bus", 1_ns);
+  Memory a("a", 256, 1_ns);
+  Memory b("b", 256, 1_ns);
+  bus.map(0x1000, 256, a);
+  EXPECT_THROW(bus.map(0x10f0, 256, b), SimulationError);
+}
+
+TEST(TlmBus, AccessStraddlingRegionEndIsError) {
+  Bus bus("bus", 1_ns);
+  Memory a("a", 256, 1_ns);
+  bus.map(0x1000, 256, a);
+  std::vector<std::uint8_t> buf(8);
+  Payload p;
+  p.command = Command::Read;
+  p.address = 0x10fc;
+  p.data = buf.data();
+  p.length = 8;  // 4 bytes beyond the region
+  Time delay;
+  bus.b_transport(p, delay);
+  EXPECT_EQ(p.response, Response::AddressError);
+}
+
+TEST(TlmRegisterBank, HooksAndStorage) {
+  RegisterBank regs("r", 4, 1_ns);
+  std::uint32_t written = 0;
+  regs.set_write_hook(1, [&](std::uint32_t v) { written = v; });
+  regs.set_read_hook(2, [] { return 77u; });
+
+  Payload p;
+  Time delay;
+  std::uint32_t v = 5;
+  p.command = Command::Write;
+  p.address = 4;  // register 1
+  p.data = reinterpret_cast<std::uint8_t*>(&v);
+  p.length = 4;
+  regs.b_transport(p, delay);
+  EXPECT_TRUE(p.ok());
+  EXPECT_EQ(written, 5u);
+  EXPECT_EQ(regs.peek(1), 5u);
+
+  p.command = Command::Read;
+  p.address = 8;  // register 2, hooked
+  regs.b_transport(p, delay);
+  EXPECT_EQ(v, 77u);
+}
+
+TEST(TlmRegisterBank, MisalignedAccessRejected) {
+  RegisterBank regs("r", 4, 1_ns);
+  std::uint32_t v = 0;
+  Payload p;
+  p.command = Command::Read;
+  p.address = 2;
+  p.data = reinterpret_cast<std::uint8_t*>(&v);
+  p.length = 4;
+  Time delay;
+  regs.b_transport(p, delay);
+  EXPECT_EQ(p.response, Response::AddressError);
+}
+
+TEST(TlmSocket, UnboundAccessIsError) {
+  Kernel k;
+  InitiatorSocket socket("s");
+  k.spawn_thread("t", [&] { (void)socket.read32(0); });
+  EXPECT_THROW(k.run(), SimulationError);
+}
+
+TEST(TlmSocket, DoubleBindRejected) {
+  InitiatorSocket socket("s");
+  Memory mem("m", 64, 1_ns);
+  socket.bind(mem);
+  EXPECT_THROW(socket.bind(mem), SimulationError);
+}
+
+TEST(TlmSocket, LooselyTimedAccessesAccumulateLocalTime) {
+  Kernel k;
+  k.set_global_quantum(1_us);
+  Bus bus("bus", 2_ns);
+  Memory mem("m", 1024, 1_ns);
+  bus.map(0, 1024, mem);
+  InitiatorSocket socket("s");
+  socket.bind(bus);
+  k.spawn_thread("initiator", [&] {
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      socket.write32(i * 4, static_cast<std::uint32_t>(i * 7));
+    }
+    // 10 accesses x (2 + 1) ns, all inside the quantum: no sync yet.
+    EXPECT_EQ(td::local_time_stamp(), 30_ns);
+    EXPECT_EQ(k.now(), Time{});
+    for (std::uint64_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(socket.read32(i * 4), i * 7);
+    }
+    td::sync();
+    EXPECT_EQ(k.now(), 60_ns);
+  });
+  k.run();
+  // The whole program cost a single context switch.
+  EXPECT_LE(k.stats().context_switches, 2u);
+  EXPECT_EQ(socket.transactions(), 20u);
+}
+
+TEST(TlmSocket, QuantumBoundsDecoupling) {
+  Kernel k;
+  k.set_global_quantum(10_ns);
+  Memory mem("m", 1024, 5_ns);
+  InitiatorSocket socket("s");
+  socket.bind(mem);
+  k.spawn_thread("initiator", [&] {
+    for (int i = 0; i < 6; ++i) {
+      socket.write32(0, 1);  // 5 ns each, quantum 10 ns
+      EXPECT_LE(td::local_offset(), 10_ns);
+    }
+  });
+  k.run();
+  EXPECT_EQ(k.now(), 30_ns);
+  // One initial dispatch + one sync every two accesses.
+  EXPECT_EQ(k.stats().context_switches, 4u);
+}
+
+TEST(TlmSocket, FailedAccessRaises) {
+  Kernel k;
+  Bus bus("bus", 1_ns);
+  Memory mem("m", 64, 1_ns);
+  bus.map(0, 64, mem);
+  InitiatorSocket socket("s");
+  socket.bind(bus);
+  k.spawn_thread("t", [&] { (void)socket.read32(0x9999); });
+  EXPECT_THROW(k.run(), SimulationError);
+}
+
+}  // namespace
+}  // namespace tdsim
