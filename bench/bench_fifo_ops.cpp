@@ -11,7 +11,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/arbiter.h"
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "core/smart_fifo.h"
 #include "core/sync_fifo.h"
 #include "kernel/kernel.h"
@@ -36,7 +36,7 @@ void transfer_batch(std::size_t depth, std::uint64_t words, bool decoupled) {
   kernel.spawn_thread("producer", [&] {
     for (std::uint64_t i = 0; i < words; ++i) {
       if (decoupled) {
-        tdsim::td::inc(3_ns);
+        kernel.sync_domain().inc(3_ns);
       } else {
         tdsim::wait(3_ns);
       }
@@ -48,7 +48,7 @@ void transfer_batch(std::size_t depth, std::uint64_t words, bool decoupled) {
     for (std::uint64_t i = 0; i < words; ++i) {
       sum += fifo.read();
       if (decoupled) {
-        tdsim::td::inc(2_ns);
+        kernel.sync_domain().inc(2_ns);
       } else {
         tdsim::wait(2_ns);
       }
@@ -96,7 +96,7 @@ void BM_IsEmptySmart(benchmark::State& state) {
       bool acc = false;
       for (std::uint64_t i = 0; i < kQueries; ++i) {
         acc ^= fifo.is_empty();
-        tdsim::td::inc(1_ns);
+        kernel.sync_domain().inc(1_ns);
       }
       benchmark::DoNotOptimize(acc);
       benchmark::DoNotOptimize(fifo.read());
@@ -118,7 +118,7 @@ void BM_IsEmptyRegular(benchmark::State& state) {
       bool acc = false;
       for (std::uint64_t i = 0; i < kQueries; ++i) {
         acc ^= fifo.is_empty();
-        tdsim::td::inc(1_ns);
+        kernel.sync_domain().inc(1_ns);
       }
       benchmark::DoNotOptimize(acc);
       benchmark::DoNotOptimize(fifo.read());
@@ -188,7 +188,7 @@ void BM_TransferSmartArbitrated(benchmark::State& state) {
     tdsim::ReadArbiter<std::uint32_t> read_side(fifo);
     kernel.spawn_thread("producer", [&] {
       for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
-        tdsim::td::inc(3_ns);
+        kernel.sync_domain().inc(3_ns);
         write_side.write(static_cast<std::uint32_t>(i));
       }
     });
@@ -196,7 +196,7 @@ void BM_TransferSmartArbitrated(benchmark::State& state) {
       std::uint32_t sum = 0;
       for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
         sum += read_side.read();
-        tdsim::td::inc(2_ns);
+        kernel.sync_domain().inc(2_ns);
       }
       benchmark::DoNotOptimize(sum);
     });
@@ -214,7 +214,7 @@ void BM_TransferSmartNoOrderCheck(benchmark::State& state) {
     fifo.set_side_order_checking(false);
     kernel.spawn_thread("producer", [&] {
       for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
-        tdsim::td::inc(3_ns);
+        kernel.sync_domain().inc(3_ns);
         fifo.write(static_cast<std::uint32_t>(i));
       }
     });
@@ -222,7 +222,7 @@ void BM_TransferSmartNoOrderCheck(benchmark::State& state) {
       std::uint32_t sum = 0;
       for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
         sum += fifo.read();
-        tdsim::td::inc(2_ns);
+        kernel.sync_domain().inc(2_ns);
       }
       benchmark::DoNotOptimize(sum);
     });

@@ -12,6 +12,12 @@
 //     at depth 4, saturating at a several-x gain for large depths.
 //
 // Usage: bench_fig5_fifo_depth [--blocks N] [--words N] [--depths a,b,c]
+//                               [--json]
+//
+// --json additionally writes BENCH_fig5_fifo_depth.json with one row per
+// (depth, model), including the per-cause synchronization counts from
+// KernelStats (fifo_full / fifo_empty vs. the rest) that explain *why* the
+// context-switch totals move with the depth.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -19,11 +25,14 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "workloads/pipeline.h"
 
 namespace {
 
 using tdsim::Kernel;
+using tdsim::KernelStats;
+using tdsim::SyncCause;
 using tdsim::Time;
 using tdsim::workloads::ModelKind;
 using tdsim::workloads::Pipeline;
@@ -32,7 +41,7 @@ using tdsim::workloads::PipelineConfig;
 struct RunResult {
   double wall_seconds = 0;
   Time end_date;
-  std::uint64_t context_switches = 0;
+  KernelStats stats;
   bool correct = false;
 };
 
@@ -53,9 +62,36 @@ RunResult run_once(ModelKind kind, std::size_t depth, std::uint64_t blocks,
   RunResult result;
   result.wall_seconds = std::chrono::duration<double>(stop - start).count();
   result.end_date = end_date;
-  result.context_switches = kernel.stats().context_switches;
+  result.stats = kernel.stats();
   result.correct = pipeline.correct();
   return result;
+}
+
+const char* model_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::Untimed: return "untimed";
+    case ModelKind::TDless: return "TDless";
+    case ModelKind::TDfull: return "TDfull";
+    case ModelKind::NaiveTD: return "naiveTD";
+  }
+  return "?";
+}
+
+void add_json_row(benchjson::Report& report, ModelKind kind,
+                  std::size_t depth, const RunResult& r) {
+  benchjson::Row& row = report.row();
+  row.add("depth", static_cast<std::uint64_t>(depth))
+      .add("model", std::string(model_name(kind)))
+      .add("wall_seconds", r.wall_seconds)
+      .add("end_date_ps", r.end_date.ps())
+      .add("context_switches", r.stats.context_switches)
+      .add("sync_requests", r.stats.sync_requests)
+      .add("syncs_elided", r.stats.syncs_elided)
+      .add("syncs_performed", r.stats.syncs_performed());
+  for (std::size_t c = 0; c < tdsim::kSyncCauseCount; ++c) {
+    row.add(std::string("syncs_") + to_string(static_cast<SyncCause>(c)),
+            r.stats.syncs_by_cause[c]);
+  }
 }
 
 std::vector<std::size_t> parse_depths(const char* arg) {
@@ -82,6 +118,7 @@ int main(int argc, char** argv) {
   std::uint64_t words_per_block = 1000;
   std::vector<std::size_t> depths = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
                                      1024};
+  bool emit_json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--blocks") == 0 && i + 1 < argc) {
       blocks = std::strtoull(argv[++i], nullptr, 10);
@@ -89,22 +126,26 @@ int main(int argc, char** argv) {
       words_per_block = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--depths") == 0 && i + 1 < argc) {
       depths = parse_depths(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--blocks N] [--words N] [--depths a,b,c]\n",
+                   "usage: %s [--blocks N] [--words N] [--depths a,b,c]"
+                   " [--json]\n",
                    argv[0]);
       return 2;
     }
   }
+  benchjson::Report report("fig5_fifo_depth");
 
   std::printf("Fig. 5 reproduction: execution duration vs FIFO depth\n");
   std::printf("workload: %llu blocks x %llu words, varying rates\n\n",
               static_cast<unsigned long long>(blocks),
               static_cast<unsigned long long>(words_per_block));
   std::printf(
-      "%7s | %12s %12s %12s | %11s %11s | %9s %9s | %s\n", "depth",
+      "%7s | %12s %12s %12s | %11s %11s %9s %9s | %9s %9s | %s\n", "depth",
       "untimed[s]", "TDless[s]", "TDfull[s]", "sw(TDless)", "sw(TDfull)",
-      "TDl/TDf", "TDf/unt", "dates");
+      "sy(full)", "sy(empty)", "TDl/TDf", "TDf/unt", "dates");
 
   bool all_ok = true;
   for (std::size_t depth : depths) {
@@ -120,14 +161,31 @@ int main(int argc, char** argv) {
                     dates_equal;
     all_ok = all_ok && ok;
 
+    // The per-cause decomposition of the Smart FIFO's switches: as the
+    // FIFO deepens, the fifo_full / fifo_empty synchronizations (the only
+    // ones this workload performs under TDfull) collapse.
     std::printf(
-        "%7zu | %12.3f %12.3f %12.3f | %11llu %11llu | %9.2f %9.2f | %s\n",
+        "%7zu | %12.3f %12.3f %12.3f | %11llu %11llu %9llu %9llu | %9.2f "
+        "%9.2f | %s\n",
         depth, untimed.wall_seconds, tdless.wall_seconds, tdfull.wall_seconds,
-        static_cast<unsigned long long>(tdless.context_switches),
-        static_cast<unsigned long long>(tdfull.context_switches),
+        static_cast<unsigned long long>(tdless.stats.context_switches),
+        static_cast<unsigned long long>(tdfull.stats.context_switches),
+        static_cast<unsigned long long>(tdfull.stats.syncs(SyncCause::FifoFull)),
+        static_cast<unsigned long long>(
+            tdfull.stats.syncs(SyncCause::FifoEmpty)),
         tdless.wall_seconds / tdfull.wall_seconds,
         tdfull.wall_seconds / untimed.wall_seconds,
         ok ? (dates_equal ? "equal" : "-") : "MISMATCH");
+
+    if (emit_json) {
+      add_json_row(report, ModelKind::Untimed, depth, untimed);
+      add_json_row(report, ModelKind::TDless, depth, tdless);
+      add_json_row(report, ModelKind::TDfull, depth, tdfull);
+    }
+  }
+
+  if (emit_json && !report.write()) {
+    return 1;
   }
 
   if (!all_ok) {

@@ -1,0 +1,86 @@
+// Minimal machine-readable benchmark output: each bench, when run with
+// --json, writes BENCH_<name>.json next to its stdout tables so the perf
+// trajectory can be tracked across commits without scraping text.
+//
+// Format: {"bench": "<name>", "rows": [{"k": v, ...}, ...]} where values
+// are numbers or strings. No external JSON dependency; the writer escapes
+// only what the benches emit (plain identifiers and numbers).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace benchjson {
+
+class Row {
+ public:
+  Row& add(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    fields_.emplace_back(key, buffer);
+    return *this;
+  }
+
+  Row& add(const std::string& key, std::uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  Row& add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");
+    return *this;
+  }
+
+ private:
+  friend class Report;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+class Report {
+ public:
+  /// `name` becomes the BENCH_<name>.json file name; keep it a plain
+  /// identifier.
+  explicit Report(std::string name) : name_(std::move(name)) {}
+
+  /// The returned reference stays valid for the report's lifetime (rows
+  /// live in a deque, which never relocates elements on growth).
+  Row& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes BENCH_<name>.json in the working directory; returns false (and
+  /// reports to stderr) on I/O failure.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", name_.c_str());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n  {", r == 0 ? "" : ",");
+      const auto& fields = rows_[r].fields_;
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     fields[i].first.c_str(), fields[i].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::deque<Row> rows_;
+};
+
+}  // namespace benchjson

@@ -8,12 +8,12 @@
 //   * thread event ping-pong (two switches plus event dispatch);
 //   * method activation (run-to-completion, no stack switch -- why the
 //     paper models routers and network interfaces with SC_METHODs);
-//   * td::inc() (the temporal-decoupling annotation -- orders of magnitude
+//   * kernel.sync_domain().inc() (the temporal-decoupling annotation -- orders of magnitude
 //     cheaper than any of the above);
 //   * timed event notification through the scheduler queue.
 #include <benchmark/benchmark.h>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "kernel/event.h"
 #include "kernel/kernel.h"
 
@@ -88,7 +88,7 @@ void BM_IncAnnotation(benchmark::State& state) {
     Kernel kernel;
     kernel.spawn_thread("annotator", [&] {
       for (std::uint64_t i = 0; i < kOpsPerBatch; ++i) {
-        tdsim::td::inc(1_ns);
+        kernel.sync_domain().inc(1_ns);
       }
     });
     kernel.run();
@@ -104,8 +104,8 @@ void BM_IncThenSync(benchmark::State& state) {
     Kernel kernel;
     kernel.spawn_thread("syncer", [&] {
       for (std::uint64_t i = 0; i < kOpsPerBatch; ++i) {
-        tdsim::td::inc(1_ns);
-        tdsim::td::sync();
+        kernel.sync_domain().inc(1_ns);
+        kernel.sync_domain().sync();
       }
     });
     kernel.run();

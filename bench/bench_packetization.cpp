@@ -13,7 +13,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "core/smart_fifo.h"
 #include "core/sync_fifo.h"
 #include "kernel/module.h"
@@ -39,14 +39,14 @@ void BM_SmartFifoWordAtATime(benchmark::State& state) {
     kernel.spawn_thread("producer", [&] {
       for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
         fifo.write(static_cast<std::uint32_t>(i));
-        tdsim::td::inc(1_ns);
+        kernel.sync_domain().inc(1_ns);
       }
     });
     kernel.spawn_thread("consumer", [&] {
       std::uint32_t sum = 0;
       for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
         sum += fifo.read();
-        tdsim::td::inc(1_ns);
+        kernel.sync_domain().inc(1_ns);
       }
       benchmark::DoNotOptimize(sum);
     });
@@ -129,7 +129,7 @@ void noc_path_batch(std::size_t packet_words) {
 
   kernel.spawn_thread("producer", [&] {
     for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
-      tdsim::td::inc(2_ns);
+      kernel.sync_domain().inc(2_ns);
       to_ni.write(static_cast<std::uint32_t>(i));
     }
   });
@@ -137,7 +137,7 @@ void noc_path_batch(std::size_t packet_words) {
     std::uint32_t sum = 0;
     for (std::uint64_t i = 0; i < kWordsPerBatch; ++i) {
       sum += from_ni.read();
-      tdsim::td::inc(2_ns);
+      kernel.sync_domain().inc(2_ns);
     }
     benchmark::DoNotOptimize(sum);
   });

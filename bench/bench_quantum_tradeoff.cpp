@@ -17,18 +17,25 @@
 // with zero date error.
 //
 // Usage: bench_quantum_tradeoff [--steps N] [--blocks N] [--words N]
+//                                [--json]
+//
+// --json additionally writes BENCH_quantum_tradeoff.json with one row per
+// sweep point, including the per-cause sync counts from KernelStats
+// (quantum- vs. FIFO-driven) behind each context-switch total.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
 
-#include "core/local_time.h"
+#include "bench_json.h"
 #include "workloads/pipeline.h"
 
 namespace {
 
 using tdsim::Kernel;
+using tdsim::KernelStats;
+using tdsim::SyncCause;
 using tdsim::Time;
 using tdsim::TimeUnit;
 using namespace tdsim::time_literals;
@@ -39,7 +46,7 @@ using namespace tdsim::time_literals;
 
 struct CancelResult {
   Time observed;  ///< Worker's local date when it saw the cancellation.
-  std::uint64_t context_switches = 0;
+  KernelStats stats;
   double wall_seconds = 0;
 };
 
@@ -58,13 +65,10 @@ CancelResult run_cancellation(Time quantum, Time step, Time cancel_at,
       if (quantum.is_zero()) {
         tdsim::wait(step);  // no decoupling: one context switch per step
       } else {
-        tdsim::td::inc(step);
-        if (tdsim::td::needs_sync()) {
-          tdsim::td::sync();
-        }
+        kernel.sync_domain().inc_and_sync_if_needed(step);
       }
       if (cancelled) {
-        result.observed = tdsim::td::local_time_stamp();
+        result.observed = kernel.sync_domain().local_time_stamp();
         return;
       }
     }
@@ -78,7 +82,7 @@ CancelResult run_cancellation(Time quantum, Time step, Time cancel_at,
   kernel.run();
   const auto stop = std::chrono::steady_clock::now();
   result.wall_seconds = std::chrono::duration<double>(stop - start).count();
-  result.context_switches = kernel.stats().context_switches;
+  result.stats = kernel.stats();
   return result;
 }
 
@@ -88,7 +92,7 @@ CancelResult run_cancellation(Time quantum, Time step, Time cancel_at,
 
 struct PipelineResult {
   Time end_date;
-  std::uint64_t context_switches = 0;
+  KernelStats stats;
   double wall_seconds = 0;
   bool correct = false;
 };
@@ -111,7 +115,7 @@ PipelineResult run_pipeline(tdsim::workloads::ModelKind kind, Time quantum,
 
   PipelineResult result;
   result.end_date = end;
-  result.context_switches = kernel.stats().context_switches;
+  result.stats = kernel.stats();
   result.wall_seconds = std::chrono::duration<double>(stop - start).count();
   result.correct = pipeline.correct();
   return result;
@@ -129,6 +133,7 @@ int main(int argc, char** argv) {
   std::uint64_t steps = 2'000'000;
   std::uint64_t blocks = 200;
   std::uint64_t words_per_block = 1000;
+  bool emit_json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
       steps = std::strtoull(argv[++i], nullptr, 10);
@@ -136,12 +141,16 @@ int main(int argc, char** argv) {
       blocks = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--words") == 0 && i + 1 < argc) {
       words_per_block = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--steps N] [--blocks N] [--words N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--steps N] [--blocks N] [--words N] [--json]\n",
                    argv[0]);
       return 2;
     }
   }
+  benchjson::Report report("quantum_tradeoff");
 
   const Time step = 10_ns;
   // One nanosecond past the mid-run date: were the cancellation aligned
@@ -154,52 +163,105 @@ int main(int argc, char** argv) {
   std::printf("worker step 10 ns x %llu, cancellation at %s\n\n",
               static_cast<unsigned long long>(steps),
               cancel_at.to_string().c_str());
-  std::printf("%10s | %14s | %12s | %10s\n", "quantum", "error[ns]",
-              "switches", "wall[s]");
+  std::printf("%10s | %14s | %12s | %12s | %10s\n", "quantum", "error[ns]",
+              "switches", "q-syncs", "wall[s]");
 
   const std::vector<Time> quanta = {Time{},  10_ns,  100_ns,
                                     1_us,    10_us,  100_us};
   for (Time q : quanta) {
     const CancelResult r = run_cancellation(q, step, cancel_at, steps);
-    std::printf("%10s | %14.0f | %12llu | %10.3f\n",
+    std::printf("%10s | %14.0f | %12llu | %12llu | %10.3f\n",
                 q.is_zero() ? "none" : q.to_string().c_str(),
                 signed_error_ns(r.observed, cancel_at),
-                static_cast<unsigned long long>(r.context_switches),
+                static_cast<unsigned long long>(r.stats.context_switches),
+                static_cast<unsigned long long>(
+                    r.stats.syncs(SyncCause::Quantum)),
                 r.wall_seconds);
+    if (emit_json) {
+      report.row()
+          .add("table", std::string("cancellation"))
+          .add("quantum_ps", q.ps())
+          .add("error_ns", signed_error_ns(r.observed, cancel_at))
+          .add("context_switches", r.stats.context_switches)
+          .add("syncs_quantum", r.stats.syncs(SyncCause::Quantum))
+          .add("wall_seconds", r.wall_seconds);
+    }
   }
 
   std::printf("\nTable B: pipeline end-date error (reference: TDless)\n");
   std::printf("workload: %llu blocks x %llu words, depth 8\n\n",
               static_cast<unsigned long long>(blocks),
               static_cast<unsigned long long>(words_per_block));
-  std::printf("%22s | %14s | %12s | %10s\n", "model", "error[ns]", "switches",
-              "wall[s]");
+  std::printf("%22s | %14s | %12s | %12s | %10s\n", "model", "error[ns]",
+              "switches", "q/fifo syncs", "wall[s]");
+
+  const auto fifo_syncs = [](const PipelineResult& r) {
+    return r.stats.syncs(SyncCause::FifoFull) +
+           r.stats.syncs(SyncCause::FifoEmpty);
+  };
+  const auto add_pipeline_row = [&](const char* model, Time q,
+                                    const PipelineResult& r,
+                                    const PipelineResult& ref) {
+    report.row()
+        .add("table", std::string("pipeline"))
+        .add("model", std::string(model))
+        .add("quantum_ps", q.ps())
+        .add("error_ns", signed_error_ns(r.end_date, ref.end_date))
+        .add("context_switches", r.stats.context_switches)
+        .add("syncs_quantum", r.stats.syncs(SyncCause::Quantum))
+        .add("syncs_fifo", fifo_syncs(r))
+        .add("wall_seconds", r.wall_seconds);
+  };
 
   using tdsim::workloads::ModelKind;
   const PipelineResult reference =
       run_pipeline(ModelKind::TDless, Time{}, blocks, words_per_block);
-  std::printf("%22s | %14.0f | %12llu | %10.3f\n", "TDless (reference)", 0.0,
-              static_cast<unsigned long long>(reference.context_switches),
+  std::printf("%22s | %14.0f | %12llu | %5llu/%6llu | %10.3f\n",
+              "TDless (reference)", 0.0,
+              static_cast<unsigned long long>(reference.stats.context_switches),
+              static_cast<unsigned long long>(
+                  reference.stats.syncs(SyncCause::Quantum)),
+              static_cast<unsigned long long>(fifo_syncs(reference)),
               reference.wall_seconds);
+  if (emit_json) {
+    add_pipeline_row("TDless", Time{}, reference, reference);
+  }
 
   bool ok = reference.correct;
   for (Time q : {10_ns, 1_us, 100_us}) {
     const PipelineResult r =
         run_pipeline(ModelKind::NaiveTD, q, blocks, words_per_block);
     ok = ok && r.correct;
-    std::printf("%15s Q=%-5s | %14.0f | %12llu | %10.3f\n", "naiveTD",
-                q.to_string().c_str(),
+    std::printf("%15s Q=%-5s | %14.0f | %12llu | %5llu/%6llu | %10.3f\n",
+                "naiveTD", q.to_string().c_str(),
                 signed_error_ns(r.end_date, reference.end_date),
-                static_cast<unsigned long long>(r.context_switches),
+                static_cast<unsigned long long>(r.stats.context_switches),
+                static_cast<unsigned long long>(
+                    r.stats.syncs(SyncCause::Quantum)),
+                static_cast<unsigned long long>(fifo_syncs(r)),
                 r.wall_seconds);
+    if (emit_json) {
+      add_pipeline_row("naiveTD", q, r, reference);
+    }
   }
   const PipelineResult smart =
       run_pipeline(ModelKind::TDfull, Time{}, blocks, words_per_block);
   ok = ok && smart.correct && smart.end_date == reference.end_date;
-  std::printf("%22s | %14.0f | %12llu | %10.3f\n", "TDfull (Smart FIFO)",
+  std::printf("%22s | %14.0f | %12llu | %5llu/%6llu | %10.3f\n",
+              "TDfull (Smart FIFO)",
               signed_error_ns(smart.end_date, reference.end_date),
-              static_cast<unsigned long long>(smart.context_switches),
+              static_cast<unsigned long long>(smart.stats.context_switches),
+              static_cast<unsigned long long>(
+                  smart.stats.syncs(SyncCause::Quantum)),
+              static_cast<unsigned long long>(fifo_syncs(smart)),
               smart.wall_seconds);
+  if (emit_json) {
+    add_pipeline_row("TDfull", Time{}, smart, reference);
+  }
+
+  if (emit_json && !report.write()) {
+    return 1;
+  }
 
   if (!ok) {
     std::fprintf(stderr,

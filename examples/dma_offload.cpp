@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <numeric>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "kernel/module.h"
 #include "tlm/bus.h"
 #include "tlm/dma.h"
@@ -57,26 +57,23 @@ int main() {
     cpu.write32(reg(Dma::kLen), kBlock);
     cpu.write32(reg(Dma::kCtrl), 1);
     std::printf("sw:  DMA started at %s (local date)\n",
-                td::local_time_stamp().to_string().c_str());
+                kernel.sync_domain().local_time_stamp().to_string().c_str());
 
     // Overlap: crunch numbers while the engine copies.
     for (int i = 0; i < 1000; ++i) {
-      td::inc(50_ns);
-      if (td::needs_sync()) {
-        td::sync();
-      }
+      kernel.sync_domain().inc_and_sync_if_needed(50_ns);
     }
     std::printf("sw:  compute phase done at %s\n",
-                td::local_time_stamp().to_string().c_str());
+                kernel.sync_domain().local_time_stamp().to_string().c_str());
 
     // Wait for the completion interrupt (sync first: waiting is a
     // synchronization point).
-    td::sync();
+    kernel.sync_domain().sync();
     while (cpu.read32(reg(Dma::kStatus)) != Dma::kDone) {
       tdsim::wait(dma.done_event());
     }
     std::printf("sw:  completion observed at %s\n",
-                td::local_time_stamp().to_string().c_str());
+                kernel.sync_domain().local_time_stamp().to_string().c_str());
 
     // Verify through timed reads.
     bool ok = true;

@@ -20,7 +20,7 @@
 #include <string>
 #include <vector>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "core/smart_fifo.h"
 #include "core/sync_fifo.h"
 #include "kernel/kernel.h"
@@ -55,7 +55,7 @@ void run_model(Style style, std::vector<TraceLine>& trace,
   const bool decoupled = style != Style::Reference;
   const auto delay = [&](Time d) {
     if (decoupled) {
-      td::inc(d);
+      kernel.sync_domain().inc(d);
     } else {
       kernel.wait(d);
     }
@@ -64,7 +64,7 @@ void run_model(Style style, std::vector<TraceLine>& trace,
   kernel.spawn_thread("writer", [&] {
     for (int v = 1; v <= 3; ++v) {
       fifo->write(v);
-      trace.push_back({td::local_time_stamp(),
+      trace.push_back({kernel.sync_domain().local_time_stamp(),
                        "writer: wr " + std::to_string(v)});
       delay(20_ns);
     }
@@ -73,7 +73,7 @@ void run_model(Style style, std::vector<TraceLine>& trace,
     for (int i = 0; i < 3; ++i) {
       delay(15_ns);
       const int v = fifo->read();
-      trace.push_back({td::local_time_stamp(),
+      trace.push_back({kernel.sync_domain().local_time_stamp(),
                        "reader: rd -> " + std::to_string(v)});
     }
   });

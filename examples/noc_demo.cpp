@@ -11,7 +11,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "core/smart_fifo.h"
 #include "kernel/module.h"
 #include "noc/mesh.h"
@@ -72,17 +72,17 @@ int main() {
     tx.per_word = 1_ns;
     nis[src]->add_tx_channel(tx);
 
-    kernel.spawn_thread("producer" + std::to_string(s), [&to_ni, s] {
+    kernel.spawn_thread("producer" + std::to_string(s), [&kernel, &to_ni, s] {
       for (std::size_t i = 0; i < kWords; ++i) {
-        td::inc(2_ns);
+        kernel.sync_domain().inc(2_ns);
         to_ni.write(static_cast<std::uint32_t>(s << 16 | i));
       }
     });
-    kernel.spawn_thread("sink" + std::to_string(s), [&from_ni, &received,
-                                                     &in_order, s] {
+    kernel.spawn_thread("sink" + std::to_string(s), [&kernel, &from_ni,
+                                                     &received, &in_order, s] {
       for (std::size_t i = 0; i < kWords; ++i) {
         const std::uint32_t word = from_ni.read();
-        td::inc(2_ns);
+        kernel.sync_domain().inc(2_ns);
         if (word != static_cast<std::uint32_t>(s << 16 | i)) {
           in_order[s] = false;
         }

@@ -18,7 +18,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "kernel/kernel.h"
 #include "trace/probe.h"
 #include "trace/vcd.h"
@@ -56,10 +56,10 @@ int main() {
   kernel.spawn_thread("monitor", [&] {
     std::printf("%10s | %-26s | %-26s\n", "date", "fifo A (src->transmit)",
                 "fifo B (transmit->sink)");
-    td::inc(Time(500, TimeUnit::PS));
+    kernel.sync_domain().inc(Time(500, TimeUnit::PS));
     for (int sample = 0; sample < 40; ++sample) {
-      td::inc(500_ns);
-      td::sync();
+      kernel.sync_domain().inc(500_ns);
+      kernel.sync_domain().sync();
       const std::size_t a = pipeline.first_fifo().get_size();
       const std::size_t b = pipeline.second_fifo().get_size();
       const auto bar = [](std::size_t n) {

@@ -1,8 +1,8 @@
 // Quickstart: a producer and a consumer communicating through a Smart FIFO
 // with temporal decoupling.
 //
-// The producer annotates 20 ns per item with td::inc() (no context switch)
-// and the consumer 15 ns; the Smart FIFO carries the dates across, so both
+// The producer annotates 20 ns per item with SyncDomain::inc() (no context
+// switch) and the consumer 15 ns; the Smart FIFO carries the dates across, so both
 // processes observe exactly the timing a fully synchronized model would --
 // while the kernel only switches contexts when the FIFO is internally full
 // or empty.
@@ -10,34 +10,35 @@
 // Build & run:  ./examples/quickstart
 #include <cstdio>
 
-#include "core/local_time.h"
 #include "core/smart_fifo.h"
 #include "kernel/kernel.h"
+#include "kernel/sync_domain.h"
 
-using namespace tdsim;           // Kernel, Time, wait(), ...
-using namespace tdsim::td;       // inc(), sync(), local_time_stamp()
+using namespace tdsim;  // Kernel, Time, wait(), ...
 
 int main() {
   Kernel kernel;
   SmartFifo<int> fifo(kernel, "fifo", /*depth=*/2);
 
   kernel.spawn_thread("producer", [&] {
+    SyncDomain& td = kernel.sync_domain();
     for (int i = 1; i <= 5; ++i) {
       fifo.write(i);  // may bump our local date to the cell's freeing date
       std::printf("producer: wrote %d at %s\n", i,
-                  local_time_stamp().to_string().c_str());
-      inc(Time(20, TimeUnit::NS));  // timing annotation, no context switch
+                  td.local_time_stamp().to_string().c_str());
+      td.inc(Time(20, TimeUnit::NS));  // timing annotation, no context switch
     }
   });
 
   kernel.spawn_thread("consumer", [&] {
+    SyncDomain& td = kernel.sync_domain();
     for (int i = 0; i < 5; ++i) {
-      inc(Time(15, TimeUnit::NS));
+      td.inc(Time(15, TimeUnit::NS));
       const int value = fifo.read();  // bumps us to the insertion date
       std::printf("consumer: read  %d at %s\n", value,
-                  local_time_stamp().to_string().c_str());
+                  td.local_time_stamp().to_string().c_str());
     }
-    td::sync();  // land back on the global date before reporting
+    td.sync();  // land back on the global date before reporting
     std::printf("consumer: done, global date %s\n",
                 sim_time_stamp().to_string().c_str());
   });

@@ -12,7 +12,7 @@
 #pragma once
 
 #include "core/fifo_interface.h"
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 
 namespace tdsim {
 
@@ -27,14 +27,15 @@ class WriteArbiter {
   /// a previous client's access can carry a future date when the FIFO
   /// bumped it to a cell's freeing date.
   void write(T value) {
-    td::sync();
-    td::advance_local_to(last_date_);
+    SyncDomain& domain = current_sync_domain();
+    domain.sync(SyncCause::SyncPoint);
+    domain.advance_local_to(last_date_);
     target_.write(std::move(value));
-    last_date_ = td::local_time_stamp();
+    last_date_ = domain.local_time_stamp();
   }
 
   bool is_full() {
-    td::sync();
+    current_sync_domain().sync(SyncCause::SyncPoint);
     return target_.is_full();
   }
 
@@ -53,15 +54,16 @@ class ReadArbiter {
   /// Synchronizing read; safe from any number of thread processes. As for
   /// WriteArbiter, the caller queues behind the last arbitrated access.
   T read() {
-    td::sync();
-    td::advance_local_to(last_date_);
+    SyncDomain& domain = current_sync_domain();
+    domain.sync(SyncCause::SyncPoint);
+    domain.advance_local_to(last_date_);
     T value = target_.read();
-    last_date_ = td::local_time_stamp();
+    last_date_ = domain.local_time_stamp();
     return value;
   }
 
   bool is_empty() {
-    td::sync();
+    current_sync_domain().sync(SyncCause::SyncPoint);
     return target_.is_empty();
   }
 

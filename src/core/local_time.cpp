@@ -1,99 +1,44 @@
 #include "core/local_time.h"
 
-#include "kernel/report.h"
-
 namespace tdsim::td {
 
-namespace {
-
-Kernel& kernel_checked() {
-  Kernel* k = Kernel::current();
-  if (k == nullptr) {
-    Report::error("temporal decoupling used outside of a running kernel");
-  }
-  return *k;
-}
-
-Process& process_checked() {
-  Kernel& k = kernel_checked();
-  Process* p = k.current_process();
-  if (p == nullptr) {
-    Report::error("temporal decoupling used outside of a simulation process");
-  }
-  return *p;
-}
-
-}  // namespace
+// Every shim resolves the ambient kernel's sync domain and forwards;
+// current_sync_domain() reports the "outside of a running kernel" error.
 
 Time local_time_stamp() {
-  Kernel& k = kernel_checked();
-  Process* p = k.current_process();
-  // From the scheduler context (e.g. callbacks), the local date degenerates
-  // to the global date.
-  return p != nullptr ? k.now() + p->local_offset() : k.now();
+  return current_sync_domain().local_time_stamp();
 }
 
 Time local_offset() {
-  return process_checked().local_offset();
+  return current_sync_domain().local_offset();
 }
 
 void inc(Time duration) {
-  Process& p = process_checked();
-  p.set_local_offset(p.local_offset() + duration);
+  current_sync_domain().inc(duration);
 }
 
 void advance_local_to(Time date) {
-  Kernel& k = kernel_checked();
-  Process& p = process_checked();
-  const Time local = k.now() + p.local_offset();
-  if (date > local) {
-    p.set_local_offset(date - k.now());
-  }
+  current_sync_domain().advance_local_to(date);
 }
 
 void sync() {
-  Kernel& k = kernel_checked();
-  Process& p = process_checked();
-  const Time offset = p.local_offset();
-  if (offset.is_zero()) {
-    return;
-  }
-  if (p.kind() == ProcessKind::Method) {
-    Report::error("sync() called from method process '" + p.name() +
-                  "' with a non-zero local offset; use "
-                  "method_sync_trigger() instead");
-  }
-  p.set_local_offset(Time{});
-  k.wait(offset);
+  current_sync_domain().sync(SyncCause::Explicit);
 }
 
 bool is_synchronized() {
-  return process_checked().local_offset().is_zero();
+  return current_sync_domain().is_synchronized();
 }
 
 bool needs_sync() {
-  Kernel& k = kernel_checked();
-  const Time quantum = k.global_quantum();
-  if (quantum.is_zero()) {
-    // A zero quantum means "synchronize at every annotation", matching the
-    // paper's remark that decoupling can be disabled by setting it to zero.
-    return true;
-  }
-  return process_checked().local_offset() >= quantum;
+  return current_sync_domain().needs_sync();
 }
 
 Time local_time_of(const Process& process) {
-  return process.kernel().now() + process.local_offset();
+  return process.clock().now();
 }
 
 void method_sync_trigger() {
-  Kernel& k = kernel_checked();
-  Process& p = process_checked();
-  if (p.kind() != ProcessKind::Method) {
-    Report::error("method_sync_trigger() called from non-method process '" +
-                  p.name() + "'");
-  }
-  k.next_trigger(p.local_offset());
+  current_sync_domain().method_sync_trigger();
 }
 
 }  // namespace tdsim::td

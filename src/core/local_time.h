@@ -1,94 +1,71 @@
-// Temporal-decoupling core (paper SII.A).
+// DEPRECATED compatibility shims over the temporal-decoupling subsystem.
 //
-// Every process has a *local date* = global date + local offset, always
-// greater or equal to the global date. The two basic operations are the
-// cheap inc(duration), which advances the local date without touching the
-// scheduler, and the costly sync(), which suspends the process until the
-// global date catches up with its local date (one context switch).
+// The machinery formerly implemented here now lives in the kernel layer as
+// a first-class subsystem: each Process owns a LocalClock (offset,
+// inc/advance_to/sync, generation-safe method re-arm) and each Kernel owns
+// a SyncDomain (quantum policy, sync bookkeeping, per-cause statistics).
+// See kernel/local_clock.h and kernel/sync_domain.h.
 //
-// All functions operate on the process currently executing inside
+// The tdsim::td free functions below are retained as thin shims over
+// Kernel::current()->sync_domain() so pre-subsystem code keeps compiling
+// and producing bit-exact dates. New code should use the subsystem
+// directly:
+//
+//   old (deprecated)            new
+//   ------------------------    ------------------------------------------
+//   td::inc(d)                  kernel.sync_domain().inc(d)
+//   td::sync()                  kernel.sync_domain().sync(cause)
+//   td::advance_local_to(t)     kernel.sync_domain().advance_local_to(t)
+//   td::local_time_stamp()      kernel.sync_domain().local_time_stamp()
+//   td::needs_sync()            kernel.sync_domain().needs_sync()
+//   td::method_sync_trigger()   kernel.sync_domain().method_sync_trigger()
+//   td::local_time_of(p)        p.clock().now()
+//   td::QuantumKeeper           tdsim::QuantumKeeper (kernel/sync_domain.h)
+//
+// All shims operate on the process currently executing inside
 // Kernel::current(); calling them from outside a running simulation is an
 // error.
 #pragma once
 
 #include "kernel/kernel.h"
 #include "kernel/process.h"
+#include "kernel/sync_domain.h"
 #include "kernel/time.h"
 
 namespace tdsim::td {
 
-/// The local date of the current process (the paper's
-/// local_time_stamp()). Equals sim_time_stamp() + local_offset().
+/// Deprecated: use SyncDomain::local_time_stamp().
 Time local_time_stamp();
 
-/// Local-time offset of the current process (zero when synchronized).
+/// Deprecated: use SyncDomain::local_offset() or LocalClock::offset().
 Time local_offset();
 
-/// Advances the current process's local date by `duration` without a
-/// context switch. This is the timing-annotation primitive.
+/// Deprecated: use SyncDomain::inc() or LocalClock::inc().
 void inc(Time duration);
 
-/// Raises the current process's local date to `date` if it is in the
-/// future; no-op otherwise. Used by the Smart FIFO to apply cell time
-/// stamps ("increase the local time up to this date").
+/// Deprecated: use SyncDomain::advance_local_to() or
+/// LocalClock::advance_to().
 void advance_local_to(Time date);
 
-/// Synchronizes the current process: suspends it until the global date
-/// equals its local date, then clears the offset. No-op when already
-/// synchronized. Only thread processes may have a non-zero offset when
-/// calling this (methods cannot suspend).
+/// Deprecated: use SyncDomain::sync() or LocalClock::sync(), which also
+/// attribute the synchronization to a cause.
 void sync();
 
-/// True when the current process's local date equals the global date.
+/// Deprecated: use SyncDomain::is_synchronized().
 bool is_synchronized();
 
-/// True when the current process's offset has reached the kernel's global
-/// quantum (and the quantum is non-zero).
+/// Deprecated: use SyncDomain::needs_sync().
 bool needs_sync();
 
-// --- helpers for non-process contexts and other processes ---
-
-/// Local date of an arbitrary process (global date + its offset).
+/// Deprecated: use process.clock().now().
 Time local_time_of(const Process& process);
 
-/// TLM-2.0 tlm_quantumkeeper analog: accumulates local time and
-/// synchronizes when the global quantum is exceeded. A convenience wrapper
-/// over the free functions, holding nothing but the kernel reference, so it
-/// can be shared or rebuilt freely.
-class QuantumKeeper {
- public:
-  explicit QuantumKeeper(Kernel& kernel) : kernel_(kernel) {}
-
-  /// Adds `duration` to the current process's local time.
-  void inc(Time duration) { td::inc(duration); }
-
-  /// Local date of the current process.
-  Time local_time() const { return local_time_stamp(); }
-
-  bool need_sync() const { return needs_sync(); }
-
-  /// Unconditional synchronization.
-  void sync() { td::sync(); }
-
-  /// The canonical loosely-timed pattern: inc, then sync only when the
-  /// quantum is exhausted.
-  void inc_and_sync_if_needed(Time duration) {
-    td::inc(duration);
-    if (needs_sync()) {
-      td::sync();
-    }
-  }
-
-  Kernel& kernel() const { return kernel_; }
-
- private:
-  Kernel& kernel_;
-};
-
-/// For method processes (which cannot suspend): re-arms the method to run
-/// again once the global date reaches its current local date, i.e. the
-/// method-process equivalent of sync(). The offset itself is reset
-/// automatically at the next activation.
+/// Deprecated: use SyncDomain::method_sync_trigger() or
+/// LocalClock::method_rearm().
 void method_sync_trigger();
+
+/// Deprecated alias; the keeper now lives in kernel/sync_domain.h and
+/// routes through its stored kernel's SyncDomain.
+using QuantumKeeper = tdsim::QuantumKeeper;
 
 }  // namespace tdsim::td

@@ -33,11 +33,11 @@
 #include <vector>
 
 #include "core/fifo_interface.h"
-#include "core/local_time.h"
 #include "core/mutations.h"
 #include "kernel/event.h"
 #include "kernel/kernel.h"
 #include "kernel/report.h"
+#include "kernel/sync_domain.h"
 
 namespace tdsim {
 
@@ -78,7 +78,7 @@ class SmartFifo final : public FifoInterface<T> {
       // condition is re-checked before suspending on the event.
       writer_blocks_++;
       if (!mut(&SmartFifoMutations::skip_sync_on_block)) {
-        td::sync();
+        kernel_.sync_domain().sync(SyncCause::FifoFull);
       }
       while (busy_count_ == cells_.size()) {
         kernel_.wait(internal_space_);
@@ -88,9 +88,9 @@ class SmartFifo final : public FifoInterface<T> {
     // Step 2: the cell may still be "occupied" in real time; push the
     // writer's local date to the date the cell was freed.
     if (!mut(&SmartFifoMutations::skip_writer_time_bump)) {
-      td::advance_local_to(cell.freeing_date);
+      kernel_.sync_domain().advance_local_to(cell.freeing_date);
     }
-    const Time date = td::local_time_stamp();
+    const Time date = kernel_.sync_domain().local_time_stamp();
     last_write_date_ = date;
     const bool was_internally_empty = (busy_count_ == 0);
     // Step 3: fill the cell and stamp the insertion.
@@ -131,7 +131,7 @@ class SmartFifo final : public FifoInterface<T> {
       return false;
     }
     const Time freeing = cells_[first_free_].freeing_date;
-    if (freeing > td::local_time_stamp()) {
+    if (freeing > kernel_.sync_domain().local_time_stamp()) {
       // Externally full until `freeing`. Re-arm the delayed notification:
       // an earlier pending notification may already have fired (waking the
       // caller spuriously) and consumed the one scheduled by read().
@@ -157,7 +157,7 @@ class SmartFifo final : public FifoInterface<T> {
       // after the synchronization (see write()).
       reader_blocks_++;
       if (!mut(&SmartFifoMutations::skip_sync_on_block)) {
-        td::sync();
+        kernel_.sync_domain().sync(SyncCause::FifoEmpty);
       }
       while (busy_count_ == 0) {
         kernel_.wait(internal_data_);
@@ -167,9 +167,9 @@ class SmartFifo final : public FifoInterface<T> {
     // The data may not have arrived yet in real time; push the reader's
     // local date to the insertion date.
     if (!mut(&SmartFifoMutations::skip_reader_time_bump)) {
-      td::advance_local_to(cell.insertion_date);
+      kernel_.sync_domain().advance_local_to(cell.insertion_date);
     }
-    const Time date = td::local_time_stamp();
+    const Time date = kernel_.sync_domain().local_time_stamp();
     last_read_date_ = date;
     const bool was_internally_full = (busy_count_ == cells_.size());
     T value = std::move(cell.data);
@@ -210,7 +210,7 @@ class SmartFifo final : public FifoInterface<T> {
       return false;
     }
     const Time insertion = cells_[first_busy_].insertion_date;
-    if (insertion > td::local_time_stamp()) {
+    if (insertion > kernel_.sync_domain().local_time_stamp()) {
       // Externally empty until `insertion`; re-arm the delayed
       // notification (see is_full()).
       schedule_external(not_empty_, insertion);
@@ -234,7 +234,9 @@ class SmartFifo final : public FifoInterface<T> {
   /// of the global date. Linear in the depth -- this is the low-rate
   /// interface.
   std::size_t get_size() override {
-    td::sync();  // 1. synchronize the caller
+    // 1. synchronize the caller (the monitor interface is the low-rate,
+    // synchronizing one).
+    kernel_.sync_domain().sync(SyncCause::Monitor);
     monitor_queries_++;
     if (mut(&SmartFifoMutations::naive_get_size)) {
       return busy_count_;
@@ -273,7 +275,7 @@ class SmartFifo final : public FifoInterface<T> {
   void write_burst(It first, It last, Time per_word) {
     for (It it = first; it != last; ++it) {
       write(*it);
-      td::inc(per_word);
+      kernel_.sync_domain().inc(per_word);
     }
   }
 
@@ -283,7 +285,7 @@ class SmartFifo final : public FifoInterface<T> {
   void read_burst(OutIt out, std::size_t count, Time per_word) {
     for (std::size_t i = 0; i < count; ++i) {
       *out++ = read();
-      td::inc(per_word);
+      kernel_.sync_domain().inc(per_word);
     }
   }
 
@@ -333,11 +335,15 @@ class SmartFifo final : public FifoInterface<T> {
   /// "requires ordered dates"); violating this means an arbiter is
   /// missing in the design.
   void check_side_order(Time last_date, const char* side) const {
-    if (check_side_order_ && td::local_time_stamp() < last_date) {
+    if (!check_side_order_) {
+      return;  // keep the disabled check free on the hot path
+    }
+    const Time date = kernel_.sync_domain().local_time_stamp();
+    if (date < last_date) {
       Report::error("SmartFifo " + name_ + ": " + side +
-                    " access date went backwards (" +
-                    td::local_time_stamp().to_string() + " after " +
-                    last_date.to_string() + "); an arbiter is required");
+                    " access date went backwards (" + date.to_string() +
+                    " after " + last_date.to_string() +
+                    "); an arbiter is required");
     }
   }
 

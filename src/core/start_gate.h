@@ -14,9 +14,9 @@
 #include <string>
 #include <utility>
 
-#include "core/local_time.h"
 #include "kernel/event.h"
 #include "kernel/kernel.h"
+#include "kernel/sync_domain.h"
 
 namespace tdsim {
 
@@ -34,7 +34,7 @@ class StartGate {
       return false;
     }
     pending_.emplace(std::move(command));
-    date_ = td::local_time_stamp();
+    date_ = kernel_.sync_domain().local_time_stamp();
     event_.notify();
     return true;
   }
@@ -49,20 +49,20 @@ class StartGate {
       // Synchronize before blocking (paper SIII.A: "synchronize the
       // process and wait") -- suspending with a non-zero offset would
       // make the local date drift with the global date.
-      td::sync();
+      kernel_.sync_domain().sync(SyncCause::SyncPoint);
       while (!pending_.has_value()) {
         kernel_.wait(event_);
       }
     }
-    td::advance_local_to(date_);
+    kernel_.sync_domain().advance_local_to(date_);
     Command command = std::move(*pending_);
     pending_.reset();
     return command;
   }
 
   /// Non-blocking worker-side probe for method processes: the command and
-  /// its date, if any (the method applies the date itself via td::inc or
-  /// scheduling).
+  /// its date, if any (the method applies the date itself via the sync
+  /// domain's inc or by scheduling).
   std::optional<std::pair<Command, Time>> try_take() {
     if (!pending_.has_value()) {
       return std::nullopt;

@@ -11,8 +11,9 @@
 #include <utility>
 
 #include "core/fifo_interface.h"
-#include "core/local_time.h"
 #include "kernel/fifo.h"
+#include "kernel/kernel.h"
+#include "kernel/sync_domain.h"
 
 namespace tdsim {
 
@@ -20,30 +21,30 @@ template <typename T>
 class SyncFifo final : public FifoInterface<T> {
  public:
   SyncFifo(Kernel& kernel, std::string name, std::size_t depth)
-      : fifo_(kernel, std::move(name), depth) {}
+      : domain_(kernel.sync_domain()), fifo_(kernel, std::move(name), depth) {}
 
   void write(T value) override {
-    td::sync();
+    domain_.sync(SyncCause::Explicit);
     fifo_.write(std::move(value));
   }
 
   T read() override {
-    td::sync();
+    domain_.sync(SyncCause::Explicit);
     return fifo_.read();
   }
 
   bool is_full() override {
-    td::sync();
+    domain_.sync(SyncCause::Explicit);
     return fifo_.full();
   }
 
   bool is_empty() override {
-    td::sync();
+    domain_.sync(SyncCause::Explicit);
     return fifo_.empty();
   }
 
   std::size_t get_size() override {
-    td::sync();
+    domain_.sync(SyncCause::Monitor);
     return fifo_.num_available();
   }
 
@@ -59,6 +60,7 @@ class SyncFifo final : public FifoInterface<T> {
   Fifo<T>& underlying() { return fifo_; }
 
  private:
+  SyncDomain& domain_;
   Fifo<T> fifo_;
 };
 

@@ -303,7 +303,7 @@ void Kernel::dispatch_method(Process* p) {
   // A method activation starts synchronized: its local date is the global
   // date at which it was triggered. inc() may then advance it within the
   // activation (used by packetizing network interfaces, paper SIV.C).
-  p->set_local_offset(Time{});
+  p->clock_.set_offset(Time{});
   p->state_ = ProcessState::Running;
   Process* previous = std::exchange(current_process_, p);
   try {

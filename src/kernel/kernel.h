@@ -14,6 +14,7 @@
 #include "kernel/event.h"
 #include "kernel/process.h"
 #include "kernel/stats.h"
+#include "kernel/sync_domain.h"
 #include "kernel/time.h"
 
 namespace tdsim {
@@ -79,12 +80,16 @@ class Kernel {
   std::uint64_t delta_count() const { return stats_.delta_cycles; }
   const KernelStats& stats() const { return stats_; }
 
-  /// Global temporal-decoupling quantum (TLM-2.0 tlm_global_quantum
-  /// analog): the maximum local-time offset a well-behaved decoupled
-  /// process accumulates before synchronizing. Zero disables
-  /// quantum-driven decoupling.
-  Time global_quantum() const { return global_quantum_; }
-  void set_global_quantum(Time quantum) { global_quantum_ = quantum; }
+  /// The kernel's synchronization domain: quantum policy, current-process
+  /// temporal-decoupling operations, and per-cause sync statistics. Every
+  /// process of this kernel belongs to it.
+  SyncDomain& sync_domain() { return sync_domain_; }
+  const SyncDomain& sync_domain() const { return sync_domain_; }
+
+  /// Convenience delegates for the domain's quantum (TLM-2.0
+  /// tlm_global_quantum analog). Zero disables quantum-driven decoupling.
+  Time global_quantum() const { return sync_domain_.quantum(); }
+  void set_global_quantum(Time quantum) { sync_domain_.set_quantum(quantum); }
 
   /// Safety valve against delta-cycle livelock (processes endlessly
   /// re-triggering each other without time advancing): when non-zero,
@@ -133,6 +138,7 @@ class Kernel {
  private:
   friend class Event;
   friend class Process;
+  friend class SyncDomain;  // keeps the sync books in stats_
 
   struct TimedEntry {
     Time when;
@@ -167,7 +173,7 @@ class Kernel {
   void fire_delta_notifications();
 
   Time now_;
-  Time global_quantum_;
+  SyncDomain sync_domain_{*this};
   std::uint64_t delta_limit_ = 0;
   std::uint64_t deltas_at_current_date_ = 0;
   KernelStats stats_;

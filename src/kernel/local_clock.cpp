@@ -1,0 +1,32 @@
+#include "kernel/local_clock.h"
+
+#include "kernel/kernel.h"
+#include "kernel/process.h"
+#include "kernel/sync_domain.h"
+
+namespace tdsim {
+
+Time LocalClock::now() const {
+  return owner_.kernel().now() + offset_;
+}
+
+void LocalClock::advance_to(Time date) {
+  const Time local = now();
+  if (date > local) {
+    offset_ = date - owner_.kernel().now();
+  }
+}
+
+bool LocalClock::needs_sync() const {
+  return owner_.kernel().sync_domain().quantum_exceeded(*this);
+}
+
+void LocalClock::sync(SyncCause cause) {
+  owner_.kernel().sync_domain().perform_sync(*this, cause);
+}
+
+void LocalClock::method_rearm(SyncCause cause) {
+  owner_.kernel().sync_domain().perform_method_rearm(*this, cause);
+}
+
+}  // namespace tdsim

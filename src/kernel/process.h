@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "kernel/local_clock.h"
 #include "kernel/time.h"
 
 namespace tdsim {
@@ -55,13 +56,13 @@ class Process {
   /// start of each activation.
   std::uint64_t activation_count() const { return activation_count_; }
 
-  /// Temporal-decoupling local-time offset: the process's local date is
-  /// kernel.now() + local_offset(). The paper keeps this association in a
+  /// The process's temporal-decoupling clock: its local date is
+  /// kernel.now() + clock().offset(). The paper keeps this association in a
   /// map keyed by the process handle; owning our kernel, we store it in the
   /// process itself for O(1) access (see DESIGN.md). Methods have their
   /// offset reset to zero at each activation.
-  Time local_offset() const { return local_offset_; }
-  void set_local_offset(Time offset) { local_offset_ = offset; }
+  LocalClock& clock() { return clock_; }
+  const LocalClock& clock() const { return clock_; }
 
  private:
   friend class Kernel;
@@ -89,8 +90,8 @@ class Process {
   /// timed queue entries referring to it.
   std::uint64_t wake_generation_ = 0;
 
-  /// See local_offset().
-  Time local_offset_{};
+  /// See clock().
+  LocalClock clock_{*this};
 
   /// Event this process is dynamically waiting on (thread wait(event) or
   /// method next_trigger(event)), for removal on cancellation/timeout.

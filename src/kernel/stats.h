@@ -3,12 +3,57 @@
 // The paper's whole premise is that context switches dominate the cost of a
 // finely-annotated TLM simulation, so the kernel counts them (and the other
 // scheduler activities) explicitly; benchmarks report these next to wall
-// time.
+// time. Synchronizations are additionally attributed to a cause, so a
+// benchmark can tell quantum-driven switches from FIFO-driven ones.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 
 namespace tdsim {
+
+/// Why a process synchronized (or a method re-armed). Every performed
+/// synchronization of a thread process costs one context switch, so the
+/// per-cause sync counts decompose the paper's headline metric.
+enum class SyncCause : std::uint8_t {
+  /// User-requested sync() with no more specific attribution.
+  Explicit = 0,
+  /// The accumulated local offset reached the global quantum (the
+  /// loosely-timed quantum-keeper pattern).
+  Quantum,
+  /// A Smart-FIFO writer suspended on an internally full FIFO.
+  FifoFull,
+  /// A Smart-FIFO reader suspended on an internally empty FIFO.
+  FifoEmpty,
+  /// A synchronization point (paper SII.A): date-accurate publication of
+  /// shared state -- status flags, arbitration points, timestamped
+  /// hand-offs.
+  SyncPoint,
+  /// A monitor-interface access (paper SIII.C): get_size() and friends.
+  Monitor,
+  /// A method process re-armed itself at its local date (the
+  /// method-process equivalent of sync()).
+  MethodRearm,
+};
+
+inline constexpr std::size_t kSyncCauseCount = 7;
+static_assert(static_cast<std::size_t>(SyncCause::MethodRearm) + 1 ==
+                  kSyncCauseCount,
+              "keep kSyncCauseCount in lockstep with the SyncCause enum");
+
+constexpr const char* to_string(SyncCause cause) {
+  switch (cause) {
+    case SyncCause::Explicit: return "explicit";
+    case SyncCause::Quantum: return "quantum";
+    case SyncCause::FifoFull: return "fifo_full";
+    case SyncCause::FifoEmpty: return "fifo_empty";
+    case SyncCause::SyncPoint: return "sync_point";
+    case SyncCause::Monitor: return "monitor";
+    case SyncCause::MethodRearm: return "method_rearm";
+  }
+  return "?";
+}
 
 struct KernelStats {
   /// Number of resumes of stackful thread processes. Each resume costs two
@@ -31,6 +76,43 @@ struct KernelStats {
   /// Number of processes ever spawned.
   std::uint64_t processes_spawned = 0;
 
+  // --- temporal-decoupling bookkeeping (maintained by SyncDomain) ---
+
+  /// Number of synchronization requests -- sync() calls (including those
+  /// on already-synchronized processes, which are free: no suspension, no
+  /// context switch) plus method re-arms. Invariant:
+  /// sync_requests == syncs_performed() + syncs_elided.
+  std::uint64_t sync_requests = 0;
+
+  /// Requests that found the process already synchronized -- the context
+  /// switches the Smart-FIFO machinery elided.
+  std::uint64_t syncs_elided = 0;
+
+  /// Performed synchronizations attributed to a cause, indexed by
+  /// static_cast<size_t>(SyncCause). Thread entries are suspensions (one
+  /// context switch each); method re-arms are also included (normally
+  /// under MethodRearm) and cost no stack switch -- subtract
+  /// method_rearms when decomposing context_switches.
+  std::array<std::uint64_t, kSyncCauseCount> syncs_by_cause{};
+
+  /// Method re-arms at a future local date (method_sync_trigger): the
+  /// method-process analog of a performed synchronization, also attributed
+  /// in syncs_by_cause (usually as SyncCause::MethodRearm).
+  std::uint64_t method_rearms = 0;
+
+  std::uint64_t syncs(SyncCause cause) const {
+    return syncs_by_cause[static_cast<std::size_t>(cause)];
+  }
+
+  /// Total performed synchronizations across all causes.
+  std::uint64_t syncs_performed() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t n : syncs_by_cause) {
+      total += n;
+    }
+    return total;
+  }
+
   KernelStats operator-(const KernelStats& o) const {
     KernelStats r = *this;
     r.context_switches -= o.context_switches;
@@ -39,6 +121,12 @@ struct KernelStats {
     r.timed_waves -= o.timed_waves;
     r.event_triggers -= o.event_triggers;
     r.processes_spawned -= o.processes_spawned;
+    r.sync_requests -= o.sync_requests;
+    r.syncs_elided -= o.syncs_elided;
+    for (std::size_t i = 0; i < kSyncCauseCount; ++i) {
+      r.syncs_by_cause[i] -= o.syncs_by_cause[i];
+    }
+    r.method_rearms -= o.method_rearms;
     return r;
   }
 };

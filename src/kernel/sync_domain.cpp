@@ -1,0 +1,169 @@
+#include "kernel/sync_domain.h"
+
+#include "kernel/kernel.h"
+#include "kernel/local_clock.h"
+#include "kernel/process.h"
+#include "kernel/report.h"
+
+namespace tdsim {
+
+bool SyncDomain::quantum_exceeded(const LocalClock& clock) const {
+  if (quantum_.is_zero()) {
+    // A zero quantum means "synchronize at every annotation", matching the
+    // paper's remark that decoupling can be disabled by setting it to zero.
+    return true;
+  }
+  return clock.offset() >= quantum_;
+}
+
+LocalClock& SyncDomain::current_clock() const {
+  Process* p = kernel_.current_process();
+  if (p == nullptr) {
+    Report::error("temporal decoupling used outside of a simulation process");
+  }
+  return p->clock();
+}
+
+Time SyncDomain::local_time_stamp() const {
+  Process* p = kernel_.current_process();
+  // From the scheduler context (e.g. callbacks), the local date degenerates
+  // to the global date.
+  return p != nullptr ? p->clock().now() : kernel_.now();
+}
+
+Time SyncDomain::local_offset() const {
+  return current_clock().offset();
+}
+
+void SyncDomain::inc(Time duration) {
+  current_clock().inc(duration);
+}
+
+void SyncDomain::advance_local_to(Time date) {
+  current_clock().advance_to(date);
+}
+
+void SyncDomain::sync(SyncCause cause) {
+  perform_sync(current_clock(), cause);
+}
+
+void SyncDomain::inc_and_sync_if_needed(Time duration, SyncCause cause) {
+  LocalClock& clock = current_clock();
+  clock.inc(duration);
+  if (quantum_exceeded(clock)) {
+    perform_sync(clock, cause);
+  }
+}
+
+bool SyncDomain::is_synchronized() const {
+  return current_clock().is_synchronized();
+}
+
+bool SyncDomain::needs_sync() const {
+  return quantum_exceeded(current_clock());
+}
+
+void SyncDomain::method_sync_trigger(SyncCause cause) {
+  perform_method_rearm(current_clock(), cause);
+}
+
+Time SyncDomain::local_time_of(const Process& process) const {
+  return process.clock().now();
+}
+
+std::uint64_t SyncDomain::syncs(SyncCause cause) const {
+  return kernel_.stats().syncs(cause);
+}
+
+std::uint64_t SyncDomain::syncs_performed() const {
+  return kernel_.stats().syncs_performed();
+}
+
+std::uint64_t SyncDomain::syncs_elided() const {
+  return kernel_.stats().syncs_elided;
+}
+
+void SyncDomain::perform_sync(LocalClock& clock, SyncCause cause) {
+  Process& p = clock.owner();
+  // Suspension acts on the currently executing process, so only the owner
+  // may sync its own clock; anything else would clear one process's offset
+  // while suspending another.
+  if (kernel_.current_process() != &p) {
+    Report::error("sync() invoked on the clock of process '" + p.name() +
+                  "', which is not the currently executing process");
+  }
+  KernelStats& stats = kernel_.stats_;
+  stats.sync_requests++;
+  const Time offset = clock.offset();
+  if (offset.is_zero()) {
+    stats.syncs_elided++;
+    return;
+  }
+  if (p.kind() == ProcessKind::Method) {
+    Report::error("sync() called from method process '" + p.name() +
+                  "' with a non-zero local offset; use "
+                  "method_sync_trigger() instead");
+  }
+  stats.syncs_by_cause[static_cast<std::size_t>(cause)]++;
+  clock.set_offset(Time{});
+  kernel_.wait(offset);
+}
+
+void SyncDomain::perform_method_rearm(LocalClock& clock, SyncCause cause) {
+  Process& p = clock.owner();
+  if (p.kind() != ProcessKind::Method) {
+    Report::error("method_sync_trigger() called from non-method process '" +
+                  p.name() + "'");
+  }
+  if (kernel_.current_process() != &p) {
+    Report::error("method_sync_trigger() invoked on the clock of process '" +
+                  p.name() + "', which is not the currently executing process");
+  }
+  KernelStats& stats = kernel_.stats_;
+  // A re-arm is a performed synchronization request (never elided), so it
+  // counts on both sides of the requests == performed + elided invariant.
+  stats.sync_requests++;
+  stats.method_rearms++;
+  stats.syncs_by_cause[static_cast<std::size_t>(cause)]++;
+  // next_trigger bumps the process's wake generation, so a previously
+  // scheduled re-arm or timeout for this method can never fire stale.
+  kernel_.next_trigger(clock.offset());
+}
+
+SyncDomain& current_sync_domain() {
+  Kernel* k = Kernel::current();
+  if (k == nullptr) {
+    Report::error("temporal decoupling used outside of a running kernel");
+  }
+  return k->sync_domain();
+}
+
+// --------------------------------------------------------------------------
+// QuantumKeeper
+// --------------------------------------------------------------------------
+
+SyncDomain& QuantumKeeper::domain() const {
+  return kernel_.sync_domain();
+}
+
+void QuantumKeeper::inc(Time duration) {
+  domain().inc(duration);
+}
+
+Time QuantumKeeper::local_time() const {
+  return domain().local_time_stamp();
+}
+
+bool QuantumKeeper::need_sync() const {
+  return domain().needs_sync();
+}
+
+void QuantumKeeper::sync() {
+  domain().sync(SyncCause::Quantum);
+}
+
+void QuantumKeeper::inc_and_sync_if_needed(Time duration) {
+  domain().inc_and_sync_if_needed(duration, SyncCause::Quantum);
+}
+
+}  // namespace tdsim

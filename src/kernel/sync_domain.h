@@ -1,0 +1,146 @@
+// Kernel-owned synchronization domain -- the second level of the
+// temporal-decoupling subsystem.
+//
+// A SyncDomain groups the processes of one kernel under a common quantum
+// policy and accounts for every synchronization they perform, attributed to
+// a cause (quantum expiry, Smart-FIFO full/empty, synchronization points,
+// monitor accesses, method re-arms). The per-cause counts land in
+// KernelStats, where benchmarks read them next to wall time -- these are
+// exactly the quantities the paper's Fig. 5 trades off against FIFO depth.
+//
+// The domain also offers the current-process convenience API (inc, sync,
+// advance_local_to, ...) that channel code uses when it holds a Kernel& but
+// not a Process&: the operations apply to the process currently executing
+// inside that kernel. Today every kernel owns exactly one domain; the
+// explicit object is the seam for per-domain quanta and sharded multi-domain
+// scheduling.
+#pragma once
+
+#include "kernel/stats.h"
+#include "kernel/time.h"
+
+namespace tdsim {
+
+class Kernel;
+class LocalClock;
+class Process;
+
+class SyncDomain {
+ public:
+  explicit SyncDomain(Kernel& kernel) : kernel_(kernel) {}
+  SyncDomain(const SyncDomain&) = delete;
+  SyncDomain& operator=(const SyncDomain&) = delete;
+
+  Kernel& kernel() const { return kernel_; }
+
+  // --- quantum policy ---
+
+  /// Temporal-decoupling quantum (TLM-2.0 tlm_global_quantum analog): the
+  /// maximum local-time offset a well-behaved decoupled process accumulates
+  /// before synchronizing. Zero disables quantum-driven decoupling
+  /// ("synchronize at every annotation").
+  Time quantum() const { return quantum_; }
+  void set_quantum(Time quantum) { quantum_ = quantum; }
+
+  /// Policy decision for a clock in this domain: true when the quantum is
+  /// zero or the clock's offset has reached it.
+  bool quantum_exceeded(const LocalClock& clock) const;
+
+  // --- current-process operations ---
+  // All of these apply to the process currently executing inside this
+  // domain's kernel; calling them from outside a running simulation process
+  // is an error (except local_time_stamp, which degenerates gracefully).
+
+  /// The clock of the currently executing process.
+  LocalClock& current_clock() const;
+
+  /// Local date of the current process; from scheduler context (e.g.
+  /// callbacks) it degenerates to the global date.
+  Time local_time_stamp() const;
+
+  /// Local-time offset of the current process.
+  Time local_offset() const;
+
+  /// inc() on the current process's clock.
+  void inc(Time duration);
+
+  /// advance_to() on the current process's clock.
+  void advance_local_to(Time date);
+
+  /// sync() on the current process's clock, attributed to `cause`.
+  void sync(SyncCause cause = SyncCause::Explicit);
+
+  /// The canonical loosely-timed pattern: inc, then sync only when the
+  /// quantum is exhausted.
+  void inc_and_sync_if_needed(Time duration,
+                              SyncCause cause = SyncCause::Quantum);
+
+  bool is_synchronized() const;
+  bool needs_sync() const;
+
+  /// method_rearm() on the current (method) process's clock.
+  void method_sync_trigger(SyncCause cause = SyncCause::MethodRearm);
+
+  /// Local date of an arbitrary process (global date + its offset).
+  Time local_time_of(const Process& process) const;
+
+  // --- statistics (stored in the kernel's KernelStats) ---
+
+  std::uint64_t syncs(SyncCause cause) const;
+  std::uint64_t syncs_performed() const;
+  std::uint64_t syncs_elided() const;
+
+ private:
+  friend class LocalClock;
+
+  /// The one place a synchronization happens: validates the caller, keeps
+  /// the per-cause books, clears the offset and suspends the owner until
+  /// the global date catches up.
+  void perform_sync(LocalClock& clock, SyncCause cause);
+
+  /// The method-process counterpart: re-arm at the local date through
+  /// Kernel::next_trigger (generation-safe) and keep the books.
+  void perform_method_rearm(LocalClock& clock, SyncCause cause);
+
+  Kernel& kernel_;
+  Time quantum_{};
+};
+
+/// The sync domain of the kernel currently executing run() on this OS
+/// thread; an error when no kernel is running. For components (arbiters,
+/// sockets) that are not bound to a kernel at construction time.
+SyncDomain& current_sync_domain();
+
+/// TLM-2.0 tlm_quantumkeeper analog: accumulates local time on the bound
+/// kernel's current process and synchronizes when that kernel's quantum is
+/// exceeded. All policy is routed through the stored kernel's SyncDomain --
+/// never through the ambient Kernel::current() -- so a keeper built for one
+/// kernel keeps working when several kernels coexist.
+class QuantumKeeper {
+ public:
+  explicit QuantumKeeper(Kernel& kernel) : kernel_(kernel) {}
+
+  /// Adds `duration` to the current process's local time.
+  void inc(Time duration);
+
+  /// Local date of the current process.
+  Time local_time() const;
+
+  bool need_sync() const;
+
+  /// Unconditional synchronization (attributed to the quantum cause).
+  void sync();
+
+  /// The canonical loosely-timed pattern: inc, then sync only when the
+  /// quantum is exhausted.
+  void inc_and_sync_if_needed(Time duration);
+
+  Kernel& kernel() const { return kernel_; }
+
+ private:
+  SyncDomain& domain() const;
+
+  Kernel& kernel_;
+};
+
+}  // namespace tdsim

@@ -1,6 +1,6 @@
 #include "noc/network_interface.h"
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "kernel/report.h"
 
 namespace tdsim::noc {
@@ -80,19 +80,20 @@ void SmartNetworkInterface::elaborate() {
 }
 
 void SmartNetworkInterface::tx_step() {
+  SyncDomain& domain = kernel().sync_domain();
   // Resume the production front: the method's offset restarts at zero each
   // activation, but the pipeline may be ahead of the global date.
-  td::advance_local_to(tx_date_);
+  domain.advance_local_to(tx_date_);
   for (;;) {
     if (tx_pending_.has_value()) {
       // A fully assembled packet waits for injection at its real date.
       if (kernel().now() < tx_pending_date_) {
-        tx_date_ = td::local_time_stamp();
+        tx_date_ = domain.local_time_stamp();
         kernel().next_trigger(tx_pending_date_ - kernel().now());
         return;
       }
       if (to_router_.full()) {
-        tx_date_ = td::local_time_stamp();
+        tx_date_ = domain.local_time_stamp();
         return;  // woken by to_router_ data_read
       }
       tx_pending_->injected_at = tx_pending_date_;
@@ -113,7 +114,7 @@ void SmartNetworkInterface::tx_step() {
         }
       }
       if (!tx_assembling_.has_value()) {
-        tx_date_ = td::local_time_stamp();
+        tx_date_ = domain.local_time_stamp();
         return;  // woken by any channel's not_empty
       }
     }
@@ -121,11 +122,11 @@ void SmartNetworkInterface::tx_step() {
     while (tx_partial_.size() < ch.packet_words) {
       if (ch.fifo->is_empty()) {
         // Head-of-line: keep assembling this packet once data arrives.
-        tx_date_ = td::local_time_stamp();
+        tx_date_ = domain.local_time_stamp();
         return;
       }
       tx_partial_.push_back(ch.fifo->read());
-      td::inc(ch.per_word);  // packetization cost, inside the activation
+      domain.inc(ch.per_word);  // packetization cost, inside the activation
     }
     Packet packet;
     packet.src = id_;
@@ -134,13 +135,14 @@ void SmartNetworkInterface::tx_step() {
     packet.words = std::move(tx_partial_);
     tx_partial_.clear();
     tx_pending_ = std::move(packet);
-    tx_pending_date_ = td::local_time_stamp();
+    tx_pending_date_ = domain.local_time_stamp();
     tx_assembling_.reset();
   }
 }
 
 void SmartNetworkInterface::rx_step() {
-  td::advance_local_to(rx_date_);
+  SyncDomain& domain = kernel().sync_domain();
+  domain.advance_local_to(rx_date_);
   for (;;) {
     if (!rx_packet_.has_value()) {
       // Only accept the next packet once the previous one has really been
@@ -166,16 +168,16 @@ void SmartNetworkInterface::rx_step() {
     RxChannelConfig& ch = rx_channels_[rx_packet_->channel];
     while (rx_word_index_ < rx_packet_->words.size()) {
       if (ch.fifo->is_full()) {
-        rx_date_ = td::local_time_stamp();
+        rx_date_ = domain.local_time_stamp();
         return;  // woken by the channel's not_full
       }
       ch.fifo->write(rx_packet_->words[rx_word_index_++]);
-      td::inc(ch.per_word);
+      domain.inc(ch.per_word);
       words_received_++;
     }
     packets_received_++;
     rx_packet_.reset();
-    rx_date_ = td::local_time_stamp();
+    rx_date_ = domain.local_time_stamp();
   }
 }
 

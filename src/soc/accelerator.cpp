@@ -1,7 +1,7 @@
 #include "soc/accelerator.h"
 
-#include "core/local_time.h"
 #include "kernel/report.h"
+#include "kernel/sync_domain.h"
 
 namespace tdsim::soc {
 
@@ -51,6 +51,7 @@ void Accelerator::emit_output_word(std::uint32_t word) {
 }
 
 void Accelerator::process() {
+  SyncDomain& domain = kernel().sync_domain();
   start_gate_.await();
   if (recorder_ != nullptr) {
     recorder_->record(full_name() + " start");
@@ -58,7 +59,7 @@ void Accelerator::process() {
   std::uint64_t in_block = 0;
   for (std::uint64_t i = 0; i < config_.total_words; ++i) {
     const std::uint32_t word = next_input_word();
-    td::inc(config_.per_word);
+    domain.inc(config_.per_word);
     emit_output_word(word);
     words_processed_++;
     if (++in_block == config_.block_words) {
@@ -66,7 +67,7 @@ void Accelerator::process() {
       // Publish progress date-accurately: plain variables crossing
       // decoupled processes are synchronization points (paper SII.A), so
       // sync before the update.
-      td::sync();
+      domain.sync(SyncCause::SyncPoint);
       registers_.poke(kProgress,
                       static_cast<std::uint32_t>(words_processed_));
       if (recorder_ != nullptr) {
@@ -75,8 +76,9 @@ void Accelerator::process() {
       }
     }
   }
-  completion_date_ = td::local_time_stamp();
-  td::sync();  // synchronization point: the done flag must be date-accurate
+  completion_date_ = domain.local_time_stamp();
+  // Synchronization point: the done flag must be date-accurate.
+  domain.sync(SyncCause::SyncPoint);
   registers_.poke(kProgress, static_cast<std::uint32_t>(words_processed_));
   registers_.poke(kStatus, 1);
   done_ = true;

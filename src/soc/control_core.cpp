@@ -1,6 +1,6 @@
 #include "soc/control_core.h"
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "soc/accelerator.h"
 
 namespace tdsim::soc {
@@ -24,19 +24,17 @@ void ControlCore::software() {
   if (recorder_ != nullptr) {
     recorder_->record("core: all accelerators started");
   }
+  SyncDomain& domain = kernel().sync_domain();
   // Move the polling dates off the streams' integer-nanosecond grid (see
   // Config::poll_phase).
-  td::inc(config_.poll_phase);
+  domain.inc(config_.poll_phase);
   // Poll until everything reports done; read the FIFO-level monitor
   // registers on some rounds (low-rate accesses, paper SIII.C).
   std::vector<bool> done(config_.accelerator_bases.size(), false);
   std::size_t remaining = done.size();
   unsigned round = 0;
   while (remaining > 0) {
-    td::inc(config_.poll_period);
-    if (td::needs_sync()) {
-      td::sync();
-    }
+    domain.inc_and_sync_if_needed(config_.poll_period);
     round++;
     for (std::size_t i = 0; i < done.size(); ++i) {
       if (done[i]) {
@@ -63,8 +61,8 @@ void ControlCore::software() {
       }
     }
   }
-  td::sync();
-  all_done_date_ = td::local_time_stamp();
+  domain.sync(SyncCause::SyncPoint);
+  all_done_date_ = domain.local_time_stamp();
   if (recorder_ != nullptr) {
     recorder_->record("core: all done");
   }

@@ -8,11 +8,13 @@
 #include "kernel/event.h"
 #include "kernel/fifo.h"
 #include "kernel/kernel.h"
+#include "kernel/local_clock.h"
 #include "kernel/module.h"
 #include "kernel/process.h"
 #include "kernel/report.h"
 #include "kernel/signal.h"
 #include "kernel/stats.h"
+#include "kernel/sync_domain.h"
 #include "kernel/time.h"
 
 // Temporal decoupling and the Smart FIFO (the paper's contribution).

@@ -3,7 +3,7 @@
 //
 // The delay reference parameter of b_transport is the TLM-2.0 timing
 // annotation: targets *add* their latency to it, and the initiator folds
-// the accumulated delay into its local time (td::inc) -- this is the
+// the accumulated delay into its local clock (SyncDomain::inc) -- this is the
 // "existing method" the paper uses for all memory-mapped communications of
 // the case-study SoC.
 #pragma once

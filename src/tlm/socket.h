@@ -6,8 +6,8 @@
 #include <cstdint>
 #include <string>
 
-#include "core/local_time.h"
 #include "kernel/report.h"
+#include "kernel/sync_domain.h"
 #include "tlm/payload.h"
 
 namespace tdsim::tlm {
@@ -49,10 +49,7 @@ class InitiatorSocket {
     Time delay;
     b_transport(p, delay);
     check(p, address);
-    td::inc(delay);
-    if (td::needs_sync()) {
-      td::sync();
-    }
+    fold_delay(delay);
     return value;
   }
 
@@ -66,16 +63,19 @@ class InitiatorSocket {
     Time delay;
     b_transport(p, delay);
     check(p, address);
-    td::inc(delay);
-    if (td::needs_sync()) {
-      td::sync();
-    }
+    fold_delay(delay);
   }
 
   const std::string& name() const { return name_; }
   std::uint64_t transactions() const { return transactions_; }
 
  private:
+  /// The loosely-timed decoupling pattern: fold the annotated delay into
+  /// the initiator's local time, synchronize only on quantum overflow.
+  static void fold_delay(Time delay) {
+    current_sync_domain().inc_and_sync_if_needed(delay);
+  }
+
   void check(const Payload& p, std::uint64_t address) const {
     if (!p.ok()) {
       Report::error("InitiatorSocket " + name_ + ": access at address " +

@@ -14,8 +14,8 @@
 #include <vector>
 
 #include "core/fifo_interface.h"
-#include "core/local_time.h"
 #include "kernel/kernel.h"
+#include "kernel/sync_domain.h"
 #include "trace/vcd.h"
 
 namespace tdsim::trace {
@@ -39,12 +39,13 @@ class FifoLevelProbe {
                  VcdVariable variable, Config config)
       : variable_(std::move(variable)) {
     kernel.spawn_thread(std::move(name), [this, &kernel, &fifo, config] {
-      td::inc(config.phase);
+      SyncDomain& domain = kernel.sync_domain();
+      domain.inc(config.phase);
       for (std::size_t sample = 0;
            config.max_samples == 0 || sample < config.max_samples;
            ++sample) {
-        td::inc(config.period);
-        td::sync();
+        domain.inc(config.period);
+        domain.sync(SyncCause::Monitor);
         const std::size_t level = fifo.get_size();
         variable_.record(kernel.now(), level);
         samples_++;

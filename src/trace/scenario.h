@@ -14,7 +14,6 @@
 #include <vector>
 
 #include "core/fifo_interface.h"
-#include "core/local_time.h"
 #include "core/mutations.h"
 #include "core/smart_fifo.h"
 #include "core/sync_fifo.h"
@@ -59,7 +58,7 @@ class ScenarioEnv {
   /// called from a thread process (in decoupled modes, also from methods).
   void delay(Time d) {
     if (decoupled()) {
-      td::inc(d);
+      kernel_.sync_domain().inc(d);
     } else {
       kernel_.wait(d);
     }

@@ -14,7 +14,7 @@ void Recorder::record(std::string text) {
   Process* p = kernel_.current_process();
   if (p != nullptr) {
     entry.process = p->name();
-    entry.date = kernel_.now() + p->local_offset();
+    entry.date = p->clock().now();
   } else {
     entry.date = kernel_.now();
   }

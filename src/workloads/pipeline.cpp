@@ -1,6 +1,5 @@
 #include "workloads/pipeline.h"
 
-#include "core/local_time.h"
 #include "core/smart_fifo.h"
 #include "core/sync_fifo.h"
 #include "kernel/report.h"
@@ -73,13 +72,10 @@ void Pipeline::delay(Time duration) {
       kernel_.wait(duration);
       return;
     case ModelKind::TDfull:
-      td::inc(duration);
+      kernel_.sync_domain().inc(duration);
       return;
     case ModelKind::NaiveTD:
-      td::inc(duration);
-      if (td::needs_sync()) {
-        td::sync();
-      }
+      kernel_.sync_domain().inc_and_sync_if_needed(duration);
       return;
   }
 }
@@ -128,7 +124,7 @@ void Pipeline::sink_process() {
   }
   completion_date_ = (config_.kind == ModelKind::TDfull ||
                       config_.kind == ModelKind::NaiveTD)
-                         ? td::local_time_stamp()
+                         ? kernel_.sync_domain().local_time_stamp()
                          : kernel_.now();
   sink_done_ = true;
 }

@@ -7,7 +7,7 @@
 #include <set>
 #include <vector>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "core/smart_fifo.h"
 #include "kernel/kernel.h"
 #include "kernel/report.h"
@@ -23,7 +23,7 @@ TEST(Arbiter, SharedWriteSideWithoutArbiterFails) {
       // The first writer (executing first) uses a slow pace, so the second
       // writer's dates fall behind the dates already recorded on the side.
       for (int i = 0; i < 3; ++i) {
-        td::inc(Time(static_cast<std::uint64_t>(60 - 50 * w), TimeUnit::NS));
+        k.sync_domain().inc(Time(static_cast<std::uint64_t>(60 - 50 * w), TimeUnit::NS));
         f.write(w * 10 + i);
       }
     });
@@ -44,7 +44,7 @@ TEST(Arbiter, SharedWriteSideWithArbiterWorks) {
   for (int w = 0; w < 3; ++w) {
     k.spawn_thread("w" + std::to_string(w), [&, w] {
       for (int i = 0; i < 4; ++i) {
-        td::inc(Time(static_cast<std::uint64_t>(7 + 13 * w), TimeUnit::NS));
+        k.sync_domain().inc(Time(static_cast<std::uint64_t>(7 + 13 * w), TimeUnit::NS));
         arbiter.write(w * 100 + i);
       }
     });
@@ -52,7 +52,7 @@ TEST(Arbiter, SharedWriteSideWithArbiterWorks) {
   k.spawn_thread("rd", [&] {
     for (int i = 0; i < 12; ++i) {
       got.insert(f.read());
-      td::inc(2_ns);
+      k.sync_domain().inc(2_ns);
     }
   });
   k.run();
@@ -72,13 +72,13 @@ TEST(Arbiter, SharedReadSideWithArbiterWorks) {
   k.spawn_thread("wr", [&] {
     for (int i = 0; i < 10; ++i) {
       f.write(i);
-      td::inc(5_ns);
+      k.sync_domain().inc(5_ns);
     }
   });
   for (int r = 0; r < 2; ++r) {
     k.spawn_thread("r" + std::to_string(r), [&, r] {
       for (int i = 0; i < 5; ++i) {
-        td::inc(Time(static_cast<std::uint64_t>(3 + 11 * r), TimeUnit::NS));
+        k.sync_domain().inc(Time(static_cast<std::uint64_t>(3 + 11 * r), TimeUnit::NS));
         got.insert(arbiter.read());
       }
     });
@@ -97,9 +97,9 @@ TEST(Arbiter, ArbitratedAccessesAreSynchronized) {
   SmartFifo<int> f(k, "f", 4);
   WriteArbiter<int> arbiter(f);
   k.spawn_thread("w", [&] {
-    td::inc(42_ns);
+    k.sync_domain().inc(42_ns);
     arbiter.write(1);
-    EXPECT_TRUE(td::is_synchronized());
+    EXPECT_TRUE(k.sync_domain().is_synchronized());
     EXPECT_EQ(k.now(), 42_ns);
   });
   k.spawn_thread("rd", [&] { (void)f.read(); });

@@ -18,7 +18,7 @@
 #include <vector>
 
 #include "core/arbiter.h"
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "core/smart_fifo.h"
 #include "kernel/kernel.h"
 
@@ -52,7 +52,7 @@ StressResult run_stress(unsigned producers, unsigned consumers,
       std::mt19937 rng(seed * 97 + p);
       std::uniform_int_distribution<std::uint64_t> gap(0, 12);
       for (std::uint32_t i = 0; i < per_producer; ++i) {
-        td::inc(Time(gap(rng), TimeUnit::NS));
+        kernel.sync_domain().inc(Time(gap(rng), TimeUnit::NS));
         write_side.write(p << 20 | i);
       }
     });
@@ -64,7 +64,7 @@ StressResult run_stress(unsigned producers, unsigned consumers,
       std::mt19937 rng(seed * 131 + c);
       std::uniform_int_distribution<std::uint64_t> gap(0, 12);
       for (std::uint32_t i = 0; i < share[c]; ++i) {
-        td::inc(Time(gap(rng), TimeUnit::NS));
+        kernel.sync_domain().inc(Time(gap(rng), TimeUnit::NS));
         result.delivered.push_back(read_side.read());
       }
     });

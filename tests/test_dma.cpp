@@ -6,7 +6,7 @@
 #include <cstring>
 #include <numeric>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "kernel/report.h"
 #include "tlm/bus.h"
 #include "tlm/dma.h"
@@ -80,8 +80,8 @@ TEST(Dma, ProgrammableThroughTheBus) {
     cpu.write32(kDmaBase + DmaEngine::kCtrl * 4, 1);
     // Poll for completion.
     while (cpu.read32(kDmaBase + DmaEngine::kStatus * 4) != DmaEngine::kDone) {
-      td::inc(Time(100, TimeUnit::NS));
-      td::sync();
+      f.kernel.sync_domain().inc(Time(100, TimeUnit::NS));
+      f.kernel.sync_domain().sync();
     }
   });
   f.kernel.run();
@@ -118,7 +118,7 @@ TEST(Dma, StartDateIsTheProgrammersLocalDate) {
   f.fill_source(0, 4);
   Time done_date;
   f.kernel.spawn_thread("sw", [&] {
-    td::inc(Time(300, TimeUnit::NS));
+    f.kernel.sync_domain().inc(Time(300, TimeUnit::NS));
     f.dma.start(kMemBase, kMemBase + 512, 4);
   });
   f.kernel.spawn_thread("observer", [&] {

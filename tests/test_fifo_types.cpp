@@ -7,7 +7,7 @@
 #include <memory>
 #include <string>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "core/smart_fifo.h"
 #include "core/sync_fifo.h"
 #include "kernel/kernel.h"
@@ -24,7 +24,7 @@ TEST(FifoTypes, SmartFifoCarriesMoveOnlyPayloads) {
   kernel.spawn_thread("producer", [&] {
     for (int i = 1; i <= 5; ++i) {
       fifo.write(std::make_unique<int>(i));
-      td::inc(10_ns);
+      kernel.sync_domain().inc(10_ns);
     }
   });
   kernel.spawn_thread("consumer", [&] {
@@ -32,7 +32,7 @@ TEST(FifoTypes, SmartFifoCarriesMoveOnlyPayloads) {
       std::unique_ptr<int> p = fifo.read();
       ASSERT_NE(p, nullptr);
       sum += *p;
-      td::inc(15_ns);
+      kernel.sync_domain().inc(15_ns);
     }
   });
   kernel.run();
@@ -83,14 +83,14 @@ TEST(FifoTypes, SmartFifoMovesNotCopies) {
   kernel.spawn_thread("producer", [&] {
     for (int i = 0; i < 10; ++i) {
       fifo.write(Tracked(i));
-      td::inc(1_ns);
+      kernel.sync_domain().inc(1_ns);
     }
   });
   kernel.spawn_thread("consumer", [&] {
     int sum = 0;
     for (int i = 0; i < 10; ++i) {
       sum += fifo.read().value;
-      td::inc(1_ns);
+      kernel.sync_domain().inc(1_ns);
     }
     EXPECT_EQ(sum, 45);
   });
@@ -111,14 +111,14 @@ TEST(FifoTypes, CellRecyclingDoesNotResurrectStalePayloads) {
     fifo.write(std::move(p));
     for (int i = 2; i <= 6; ++i) {
       fifo.write(std::make_shared<int>(i));
-      td::inc(5_ns);
+      kernel.sync_domain().inc(5_ns);
     }
   });
   kernel.spawn_thread("consumer", [&] {
     for (int i = 0; i < 6; ++i) {
       auto p = fifo.read();
       p.reset();
-      td::inc(5_ns);
+      kernel.sync_domain().inc(5_ns);
     }
     // All payloads consumed and dropped: nothing may keep #1 alive.
     EXPECT_TRUE(first.expired());
@@ -140,7 +140,7 @@ TEST(FifoTypes, LargePayloadStructs) {
         block.words[w] = b * 1000 + w;
       }
       fifo.write(block);
-      td::inc(3_ns);
+      kernel.sync_domain().inc(3_ns);
     }
   });
   kernel.spawn_thread("consumer", [&] {
@@ -149,7 +149,7 @@ TEST(FifoTypes, LargePayloadStructs) {
       for (std::uint64_t w : block.words) {
         sum += w;
       }
-      td::inc(3_ns);
+      kernel.sync_domain().inc(3_ns);
     }
   });
   kernel.run();

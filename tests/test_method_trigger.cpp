@@ -6,7 +6,7 @@
 // activations and falls back to its static FIFO events on others.
 #include <gtest/gtest.h>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "kernel/event.h"
 #include "kernel/kernel.h"
 
@@ -142,9 +142,9 @@ TEST(MethodTrigger, MethodLocalOffsetResetsEachActivation) {
   std::vector<Time> local_dates;
   std::uint64_t remaining = 3;
   kernel.spawn_method("m", [&] {
-    EXPECT_TRUE(td::is_synchronized());
-    td::inc(7_ns);
-    local_dates.push_back(td::local_time_stamp());
+    EXPECT_TRUE(kernel.sync_domain().is_synchronized());
+    kernel.sync_domain().inc(7_ns);
+    local_dates.push_back(kernel.sync_domain().local_time_stamp());
     if (--remaining > 0) {
       next_trigger(10_ns);
     }
@@ -157,7 +157,7 @@ TEST(MethodTrigger, MethodLocalOffsetResetsEachActivation) {
 }
 
 TEST(MethodTrigger, MethodSyncTriggerReactivatesAtLocalDate) {
-  // td::method_sync_trigger(): the method-process sync() -- re-run once
+  // kernel.sync_domain().method_sync_trigger(): the method-process sync() -- re-run once
   // the global date reaches the method's local date.
   Kernel kernel;
   std::vector<Time> dates;
@@ -166,8 +166,8 @@ TEST(MethodTrigger, MethodSyncTriggerReactivatesAtLocalDate) {
     dates.push_back(kernel.now());
     if (first) {
       first = false;
-      td::inc(25_ns);
-      td::method_sync_trigger();
+      kernel.sync_domain().inc(25_ns);
+      kernel.sync_domain().method_sync_trigger();
     }
   });
   kernel.run();

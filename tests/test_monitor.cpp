@@ -7,7 +7,7 @@
 #include <string>
 #include <vector>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "core/smart_fifo.h"
 #include "kernel/kernel.h"
 #include "trace/scenario.h"
@@ -37,7 +37,7 @@ TEST(Monitor, SizeAccountsForFutureInsertion) {
   SmartFifo<int> f(k, "f", 4);
   std::vector<std::size_t> sizes;
   k.spawn_thread("writer", [&] {
-    td::inc(20_ns);
+    k.sync_domain().inc(20_ns);
     f.write(1);  // internal change now (global 0), real change at 20
     k.wait(1000_ns);
   });
@@ -58,7 +58,7 @@ TEST(Monitor, SizeAccountsForFutureFreeing) {
   std::vector<std::size_t> sizes;
   k.spawn_thread("writer", [&] { f.write(1); });  // inserted at 0
   k.spawn_thread("reader", [&] {
-    td::inc(40_ns);
+    k.sync_domain().inc(40_ns);
     (void)f.read();  // frees at 40, executes at global 0
     k.wait(1000_ns);
   });
@@ -81,14 +81,14 @@ TEST(Monitor, FreedAndRefilledCellCountsOldData) {
   std::vector<std::size_t> sizes;
   k.spawn_thread("writer", [&] {
     f.write(1);       // inserted at 0
-    td::inc(60_ns);
+    k.sync_domain().inc(60_ns);
     f.write(2);       // waits for freeing at 40 -> inserted at 60
     k.wait(1000_ns);
   });
   k.spawn_thread("reader", [&] {
-    td::inc(40_ns);
+    k.sync_domain().inc(40_ns);
     (void)f.read();  // frees at 40
-    td::inc(40_ns);
+    k.sync_domain().inc(40_ns);
     (void)f.read();  // second read at 80 (insertion 60 < 80)
     k.wait(1000_ns);
   });
@@ -110,12 +110,12 @@ TEST(Monitor, GetSizeSynchronizesDecoupledCaller) {
   Kernel k;
   SmartFifo<int> f(k, "f", 2);
   k.spawn_thread("monitor", [&] {
-    td::inc(25_ns);
+    k.sync_domain().inc(25_ns);
     EXPECT_EQ(k.now(), Time{});
     (void)f.get_size();
     // get_size must first synchronize the caller.
     EXPECT_EQ(k.now(), 25_ns);
-    EXPECT_TRUE(td::is_synchronized());
+    EXPECT_TRUE(k.sync_domain().is_synchronized());
   });
   k.run();
 }

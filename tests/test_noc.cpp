@@ -217,15 +217,15 @@ NiRunResult run_ni_pipeline(std::size_t words, std::size_t packet_words,
   k.spawn_thread("producer", [&] {
     for (std::uint32_t i = 0; i < words; ++i) {
       producer_fifo.write(i);
-      td::inc(3_ns);
+      k.sync_domain().inc(3_ns);
     }
   });
   k.spawn_thread("consumer", [&] {
     for (std::uint32_t i = 0; i < words; ++i) {
       const std::uint32_t v = consumer_fifo.read();
       EXPECT_EQ(v, i);
-      result.delivery_dates.push_back(td::local_time_stamp());
-      td::inc(2_ns);
+      result.delivery_dates.push_back(k.sync_domain().local_time_stamp());
+      k.sync_domain().inc(2_ns);
     }
   });
   k.run();

@@ -15,7 +15,7 @@
 #include <tuple>
 #include <vector>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "core/smart_fifo.h"
 #include "kernel/module.h"
 #include "noc/mesh.h"
@@ -87,24 +87,24 @@ TEST_P(NocStress, RandomTrafficDeliversExactlyOnceInOrder) {
     tx.per_word = 1_ns;
     nis[src]->add_tx_channel(tx);
 
-    kernel.spawn_thread("producer" + std::to_string(src), [&to_ni, src,
+    kernel.spawn_thread("producer" + std::to_string(src), [&kernel, &to_ni, src,
                                                            seed] {
       std::mt19937 gaps(seed * 7919 + src);
       std::uniform_int_distribution<std::uint64_t> gap(0, 6);
       for (std::uint64_t i = 0; i < kWordsPerStream; ++i) {
-        td::inc(Time(gap(gaps), TimeUnit::NS));
+        kernel.sync_domain().inc(Time(gap(gaps), TimeUnit::NS));
         to_ni.write(static_cast<std::uint32_t>(src) << 16 |
                     static_cast<std::uint32_t>(i));
       }
     });
-    kernel.spawn_thread("sink" + std::to_string(src), [&from_ni, &checks,
-                                                       src, seed] {
+    kernel.spawn_thread("sink" + std::to_string(src), [&kernel, &from_ni,
+                                                       &checks, src, seed] {
       std::mt19937 gaps(seed * 104729 + src);
       std::uniform_int_distribution<std::uint64_t> gap(0, 6);
       StreamCheck& check = checks[src];
       for (std::uint64_t i = 0; i < kWordsPerStream; ++i) {
         const std::uint32_t word = from_ni.read();
-        td::inc(Time(gap(gaps), TimeUnit::NS));
+        kernel.sync_domain().inc(Time(gap(gaps), TimeUnit::NS));
         // The rx channel belongs to stream `src` (one tx per src), so the
         // producer tag must match and sequence numbers must ascend.
         if ((word >> 16) != src || (word & 0xFFFF) != i) {
@@ -170,14 +170,14 @@ TEST(NocStress, RxLatencyScalesWithHopCount) {
     nis[src]->add_tx_channel(tx);
     kernel.spawn_thread("producer", [&] {
       for (std::uint32_t i = 0; i < 64; ++i) {
-        td::inc(4_ns);
+        kernel.sync_domain().inc(4_ns);
         to_ni.write(i);
       }
     });
     kernel.spawn_thread("sink", [&] {
       for (std::uint32_t i = 0; i < 64; ++i) {
         (void)from_ni.read();
-        td::inc(4_ns);
+        kernel.sync_domain().inc(4_ns);
       }
     });
     for (auto& ni : nis) {
@@ -234,9 +234,9 @@ TEST(NocStress, HotspotDestination) {
     tx.packet_words = 8;
     nis[src]->add_tx_channel(tx);
 
-    kernel.spawn_thread("producer" + std::to_string(src), [&to_ni, src] {
+    kernel.spawn_thread("producer" + std::to_string(src), [&kernel, &to_ni, src] {
       for (std::uint64_t i = 0; i < kWords; ++i) {
-        td::inc(1_ns);
+        kernel.sync_domain().inc(1_ns);
         to_ni.write(static_cast<std::uint32_t>(src << 16 | i));
       }
     });

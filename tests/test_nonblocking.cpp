@@ -5,7 +5,7 @@
 
 #include <vector>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "core/smart_fifo.h"
 #include "kernel/kernel.h"
 #include "trace/scenario.h"
@@ -24,7 +24,7 @@ TEST(NonBlocking, IsEmptySeesFutureInsertionAsEmpty) {
   SmartFifo<int> f(k, "f", 4);
   std::vector<bool> empties;
   k.spawn_thread("writer", [&] {
-    td::inc(30_ns);
+    k.sync_domain().inc(30_ns);
     f.write(1);  // executes at global 0, dated 30
     k.wait(100_ns);
   });
@@ -45,7 +45,7 @@ TEST(NonBlocking, IsFullSeesFutureFreeingAsFull) {
   k.spawn_thread("writer", [&] { f.write(1); });
   k.spawn_thread("reader", [&] {
     k.wait_delta();
-    td::inc(50_ns);
+    k.sync_domain().inc(50_ns);
     (void)f.read();  // frees at 50, executes immediately
     k.wait(100_ns);
   });
@@ -79,7 +79,7 @@ TEST(NonBlocking, NotEmptyNotificationDelayedToInsertionDate) {
   SmartFifo<int> f(k, "f", 4);
   Time woken_at;
   k.spawn_thread("writer", [&] {
-    td::inc(40_ns);
+    k.sync_domain().inc(40_ns);
     f.write(1);  // executes at global 0
   });
   k.spawn_thread("waiter", [&] {
@@ -98,7 +98,7 @@ TEST(NonBlocking, NotFullNotificationDelayedToFreeingDate) {
   k.spawn_thread("writer", [&] { f.write(1); });
   k.spawn_thread("reader", [&] {
     k.wait_delta();
-    td::inc(35_ns);
+    k.sync_domain().inc(35_ns);
     (void)f.read();  // frees at 35
   });
   k.spawn_thread("waiter", [&] {
@@ -134,7 +134,7 @@ TEST(NonBlocking, ReadExposingFutureCellSchedulesNotEmpty) {
   (void)reader;
   k.spawn_thread("writer", [&] {
     f.write(1);       // inserted at 0
-    td::inc(25_ns);
+    k.sync_domain().inc(25_ns);
     f.write(2);       // inserted at 25, executes at global 0
   });
   k.run();
@@ -156,23 +156,23 @@ TEST(NonBlocking, MethodWriterGuardedByIsFull) {
   constexpr int kCount = 10;
   std::vector<Time> read_dates;
   k.spawn_method("writer", [&] {
-    td::advance_local_to(own_date);
+    k.sync_domain().advance_local_to(own_date);
     while (next < kCount) {
       if (f.is_full()) {
         k.next_trigger(f.not_full_event());
-        own_date = td::local_time_stamp();
+        own_date = k.sync_domain().local_time_stamp();
         return;
       }
       f.write(next++);
-      td::inc(5_ns);  // per-word production latency inside the activation
+      k.sync_domain().inc(5_ns);  // per-word production latency inside the activation
     }
-    own_date = td::local_time_stamp();
+    own_date = k.sync_domain().local_time_stamp();
   });
   k.spawn_thread("reader", [&] {
     for (int i = 0; i < kCount; ++i) {
       EXPECT_EQ(f.read(), i);
-      read_dates.push_back(td::local_time_stamp());
-      td::inc(20_ns);
+      read_dates.push_back(k.sync_domain().local_time_stamp());
+      k.sync_domain().inc(20_ns);
     }
   });
   k.run();
@@ -225,11 +225,11 @@ TEST(NonBlocking, ReadSideViewVersusMonitorView) {
   bool read_side_empty = false;
   std::size_t monitor_size = 0;
   k.spawn_thread("writer", [&] {
-    td::inc(30_ns);
+    k.sync_domain().inc(30_ns);
     f.write(1);  // inserted at 30, executes at global 0
   });
   k.spawn_thread("reader", [&] {
-    td::inc(60_ns);
+    k.sync_domain().inc(60_ns);
     (void)f.read();  // freed at 60, executes at global 0
     k.wait(100_ns);
   });

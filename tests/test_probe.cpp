@@ -29,7 +29,7 @@ TEST(Probe, SamplesAtTheConfiguredCadence) {
   kernel.spawn_thread("producer", [&] {
     for (int i = 0; i < 4; ++i) {
       fifo.write(i);
-      td::inc(150_ns);
+      kernel.sync_domain().inc(150_ns);
     }
   });
   kernel.run();
@@ -48,14 +48,14 @@ TEST(Probe, WatermarkTracksPeakOccupancy) {
   kernel.spawn_thread("producer", [&] {
     for (int i = 0; i < 6; ++i) {
       fifo.write(i);
-      td::inc(20_ns);
+      kernel.sync_domain().inc(20_ns);
     }
   });
   kernel.spawn_thread("consumer", [&] {
-    td::inc(200_ns);  // let the FIFO fill to 6 first
+    kernel.sync_domain().inc(200_ns);  // let the FIFO fill to 6 first
     for (int i = 0; i < 6; ++i) {
       (void)fifo.read();
-      td::inc(5_ns);
+      kernel.sync_domain().inc(5_ns);
     }
   });
   kernel.run();
@@ -81,7 +81,7 @@ TEST(Probe, ProfileIdenticalAcrossSmartAndReferenceFifos) {
     kernel.spawn_thread("producer", [&] {
       for (int i = 0; i < 20; ++i) {
         if (smart) {
-          td::inc(17_ns);
+          kernel.sync_domain().inc(17_ns);
         } else {
           tdsim::wait(17_ns);
         }
@@ -92,7 +92,7 @@ TEST(Probe, ProfileIdenticalAcrossSmartAndReferenceFifos) {
       for (int i = 0; i < 20; ++i) {
         (void)fifo->read();
         if (smart) {
-          td::inc(23_ns);
+          kernel.sync_domain().inc(23_ns);
         } else {
           tdsim::wait(23_ns);
         }

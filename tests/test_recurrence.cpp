@@ -20,7 +20,7 @@
 #include <tuple>
 #include <vector>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "core/smart_fifo.h"
 #include "kernel/kernel.h"
 
@@ -78,17 +78,17 @@ Observed run_smart(const std::vector<Time>& write_gaps,
 
   kernel.spawn_thread("writer", [&] {
     for (std::size_t i = 0; i < n; ++i) {
-      td::inc(write_gaps[i]);
+      kernel.sync_domain().inc(write_gaps[i]);
       fifo.write(static_cast<std::uint32_t>(i));
-      o.insertion[i] = td::local_time_stamp();
+      o.insertion[i] = kernel.sync_domain().local_time_stamp();
     }
   });
   kernel.spawn_thread("reader", [&] {
     for (std::size_t j = 0; j < n; ++j) {
-      td::inc(read_gaps[j]);
+      kernel.sync_domain().inc(read_gaps[j]);
       const std::uint32_t value = fifo.read();
       EXPECT_EQ(value, j);  // data order is FIFO order
-      o.ret[j] = td::local_time_stamp();
+      o.ret[j] = kernel.sync_domain().local_time_stamp();
     }
   });
   kernel.run();
@@ -209,7 +209,7 @@ TEST(Recurrence, BurstsFollowTheSameRecurrence) {
     fifo.read_burst(std::back_inserter(out), kWords, Time(3, TimeUnit::NS));
     // After the burst the reader's local date is the last return date plus
     // the trailing per-word inc.
-    observed_last[0] = td::local_time_stamp();
+    observed_last[0] = kernel.sync_domain().local_time_stamp();
     EXPECT_EQ(out.size(), kWords);
   });
   kernel.run();

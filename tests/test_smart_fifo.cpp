@@ -6,7 +6,7 @@
 
 #include <vector>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "kernel/kernel.h"
 #include "kernel/report.h"
 
@@ -25,13 +25,13 @@ TEST(SmartFifo, TransfersDataInOrder) {
   k.spawn_thread("wr", [&] {
     for (int i = 0; i < 10; ++i) {
       f.write(i);
-      td::inc(10_ns);
+      k.sync_domain().inc(10_ns);
     }
   });
   k.spawn_thread("rd", [&] {
     for (int i = 0; i < 10; ++i) {
       got.push_back(f.read());
-      td::inc(10_ns);
+      k.sync_domain().inc(10_ns);
     }
   });
   k.run();
@@ -48,12 +48,12 @@ TEST(SmartFifo, ReaderLocalDateBumpedToInsertionDate) {
   SmartFifo<int> f(k, "f", 4);
   Time reader_date;
   k.spawn_thread("wr", [&] {
-    td::inc(30_ns);
+    k.sync_domain().inc(30_ns);
     f.write(1);
   });
   k.spawn_thread("rd", [&] {
     (void)f.read();
-    reader_date = td::local_time_stamp();
+    reader_date = k.sync_domain().local_time_stamp();
   });
   k.run();
   EXPECT_EQ(reader_date, 30_ns);
@@ -69,9 +69,9 @@ TEST(SmartFifo, ReaderNotBumpedWhenDataAlreadyOld) {
   Time reader_date;
   k.spawn_thread("wr", [&] { f.write(1); });  // inserted at 0
   k.spawn_thread("rd", [&] {
-    td::inc(50_ns);
+    k.sync_domain().inc(50_ns);
     (void)f.read();
-    reader_date = td::local_time_stamp();
+    reader_date = k.sync_domain().local_time_stamp();
   });
   k.run();
   EXPECT_EQ(reader_date, 50_ns);
@@ -86,12 +86,12 @@ TEST(SmartFifo, WriterLocalDateBumpedToFreeingDate) {
   Time second_write_date;
   k.spawn_thread("wr", [&] {
     f.write(1);   // insert @0
-    td::inc(5_ns);
+    k.sync_domain().inc(5_ns);
     f.write(2);   // cell freed @50 by the reader -> write lands at 50
-    second_write_date = td::local_time_stamp();
+    second_write_date = k.sync_domain().local_time_stamp();
   });
   k.spawn_thread("rd", [&] {
-    td::inc(50_ns);
+    k.sync_domain().inc(50_ns);
     (void)f.read();  // frees @50
     (void)f.read();
   });
@@ -108,13 +108,13 @@ TEST(SmartFifo, NoContextSwitchPerAccessWhenDepthSuffices) {
   k.spawn_thread("wr", [&] {
     for (int i = 0; i < kWords; ++i) {
       f.write(i);
-      td::inc(10_ns);
+      k.sync_domain().inc(10_ns);
     }
   });
   k.spawn_thread("rd", [&] {
     for (int i = 0; i < kWords; ++i) {
       (void)f.read();
-      td::inc(10_ns);
+      k.sync_domain().inc(10_ns);
     }
   });
   k.run();
@@ -131,13 +131,13 @@ TEST(SmartFifo, BlocksOnlyWhenInternallyFull) {
   k.spawn_thread("wr", [&] {
     for (int i = 0; i < 12; ++i) {
       f.write(i);
-      td::inc(1_ns);
+      k.sync_domain().inc(1_ns);
     }
   });
   k.spawn_thread("rd", [&] {
     for (int i = 0; i < 12; ++i) {
       (void)f.read();
-      td::inc(1_ns);
+      k.sync_domain().inc(1_ns);
     }
   });
   k.run();
@@ -157,7 +157,7 @@ TEST(SmartFifo, InternalSizeNeverExceedsDepth) {
   });
   k.spawn_thread("rd", [&] {
     for (int i = 0; i < 20; ++i) {
-      td::inc(5_ns);
+      k.sync_domain().inc(5_ns);
       (void)f.read();
     }
   });
@@ -175,15 +175,15 @@ TEST(SmartFifo, Fig1TimingMatchesHandComputedReference) {
   k.spawn_thread("writer", [&] {
     for (int i = 1; i <= 3; ++i) {
       f.write(i);
-      write_dates.push_back(td::local_time_stamp());
-      td::inc(20_ns);
+      write_dates.push_back(k.sync_domain().local_time_stamp());
+      k.sync_domain().inc(20_ns);
     }
   });
   k.spawn_thread("reader", [&] {
     for (int i = 1; i <= 3; ++i) {
-      td::inc(15_ns);
+      k.sync_domain().inc(15_ns);
       EXPECT_EQ(f.read(), i);
-      read_dates.push_back(td::local_time_stamp());
+      read_dates.push_back(k.sync_domain().local_time_stamp());
     }
   });
   k.run();
@@ -195,11 +195,11 @@ TEST(SmartFifo, DecreasingWriteDatesAreAnError) {
   Kernel k;
   SmartFifo<int> f(k, "f", 4);
   k.spawn_thread("w1", [&] {
-    td::inc(100_ns);
+    k.sync_domain().inc(100_ns);
     f.write(1);
   });
   k.spawn_thread("w2", [&] {
-    td::inc(10_ns);  // earlier date on the same side: needs an arbiter
+    k.sync_domain().inc(10_ns);  // earlier date on the same side: needs an arbiter
     f.write(2);
   });
   k.spawn_thread("rd", [&] {
@@ -214,11 +214,11 @@ TEST(SmartFifo, SideOrderCheckCanBeDisabled) {
   SmartFifo<int> f(k, "f", 4);
   f.set_side_order_checking(false);
   k.spawn_thread("w1", [&] {
-    td::inc(100_ns);
+    k.sync_domain().inc(100_ns);
     f.write(1);
   });
   k.spawn_thread("w2", [&] {
-    td::inc(10_ns);
+    k.sync_domain().inc(10_ns);
     f.write(2);
   });
   k.spawn_thread("rd", [&] {
@@ -250,12 +250,12 @@ TEST(SmartFifo, BurstWriteAdvancesPerWord) {
   std::vector<Time> read_dates;
   k.spawn_thread("wr", [&] {
     f.write_burst(words.begin(), words.end(), 10_ns);
-    writer_end = td::local_time_stamp();
+    writer_end = k.sync_domain().local_time_stamp();
   });
   k.spawn_thread("rd", [&] {
     for (int i = 0; i < 4; ++i) {
       (void)f.read();
-      read_dates.push_back(td::local_time_stamp());
+      read_dates.push_back(k.sync_domain().local_time_stamp());
     }
   });
   k.run();
@@ -271,7 +271,7 @@ TEST(SmartFifo, BurstReadCollectsWords) {
   k.spawn_thread("wr", [&] {
     for (int i = 1; i <= 6; ++i) {
       f.write(i);
-      td::inc(5_ns);
+      k.sync_domain().inc(5_ns);
     }
   });
   k.spawn_thread("rd", [&] {
@@ -292,7 +292,7 @@ TEST(SmartFifo, CountersTrackTraffic) {
   });
   k.spawn_thread("rd", [&] {
     for (int i = 0; i < 7; ++i) {
-      td::inc(1_ns);
+      k.sync_domain().inc(1_ns);
       (void)f.read();
     }
   });
@@ -311,21 +311,21 @@ TEST(SmartFifo, ChainOfTwoFifosPreservesDates) {
   k.spawn_thread("source", [&] {
     for (int i = 0; i < 5; ++i) {
       f1.write(i);
-      td::inc(10_ns);
+      k.sync_domain().inc(10_ns);
     }
   });
   k.spawn_thread("transmitter", [&] {
     for (int i = 0; i < 5; ++i) {
       int v = f1.read();
-      td::inc(4_ns);  // processing latency
+      k.sync_domain().inc(4_ns);  // processing latency
       f2.write(v);
     }
   });
   k.spawn_thread("sink", [&] {
     for (int i = 0; i < 5; ++i) {
       EXPECT_EQ(f2.read(), i);
-      sink_dates.push_back(td::local_time_stamp());
-      td::inc(10_ns);
+      sink_dates.push_back(k.sync_domain().local_time_stamp());
+      k.sync_domain().inc(10_ns);
     }
   });
   k.run();
@@ -344,13 +344,13 @@ TEST(SmartFifo, WriterSyncsBeforeBlocking) {
   Time unblock_date;
   k.spawn_thread("wr", [&] {
     f.write(1);
-    td::inc(100_ns);
+    k.sync_domain().inc(100_ns);
     f.write(2);  // blocks; cell freed by the reader at 60 < 100
-    unblock_date = td::local_time_stamp();
+    unblock_date = k.sync_domain().local_time_stamp();
   });
   k.spawn_thread("rd", [&] {
-    td::inc(60_ns);
-    td::sync();      // execute the read *after* the writer blocked
+    k.sync_domain().inc(60_ns);
+    k.sync_domain().sync();      // execute the read *after* the writer blocked
     (void)f.read();  // frees at 60
     (void)f.read();
   });

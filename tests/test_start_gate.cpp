@@ -16,12 +16,12 @@ TEST(StartGate, CarriesTheCommandersLocalDate) {
   Time worker_date;
   int command = 0;
   kernel.spawn_thread("commander", [&] {
-    td::inc(250_ns);  // decoupled: runs ahead without syncing
+    kernel.sync_domain().inc(250_ns);  // decoupled: runs ahead without syncing
     gate.post(42);
   });
   kernel.spawn_thread("worker", [&] {
     command = gate.await();
-    worker_date = td::local_time_stamp();
+    worker_date = kernel.sync_domain().local_time_stamp();
   });
   kernel.run();
   EXPECT_EQ(command, 42);
@@ -52,9 +52,9 @@ TEST(StartGate, PostAfterAwaitDoesNotRewindTheWorker) {
   StartGate<int> gate(kernel, "gate");
   std::vector<Time> dates;
   kernel.spawn_thread("commander", [&] {
-    td::inc(300_ns);
+    kernel.sync_domain().inc(300_ns);
     gate.post(1);
-    td::sync();
+    kernel.sync_domain().sync();
   });
   kernel.spawn_thread("late_commander", [&] {
     wait(350_ns);  // global 350 ns; posts synchronized (local == global)
@@ -62,9 +62,9 @@ TEST(StartGate, PostAfterAwaitDoesNotRewindTheWorker) {
   });
   kernel.spawn_thread("worker", [&] {
     (void)gate.await();
-    td::inc(400_ns);  // now at local 700 ns
+    kernel.sync_domain().inc(400_ns);  // now at local 700 ns
     (void)gate.await();
-    dates.push_back(td::local_time_stamp());
+    dates.push_back(kernel.sync_domain().local_time_stamp());
   });
   kernel.run();
   ASSERT_EQ(dates.size(), 1u);
@@ -94,7 +94,7 @@ TEST(StartGate, TryTakeForMethods) {
   opts.dont_initialize = true;
   kernel.spawn_method("worker", [&] { taken = gate.try_take(); }, opts);
   kernel.spawn_thread("commander", [&] {
-    td::inc(75_ns);
+    kernel.sync_domain().inc(75_ns);
     gate.post(9);
   });
   kernel.run();

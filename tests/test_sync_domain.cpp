@@ -1,0 +1,267 @@
+// The SyncDomain subsystem proper: quantum policy on LocalClock, per-cause
+// synchronization statistics, offsets across repeated Kernel::run() calls,
+// and generation-safe method re-arm vs. static sensitivity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/smart_fifo.h"
+#include "kernel/event.h"
+#include "kernel/kernel.h"
+#include "kernel/local_clock.h"
+#include "kernel/report.h"
+#include "kernel/sync_domain.h"
+
+namespace tdsim {
+namespace {
+
+TEST(SyncDomain, KernelQuantumDelegatesToDomain) {
+  Kernel k;
+  k.set_global_quantum(3_us);
+  EXPECT_EQ(k.sync_domain().quantum(), 3_us);
+  k.sync_domain().set_quantum(7_ns);
+  EXPECT_EQ(k.global_quantum(), 7_ns);
+}
+
+TEST(SyncDomain, CurrentClockIsTheProcessClock) {
+  Kernel k;
+  Process* p = nullptr;
+  p = k.spawn_thread("t", [&] {
+    EXPECT_EQ(&k.sync_domain().current_clock(), &p->clock());
+  });
+  k.run();
+}
+
+TEST(SyncDomain, ZeroQuantumDemandsSyncAtEveryAnnotation) {
+  // The paper: decoupling is disabled by a zero quantum.
+  Kernel k;
+  k.spawn_thread("t", [&] {
+    SyncDomain& sd = k.sync_domain();
+    EXPECT_EQ(sd.quantum(), Time{});
+    EXPECT_TRUE(sd.needs_sync());  // zero quantum: always
+    sd.set_quantum(5_ns);
+    EXPECT_FALSE(sd.needs_sync());
+    sd.inc(4_ns);
+    EXPECT_FALSE(sd.needs_sync());
+    sd.inc(1_ns);
+    EXPECT_TRUE(sd.needs_sync());  // offset reached the quantum
+  });
+  k.run();
+}
+
+TEST(SyncDomain, QuantumExceededPolicyOnForeignClock) {
+  Kernel k;
+  k.sync_domain().set_quantum(10_ns);
+  Process* p = k.spawn_thread("t", [&] {
+    k.sync_domain().inc(25_ns);
+    k.wait(1_ns);
+  });
+  k.spawn_thread("observer", [&] {
+    k.wait_delta();
+    EXPECT_TRUE(k.sync_domain().quantum_exceeded(p->clock()));
+    EXPECT_EQ(p->clock().offset(), 25_ns);
+  });
+  k.run();
+}
+
+TEST(SyncDomain, OffsetCarriedAcrossRepeatedRunCalls) {
+  // A process suspended between run() calls keeps its decoupling offset;
+  // the local date keeps floating above the (resumed) global date.
+  Kernel k;
+  Event e(k, "wake");
+  Process* t = k.spawn_thread("t", [&] {
+    k.sync_domain().inc(10_ns);
+    k.wait(e);
+    EXPECT_EQ(k.sync_domain().local_offset(), 10_ns);
+    EXPECT_EQ(k.sync_domain().local_time_stamp(), k.now() + 10_ns);
+    k.sync_domain().sync();
+  });
+  k.run();  // t is blocked on the event, decoupled by 10 ns
+  EXPECT_EQ(t->clock().offset(), 10_ns);
+  EXPECT_FALSE(t->clock().is_synchronized());
+
+  e.notify(2_ns);
+  k.run();  // t wakes at 2 ns with offset 10 ns, then syncs to 12 ns
+  EXPECT_EQ(k.now(), 12_ns);
+  EXPECT_TRUE(t->clock().is_synchronized());
+}
+
+TEST(SyncDomain, OffsetCarriedAcrossBoundedRuns) {
+  // run(until) pauses the simulation mid-decoupling; the next run() resumes
+  // with bit-exact dates.
+  Kernel k;
+  std::vector<Time> sync_dates;
+  k.spawn_thread("t", [&] {
+    for (int i = 0; i < 4; ++i) {
+      k.sync_domain().inc(10_ns);
+      k.sync_domain().sync();
+      sync_dates.push_back(k.now());
+    }
+  });
+  k.run(15_ns);
+  EXPECT_EQ(k.now(), 15_ns);
+  k.run();
+  EXPECT_EQ(sync_dates,
+            (std::vector<Time>{10_ns, 20_ns, 30_ns, 40_ns}));
+}
+
+TEST(SyncDomain, MethodRearmOverridesStaticSensitivity) {
+  // While a method_sync_trigger() re-arm is pending, the method's static
+  // sensitivity is suppressed (SystemC next_trigger semantics); it comes
+  // back in force after the re-arm activation.
+  Kernel k;
+  Event e(k, "e");
+  std::vector<Time> activations;
+  bool rearmed_once = false;
+  MethodOptions opts;
+  opts.sensitivity.push_back(&e);
+  k.spawn_method("m", [&] {
+    activations.push_back(k.now());
+    if (!rearmed_once) {
+      rearmed_once = true;
+      k.sync_domain().inc(5_ns);
+      k.sync_domain().method_sync_trigger();
+    }
+  }, opts);
+  k.spawn_thread("driver", [&] {
+    k.wait(2_ns);
+    e.notify();  // suppressed: the re-arm (due at 5 ns) is pending
+    k.wait(5_ns);
+    e.notify();  // 7 ns: static sensitivity active again
+  });
+  k.run();
+  EXPECT_EQ(activations, (std::vector<Time>{Time{}, 5_ns, 7_ns}));
+}
+
+TEST(SyncDomain, MethodRearmIsGenerationSafeLastCallWins) {
+  // Two re-arms in one activation: the second supersedes the first (the
+  // wake-generation bump invalidates the stale timed entry), so the method
+  // runs once at the later date, not twice.
+  Kernel k;
+  std::vector<Time> activations;
+  bool first = true;
+  k.spawn_method("m", [&] {
+    activations.push_back(k.now());
+    if (first) {
+      first = false;
+      SyncDomain& sd = k.sync_domain();
+      sd.inc(3_ns);
+      sd.method_sync_trigger();
+      sd.inc(5_ns);  // now 8 ns ahead
+      sd.method_sync_trigger();
+    }
+  });
+  k.run();
+  EXPECT_EQ(activations, (std::vector<Time>{Time{}, 8_ns}));
+  EXPECT_EQ(k.stats().method_rearms, 2u);
+  // Re-arms count as requests too, keeping the bookkeeping invariant.
+  EXPECT_EQ(k.stats().sync_requests,
+            k.stats().syncs_performed() + k.stats().syncs_elided);
+}
+
+TEST(SyncDomain, SyncOnForeignClockIsError) {
+  // Only the owner may sync its clock: suspension acts on the current
+  // process, so a cross-process sync would corrupt both timings.
+  Kernel k;
+  Process* a = k.spawn_thread("a", [&] {
+    k.sync_domain().inc(50_ns);
+    k.wait(10_ns);
+  });
+  k.spawn_thread("b", [&] {
+    k.wait_delta();
+    a->clock().sync();
+  });
+  EXPECT_THROW(k.run(), SimulationError);
+}
+
+TEST(SyncDomain, PerCauseAccountingFifoEmpty) {
+  Kernel k;
+  SmartFifo<int> fifo(k, "f", 4);
+  k.spawn_thread("reader", [&] {
+    k.sync_domain().inc(5_ns);
+    EXPECT_EQ(fifo.read(), 42);
+  });
+  k.spawn_thread("writer", [&] {
+    k.wait(20_ns);
+    fifo.write(42);
+  });
+  k.run();
+  // The reader arrived decoupled at an empty FIFO: one performed sync,
+  // attributed to FifoEmpty.
+  EXPECT_EQ(k.stats().syncs(SyncCause::FifoEmpty), 1u);
+  EXPECT_EQ(k.stats().syncs_performed(), 1u);
+}
+
+TEST(SyncDomain, PerCauseAccountingFifoFullMonitorExplicit) {
+  Kernel k;
+  SmartFifo<int> fifo(k, "f", 1);
+  k.spawn_thread("writer", [&] {
+    SyncDomain& sd = k.sync_domain();
+    sd.inc(5_ns);
+    fifo.write(1);
+    fifo.write(2);  // internally full -> performed sync (FifoFull)
+    sd.inc(3_ns);
+    sd.sync();  // Explicit
+  });
+  k.spawn_thread("reader", [&] {
+    k.wait(20_ns);
+    (void)fifo.read();
+    (void)fifo.read();
+  });
+  k.spawn_thread("monitor", [&] {
+    k.sync_domain().inc(1_ns);
+    (void)fifo.get_size();  // Monitor (performed: offset was non-zero)
+  });
+  k.run();
+  const KernelStats& s = k.stats();
+  EXPECT_EQ(s.syncs(SyncCause::FifoFull), 1u);
+  EXPECT_EQ(s.syncs(SyncCause::Monitor), 1u);
+  EXPECT_EQ(s.syncs(SyncCause::Explicit), 1u);
+  // Bookkeeping invariant: every request either performed or elided.
+  EXPECT_EQ(s.sync_requests, s.syncs_performed() + s.syncs_elided);
+  // Domain accessors read the same books.
+  EXPECT_EQ(k.sync_domain().syncs(SyncCause::FifoFull), 1u);
+  EXPECT_EQ(k.sync_domain().syncs_performed(), s.syncs_performed());
+}
+
+TEST(SyncDomain, StatsDifferenceCoversSyncCounters) {
+  KernelStats a;
+  a.sync_requests = 10;
+  a.syncs_elided = 4;
+  a.syncs_by_cause[static_cast<std::size_t>(SyncCause::Quantum)] = 6;
+  a.method_rearms = 2;
+  KernelStats b;
+  b.sync_requests = 3;
+  b.syncs_elided = 1;
+  b.syncs_by_cause[static_cast<std::size_t>(SyncCause::Quantum)] = 2;
+  b.method_rearms = 1;
+  const KernelStats d = a - b;
+  EXPECT_EQ(d.sync_requests, 7u);
+  EXPECT_EQ(d.syncs_elided, 3u);
+  EXPECT_EQ(d.syncs(SyncCause::Quantum), 4u);
+  EXPECT_EQ(d.method_rearms, 1u);
+  EXPECT_EQ(d.syncs_performed(), 4u);
+}
+
+TEST(SyncDomain, DatesMatchSeedBehavior) {
+  // The subsystem must reproduce the seed's (shim-era) date arithmetic
+  // bit-exactly: inc(7); sync(); inc(9); sync() lands on 7 ns then 16 ns.
+  // (The deprecated td:: shims themselves are deliberately not called
+  // anywhere anymore -- they are compile-kept only.)
+  Kernel a;
+  std::vector<Time> via_domain;
+  a.spawn_thread("t", [&] {
+    SyncDomain& sd = a.sync_domain();
+    sd.inc(7_ns);
+    sd.sync();
+    via_domain.push_back(a.now());
+    sd.inc(9_ns);
+    sd.sync();
+    via_domain.push_back(a.now());
+  });
+  a.run();
+  EXPECT_EQ(via_domain, (std::vector<Time>{7_ns, 16_ns}));
+}
+
+}  // namespace
+}  // namespace tdsim

@@ -6,7 +6,7 @@
 // The solution ... is to add an explicit sync() before resetting the flag."
 #include <gtest/gtest.h>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "kernel/kernel.h"
 #include "kernel/signal.h"
 
@@ -23,12 +23,12 @@ int observed_pulse_polls(bool sync_before_reset) {
   bool flag = false;
   int seen = 0;
   kernel.spawn_thread("setter", [&] {
-    td::inc(5_ns);
-    td::sync();  // publish point for the rising edge
+    kernel.sync_domain().inc(5_ns);
+    kernel.sync_domain().sync();  // publish point for the rising edge
     flag = true;
-    td::inc(10_ns);
+    kernel.sync_domain().inc(10_ns);
     if (sync_before_reset) {
-      td::sync();  // the paper's fix: the pulse lasts 10 real ns
+      kernel.sync_domain().sync();  // the paper's fix: the pulse lasts 10 real ns
     }
     flag = false;
   });
@@ -65,12 +65,12 @@ TEST(SyncPoints, SignalPulseBehavesLikeTheFlag) {
     int rising = 0, falling = 0;
     Time rise_date, fall_date;
     kernel.spawn_thread("setter", [&] {
-      td::inc(5_ns);
-      td::sync();
+      kernel.sync_domain().inc(5_ns);
+      kernel.sync_domain().sync();
       flag.write(true);
-      td::inc(10_ns);
+      kernel.sync_domain().inc(10_ns);
       if (sync_before_reset) {
-        td::sync();
+        kernel.sync_domain().sync();
       }
       flag.write(false);
     });
@@ -113,13 +113,13 @@ TEST(SyncPoints, QuantumSmallerThanPulseCanSeeIt) {
   bool flag = false;
   int seen = 0;
   kernel.spawn_thread("setter", [&] {
-    td::inc(5_ns);
-    td::sync();
+    kernel.sync_domain().inc(5_ns);
+    kernel.sync_domain().sync();
     flag = true;
     for (int i = 0; i < 10; ++i) {
-      td::inc(1_ns);
-      if (td::needs_sync()) {
-        td::sync();  // quantum keeper pattern
+      kernel.sync_domain().inc(1_ns);
+      if (kernel.sync_domain().needs_sync()) {
+        kernel.sync_domain().sync(SyncCause::Quantum);  // keeper pattern
       }
     }
     flag = false;

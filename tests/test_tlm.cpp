@@ -4,7 +4,7 @@
 
 #include <vector>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "kernel/kernel.h"
 #include "kernel/report.h"
 #include "tlm/bus.h"
@@ -199,12 +199,12 @@ TEST(TlmSocket, LooselyTimedAccessesAccumulateLocalTime) {
       socket.write32(i * 4, static_cast<std::uint32_t>(i * 7));
     }
     // 10 accesses x (2 + 1) ns, all inside the quantum: no sync yet.
-    EXPECT_EQ(td::local_time_stamp(), 30_ns);
+    EXPECT_EQ(k.sync_domain().local_time_stamp(), 30_ns);
     EXPECT_EQ(k.now(), Time{});
     for (std::uint64_t i = 0; i < 10; ++i) {
       EXPECT_EQ(socket.read32(i * 4), i * 7);
     }
-    td::sync();
+    k.sync_domain().sync();
     EXPECT_EQ(k.now(), 60_ns);
   });
   k.run();
@@ -222,7 +222,7 @@ TEST(TlmSocket, QuantumBoundsDecoupling) {
   k.spawn_thread("initiator", [&] {
     for (int i = 0; i < 6; ++i) {
       socket.write32(0, 1);  // 5 ns each, quantum 10 ns
-      EXPECT_LE(td::local_offset(), 10_ns);
+      EXPECT_LE(k.sync_domain().local_offset(), 10_ns);
     }
   });
   k.run();

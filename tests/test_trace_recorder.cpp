@@ -2,7 +2,7 @@
 // instrument of the paper's SIV.A validation protocol, tested directly.
 #include <gtest/gtest.h>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "kernel/kernel.h"
 #include "trace/trace.h"
 
@@ -16,7 +16,7 @@ TEST(TraceRecorder, StampsLocalDateAndProcessName) {
   Kernel kernel;
   Recorder recorder(kernel);
   kernel.spawn_thread("worker", [&] {
-    td::inc(42_ns);
+    kernel.sync_domain().inc(42_ns);
     recorder.record("hello");
   });
   kernel.run();
@@ -40,11 +40,11 @@ TEST(TraceRecorder, LinesKeepEmissionOrderSortedLinesReorderByDate) {
   Kernel kernel;
   Recorder recorder(kernel);
   kernel.spawn_thread("ahead", [&] {
-    td::inc(100_ns);
+    kernel.sync_domain().inc(100_ns);
     recorder.record("late event");
   });
   kernel.spawn_thread("behind", [&] {
-    td::inc(10_ns);
+    kernel.sync_domain().inc(10_ns);
     recorder.record("early event");
   });
   kernel.run();
@@ -63,17 +63,17 @@ TEST(TraceRecorder, CompareSortedAcceptsReorderedEqualTraces) {
   Kernel k1, k2;
   Recorder a(k1), b(k2);
   k1.spawn_thread("p", [&] {
-    td::inc(5_ns);
+    k1.sync_domain().inc(5_ns);
     a.record("x");
-    td::inc(5_ns);
+    k1.sync_domain().inc(5_ns);
     a.record("y");
   });
   k2.spawn_thread("q", [&] {
-    td::inc(10_ns);
+    k2.sync_domain().inc(10_ns);
     b.record("y");
   });
   k2.spawn_thread("p", [&] {
-    td::inc(5_ns);
+    k2.sync_domain().inc(5_ns);
     b.record("x");
   });
   k1.run();
@@ -87,12 +87,12 @@ TEST(TraceRecorder, CompareSortedReportsFirstDivergence) {
   Recorder a(k1), b(k2);
   k1.spawn_thread("p", [&] {
     a.record("same");
-    td::inc(3_ns);
+    k1.sync_domain().inc(3_ns);
     a.record("differs here");
   });
   k2.spawn_thread("p", [&] {
     b.record("same");
-    td::inc(3_ns);
+    k2.sync_domain().inc(3_ns);
     b.record("differs THERE");
   });
   k1.run();
@@ -119,9 +119,9 @@ TEST(TraceRecorder, IdenticalRunsCompareEqual) {
   const auto run = [](Recorder*& out, Kernel& kernel) {
     out = new Recorder(kernel);
     Recorder& recorder = *out;
-    kernel.spawn_thread("p", [&recorder] {
+    kernel.spawn_thread("p", [&recorder, &kernel] {
       for (int i = 0; i < 5; ++i) {
-        td::inc(7_ns);
+        kernel.sync_domain().inc(7_ns);
         recorder.record("tick", static_cast<std::uint64_t>(i));
       }
     });

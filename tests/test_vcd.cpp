@@ -7,7 +7,7 @@
 #include <string>
 #include <vector>
 
-#include "core/local_time.h"
+#include "kernel/sync_domain.h"
 #include "core/smart_fifo.h"
 #include "kernel/report.h"
 #include "trace/vcd.h"
@@ -174,14 +174,14 @@ TEST(Vcd, LiveFifoLevelProbe) {
   kernel.spawn_thread("producer", [&] {
     for (int i = 0; i < 8; ++i) {
       fifo.write(i);
-      td::inc(Time(10, TimeUnit::NS));
+      kernel.sync_domain().inc(Time(10, TimeUnit::NS));
     }
   });
   kernel.spawn_thread("monitor", [&] {
-    td::inc(Time(500, TimeUnit::PS));  // off-grid phase
+    kernel.sync_domain().inc(Time(500, TimeUnit::PS));  // off-grid phase
     for (int s = 0; s < 10; ++s) {
-      td::inc(Time(10, TimeUnit::NS));
-      td::sync();
+      kernel.sync_domain().inc(Time(10, TimeUnit::NS));
+      kernel.sync_domain().sync();
       level.record(sim_time_stamp(),
                    static_cast<std::uint64_t>(fifo.get_size()));
     }
