@@ -7,17 +7,24 @@
 // with identical timing accuracy (same completion dates).
 //
 // Usage: bench_casestudy_soc [--streams N] [--words N] [--depth N]
-//                            [--packet N] [--mesh CxR]
+//                            [--packet N] [--mesh CxR] [--json]
+//
+// --json additionally writes BENCH_casestudy_soc.json with one row per
+// flavor, including the per-cause sync counts from KernelStats behind each
+// context-switch total.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "bench_json.h"
 #include "soc/soc_platform.h"
 
 namespace {
 
 using tdsim::Kernel;
+using tdsim::KernelStats;
+using tdsim::SyncCause;
 using tdsim::Time;
 using tdsim::soc::FifoFlavor;
 using tdsim::soc::SocConfig;
@@ -30,6 +37,7 @@ struct RunResult {
   std::uint64_t context_switches = 0;
   std::uint64_t method_activations = 0;
   std::uint64_t fifo_accesses = 0;
+  KernelStats stats;
   bool correct = false;
 };
 
@@ -47,6 +55,7 @@ RunResult run_once(const SocConfig& config) {
   result.context_switches = kernel.stats().context_switches;
   result.method_activations = kernel.stats().method_activations;
   result.fifo_accesses = platform.total_fifo_accesses();
+  result.stats = kernel.stats();
   result.correct = platform.all_streams_correct();
   return result;
 }
@@ -62,8 +71,11 @@ int main(int argc, char** argv) {
   config.fifo_depth = 16;
   config.packet_words = 16;
 
+  bool emit_json = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--streams") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+    } else if (std::strcmp(argv[i], "--streams") == 0 && i + 1 < argc) {
       config.streams = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--words") == 0 && i + 1 < argc) {
       config.words_per_stream = std::strtoull(argv[++i], nullptr, 10);
@@ -83,7 +95,7 @@ int main(int argc, char** argv) {
       std::fprintf(
           stderr,
           "usage: %s [--streams N] [--words N] [--depth N] [--packet N] "
-          "[--mesh CxR]\n",
+          "[--mesh CxR] [--json]\n",
           argv[0]);
       return 2;
     }
@@ -121,6 +133,37 @@ int main(int argc, char** argv) {
                       smart.core_done_date == sync.core_done_date
                   ? "yes"
                   : "NO -- TIMING DIVERGENCE");
+
+  if (emit_json) {
+    benchjson::Report report("casestudy_soc");
+    const auto add_row = [&report, &config](const char* flavor,
+                                            const RunResult& r) {
+      report.row()
+          .add("flavor", std::string(flavor))
+          .add("streams", static_cast<std::uint64_t>(config.streams))
+          .add("words_per_stream", config.words_per_stream)
+          .add("fifo_depth", static_cast<std::uint64_t>(config.fifo_depth))
+          .add("wall_seconds", r.wall_seconds)
+          .add("end_date_ps", r.end_date.ps())
+          .add("core_done_ps", r.core_done_date.ps())
+          .add("context_switches", r.context_switches)
+          .add("method_activations", r.method_activations)
+          .add("fifo_accesses", r.fifo_accesses)
+          .add("sync_requests", r.stats.sync_requests)
+          .add("syncs_elided", r.stats.syncs_elided)
+          .add("syncs_quantum", r.stats.syncs(SyncCause::Quantum))
+          .add("syncs_fifo", r.stats.syncs(SyncCause::FifoFull) +
+                                 r.stats.syncs(SyncCause::FifoEmpty))
+          .add("syncs_sync_point", r.stats.syncs(SyncCause::SyncPoint))
+          .add("syncs_monitor", r.stats.syncs(SyncCause::Monitor))
+          .add("correct", std::string(r.correct ? "yes" : "no"));
+    };
+    add_row("sync", sync);
+    add_row("smart", smart);
+    if (!report.write()) {
+      return 1;
+    }
+  }
 
   const bool ok = smart.correct && sync.correct &&
                   smart.end_date == sync.end_date &&

@@ -11,8 +11,18 @@
 //   * kernel.sync_domain().inc() (the temporal-decoupling annotation -- orders of magnitude
 //     cheaper than any of the above);
 //   * timed event notification through the scheduler queue.
+//
+// Usage: bench_kernel_microbench [--json] [Google Benchmark flags]
+//
+// --json additionally writes BENCH_kernel_microbench.json with one row per
+// benchmark (name, iterations, per-item real time, items/s) so the kernel
+// primitive costs feed the same perf trajectory as the model-level benches.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <vector>
+
+#include "bench_json.h"
 #include "kernel/sync_domain.h"
 #include "kernel/event.h"
 #include "kernel/kernel.h"
@@ -136,6 +146,59 @@ void BM_TimedEventNotify(benchmark::State& state) {
 }
 BENCHMARK(BM_TimedEventNotify);
 
+/// Console reporting plus one benchjson row per benchmark run.
+class JsonRowReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonRowReporter(benchjson::Report& report) : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    // No error/skip filtering: the field naming changed across Google
+    // Benchmark releases, and these benches abort on internal errors.
+    for (const Run& run : runs) {
+      benchjson::Row& row = report_.row();
+      row.add("name", run.benchmark_name())
+          .add("iterations", static_cast<std::uint64_t>(run.iterations))
+          .add("real_time_per_iter_ns", run.GetAdjustedRealTime());
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        row.add("items_per_second", static_cast<double>(items->second));
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  benchjson::Report& report_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our --json flag before Google Benchmark parses the rest.
+  bool emit_json = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  if (emit_json) {
+    benchjson::Report report("kernel_microbench");
+    JsonRowReporter reporter(report);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (!report.write()) {
+      return 1;
+    }
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}

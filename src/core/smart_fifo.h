@@ -25,6 +25,11 @@
 // Each side must always be accessed by the same process (or by processes
 // whose access dates never decrease); this is checked at runtime. Use
 // WriteArbiter / ReadArbiter when several processes share a side.
+//
+// Every synchronizing operation resolves the *calling process's* own
+// SyncDomain (Kernel::current_domain()), so the writer and the reader may
+// belong to different domains with different quanta: the cell date stamps
+// carry the timing across the domain boundary unchanged.
 #pragma once
 
 #include <cstddef>
@@ -78,7 +83,7 @@ class SmartFifo final : public FifoInterface<T> {
       // condition is re-checked before suspending on the event.
       writer_blocks_++;
       if (!mut(&SmartFifoMutations::skip_sync_on_block)) {
-        kernel_.sync_domain().sync(SyncCause::FifoFull);
+        kernel_.current_domain().sync(SyncCause::FifoFull);
       }
       while (busy_count_ == cells_.size()) {
         kernel_.wait(internal_space_);
@@ -88,9 +93,9 @@ class SmartFifo final : public FifoInterface<T> {
     // Step 2: the cell may still be "occupied" in real time; push the
     // writer's local date to the date the cell was freed.
     if (!mut(&SmartFifoMutations::skip_writer_time_bump)) {
-      kernel_.sync_domain().advance_local_to(cell.freeing_date);
+      kernel_.current_domain().advance_local_to(cell.freeing_date);
     }
-    const Time date = kernel_.sync_domain().local_time_stamp();
+    const Time date = kernel_.current_domain().local_time_stamp();
     last_write_date_ = date;
     const bool was_internally_empty = (busy_count_ == 0);
     // Step 3: fill the cell and stamp the insertion.
@@ -131,7 +136,7 @@ class SmartFifo final : public FifoInterface<T> {
       return false;
     }
     const Time freeing = cells_[first_free_].freeing_date;
-    if (freeing > kernel_.sync_domain().local_time_stamp()) {
+    if (freeing > kernel_.current_domain().local_time_stamp()) {
       // Externally full until `freeing`. Re-arm the delayed notification:
       // an earlier pending notification may already have fired (waking the
       // caller spuriously) and consumed the one scheduled by read().
@@ -157,7 +162,7 @@ class SmartFifo final : public FifoInterface<T> {
       // after the synchronization (see write()).
       reader_blocks_++;
       if (!mut(&SmartFifoMutations::skip_sync_on_block)) {
-        kernel_.sync_domain().sync(SyncCause::FifoEmpty);
+        kernel_.current_domain().sync(SyncCause::FifoEmpty);
       }
       while (busy_count_ == 0) {
         kernel_.wait(internal_data_);
@@ -167,9 +172,9 @@ class SmartFifo final : public FifoInterface<T> {
     // The data may not have arrived yet in real time; push the reader's
     // local date to the insertion date.
     if (!mut(&SmartFifoMutations::skip_reader_time_bump)) {
-      kernel_.sync_domain().advance_local_to(cell.insertion_date);
+      kernel_.current_domain().advance_local_to(cell.insertion_date);
     }
-    const Time date = kernel_.sync_domain().local_time_stamp();
+    const Time date = kernel_.current_domain().local_time_stamp();
     last_read_date_ = date;
     const bool was_internally_full = (busy_count_ == cells_.size());
     T value = std::move(cell.data);
@@ -210,7 +215,7 @@ class SmartFifo final : public FifoInterface<T> {
       return false;
     }
     const Time insertion = cells_[first_busy_].insertion_date;
-    if (insertion > kernel_.sync_domain().local_time_stamp()) {
+    if (insertion > kernel_.current_domain().local_time_stamp()) {
       // Externally empty until `insertion`; re-arm the delayed
       // notification (see is_full()).
       schedule_external(not_empty_, insertion);
@@ -236,7 +241,7 @@ class SmartFifo final : public FifoInterface<T> {
   std::size_t get_size() override {
     // 1. synchronize the caller (the monitor interface is the low-rate,
     // synchronizing one).
-    kernel_.sync_domain().sync(SyncCause::Monitor);
+    kernel_.current_domain().sync(SyncCause::Monitor);
     monitor_queries_++;
     if (mut(&SmartFifoMutations::naive_get_size)) {
       return busy_count_;
@@ -275,7 +280,7 @@ class SmartFifo final : public FifoInterface<T> {
   void write_burst(It first, It last, Time per_word) {
     for (It it = first; it != last; ++it) {
       write(*it);
-      kernel_.sync_domain().inc(per_word);
+      kernel_.current_domain().inc(per_word);
     }
   }
 
@@ -285,7 +290,7 @@ class SmartFifo final : public FifoInterface<T> {
   void read_burst(OutIt out, std::size_t count, Time per_word) {
     for (std::size_t i = 0; i < count; ++i) {
       *out++ = read();
-      kernel_.sync_domain().inc(per_word);
+      kernel_.current_domain().inc(per_word);
     }
   }
 
@@ -338,7 +343,7 @@ class SmartFifo final : public FifoInterface<T> {
     if (!check_side_order_) {
       return;  // keep the disabled check free on the hot path
     }
-    const Time date = kernel_.sync_domain().local_time_stamp();
+    const Time date = kernel_.current_domain().local_time_stamp();
     if (date < last_date) {
       Report::error("SmartFifo " + name_ + ": " + side +
                     " access date went backwards (" + date.to_string() +

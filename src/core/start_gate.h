@@ -34,7 +34,7 @@ class StartGate {
       return false;
     }
     pending_.emplace(std::move(command));
-    date_ = kernel_.sync_domain().local_time_stamp();
+    date_ = kernel_.current_domain().local_time_stamp();
     event_.notify();
     return true;
   }
@@ -49,12 +49,12 @@ class StartGate {
       // Synchronize before blocking (paper SIII.A: "synchronize the
       // process and wait") -- suspending with a non-zero offset would
       // make the local date drift with the global date.
-      kernel_.sync_domain().sync(SyncCause::SyncPoint);
+      kernel_.current_domain().sync(SyncCause::SyncPoint);
       while (!pending_.has_value()) {
         kernel_.wait(event_);
       }
     }
-    kernel_.sync_domain().advance_local_to(date_);
+    kernel_.current_domain().advance_local_to(date_);
     Command command = std::move(*pending_);
     pending_.reset();
     return command;

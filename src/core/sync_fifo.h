@@ -21,30 +21,30 @@ template <typename T>
 class SyncFifo final : public FifoInterface<T> {
  public:
   SyncFifo(Kernel& kernel, std::string name, std::size_t depth)
-      : domain_(kernel.sync_domain()), fifo_(kernel, std::move(name), depth) {}
+      : kernel_(kernel), fifo_(kernel, std::move(name), depth) {}
 
   void write(T value) override {
-    domain_.sync(SyncCause::Explicit);
+    domain().sync(SyncCause::Explicit);
     fifo_.write(std::move(value));
   }
 
   T read() override {
-    domain_.sync(SyncCause::Explicit);
+    domain().sync(SyncCause::Explicit);
     return fifo_.read();
   }
 
   bool is_full() override {
-    domain_.sync(SyncCause::Explicit);
+    domain().sync(SyncCause::Explicit);
     return fifo_.full();
   }
 
   bool is_empty() override {
-    domain_.sync(SyncCause::Explicit);
+    domain().sync(SyncCause::Explicit);
     return fifo_.empty();
   }
 
   std::size_t get_size() override {
-    domain_.sync(SyncCause::Monitor);
+    domain().sync(SyncCause::Monitor);
     return fifo_.num_available();
   }
 
@@ -60,7 +60,11 @@ class SyncFifo final : public FifoInterface<T> {
   Fifo<T>& underlying() { return fifo_; }
 
  private:
-  SyncDomain& domain_;
+  /// The accessing process's own domain: writers and readers of one FIFO
+  /// may live in different domains.
+  SyncDomain& domain() const { return kernel_.current_domain(); }
+
+  Kernel& kernel_;
   Fifo<T> fifo_;
 };
 

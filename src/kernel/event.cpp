@@ -22,7 +22,10 @@ Event::~Event() {
     auto& list = p->static_sensitivity_;
     list.erase(std::remove(list.begin(), list.end(), this), list.end());
   }
-  generation_++;  // invalidate scheduled firings
+  // Queue entries referring to this event would dangle; remove them while
+  // the event is still valid.
+  kernel_.purge_timed_event_entries(*this);
+  generation_++;  // invalidate scheduled delta firings
 }
 
 void Event::notify() {
@@ -36,6 +39,7 @@ void Event::notify_delta() {
     return;  // already pending at the earliest possible date
   }
   if (pending_ == Pending::Timed) {
+    kernel_.note_timed_event_stale();
     generation_++;  // delta overrides timed
   }
   pending_ = Pending::Delta;
@@ -54,6 +58,9 @@ void Event::notify(Time delay) {
   if (pending_ == Pending::Timed && pending_at_ <= at) {
     return;  // an earlier-or-equal notification is already pending
   }
+  if (pending_ == Pending::Timed) {
+    kernel_.note_timed_event_stale();
+  }
   generation_++;  // supersede a later pending timed notification, if any
   pending_ = Pending::Timed;
   pending_at_ = at;
@@ -63,6 +70,9 @@ void Event::notify(Time delay) {
 void Event::cancel() {
   if (pending_ == Pending::None) {
     return;
+  }
+  if (pending_ == Pending::Timed) {
+    kernel_.note_timed_event_stale();
   }
   generation_++;
   pending_ = Pending::None;

@@ -63,6 +63,10 @@ class Event {
   Time pending_at_;
   /// Bumped on cancel/override; invalidates scheduled delta/timed firings.
   std::uint64_t generation_ = 0;
+  /// Entries in the kernel's timed queue still referring to this event
+  /// (live or stale). Non-zero at destruction makes ~Event purge them, so
+  /// the scheduler never dereferences a destroyed event.
+  std::uint32_t queued_timed_entries_ = 0;
 };
 
 }  // namespace tdsim

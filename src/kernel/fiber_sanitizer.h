@@ -1,0 +1,57 @@
+// AddressSanitizer fiber annotations for the ucontext-based stackful
+// processes. ASan tracks one stack per OS thread; every swapcontext between
+// the scheduler stack and a process stack must be bracketed with
+// __sanitizer_start_switch_fiber / __sanitizer_finish_switch_fiber or ASan
+// corrupts its shadow on the first throw/no-return inside a fiber. The
+// helpers compile to nothing outside ASan builds.
+//
+// Switch protocol (all tdsim switches are scheduler <-> fiber, never
+// fiber <-> fiber):
+//   * before swapcontext: start_switch(&save, dest_bottom, dest_size);
+//     pass save == nullptr when the departing stack is about to die (the
+//     trampoline's final switch), so ASan frees its fake stack.
+//   * right after resuming on the destination stack:
+//     finish_switch(save_of_that_stack, &old_bottom, &old_size); the old
+//     bounds are those of the stack we came from -- the fiber side uses
+//     them to learn the scheduler stack's bounds.
+#pragma once
+
+#include <cstddef>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define TDSIM_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define TDSIM_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef TDSIM_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace tdsim::fiber {
+
+inline void start_switch(void** fake_stack_save, const void* dest_bottom,
+                         std::size_t dest_size) {
+#ifdef TDSIM_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(fake_stack_save, dest_bottom, dest_size);
+#else
+  (void)fake_stack_save;
+  (void)dest_bottom;
+  (void)dest_size;
+#endif
+}
+
+inline void finish_switch(void* fake_stack_save, const void** old_bottom,
+                          std::size_t* old_size) {
+#ifdef TDSIM_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(fake_stack_save, old_bottom, old_size);
+#else
+  (void)fake_stack_save;
+  (void)old_bottom;
+  (void)old_size;
+#endif
+}
+
+}  // namespace tdsim::fiber

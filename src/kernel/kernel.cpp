@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "kernel/fiber_sanitizer.h"
 #include "kernel/report.h"
 
 namespace tdsim {
@@ -18,7 +19,13 @@ Kernel& current_kernel_checked() {
 }
 }  // namespace
 
-Kernel::Kernel() = default;
+Kernel::Kernel() {
+  // The default domain always exists, so single-domain code never has to
+  // know domains do.
+  domains_.emplace_back(new SyncDomain(*this, "default", 0, Time{}));
+  stats_.domains.emplace_back();
+  stats_.domains.back().name = "default";
+}
 
 Kernel::~Kernel() {
   kill_all_threads();
@@ -29,8 +36,88 @@ Kernel* Kernel::current() {
 }
 
 // --------------------------------------------------------------------------
+// Synchronization domains
+// --------------------------------------------------------------------------
+
+SyncDomain& Kernel::create_domain(std::string name, Time quantum) {
+  if (find_domain(name) != nullptr) {
+    Report::error("Kernel::create_domain: domain '" + name +
+                  "' already exists");
+  }
+  const std::size_t id = domains_.size();
+  domains_.emplace_back(new SyncDomain(*this, name, id, quantum));
+  stats_.domains.emplace_back();
+  stats_.domains.back().name = std::move(name);
+  return *domains_.back();
+}
+
+SyncDomain* Kernel::find_domain(const std::string& name) const {
+  for (const auto& domain : domains_) {
+    if (domain->name() == name) {
+      return domain.get();
+    }
+  }
+  return nullptr;
+}
+
+SyncDomain* Kernel::lagging_domain() const {
+  SyncDomain* lagging = nullptr;
+  Time lagging_front;
+  for (const auto& domain : domains_) {
+    const std::optional<Time> front = domain->execution_front();
+    if (!front.has_value()) {
+      continue;
+    }
+    if (lagging == nullptr || *front < lagging_front) {
+      lagging = domain.get();
+      lagging_front = *front;
+    }
+  }
+  return lagging;
+}
+
+void Kernel::assign_domain(Process& process, SyncDomain& domain) {
+  if (&process.kernel() != this || &domain.kernel() != this) {
+    Report::error("Kernel::assign_domain: process '" + process.name() +
+                  "' and domain '" + domain.name() +
+                  "' must both belong to this kernel");
+  }
+  if (initialized_) {
+    Report::error("Kernel::assign_domain: cannot move process '" +
+                  process.name() + "' to domain '" + domain.name() +
+                  "' after elaboration; domain membership is fixed once "
+                  "the first run() has initialized processes");
+  }
+  if (process.domain_ == &domain) {
+    return;
+  }
+  auto& members = process.domain_->members_;
+  members.erase(std::remove(members.begin(), members.end(), &process),
+                members.end());
+  process.domain_ = &domain;
+  domain.members_.push_back(&process);
+}
+
+// --------------------------------------------------------------------------
 // Elaboration
 // --------------------------------------------------------------------------
+
+namespace {
+
+/// Validates an explicit spawn-time domain and falls back to the default.
+SyncDomain& resolve_spawn_domain(Kernel& kernel, SyncDomain* requested,
+                                 const std::string& process_name) {
+  if (requested == nullptr) {
+    return kernel.sync_domain();
+  }
+  if (&requested->kernel() != &kernel) {
+    Report::error("process '" + process_name + "' spawned into domain '" +
+                  requested->name() + "' of a different kernel");
+  }
+  return *requested;
+}
+
+}  // namespace
 
 Process* Kernel::spawn_thread(std::string name, std::function<void()> body,
                               ThreadOptions opts) {
@@ -38,6 +125,9 @@ Process* Kernel::spawn_thread(std::string name, std::function<void()> body,
       new Process(*this, std::move(name), ProcessKind::Thread, std::move(body),
                   opts.stack_size, next_process_id_++));
   process->dont_initialize_ = opts.dont_initialize;
+  process->domain_ = &resolve_spawn_domain(*this, opts.domain,
+                                           process->name());
+  process->domain_->members_.push_back(process.get());
   Process* raw = process.get();
   processes_.push_back(std::move(process));
   stats_.processes_spawned++;
@@ -53,6 +143,9 @@ Process* Kernel::spawn_method(std::string name, std::function<void()> body,
       new Process(*this, std::move(name), ProcessKind::Method, std::move(body),
                   0, next_process_id_++));
   process->dont_initialize_ = opts.dont_initialize;
+  process->domain_ = &resolve_spawn_domain(*this, opts.domain,
+                                           process->name());
+  process->domain_->members_.push_back(process.get());
   Process* raw = process.get();
   processes_.push_back(std::move(process));
   stats_.processes_spawned++;
@@ -82,10 +175,20 @@ void Kernel::make_runnable(Process* p) {
     return;
   }
   p->in_runnable_ = true;
+  p->domain_->runnable_count_++;
   if (p->state_ == ProcessState::Waiting) {
     p->state_ = ProcessState::Ready;
   }
   runnable_.push_back(p);
+}
+
+void Kernel::bump_wake_generation(Process& p) {
+  p.wake_generation_++;
+  if (p.has_live_resume_entry_) {
+    // The entry scheduled under the previous generation is now stale.
+    p.has_live_resume_entry_ = false;
+    timed_stale_count_++;
+  }
 }
 
 void Kernel::trigger_event(Event& e) {
@@ -103,7 +206,7 @@ void Kernel::trigger_event(Event& e) {
     p->waiting_event_ = nullptr;
     p->trigger_override_ = false;
     p->woke_by_event_ = true;
-    p->wake_generation_++;  // invalidate a pending timeout, if any
+    bump_wake_generation(*p);  // invalidate a pending timeout, if any
     make_runnable(p);
   }
 }
@@ -115,7 +218,32 @@ void Kernel::schedule_event_fire(Event& e, Time at) {
   entry.kind = TimedEntry::Kind::EventFire;
   entry.event = &e;
   entry.event_generation = e.generation_;
+  e.queued_timed_entries_++;
   timed_queue_.push(entry);
+  maybe_compact_timed_queue();
+}
+
+void Kernel::purge_timed_event_entries(Event& e) {
+  if (e.queued_timed_entries_ == 0) {
+    return;
+  }
+  std::vector<TimedEntry> keep;
+  keep.reserve(timed_queue_.size());
+  while (!timed_queue_.empty()) {
+    const TimedEntry& top = timed_queue_.top();
+    if (top.kind == TimedEntry::Kind::EventFire && top.event == &e) {
+      // Superseded entries were counted stale; the live one was not.
+      if (is_stale(top) && timed_stale_count_ > 0) {
+        timed_stale_count_--;
+      }
+    } else {
+      keep.push_back(top);
+    }
+    timed_queue_.pop();
+  }
+  timed_queue_ = decltype(timed_queue_)(std::greater<TimedEntry>{},
+                                        std::move(keep));
+  e.queued_timed_entries_ = 0;
 }
 
 void Kernel::schedule_process_resume(Process& p, Time at) {
@@ -125,7 +253,34 @@ void Kernel::schedule_process_resume(Process& p, Time at) {
   entry.kind = TimedEntry::Kind::ProcessResume;
   entry.process = &p;
   entry.process_generation = p.wake_generation_;
+  p.has_live_resume_entry_ = true;
   timed_queue_.push(entry);
+  maybe_compact_timed_queue();
+}
+
+void Kernel::maybe_compact_timed_queue() {
+  // Compact when stale entries outnumber live ones; the size floor keeps
+  // small queues on the cheap lazy-deletion path.
+  constexpr std::size_t kMinSizeForCompaction = 64;
+  if (timed_queue_.size() < kMinSizeForCompaction ||
+      timed_stale_count_ * 2 <= timed_queue_.size()) {
+    return;
+  }
+  std::vector<TimedEntry> live;
+  live.reserve(timed_queue_.size() - timed_stale_count_);
+  while (!timed_queue_.empty()) {
+    const TimedEntry& top = timed_queue_.top();
+    if (!is_stale(top)) {
+      live.push_back(top);
+    } else if (top.kind == TimedEntry::Kind::EventFire) {
+      top.event->queued_timed_entries_--;
+    }
+    timed_queue_.pop();
+  }
+  timed_queue_ = decltype(timed_queue_)(std::greater<TimedEntry>{},
+                                        std::move(live));
+  timed_stale_count_ = 0;
+  stats_.timed_queue_compactions++;
 }
 
 bool Kernel::is_stale(const TimedEntry& entry) const {
@@ -189,6 +344,7 @@ void Kernel::run(Time until) {
         Process* p = runnable_.front();
         runnable_.pop_front();
         p->in_runnable_ = false;
+        p->domain_->runnable_count_--;
         if (p->state_ == ProcessState::Terminated) {
           continue;
         }
@@ -206,8 +362,12 @@ void Kernel::run(Time until) {
       if (!delta_notifications_.empty() || !delta_resume_.empty()) {
         stats_.delta_cycles++;
         if (delta_limit_ != 0 && ++deltas_at_current_date_ > delta_limit_) {
+          const SyncDomain* lagging = lagging_domain();
           Report::error("delta-cycle limit (" + std::to_string(delta_limit_) +
                         ") exceeded at date " + now_.to_string() +
+                        (lagging != nullptr
+                             ? " (lagging domain: '" + lagging->name() + "')"
+                             : std::string()) +
                         "; livelocked model?");
         }
         for (Process* p : std::exchange(delta_resume_, {})) {
@@ -216,12 +376,20 @@ void Kernel::run(Time until) {
           }
         }
         fire_delta_notifications();
+        check_domain_delta_limits();
         continue;
       }
       // Timed-notification phase. Drop stale entries (cancelled or
       // superseded notifications) first so they never advance time.
       while (!timed_queue_.empty() && is_stale(timed_queue_.top())) {
+        const TimedEntry& top = timed_queue_.top();
+        if (top.kind == TimedEntry::Kind::EventFire) {
+          top.event->queued_timed_entries_--;
+        }
         timed_queue_.pop();
+        if (timed_stale_count_ > 0) {
+          timed_stale_count_--;
+        }
       }
       if (timed_queue_.empty()) {
         break;
@@ -233,30 +401,42 @@ void Kernel::run(Time until) {
       }
       now_ = next;
       deltas_at_current_date_ = 0;
+      if (domain_delta_limits_enabled_) {
+        for (const auto& domain : domains_) {
+          domain->deltas_at_current_date_ = 0;
+        }
+      }
       stats_.timed_waves++;
       stats_.delta_cycles++;
       while (!timed_queue_.empty() && timed_queue_.top().when == now_) {
         TimedEntry entry = timed_queue_.top();
         timed_queue_.pop();
+        if (entry.kind == TimedEntry::Kind::EventFire) {
+          entry.event->queued_timed_entries_--;
+        }
+        if (is_stale(entry)) {
+          if (timed_stale_count_ > 0) {
+            timed_stale_count_--;
+          }
+          continue;
+        }
         switch (entry.kind) {
           case TimedEntry::Kind::EventFire:
-            if (entry.event->pending_ == Event::Pending::Timed &&
-                entry.event->generation_ == entry.event_generation) {
-              entry.event->pending_ = Event::Pending::None;
-              trigger_event(*entry.event);
-            }
+            entry.event->pending_ = Event::Pending::None;
+            trigger_event(*entry.event);
             break;
           case TimedEntry::Kind::ProcessResume:
-            if (entry.process->wake_generation_ == entry.process_generation &&
-                entry.process->state_ != ProcessState::Terminated) {
-              cancel_dynamic_wait(*entry.process);
-              entry.process->woke_by_event_ = false;
-              entry.process->wake_generation_++;
-              make_runnable(entry.process);
-            }
+            cancel_dynamic_wait(*entry.process);
+            entry.process->woke_by_event_ = false;
+            // The live entry is the one being consumed right now, so the
+            // generation bump must not count it stale.
+            entry.process->has_live_resume_entry_ = false;
+            entry.process->wake_generation_++;
+            make_runnable(entry.process);
             break;
         }
       }
+      check_domain_delta_limits();
     }
   } catch (...) {
     g_current_kernel = previous;
@@ -285,7 +465,10 @@ void Kernel::dispatch_thread(Process* p) {
   }
   p->state_ = ProcessState::Running;
   Process* previous = std::exchange(current_process_, p);
+  fiber::start_switch(&scheduler_fake_stack_, p->stack_.get(),
+                      p->stack_size_);
   swapcontext(&scheduler_context_, &p->context_);
+  fiber::finish_switch(scheduler_fake_stack_, nullptr, nullptr);
   current_process_ = previous;
   if (p->pending_exception_) {
     std::exception_ptr ex = std::exchange(p->pending_exception_, nullptr);
@@ -323,8 +506,13 @@ void Kernel::dispatch_method(Process* p) {
 
 void Kernel::yield_current_thread() {
   Process* p = current_process_;
+  fiber::start_switch(&p->fake_stack_, scheduler_stack_bottom_,
+                      scheduler_stack_size_);
   swapcontext(&p->context_, &scheduler_context_);
-  // Resumed. If the kernel is tearing down, unwind this stack now.
+  // Resumed (we came from the scheduler stack; refresh its bounds).
+  fiber::finish_switch(p->fake_stack_, &scheduler_stack_bottom_,
+                       &scheduler_stack_size_);
+  // If the kernel is tearing down, unwind this stack now.
   if (p->kill_requested_) {
     throw ProcessKilled{};
   }
@@ -380,15 +568,15 @@ bool Kernel::wait(Event& event, Time timeout) {
 void Kernel::wait_delta() {
   Process* p = require_thread("wait_delta()");
   delta_resume_.push_back(p);
-  p->wake_generation_++;  // invalidate any stale timers
+  bump_wake_generation(*p);  // invalidate any stale timers
   p->state_ = ProcessState::Waiting;
   yield_current_thread();
 }
 
 void Kernel::next_trigger(Event& event) {
   Process* p = require_method("next_trigger(event)");
-  cancel_dynamic_wait(*p);  // last call wins
-  p->wake_generation_++;    // cancel a pending next_trigger(delay)
+  cancel_dynamic_wait(*p);     // last call wins
+  bump_wake_generation(*p);    // cancel a pending next_trigger(delay)
   event.dynamic_waiters_.push_back(p);
   p->waiting_event_ = &event;
   p->trigger_override_ = true;
@@ -397,9 +585,30 @@ void Kernel::next_trigger(Event& event) {
 void Kernel::next_trigger(Time delay) {
   Process* p = require_method("next_trigger(delay)");
   cancel_dynamic_wait(*p);
-  p->wake_generation_++;
+  bump_wake_generation(*p);
   schedule_process_resume(*p, now_ + delay);
   p->trigger_override_ = true;
+}
+
+void Kernel::check_domain_delta_limits() {
+  if (!domain_delta_limits_enabled_) {
+    return;  // keep the no-limit default free on the scheduler hot path
+  }
+  for (const auto& domain : domains_) {
+    if (domain->runnable_count_ == 0) {
+      // Only *consecutive* delta activity counts toward the limit.
+      domain->deltas_at_current_date_ = 0;
+      continue;
+    }
+    domain->deltas_at_current_date_++;
+    if (domain->delta_limit_ != 0 &&
+        domain->deltas_at_current_date_ > domain->delta_limit_) {
+      Report::error("domain '" + domain->name() + "' exceeded its "
+                    "delta-cycle limit (" +
+                    std::to_string(domain->delta_limit_) + ") at date " +
+                    now_.to_string() + "; livelocked subsystem?");
+    }
+  }
 }
 
 void Kernel::cancel_dynamic_wait(Process& p) {
@@ -423,7 +632,10 @@ void Kernel::kill_all_threads() {
         p->state_ != ProcessState::Terminated) {
       p->kill_requested_ = true;
       Process* previous = std::exchange(current_process_, p.get());
+      fiber::start_switch(&scheduler_fake_stack_, p->stack_.get(),
+                          p->stack_size_);
       swapcontext(&scheduler_context_, &p->context_);
+      fiber::finish_switch(scheduler_fake_stack_, nullptr, nullptr);
       current_process_ = previous;
       if (p->state_ != ProcessState::Terminated) {
         Report::warning("process " + p->name() +

@@ -31,12 +31,18 @@ class UpdateListener {
 struct ThreadOptions {
   std::size_t stack_size = 256 * 1024;
   bool dont_initialize = false;
+  /// Synchronization domain the process joins; null resolves to the
+  /// spawning module's default domain (Module::set_default_domain) or the
+  /// kernel default domain.
+  SyncDomain* domain = nullptr;
 };
 
 /// Options for spawning a method process.
 struct MethodOptions {
   std::vector<Event*> sensitivity;
   bool dont_initialize = false;
+  /// See ThreadOptions::domain.
+  SyncDomain* domain = nullptr;
 };
 
 /// One simulation: owns processes, time, and the scheduler queues. Multiple
@@ -80,16 +86,56 @@ class Kernel {
   std::uint64_t delta_count() const { return stats_.delta_cycles; }
   const KernelStats& stats() const { return stats_; }
 
-  /// The kernel's synchronization domain: quantum policy, current-process
-  /// temporal-decoupling operations, and per-cause sync statistics. Every
-  /// process of this kernel belongs to it.
-  SyncDomain& sync_domain() { return sync_domain_; }
-  const SyncDomain& sync_domain() const { return sync_domain_; }
+  // --- synchronization domains ---
 
-  /// Convenience delegates for the domain's quantum (TLM-2.0
+  /// Creates a new synchronization domain with its own quantum policy and
+  /// per-cause sync statistics. Names must be unique within the kernel.
+  /// Domains live as long as the kernel; processes join one at spawn time
+  /// (ThreadOptions/MethodOptions::domain, Module::set_default_domain).
+  SyncDomain& create_domain(std::string name, Time quantum = Time{});
+
+  /// The kernel's default synchronization domain: quantum policy,
+  /// current-process temporal-decoupling operations, and per-cause sync
+  /// statistics. Processes spawned without an explicit domain belong to it,
+  /// so a kernel that never calls create_domain() behaves exactly as a
+  /// single-domain kernel.
+  SyncDomain& sync_domain() { return *domains_.front(); }
+  const SyncDomain& sync_domain() const { return *domains_.front(); }
+
+  /// The domain of the currently executing process; from scheduler or
+  /// elaboration context (no current process) it degenerates to the
+  /// default domain. This is how channel code shared between domains
+  /// (Smart FIFOs, gates, sockets) resolves the right policy for whoever
+  /// is calling.
+  SyncDomain& current_domain() {
+    return current_process_ != nullptr ? current_process_->domain()
+                                       : sync_domain();
+  }
+
+  /// All domains, in creation order; index 0 is the default domain.
+  const std::vector<std::unique_ptr<SyncDomain>>& domains() const {
+    return domains_;
+  }
+
+  /// The domain named `name`, or null.
+  SyncDomain* find_domain(const std::string& name) const;
+
+  /// The domain gating global progress: the one whose execution front
+  /// (max local date over its live processes) is furthest behind. Null
+  /// when no domain has a live process. run() names it in livelock
+  /// diagnostics; benches read it to see which subsystem to relax.
+  SyncDomain* lagging_domain() const;
+
+  /// Moves `process` to `domain`. Only legal during elaboration (before
+  /// the first run() initializes processes); reassigning later would
+  /// tear a decoupled process away from the policy its offset was
+  /// accumulated under.
+  void assign_domain(Process& process, SyncDomain& domain);
+
+  /// Convenience delegates for the *default* domain's quantum (TLM-2.0
   /// tlm_global_quantum analog). Zero disables quantum-driven decoupling.
-  Time global_quantum() const { return sync_domain_.quantum(); }
-  void set_global_quantum(Time quantum) { sync_domain_.set_quantum(quantum); }
+  Time global_quantum() const { return sync_domain().quantum(); }
+  void set_global_quantum(Time quantum) { sync_domain().set_quantum(quantum); }
 
   /// Safety valve against delta-cycle livelock (processes endlessly
   /// re-triggering each other without time advancing): when non-zero,
@@ -156,6 +202,21 @@ class Kernel {
   };
 
   bool is_stale(const TimedEntry& entry) const;
+  /// Bumps the process's wake generation, keeping the stale-entry count
+  /// exact when a live timed resume entry gets invalidated.
+  void bump_wake_generation(Process& p);
+  /// Called by Event when a pending timed notification is superseded or
+  /// cancelled, leaving its queue entry stale.
+  void note_timed_event_stale() { timed_stale_count_++; }
+  /// Called by ~Event while the event is still valid: removes every queue
+  /// entry referring to it, so no is_stale() call can ever dereference a
+  /// destroyed event.
+  void purge_timed_event_entries(Event& e);
+  /// Rebuilds timed_queue_ without stale entries once they outnumber the
+  /// live ones (lazy deletion would otherwise grow the queue unboundedly
+  /// under cancel/supersede-heavy workloads).
+  void maybe_compact_timed_queue();
+  void check_domain_delta_limits();
   void initialize_processes();
   void dispatch(Process* p);
   void dispatch_thread(Process* p);
@@ -173,14 +234,24 @@ class Kernel {
   void fire_delta_notifications();
 
   Time now_;
-  SyncDomain sync_domain_{*this};
+  /// Domain registry; [0] is the default domain, created in the
+  /// constructor. unique_ptr keeps SyncDomain addresses stable across
+  /// create_domain() calls (processes and channels hold raw pointers).
+  std::vector<std::unique_ptr<SyncDomain>> domains_;
   std::uint64_t delta_limit_ = 0;
   std::uint64_t deltas_at_current_date_ = 0;
   KernelStats stats_;
   std::uint64_t next_process_id_ = 1;
   std::uint64_t next_timed_seq_ = 0;
+  /// Exact count of stale (cancelled/superseded) entries currently inside
+  /// timed_queue_, except for entries orphaned by process kills at
+  /// teardown; drives compaction.
+  std::size_t timed_stale_count_ = 0;
   bool initialized_ = false;
   bool stop_requested_ = false;
+  /// True once any domain ever armed a per-domain delta-cycle limit; the
+  /// scheduler skips the per-domain delta bookkeeping while false.
+  bool domain_delta_limits_enabled_ = false;
 
   std::vector<std::unique_ptr<Process>> processes_;
   std::deque<Process*> runnable_;
@@ -193,6 +264,15 @@ class Kernel {
 
   Process* current_process_ = nullptr;
   ucontext_t scheduler_context_{};
+
+  // --- AddressSanitizer fiber bookkeeping (see fiber_sanitizer.h) ---
+  /// Scheduler (OS thread) stack bounds, learned each time a fiber resumes
+  /// and reports where it came from; used when switching back.
+  const void* scheduler_stack_bottom_ = nullptr;
+  std::size_t scheduler_stack_size_ = 0;
+  /// ASan fake-stack handle saved while the scheduler stack is switched
+  /// away from.
+  void* scheduler_fake_stack_ = nullptr;
 };
 
 /// Free-function conveniences mirroring SystemC's global wait()/time API.

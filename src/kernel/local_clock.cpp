@@ -18,15 +18,15 @@ void LocalClock::advance_to(Time date) {
 }
 
 bool LocalClock::needs_sync() const {
-  return owner_.kernel().sync_domain().quantum_exceeded(*this);
+  return owner_.domain().quantum_exceeded(*this);
 }
 
 void LocalClock::sync(SyncCause cause) {
-  owner_.kernel().sync_domain().perform_sync(*this, cause);
+  owner_.domain().perform_sync(*this, cause);
 }
 
 void LocalClock::method_rearm(SyncCause cause) {
-  owner_.kernel().sync_domain().perform_method_rearm(*this, cause);
+  owner_.domain().perform_method_rearm(*this, cause);
 }
 
 }  // namespace tdsim

@@ -13,13 +13,28 @@ Module::Module(Module& parent, std::string name)
   parent.children_.push_back(this);
 }
 
+SyncDomain& Module::default_domain() const {
+  for (const Module* m = this; m != nullptr; m = m->parent_) {
+    if (m->default_domain_ != nullptr) {
+      return *m->default_domain_;
+    }
+  }
+  return kernel_.sync_domain();
+}
+
 Process* Module::thread(const std::string& name, std::function<void()> body,
                         ThreadOptions opts) {
+  if (opts.domain == nullptr) {
+    opts.domain = &default_domain();
+  }
   return kernel_.spawn_thread(full_name_ + "." + name, std::move(body), opts);
 }
 
 Process* Module::method(const std::string& name, std::function<void()> body,
                         MethodOptions opts) {
+  if (opts.domain == nullptr) {
+    opts.domain = &default_domain();
+  }
   return kernel_.spawn_method(full_name_ + "." + name, std::move(body),
                               std::move(opts));
 }

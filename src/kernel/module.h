@@ -26,6 +26,17 @@ class Module {
   Module* parent() const { return parent_; }
   const std::vector<Module*>& children() const { return children_; }
 
+  /// Sets the synchronization domain that processes registered by this
+  /// module (and by descendant modules that don't override it) join when
+  /// their spawn options name none. Whole subsystems land in one domain
+  /// with a single call on the subtree root. Must precede the affected
+  /// thread()/method() registrations.
+  void set_default_domain(SyncDomain& domain) { default_domain_ = &domain; }
+
+  /// The domain this module's processes join by default: the nearest
+  /// ancestor-or-self override, else the kernel default domain.
+  SyncDomain& default_domain() const;
+
  protected:
   /// Registers a thread process named "<full_name>.<name>".
   Process* thread(const std::string& name, std::function<void()> body,
@@ -41,6 +52,8 @@ class Module {
   std::string name_;
   std::string full_name_;
   std::vector<Module*> children_;
+  /// Null = inherit the parent's default (kernel default at the root).
+  SyncDomain* default_domain_ = nullptr;
 };
 
 }  // namespace tdsim

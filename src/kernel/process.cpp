@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "kernel/fiber_sanitizer.h"
 #include "kernel/kernel.h"
 #include "kernel/report.h"
 
@@ -27,6 +28,10 @@ void Process::trampoline(unsigned hi, unsigned lo) {
   auto* self = reinterpret_cast<Process*>(
       (static_cast<std::uintptr_t>(hi) << 32) |
       static_cast<std::uintptr_t>(lo));
+  // First time on this fiber stack; we came from the scheduler stack,
+  // whose bounds the kernel needs for the switches back.
+  fiber::finish_switch(nullptr, &self->kernel_.scheduler_stack_bottom_,
+                       &self->kernel_.scheduler_stack_size_);
   try {
     self->body_();
   } catch (const ProcessKilled&) {
@@ -35,7 +40,10 @@ void Process::trampoline(unsigned hi, unsigned lo) {
     self->pending_exception_ = std::current_exception();
   }
   self->state_ = ProcessState::Terminated;
-  // Hand control back to the scheduler; never returns here again.
+  // Hand control back to the scheduler; never returns here again, so the
+  // null save lets ASan release this fiber's fake stack.
+  fiber::start_switch(nullptr, self->kernel_.scheduler_stack_bottom_,
+                      self->kernel_.scheduler_stack_size_);
   swapcontext(&self->context_, &self->kernel_.scheduler_context_);
 }
 

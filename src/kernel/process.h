@@ -18,6 +18,7 @@ namespace tdsim {
 
 class Kernel;
 class Event;
+class SyncDomain;
 
 enum class ProcessKind {
   /// Stackful coroutine; may call Kernel::wait(). Resuming one costs a
@@ -64,6 +65,13 @@ class Process {
   LocalClock& clock() { return clock_; }
   const LocalClock& clock() const { return clock_; }
 
+  /// The synchronization domain this process belongs to: quantum policy
+  /// and sync accounting for this process go through it. Fixed at spawn
+  /// (ThreadOptions/MethodOptions::domain, module default, or the kernel
+  /// default domain); reassignable via Kernel::assign_domain() only before
+  /// elaboration.
+  SyncDomain& domain() const { return *domain_; }
+
  private:
   friend class Kernel;
   friend class Event;
@@ -90,6 +98,14 @@ class Process {
   /// timed queue entries referring to it.
   std::uint64_t wake_generation_ = 0;
 
+  /// True while a timed-queue resume entry for the current wake generation
+  /// exists (a process has at most one). Lets the kernel keep an exact
+  /// count of stale entries for queue compaction.
+  bool has_live_resume_entry_ = false;
+
+  /// See domain(). Set by Kernel::spawn_* before anything can observe it.
+  SyncDomain* domain_ = nullptr;
+
   /// See clock().
   LocalClock clock_{*this};
 
@@ -108,6 +124,9 @@ class Process {
   bool thread_started_ = false;
   bool kill_requested_ = false;
   std::exception_ptr pending_exception_;
+  /// ASan fake-stack handle saved while this fiber is switched away from
+  /// (see kernel/fiber_sanitizer.h).
+  void* fake_stack_ = nullptr;
 
   // --- method-only state ---
   std::vector<Event*> static_sensitivity_;

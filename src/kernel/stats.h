@@ -10,6 +10,8 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace tdsim {
 
@@ -55,6 +57,54 @@ constexpr const char* to_string(SyncCause cause) {
   return "?";
 }
 
+/// Synchronization bookkeeping of one SyncDomain, indexed by the domain's
+/// id inside KernelStats::domains. The kernel-wide aggregate fields of
+/// KernelStats are maintained in lockstep (every sync counts once in its
+/// domain and once in the aggregate), so per-domain entries always sum to
+/// the aggregate view existing consumers read.
+struct DomainStats {
+  /// The owning domain's name, for reports and BENCH rows.
+  std::string name;
+
+  /// Synchronization requests by processes of this domain (sync() calls
+  /// plus method re-arms). Invariant per domain:
+  /// sync_requests == syncs_performed() + syncs_elided.
+  std::uint64_t sync_requests = 0;
+
+  /// Requests that found the process already synchronized.
+  std::uint64_t syncs_elided = 0;
+
+  /// Performed synchronizations attributed to a cause, indexed by
+  /// static_cast<size_t>(SyncCause).
+  std::array<std::uint64_t, kSyncCauseCount> syncs_by_cause{};
+
+  /// Method re-arms at a future local date (also in syncs_by_cause).
+  std::uint64_t method_rearms = 0;
+
+  std::uint64_t syncs(SyncCause cause) const {
+    return syncs_by_cause[static_cast<std::size_t>(cause)];
+  }
+
+  std::uint64_t syncs_performed() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t n : syncs_by_cause) {
+      total += n;
+    }
+    return total;
+  }
+
+  DomainStats operator-(const DomainStats& o) const {
+    DomainStats r = *this;
+    r.sync_requests -= o.sync_requests;
+    r.syncs_elided -= o.syncs_elided;
+    for (std::size_t i = 0; i < kSyncCauseCount; ++i) {
+      r.syncs_by_cause[i] -= o.syncs_by_cause[i];
+    }
+    r.method_rearms -= o.method_rearms;
+    return r;
+  }
+};
+
 struct KernelStats {
   /// Number of resumes of stackful thread processes. Each resume costs two
   /// machine context switches (in and out); we count resumes, matching how
@@ -75,6 +125,10 @@ struct KernelStats {
 
   /// Number of processes ever spawned.
   std::uint64_t processes_spawned = 0;
+
+  /// Number of timed-queue compactions (rebuilds dropping lazily-deleted
+  /// stale entries once they outnumber the live ones).
+  std::uint64_t timed_queue_compactions = 0;
 
   // --- temporal-decoupling bookkeeping (maintained by SyncDomain) ---
 
@@ -100,6 +154,12 @@ struct KernelStats {
   /// in syncs_by_cause (usually as SyncCause::MethodRearm).
   std::uint64_t method_rearms = 0;
 
+  /// Per-domain breakdown of the sync bookkeeping above, indexed by
+  /// SyncDomain::id() (index 0 is the kernel's default domain). Each sync
+  /// is counted in exactly one domain entry, so for every field the domain
+  /// entries sum to the aggregate.
+  std::vector<DomainStats> domains;
+
   std::uint64_t syncs(SyncCause cause) const {
     return syncs_by_cause[static_cast<std::size_t>(cause)];
   }
@@ -121,12 +181,18 @@ struct KernelStats {
     r.timed_waves -= o.timed_waves;
     r.event_triggers -= o.event_triggers;
     r.processes_spawned -= o.processes_spawned;
+    r.timed_queue_compactions -= o.timed_queue_compactions;
     r.sync_requests -= o.sync_requests;
     r.syncs_elided -= o.syncs_elided;
     for (std::size_t i = 0; i < kSyncCauseCount; ++i) {
       r.syncs_by_cause[i] -= o.syncs_by_cause[i];
     }
     r.method_rearms -= o.method_rearms;
+    // Domains created after the `o` snapshot keep their full counts.
+    for (std::size_t d = 0; d < r.domains.size() && d < o.domains.size();
+         ++d) {
+      r.domains[d] = r.domains[d] - o.domains[d];
+    }
     return r;
   }
 };

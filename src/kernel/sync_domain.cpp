@@ -7,6 +7,16 @@
 
 namespace tdsim {
 
+void SyncDomain::set_delta_cycle_limit(std::uint64_t limit) {
+  delta_limit_ = limit;
+  if (limit != 0) {
+    // Lets the scheduler skip the per-domain delta bookkeeping entirely on
+    // the (default) no-limit path. Sticky: clearing one domain's limit
+    // doesn't prove no other domain still has one.
+    kernel_.domain_delta_limits_enabled_ = true;
+  }
+}
+
 bool SyncDomain::quantum_exceeded(const LocalClock& clock) const {
   if (quantum_.is_zero()) {
     // A zero quantum means "synchronize at every annotation", matching the
@@ -14,6 +24,30 @@ bool SyncDomain::quantum_exceeded(const LocalClock& clock) const {
     return true;
   }
   return clock.offset() >= quantum_;
+}
+
+std::optional<Time> SyncDomain::execution_front() const {
+  std::optional<Time> front;
+  for (const Process* p : members_) {
+    if (p->terminated()) {
+      continue;
+    }
+    const Time local = p->clock().now();
+    if (!front.has_value() || local > *front) {
+      front = local;
+    }
+  }
+  return front;
+}
+
+Time SyncDomain::max_offset() const {
+  Time max;
+  for (const Process* p : members_) {
+    if (!p->terminated() && p->clock().offset() > max) {
+      max = p->clock().offset();
+    }
+  }
+  return max;
 }
 
 LocalClock& SyncDomain::current_clock() const {
@@ -49,6 +83,9 @@ void SyncDomain::sync(SyncCause cause) {
 
 void SyncDomain::inc_and_sync_if_needed(Time duration, SyncCause cause) {
   LocalClock& clock = current_clock();
+  // Check membership before mutating the clock, so a misrouted call fails
+  // without side effects.
+  require_member(clock.owner());
   clock.inc(duration);
   if (quantum_exceeded(clock)) {
     perform_sync(clock, cause);
@@ -60,7 +97,11 @@ bool SyncDomain::is_synchronized() const {
 }
 
 bool SyncDomain::needs_sync() const {
-  return quantum_exceeded(current_clock());
+  LocalClock& clock = current_clock();
+  // A foreign domain's quantum would silently misanswer the policy
+  // question; fail loudly instead.
+  require_member(clock.owner());
+  return quantum_exceeded(clock);
 }
 
 void SyncDomain::method_sync_trigger(SyncCause cause) {
@@ -71,16 +112,33 @@ Time SyncDomain::local_time_of(const Process& process) const {
   return process.clock().now();
 }
 
+const DomainStats& SyncDomain::stats() const {
+  return kernel_.stats().domains[id_];
+}
+
+DomainStats& SyncDomain::stats_mut() const {
+  return kernel_.stats_.domains[id_];
+}
+
 std::uint64_t SyncDomain::syncs(SyncCause cause) const {
-  return kernel_.stats().syncs(cause);
+  return stats().syncs(cause);
 }
 
 std::uint64_t SyncDomain::syncs_performed() const {
-  return kernel_.stats().syncs_performed();
+  return stats().syncs_performed();
 }
 
 std::uint64_t SyncDomain::syncs_elided() const {
-  return kernel_.stats().syncs_elided;
+  return stats().syncs_elided;
+}
+
+void SyncDomain::require_member(const Process& process) const {
+  if (&process.domain() != this) {
+    Report::error("process '" + process.name() + "' belongs to domain '" +
+                  process.domain().name() + "' but synchronized through "
+                  "domain '" + name_ +
+                  "'; resolve the domain with Kernel::current_domain()");
+  }
 }
 
 void SyncDomain::perform_sync(LocalClock& clock, SyncCause cause) {
@@ -92,11 +150,17 @@ void SyncDomain::perform_sync(LocalClock& clock, SyncCause cause) {
     Report::error("sync() invoked on the clock of process '" + p.name() +
                   "', which is not the currently executing process");
   }
+  // A sync through a foreign domain would apply the wrong quantum policy
+  // and book the switch against the wrong subsystem.
+  require_member(p);
   KernelStats& stats = kernel_.stats_;
+  DomainStats& domain_stats = stats_mut();
   stats.sync_requests++;
+  domain_stats.sync_requests++;
   const Time offset = clock.offset();
   if (offset.is_zero()) {
     stats.syncs_elided++;
+    domain_stats.syncs_elided++;
     return;
   }
   if (p.kind() == ProcessKind::Method) {
@@ -105,6 +169,7 @@ void SyncDomain::perform_sync(LocalClock& clock, SyncCause cause) {
                   "method_sync_trigger() instead");
   }
   stats.syncs_by_cause[static_cast<std::size_t>(cause)]++;
+  domain_stats.syncs_by_cause[static_cast<std::size_t>(cause)]++;
   clock.set_offset(Time{});
   kernel_.wait(offset);
 }
@@ -119,12 +184,17 @@ void SyncDomain::perform_method_rearm(LocalClock& clock, SyncCause cause) {
     Report::error("method_sync_trigger() invoked on the clock of process '" +
                   p.name() + "', which is not the currently executing process");
   }
+  require_member(p);
   KernelStats& stats = kernel_.stats_;
+  DomainStats& domain_stats = stats_mut();
   // A re-arm is a performed synchronization request (never elided), so it
   // counts on both sides of the requests == performed + elided invariant.
   stats.sync_requests++;
+  domain_stats.sync_requests++;
   stats.method_rearms++;
+  domain_stats.method_rearms++;
   stats.syncs_by_cause[static_cast<std::size_t>(cause)]++;
+  domain_stats.syncs_by_cause[static_cast<std::size_t>(cause)]++;
   // next_trigger bumps the process's wake generation, so a previously
   // scheduled re-arm or timeout for this method can never fire stale.
   kernel_.next_trigger(clock.offset());
@@ -135,15 +205,18 @@ SyncDomain& current_sync_domain() {
   if (k == nullptr) {
     Report::error("temporal decoupling used outside of a running kernel");
   }
-  return k->sync_domain();
+  return k->current_domain();
 }
 
 // --------------------------------------------------------------------------
 // QuantumKeeper
 // --------------------------------------------------------------------------
 
+QuantumKeeper::QuantumKeeper(SyncDomain& domain)
+    : kernel_(domain.kernel()), bound_domain_(&domain) {}
+
 SyncDomain& QuantumKeeper::domain() const {
-  return kernel_.sync_domain();
+  return bound_domain_ != nullptr ? *bound_domain_ : kernel_.current_domain();
 }
 
 void QuantumKeeper::inc(Time duration) {

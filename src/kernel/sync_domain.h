@@ -1,20 +1,34 @@
-// Kernel-owned synchronization domain -- the second level of the
+// Kernel-owned synchronization domains -- the second level of the
 // temporal-decoupling subsystem.
 //
-// A SyncDomain groups the processes of one kernel under a common quantum
-// policy and accounts for every synchronization they perform, attributed to
-// a cause (quantum expiry, Smart-FIFO full/empty, synchronization points,
-// monitor accesses, method re-arms). The per-cause counts land in
-// KernelStats, where benchmarks read them next to wall time -- these are
-// exactly the quantities the paper's Fig. 5 trades off against FIFO depth.
+// A SyncDomain groups a subset of one kernel's processes under a common
+// quantum policy and accounts for every synchronization they perform,
+// attributed to a cause (quantum expiry, Smart-FIFO full/empty,
+// synchronization points, monitor accesses, method re-arms). The per-cause
+// counts land in the domain's DomainStats entry of KernelStats (and in the
+// kernel-wide aggregate), where benchmarks read them next to wall time --
+// exactly the quantities the paper's Fig. 5 trades off against FIFO depth,
+// now resolvable per subsystem.
+//
+// Every kernel owns a default domain (Kernel::sync_domain()); further
+// domains are created with Kernel::create_domain(name, quantum) and joined
+// per process (ThreadOptions/MethodOptions::domain) or per module subtree
+// (Module::set_default_domain). A CPU cluster, a DMA engine and a slow
+// peripheral bus can this way each run under the quantum that suits them,
+// inside one kernel, without perturbing each other's accuracy.
 //
 // The domain also offers the current-process convenience API (inc, sync,
 // advance_local_to, ...) that channel code uses when it holds a Kernel& but
 // not a Process&: the operations apply to the process currently executing
-// inside that kernel. Today every kernel owns exactly one domain; the
-// explicit object is the seam for per-domain quanta and sharded multi-domain
-// scheduling.
+// inside that kernel. Channel code should resolve the executing process's
+// own domain through Kernel::current_domain() (or the ambient
+// current_sync_domain()) rather than hard-wiring the default domain.
 #pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "kernel/stats.h"
 #include "kernel/time.h"
@@ -27,18 +41,20 @@ class Process;
 
 class SyncDomain {
  public:
-  explicit SyncDomain(Kernel& kernel) : kernel_(kernel) {}
   SyncDomain(const SyncDomain&) = delete;
   SyncDomain& operator=(const SyncDomain&) = delete;
 
   Kernel& kernel() const { return kernel_; }
+  const std::string& name() const { return name_; }
+  /// Index of this domain in Kernel::domains() and KernelStats::domains.
+  std::size_t id() const { return id_; }
 
   // --- quantum policy ---
 
-  /// Temporal-decoupling quantum (TLM-2.0 tlm_global_quantum analog): the
-  /// maximum local-time offset a well-behaved decoupled process accumulates
-  /// before synchronizing. Zero disables quantum-driven decoupling
-  /// ("synchronize at every annotation").
+  /// Temporal-decoupling quantum (TLM-2.0 tlm_global_quantum analog) of
+  /// this domain: the maximum local-time offset a well-behaved decoupled
+  /// process of the domain accumulates before synchronizing. Zero disables
+  /// quantum-driven decoupling ("synchronize at every annotation").
   Time quantum() const { return quantum_; }
   void set_quantum(Time quantum) { quantum_ = quantum; }
 
@@ -46,10 +62,40 @@ class SyncDomain {
   /// zero or the clock's offset has reached it.
   bool quantum_exceeded(const LocalClock& clock) const;
 
+  /// Per-domain delta-cycle livelock limit: when non-zero, the scheduler
+  /// raises a SimulationError once processes of this domain stay runnable
+  /// for more than `limit` consecutive delta cycles at one simulated date.
+  /// Independent of the kernel-wide Kernel::set_delta_cycle_limit().
+  void set_delta_cycle_limit(std::uint64_t limit);
+  std::uint64_t delta_cycle_limit() const { return delta_limit_; }
+
+  // --- membership / scheduler bookkeeping ---
+
+  /// Processes of this domain, in spawn order (includes terminated ones).
+  const std::vector<Process*>& members() const { return members_; }
+
+  /// Number of this domain's processes currently in the kernel's runnable
+  /// set (maintained by the scheduler).
+  std::size_t runnable_count() const { return runnable_count_; }
+
+  /// The domain's execution front: the maximum local date over its live
+  /// (non-terminated) processes, i.e. how far ahead of the global date the
+  /// domain has run. Empty when the domain has no live process. The domain
+  /// with the smallest front is the one gating global progress -- see
+  /// Kernel::lagging_domain().
+  std::optional<Time> execution_front() const;
+
+  /// Largest local-time offset among live processes of this domain.
+  Time max_offset() const;
+
   // --- current-process operations ---
   // All of these apply to the process currently executing inside this
   // domain's kernel; calling them from outside a running simulation process
   // is an error (except local_time_stamp, which degenerates gracefully).
+  // The policy/bookkeeping operations (sync, inc_and_sync_if_needed,
+  // needs_sync, method_sync_trigger) additionally require that process to
+  // be a member of *this* domain -- resolve the right domain with
+  // Kernel::current_domain() when in doubt.
 
   /// The clock of the currently executing process.
   LocalClock& current_clock() const;
@@ -86,39 +132,67 @@ class SyncDomain {
 
   // --- statistics (stored in the kernel's KernelStats) ---
 
+  /// This domain's share of the sync bookkeeping (KernelStats::domains).
+  const DomainStats& stats() const;
+
   std::uint64_t syncs(SyncCause cause) const;
   std::uint64_t syncs_performed() const;
   std::uint64_t syncs_elided() const;
 
  private:
+  friend class Kernel;      // creates domains, keeps runnable_count_
   friend class LocalClock;
 
+  SyncDomain(Kernel& kernel, std::string name, std::size_t id, Time quantum)
+      : kernel_(kernel), name_(std::move(name)), id_(id), quantum_(quantum) {}
+
   /// The one place a synchronization happens: validates the caller, keeps
-  /// the per-cause books, clears the offset and suspends the owner until
-  /// the global date catches up.
+  /// the per-cause books (domain + kernel aggregate), clears the offset and
+  /// suspends the owner until the global date catches up.
   void perform_sync(LocalClock& clock, SyncCause cause);
 
   /// The method-process counterpart: re-arm at the local date through
   /// Kernel::next_trigger (generation-safe) and keep the books.
   void perform_method_rearm(LocalClock& clock, SyncCause cause);
 
+  /// Errors unless `process` (the owner of a clock being synchronized
+  /// through this domain) is a member of this domain.
+  void require_member(const Process& process) const;
+
+  DomainStats& stats_mut() const;
+
   Kernel& kernel_;
+  std::string name_;
+  std::size_t id_;
   Time quantum_{};
+  std::uint64_t delta_limit_ = 0;
+  /// Consecutive delta cycles at the current date with members runnable.
+  std::uint64_t deltas_at_current_date_ = 0;
+  std::size_t runnable_count_ = 0;
+  std::vector<Process*> members_;
 };
 
-/// The sync domain of the kernel currently executing run() on this OS
-/// thread; an error when no kernel is running. For components (arbiters,
-/// sockets) that are not bound to a kernel at construction time.
+/// The domain of the process currently executing inside the kernel
+/// currently running run() on this OS thread; an error when no kernel is
+/// running. For components (arbiters, sockets) that are not bound to a
+/// kernel at construction time. From scheduler context (no current
+/// process) it degenerates to that kernel's default domain.
 SyncDomain& current_sync_domain();
 
-/// TLM-2.0 tlm_quantumkeeper analog: accumulates local time on the bound
-/// kernel's current process and synchronizes when that kernel's quantum is
-/// exceeded. All policy is routed through the stored kernel's SyncDomain --
-/// never through the ambient Kernel::current() -- so a keeper built for one
-/// kernel keeps working when several kernels coexist.
+/// TLM-2.0 tlm_quantumkeeper analog: accumulates local time on the current
+/// process and synchronizes when the governing domain's quantum is
+/// exceeded. Two binding flavors:
+///   * QuantumKeeper(kernel) resolves the executing process's own domain
+///     inside that kernel at each use -- never the ambient
+///     Kernel::current() -- so a keeper built for one kernel keeps working
+///     when several kernels coexist and follows the process's domain.
+///   * QuantumKeeper(domain) pins one domain: policy and accounting come
+///     from it, and using the keeper from a process of another domain is an
+///     error (it would apply the wrong quantum).
 class QuantumKeeper {
  public:
   explicit QuantumKeeper(Kernel& kernel) : kernel_(kernel) {}
+  explicit QuantumKeeper(SyncDomain& domain);
 
   /// Adds `duration` to the current process's local time.
   void inc(Time duration);
@@ -141,6 +215,7 @@ class QuantumKeeper {
   SyncDomain& domain() const;
 
   Kernel& kernel_;
+  SyncDomain* bound_domain_ = nullptr;
 };
 
 }  // namespace tdsim

@@ -80,7 +80,7 @@ void SmartNetworkInterface::elaborate() {
 }
 
 void SmartNetworkInterface::tx_step() {
-  SyncDomain& domain = kernel().sync_domain();
+  SyncDomain& domain = kernel().current_domain();
   // Resume the production front: the method's offset restarts at zero each
   // activation, but the pipeline may be ahead of the global date.
   domain.advance_local_to(tx_date_);
@@ -141,7 +141,7 @@ void SmartNetworkInterface::tx_step() {
 }
 
 void SmartNetworkInterface::rx_step() {
-  SyncDomain& domain = kernel().sync_domain();
+  SyncDomain& domain = kernel().current_domain();
   domain.advance_local_to(rx_date_);
   for (;;) {
     if (!rx_packet_.has_value()) {

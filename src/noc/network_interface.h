@@ -62,7 +62,10 @@ class NetworkInterfaceBase : public Module {
   ChannelId add_tx_channel(const TxChannelConfig& config);
   ChannelId add_rx_channel(const RxChannelConfig& config);
 
-  /// Spawns the TX/RX processes; call once after adding channels.
+  /// Spawns the TX/RX processes; call once after adding channels. The
+  /// processes join the module's default domain, so a builder can place a
+  /// whole NI (or the subtree it lives in) into a dedicated domain with
+  /// Module::set_default_domain() before elaborating.
   virtual void elaborate() = 0;
 
   NodeId id() const { return id_; }

@@ -30,6 +30,9 @@ Accelerator::Accelerator(Module& parent, const std::string& name,
     }
     return static_cast<std::uint32_t>(config_.input->get_size());
   });
+  if (config_.domain != nullptr) {
+    set_default_domain(*config_.domain);
+  }
   thread("process", [this] { process(); });
 }
 
@@ -51,7 +54,7 @@ void Accelerator::emit_output_word(std::uint32_t word) {
 }
 
 void Accelerator::process() {
-  SyncDomain& domain = kernel().sync_domain();
+  SyncDomain& domain = kernel().current_domain();
   start_gate_.await();
   if (recorder_ != nullptr) {
     recorder_->record(full_name() + " start");

@@ -44,6 +44,9 @@ class Accelerator : public Module {
     /// Status/progress granularity: the progress register is refreshed
     /// (with a synchronization, keeping it date-accurate) once per block.
     std::uint64_t block_words = 64;
+    /// Synchronization domain the processing thread joins (e.g. a shared
+    /// "periph" domain for all accelerators); null = the module default.
+    SyncDomain* domain = nullptr;
   };
 
   Accelerator(Module& parent, const std::string& name, Config config);

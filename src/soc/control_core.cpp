@@ -10,6 +10,9 @@ ControlCore::ControlCore(Module& parent, const std::string& name,
     : Module(parent, name),
       config_(std::move(config)),
       socket_(full_name() + ".socket") {
+  if (config_.domain != nullptr) {
+    set_default_domain(*config_.domain);
+  }
   thread("software", [this] { software(); });
 }
 
@@ -24,7 +27,7 @@ void ControlCore::software() {
   if (recorder_ != nullptr) {
     recorder_->record("core: all accelerators started");
   }
-  SyncDomain& domain = kernel().sync_domain();
+  SyncDomain& domain = kernel().current_domain();
   // Move the polling dates off the streams' integer-nanosecond grid (see
   // Config::poll_phase).
   domain.inc(config_.poll_phase);

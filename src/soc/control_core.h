@@ -30,6 +30,9 @@ class ControlCore : public Module {
     /// which would make the reference mode scheduler-dependent (programs
     /// the paper excludes from its validation suite, SIV.A).
     Time poll_phase = Time(500, TimeUnit::PS);
+    /// Synchronization domain the software process joins (e.g. a dedicated
+    /// "cpu" domain with a tight quantum); null = the module default.
+    SyncDomain* domain = nullptr;
   };
 
   ControlCore(Module& parent, const std::string& name, Config config);

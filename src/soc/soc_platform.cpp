@@ -24,6 +24,15 @@ SocPlatform::SocPlatform(Kernel& kernel, const SocConfig& config)
   }
   kernel.set_global_quantum(config_.quantum);
 
+  SyncDomain* cpu_domain = nullptr;
+  SyncDomain* periph_domain = nullptr;
+  SyncDomain* noc_domain = nullptr;
+  if (config_.split_domains) {
+    cpu_domain = &kernel.create_domain("soc.cpu", config_.quantum);
+    periph_domain = &kernel.create_domain("soc.periph", config_.quantum);
+    noc_domain = &kernel.create_domain("soc.noc", config_.quantum);
+  }
+
   bus_ = std::make_unique<tlm::Bus>("soc.bus", 2_ns);
   memory_ = std::make_unique<tlm::Memory>("soc.mem", kMemorySize, 1_ns);
   bus_->map(kMemoryBase, kMemorySize, *memory_);
@@ -46,6 +55,9 @@ SocPlatform::SocPlatform(Kernel& kernel, const SocConfig& config)
     } else {
       nis_.push_back(std::make_unique<noc::SyncNetworkInterface>(
           *this, name, id, mesh_->local_in(id), mesh_->local_out(id)));
+    }
+    if (noc_domain != nullptr) {
+      nis_.back()->set_default_domain(*noc_domain);
     }
   }
 
@@ -81,6 +93,7 @@ SocPlatform::SocPlatform(Kernel& kernel, const SocConfig& config)
     src_cfg.add = static_cast<std::uint32_t>(s);
     src_cfg.total_words = config_.words_per_stream;
     src_cfg.block_words = config_.block_words;
+    src_cfg.domain = periph_domain;
     accelerators_.push_back(
         std::make_unique<Accelerator>(*this, prefix + ".src", src_cfg));
 
@@ -92,6 +105,7 @@ SocPlatform::SocPlatform(Kernel& kernel, const SocConfig& config)
     mid_cfg.add = 1;
     mid_cfg.total_words = config_.words_per_stream;
     mid_cfg.block_words = config_.block_words;
+    mid_cfg.domain = periph_domain;
     accelerators_.push_back(
         std::make_unique<Accelerator>(*this, prefix + ".mid", mid_cfg));
 
@@ -100,6 +114,7 @@ SocPlatform::SocPlatform(Kernel& kernel, const SocConfig& config)
     sink_cfg.per_word = config_.sink_per_word;
     sink_cfg.total_words = config_.words_per_stream;
     sink_cfg.block_words = config_.block_words;
+    sink_cfg.domain = periph_domain;
     accelerators_.push_back(
         std::make_unique<Accelerator>(*this, prefix + ".sink", sink_cfg));
     sink_index_.push_back(accelerators_.size() - 1);
@@ -122,6 +137,7 @@ SocPlatform::SocPlatform(Kernel& kernel, const SocConfig& config)
   core_config.poll_period = config_.poll_period;
   core_config.monitor_every = config_.monitor_every;
   core_config.poll_phase = config_.poll_phase;
+  core_config.domain = cpu_domain;
   core_ = std::make_unique<ControlCore>(*this, "core", core_config);
   core_->socket().bind(*bus_);
 }

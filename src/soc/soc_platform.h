@@ -58,6 +58,13 @@ struct SocConfig {
   /// See ControlCore::Config::poll_phase.
   Time poll_phase = Time(500, TimeUnit::PS);
   std::uint64_t block_words = 256;
+  /// When true, the platform partitions its processes into three
+  /// synchronization domains instead of the kernel default: "soc.cpu"
+  /// (control core), "soc.periph" (accelerators) and "soc.noc" (network
+  /// interfaces), each created with `quantum`. Dates are bit-exact either
+  /// way -- only the per-domain attribution of the sync statistics moves --
+  /// and each domain's quantum can then be tuned independently.
+  bool split_domains = false;
 };
 
 class SocPlatform : public Module {

@@ -20,7 +20,6 @@
 // Temporal decoupling and the Smart FIFO (the paper's contribution).
 #include "core/arbiter.h"
 #include "core/fifo_interface.h"
-#include "core/local_time.h"
 #include "core/peq.h"
 #include "core/smart_fifo.h"
 #include "core/start_gate.h"

@@ -47,7 +47,7 @@ void DmaEngine::start(std::uint64_t src, std::uint64_t dst,
   p.length = sizeof(one);
   Time delay;
   registers_.b_transport(p, delay);
-  kernel().sync_domain().inc(delay);
+  kernel().current_domain().inc(delay);
 }
 
 void DmaEngine::engine() {
@@ -83,13 +83,13 @@ void DmaEngine::engine() {
                       std::to_string(p.address) + " failed");
       }
       delay += config_.per_word;
-      kernel().sync_domain().inc_and_sync_if_needed(delay);
+      kernel().current_domain().inc_and_sync_if_needed(delay);
       words_copied_++;
     }
 
     // Synchronization point (paper SII.A): the done status and interrupt
     // must be date-accurate for any observer.
-    kernel().sync_domain().sync(SyncCause::SyncPoint);
+    kernel().current_domain().sync(SyncCause::SyncPoint);
     registers_.poke(kStatus, kDone);
     transfers_completed_++;
     done_event_.notify_delta();

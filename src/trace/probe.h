@@ -39,7 +39,7 @@ class FifoLevelProbe {
                  VcdVariable variable, Config config)
       : variable_(std::move(variable)) {
     kernel.spawn_thread(std::move(name), [this, &kernel, &fifo, config] {
-      SyncDomain& domain = kernel.sync_domain();
+      SyncDomain& domain = kernel.current_domain();
       domain.inc(config.phase);
       for (std::size_t sample = 0;
            config.max_samples == 0 || sample < config.max_samples;

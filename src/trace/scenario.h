@@ -58,7 +58,7 @@ class ScenarioEnv {
   /// called from a thread process (in decoupled modes, also from methods).
   void delay(Time d) {
     if (decoupled()) {
-      kernel_.sync_domain().inc(d);
+      kernel_.current_domain().inc(d);
     } else {
       kernel_.wait(d);
     }

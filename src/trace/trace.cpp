@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <tuple>
 
-#include "core/local_time.h"
 #include "kernel/process.h"
 
 namespace tdsim::trace {

@@ -72,10 +72,10 @@ void Pipeline::delay(Time duration) {
       kernel_.wait(duration);
       return;
     case ModelKind::TDfull:
-      kernel_.sync_domain().inc(duration);
+      kernel_.current_domain().inc(duration);
       return;
     case ModelKind::NaiveTD:
-      kernel_.sync_domain().inc_and_sync_if_needed(duration);
+      kernel_.current_domain().inc_and_sync_if_needed(duration);
       return;
   }
 }
@@ -124,7 +124,7 @@ void Pipeline::sink_process() {
   }
   completion_date_ = (config_.kind == ModelKind::TDfull ||
                       config_.kind == ModelKind::NaiveTD)
-                         ? kernel_.sync_domain().local_time_stamp()
+                         ? kernel_.current_domain().local_time_stamp()
                          : kernel_.now();
   sink_done_ = true;
 }

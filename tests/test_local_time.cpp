@@ -2,9 +2,10 @@
 // policy, the quantum keeper, and method-process offsets.
 //
 // Historically these behaviors lived behind the td:: free functions of
-// core/local_time.h (now thin deprecated shims); the tests exercise the
-// subsystem directly through Kernel::sync_domain() and Process::clock() and
-// must preserve bit-exact date behavior with the shim era.
+// core/local_time.h (removed after every consumer migrated); the tests
+// exercise the subsystem directly through Kernel::sync_domain() and
+// Process::clock() and must preserve bit-exact date behavior with the
+// shim era.
 #include <gtest/gtest.h>
 
 #include <vector>

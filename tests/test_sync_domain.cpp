@@ -246,8 +246,7 @@ TEST(SyncDomain, StatsDifferenceCoversSyncCounters) {
 TEST(SyncDomain, DatesMatchSeedBehavior) {
   // The subsystem must reproduce the seed's (shim-era) date arithmetic
   // bit-exactly: inc(7); sync(); inc(9); sync() lands on 7 ns then 16 ns.
-  // (The deprecated td:: shims themselves are deliberately not called
-  // anywhere anymore -- they are compile-kept only.)
+  // (The deprecated td:: shims themselves are gone since PR 2.)
   Kernel a;
   std::vector<Time> via_domain;
   a.spawn_thread("t", [&] {
