@@ -1,33 +1,38 @@
 // Heterogeneous per-domain quanta in one kernel -- the payoff of the
-// SyncDomain registry. The paper's Fig. 5 trade-off (sync frequency vs.
-// accuracy vs. wall time) is per-subsystem, not global: this bench models a
-// SoC whose CPU cluster and slow peripheral bus want different quanta and
-// shows that relaxing *only* the peripheral domain's quantum buys wall-time
-// speed without touching CPU-domain accuracy.
+// SyncDomain registry -- and, since PR 3, parallel per-domain execution on
+// the kernel's worker pool.
 //
-// One kernel, two domains:
-//   * "cpu": worker threads under a fixed tight quantum, each annotating
+// The model is C independent clusters (think: tenant SoCs sharing one
+// simulation host). Each cluster owns two *concurrent* domains:
+//   * "cpu<c>": worker threads under a fixed tight quantum, each annotating
 //     fine-grained steps and polling a cancellation flag raised at a fixed
 //     date T -- the observation error is bounded by the CPU quantum
 //     (paper SII.A) and must stay constant across the sweep;
-//   * "periph": bus threads issuing many fine-grained transactions under
-//     the swept quantum -- their quantum-driven context switches (read
-//     per-domain from KernelStats::domains) collapse as the quantum grows,
-//     and wall time falls with them.
-// Plus one cross-domain stream: a periph-domain DMA thread feeding a Smart
-// FIFO drained by a cpu-domain consumer. Its completion date rides on the
-// FIFO's cell date stamps, not on any quantum, so it must be bit-identical
-// on every sweep row (the Smart-FIFO guarantee across a domain boundary).
+//   * "periph<c>": bus threads issuing many fine-grained transactions under
+//     the swept quantum -- their quantum-driven context switches collapse
+//     as the quantum grows, and wall time falls with them.
+// Plus one cross-domain stream per cluster: a periph-domain DMA thread
+// feeding a Smart FIFO drained by a cpu-domain consumer. Its completion
+// date rides on the FIFO's cell date stamps, not on any quantum, so it must
+// be bit-identical on every sweep row (the Smart-FIFO guarantee across a
+// domain boundary). The FIFO also links the cluster's two domains into one
+// concurrency group -- clusters stay independent groups, which is what the
+// --workers sweep parallelizes over.
 //
 // Usage: bench_multidomain_soc [--cpus N] [--periphs N] [--steps N]
-//                              [--stream-words N] [--json]
+//                              [--stream-words N] [--clusters N]
+//                              [--workers LIST] [--work N] [--json]
 //
-// --json writes BENCH_multidomain_soc.json: one row per sweep point with
-// per-domain quanta and per-domain per-cause sync counts.
+// --workers takes a comma-separated list of worker counts (0 = sequential
+// scheduler); every count must reproduce the same dates, delta counts and
+// per-cause sync counts, and the bench fails otherwise. --json writes
+// BENCH_multidomain_soc.json: one row per (workers, sweep point) with
+// per-domain-kind per-cause sync counts summed over clusters.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_json.h"
@@ -52,89 +57,175 @@ struct BenchConfig {
   std::size_t periph_masters = 4;
   std::uint64_t steps = 200'000;      ///< fine-grained steps per process
   std::uint64_t stream_words = 20'000;
+  std::size_t clusters = 1;
+  /// Modeled computation per fine-grained step (iterations of an integer
+  /// hash). Zero keeps the historical pure-scheduler profile; the CI
+  /// workers gate uses a few hundred so a phase carries enough work for
+  /// the pool's horizon barriers to amortize.
+  std::uint64_t work = 0;
   Time cpu_step = 10_ns;
   Time periph_step = 10_ns;
   Time cpu_quantum = 100_ns;          ///< fixed: CPU accuracy bound
 };
 
+/// Deterministic stand-in for the computation a real CPU/bus model would
+/// do per step; the result is folded into a sink so it cannot be
+/// optimized away.
+std::uint64_t spin_work(std::uint64_t seed, std::uint64_t iters) {
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  return x;
+}
+
+/// Per-domain-kind sync books summed over all clusters.
+struct KindStats {
+  std::uint64_t sync_requests = 0;
+  std::uint64_t syncs_elided = 0;
+  std::uint64_t syncs_quantum = 0;
+  std::uint64_t syncs_fifo = 0;
+
+  void add(const DomainStats& d) {
+    sync_requests += d.sync_requests;
+    syncs_elided += d.syncs_elided;
+    syncs_quantum += d.syncs(SyncCause::Quantum);
+    syncs_fifo += d.syncs(SyncCause::FifoFull) + d.syncs(SyncCause::FifoEmpty);
+  }
+
+  bool operator==(const KindStats& o) const {
+    return sync_requests == o.sync_requests && syncs_elided == o.syncs_elided &&
+           syncs_quantum == o.syncs_quantum && syncs_fifo == o.syncs_fifo;
+  }
+};
+
 struct RunResult {
   double wall_seconds = 0;
   Time cpu_error_max;        ///< worst cancellation-observation error (cpu)
-  Time stream_done_date;     ///< cross-domain stream completion (local date)
+  Time stream_done_date;     ///< latest cross-domain stream completion
   bool stream_ok = false;
-  DomainStats cpu;
-  DomainStats periph;
+  KindStats cpu;
+  KindStats periph;
   std::uint64_t context_switches = 0;
+  std::uint64_t delta_cycles = 0;
+  std::uint64_t parallel_rounds = 0;
+  std::uint64_t horizon_waits = 0;
+
+  /// Everything the parallel scheduler must reproduce bit-exactly.
+  bool deterministically_equal(const RunResult& o) const {
+    return cpu_error_max == o.cpu_error_max &&
+           stream_done_date == o.stream_done_date && stream_ok == o.stream_ok &&
+           cpu == o.cpu && periph == o.periph &&
+           context_switches == o.context_switches &&
+           delta_cycles == o.delta_cycles;
+  }
 };
 
-RunResult run_once(const BenchConfig& config, Time periph_quantum) {
+RunResult run_once(const BenchConfig& config, Time periph_quantum,
+                   std::size_t workers) {
   Kernel kernel;
-  SyncDomain& cpu = kernel.create_domain("cpu", config.cpu_quantum);
-  SyncDomain& periph = kernel.create_domain("periph", periph_quantum);
+  kernel.set_workers(workers);
 
-  // The cancellation pattern of paper SII.A, confined to the CPU domain:
-  // just past a quantum boundary is the worst case.
+  struct Cluster {
+    SyncDomain* cpu = nullptr;
+    SyncDomain* periph = nullptr;
+    bool cancelled = false;
+    std::vector<Time> observed;
+    std::unique_ptr<SmartFifo<std::uint32_t>> stream;
+    std::uint32_t checksum = 0;
+    Time stream_done;
+    /// Per-cluster spin_work sink (group-private, unlike a global one).
+    std::uint64_t work_acc = 0;
+  };
+  std::vector<Cluster> clusters(config.clusters);
+
+  // The cancellation pattern of paper SII.A, confined to each cluster's
+  // CPU domain: just past a quantum boundary is the worst case.
   const Time cancel_at =
       Time(config.steps / 2 * config.cpu_step.ps() / 1000 + 1, TimeUnit::NS);
-  bool cancelled = false;
-  kernel.spawn_thread("canceller", [&kernel, &cancelled, cancel_at] {
-    kernel.wait(cancel_at);
-    cancelled = true;
-  });
 
-  std::vector<Time> observed(config.cpu_workers);
-  for (std::size_t w = 0; w < config.cpu_workers; ++w) {
-    ThreadOptions opts;
-    opts.domain = &cpu;
-    kernel.spawn_thread("cpu" + std::to_string(w),
-                        [&kernel, &config, &cancelled, &observed, w] {
-      for (std::uint64_t i = 0; i < config.steps; ++i) {
-        kernel.current_domain().inc_and_sync_if_needed(config.cpu_step);
-        if (cancelled) {
-          observed[w] = kernel.current_domain().local_time_stamp();
-          return;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    Cluster& cluster = clusters[c];
+    const std::string suffix = std::to_string(c);
+    // Concurrent domains: each cluster forms its own concurrency group
+    // (the stream FIFO links cpu<c> and periph<c> back together), so
+    // independent clusters run on separate workers under --workers >= 2.
+    cluster.cpu = &kernel.create_domain("cpu" + suffix, config.cpu_quantum,
+                                        /*concurrent=*/true);
+    cluster.periph = &kernel.create_domain("periph" + suffix, periph_quantum,
+                                           /*concurrent=*/true);
+    cluster.observed.resize(config.cpu_workers);
+    std::uint64_t* work_sink = &cluster.work_acc;
+    cluster.stream = std::make_unique<SmartFifo<std::uint32_t>>(
+        kernel, "dma_stream" + suffix, 16);
+
+    // The canceller shares a plain flag with the cpu workers, so it lives
+    // in the cpu domain (same group -- no channel would see the coupling).
+    ThreadOptions cancel_opts;
+    cancel_opts.domain = cluster.cpu;
+    kernel.spawn_thread("canceller" + suffix,
+                        [&kernel, &cluster, cancel_at] {
+      kernel.wait(cancel_at);
+      cluster.cancelled = true;
+    }, cancel_opts);
+
+    for (std::size_t w = 0; w < config.cpu_workers; ++w) {
+      ThreadOptions opts;
+      opts.domain = cluster.cpu;
+      kernel.spawn_thread("cpu" + suffix + "_" + std::to_string(w),
+                          [&kernel, &config, &cluster, w, work_sink] {
+        std::uint64_t acc = w;
+        for (std::uint64_t i = 0; i < config.steps; ++i) {
+          acc = spin_work(acc, config.work);
+          kernel.current_domain().inc_and_sync_if_needed(config.cpu_step);
+          if (cluster.cancelled) {
+            cluster.observed[w] = kernel.current_domain().local_time_stamp();
+            *work_sink += acc;
+            return;
+          }
         }
-      }
-    }, opts);
-  }
-
-  // The slow peripheral bus: masters annotating fine-grained transaction
-  // delays under the swept quantum. Their syncs are pure overhead here --
-  // nothing in the model observes them below the quantum granularity.
-  for (std::size_t m = 0; m < config.periph_masters; ++m) {
-    ThreadOptions opts;
-    opts.domain = &periph;
-    kernel.spawn_thread("periph" + std::to_string(m),
-                        [&kernel, &config] {
-      for (std::uint64_t i = 0; i < config.steps; ++i) {
-        kernel.current_domain().inc_and_sync_if_needed(config.periph_step);
-      }
-    }, opts);
-  }
-
-  // Cross-domain stream: periph-domain DMA -> Smart FIFO -> cpu-domain
-  // consumer. Quantum-independent by construction.
-  SmartFifo<std::uint32_t> stream(kernel, "dma_stream", 16);
-  ThreadOptions dma_opts;
-  dma_opts.domain = &periph;
-  kernel.spawn_thread("dma", [&kernel, &config, &stream] {
-    for (std::uint64_t i = 0; i < config.stream_words; ++i) {
-      kernel.current_domain().inc(3_ns);
-      stream.write(static_cast<std::uint32_t>(i));
+        *work_sink += acc;
+      }, opts);
     }
-  }, dma_opts);
-  std::uint32_t checksum = 0;
-  Time stream_done;
-  ThreadOptions sink_opts;
-  sink_opts.domain = &cpu;
-  kernel.spawn_thread("stream_sink",
-                      [&kernel, &config, &stream, &checksum, &stream_done] {
-    for (std::uint64_t i = 0; i < config.stream_words; ++i) {
-      checksum = checksum * 31 + stream.read();
-      kernel.current_domain().inc(4_ns);
+
+    // The slow peripheral bus: masters annotating fine-grained transaction
+    // delays under the swept quantum. Their syncs are pure overhead here --
+    // nothing in the model observes them below the quantum granularity.
+    for (std::size_t m = 0; m < config.periph_masters; ++m) {
+      ThreadOptions opts;
+      opts.domain = cluster.periph;
+      kernel.spawn_thread("periph" + suffix + "_" + std::to_string(m),
+                          [&kernel, &config, m, work_sink] {
+        std::uint64_t acc = m;
+        for (std::uint64_t i = 0; i < config.steps; ++i) {
+          acc = spin_work(acc, config.work);
+          kernel.current_domain().inc_and_sync_if_needed(config.periph_step);
+        }
+        *work_sink += acc;
+      }, opts);
     }
-    stream_done = kernel.current_domain().local_time_stamp();
-  }, sink_opts);
+
+    // Cross-domain stream: periph-domain DMA -> Smart FIFO -> cpu-domain
+    // consumer. Quantum-independent by construction.
+    ThreadOptions dma_opts;
+    dma_opts.domain = cluster.periph;
+    kernel.spawn_thread("dma" + suffix, [&kernel, &config, &cluster] {
+      for (std::uint64_t i = 0; i < config.stream_words; ++i) {
+        kernel.current_domain().inc(3_ns);
+        cluster.stream->write(static_cast<std::uint32_t>(i));
+      }
+    }, dma_opts);
+    ThreadOptions sink_opts;
+    sink_opts.domain = cluster.cpu;
+    kernel.spawn_thread("stream_sink" + suffix,
+                        [&kernel, &config, &cluster] {
+      for (std::uint64_t i = 0; i < config.stream_words; ++i) {
+        cluster.checksum = cluster.checksum * 31 + cluster.stream->read();
+        kernel.current_domain().inc(4_ns);
+      }
+      cluster.stream_done = kernel.current_domain().local_time_stamp();
+    }, sink_opts);
+  }
 
   const auto start = std::chrono::steady_clock::now();
   kernel.run();
@@ -144,27 +235,54 @@ RunResult run_once(const BenchConfig& config, Time periph_quantum) {
   for (std::uint64_t i = 0; i < config.stream_words; ++i) {
     expected = expected * 31 + static_cast<std::uint32_t>(i);
   }
+  static volatile std::uint64_t global_work_sink = 0;
+  for (const Cluster& cluster : clusters) {
+    global_work_sink = global_work_sink + cluster.work_acc;
+  }
 
   RunResult result;
   result.wall_seconds = std::chrono::duration<double>(stop - start).count();
-  for (Time t : observed) {
-    const Time error = t - cancel_at;
-    if (error > result.cpu_error_max) {
-      result.cpu_error_max = error;
+  result.stream_ok = true;
+  for (const Cluster& cluster : clusters) {
+    for (Time t : cluster.observed) {
+      const Time error = t - cancel_at;
+      if (error > result.cpu_error_max) {
+        result.cpu_error_max = error;
+      }
     }
+    if (cluster.stream_done > result.stream_done_date) {
+      result.stream_done_date = cluster.stream_done;
+    }
+    result.stream_ok = result.stream_ok && cluster.checksum == expected;
+    result.cpu.add(kernel.stats().domains[cluster.cpu->id()]);
+    result.periph.add(kernel.stats().domains[cluster.periph->id()]);
   }
-  result.stream_done_date = stream_done;
-  result.stream_ok = checksum == expected;
-  result.cpu = kernel.stats().domains[cpu.id()];
-  result.periph = kernel.stats().domains[periph.id()];
   result.context_switches = kernel.stats().context_switches;
+  result.delta_cycles = kernel.stats().delta_cycles;
+  result.parallel_rounds = kernel.stats().parallel_rounds;
+  result.horizon_waits = kernel.stats().horizon_waits;
   return result;
+}
+
+std::vector<std::size_t> parse_workers_list(const char* arg) {
+  std::vector<std::size_t> workers;
+  const char* p = arg;
+  while (*p != '\0') {
+    char* end = nullptr;
+    workers.push_back(std::strtoull(p, &end, 10));
+    if (end == p) {
+      return {};
+    }
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return workers;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   BenchConfig config;
+  std::vector<std::size_t> workers_sweep = {0};
   bool emit_json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
@@ -175,68 +293,102 @@ int main(int argc, char** argv) {
       config.steps = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--stream-words") == 0 && i + 1 < argc) {
       config.stream_words = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--clusters") == 0 && i + 1 < argc) {
+      config.clusters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers_sweep = parse_workers_list(argv[++i]);
+    } else if (std::strcmp(argv[i], "--work") == 0 && i + 1 < argc) {
+      config.work = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--json") == 0) {
       emit_json = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--cpus N] [--periphs N] [--steps N] "
-                   "[--stream-words N] [--json]\n",
+                   "[--stream-words N] [--clusters N] [--workers LIST] "
+                   "[--work N] [--json]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (workers_sweep.empty() || config.clusters == 0) {
+    std::fprintf(stderr, "invalid --workers/--clusters\n");
+    return 2;
+  }
 
-  std::printf("Per-domain quantum sweep: %zu cpu workers (quantum %s), "
-              "%zu peripheral masters, %llu steps, %llu stream words\n\n",
-              config.cpu_workers, config.cpu_quantum.to_string().c_str(),
-              config.periph_masters,
+  std::printf("Per-domain quantum sweep: %zu clusters x (%zu cpu workers "
+              "(quantum %s), %zu peripheral masters), %llu steps, %llu "
+              "stream words\n\n",
+              config.clusters, config.cpu_workers,
+              config.cpu_quantum.to_string().c_str(), config.periph_masters,
               static_cast<unsigned long long>(config.steps),
               static_cast<unsigned long long>(config.stream_words));
-  std::printf("%14s | %12s | %12s | %14s | %16s | %10s\n", "periph quantum",
-              "cpu q-syncs", "periph q-syncs", "cpu error[ns]",
-              "stream done[ps]", "wall[s]");
+  std::printf("%7s | %14s | %12s | %14s | %14s | %16s | %10s\n", "workers",
+              "periph quantum", "cpu q-syncs", "periph q-syncs",
+              "cpu error[ns]", "stream done[ps]", "wall[s]");
 
   benchjson::Report report("multidomain_soc");
   const std::vector<Time> sweep = {100_ns, 1_us, 10_us, 100_us};
   bool ok = true;
-  Time first_error_max;
-  Time first_stream_done;
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
-    const Time q = sweep[i];
-    const RunResult r = run_once(config, q);
-    if (i == 0) {
-      first_error_max = r.cpu_error_max;
-      first_stream_done = r.stream_done_date;
-    }
-    // The headline claims: CPU-domain accuracy and the cross-domain stream
-    // dates are invariant under the peripheral quantum.
-    ok = ok && r.stream_ok && r.cpu_error_max == first_error_max &&
-         r.stream_done_date == first_stream_done;
-    std::printf("%14s | %12llu | %12llu | %14.0f | %16llu | %10.3f%s\n",
-                q.to_string().c_str(),
-                static_cast<unsigned long long>(r.cpu.syncs(
-                    SyncCause::Quantum)),
-                static_cast<unsigned long long>(r.periph.syncs(
-                    SyncCause::Quantum)),
-                static_cast<double>(r.cpu_error_max.ps()) / 1e3,
-                static_cast<unsigned long long>(r.stream_done_date.ps()),
-                r.wall_seconds, r.stream_ok ? "" : "  CHECKSUM MISMATCH");
-    if (emit_json) {
-      benchjson::Row& row = report.row();
-      row.add("cpu_quantum_ps", config.cpu_quantum.ps())
-          .add("periph_quantum_ps", q.ps())
-          .add("cpu_error_ns",
-               static_cast<double>(r.cpu_error_max.ps()) / 1e3)
-          .add("stream_done_ps", r.stream_done_date.ps())
-          .add("context_switches", r.context_switches)
-          .add("wall_seconds", r.wall_seconds);
-      for (const DomainStats* d : {&r.cpu, &r.periph}) {
-        row.add(d->name + "_sync_requests", d->sync_requests)
-            .add(d->name + "_syncs_elided", d->syncs_elided)
-            .add(d->name + "_syncs_quantum", d->syncs(SyncCause::Quantum))
-            .add(d->name + "_syncs_fifo",
-                 d->syncs(SyncCause::FifoFull) +
-                     d->syncs(SyncCause::FifoEmpty));
+  // Reference results per sweep point: every worker count must reproduce
+  // the first one's dates, delta counts and per-cause sync counts exactly.
+  std::vector<RunResult> reference(sweep.size());
+  for (std::size_t w = 0; w < workers_sweep.size(); ++w) {
+    const std::size_t workers = workers_sweep[w];
+    Time first_error_max;
+    Time first_stream_done;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const Time q = sweep[i];
+      const RunResult r = run_once(config, q, workers);
+      if (i == 0) {
+        first_error_max = r.cpu_error_max;
+        first_stream_done = r.stream_done_date;
+      }
+      if (w == 0) {
+        reference[i] = r;
+      } else if (!r.deterministically_equal(reference[i])) {
+        std::fprintf(stderr,
+                     "ERROR: workers=%zu diverged from workers=%zu at "
+                     "periph quantum %s\n",
+                     workers, workers_sweep[0], q.to_string().c_str());
+        ok = false;
+      }
+      // The headline claims: CPU-domain accuracy and the cross-domain
+      // stream dates are invariant under the peripheral quantum.
+      ok = ok && r.stream_ok && r.cpu_error_max == first_error_max &&
+           r.stream_done_date == first_stream_done;
+      std::printf("%7zu | %14s | %12llu | %14llu | %14.0f | %16llu | "
+                  "%10.3f%s\n",
+                  workers, q.to_string().c_str(),
+                  static_cast<unsigned long long>(r.cpu.syncs_quantum),
+                  static_cast<unsigned long long>(r.periph.syncs_quantum),
+                  static_cast<double>(r.cpu_error_max.ps()) / 1e3,
+                  static_cast<unsigned long long>(r.stream_done_date.ps()),
+                  r.wall_seconds, r.stream_ok ? "" : "  CHECKSUM MISMATCH");
+      if (emit_json) {
+        benchjson::Row& row = report.row();
+        row.add("workers", static_cast<std::uint64_t>(workers))
+            .add("clusters", static_cast<std::uint64_t>(config.clusters))
+            .add("cpu_quantum_ps", config.cpu_quantum.ps())
+            .add("periph_quantum_ps", q.ps())
+            .add("cpu_error_ns",
+                 static_cast<double>(r.cpu_error_max.ps()) / 1e3)
+            .add("stream_done_ps", r.stream_done_date.ps())
+            .add("context_switches", r.context_switches)
+            .add("delta_cycles", r.delta_cycles)
+            .add("parallel_rounds", r.parallel_rounds)
+            .add("horizon_waits", r.horizon_waits)
+            .add("wall_seconds", r.wall_seconds);
+        struct {
+          const char* prefix;
+          const KindStats* stats;
+        } kinds[] = {{"cpu", &r.cpu}, {"periph", &r.periph}};
+        for (const auto& kind : kinds) {
+          const std::string prefix = kind.prefix;
+          row.add(prefix + "_sync_requests", kind.stats->sync_requests)
+              .add(prefix + "_syncs_elided", kind.stats->syncs_elided)
+              .add(prefix + "_syncs_quantum", kind.stats->syncs_quantum)
+              .add(prefix + "_syncs_fifo", kind.stats->syncs_fifo);
+        }
       }
     }
   }
@@ -246,11 +398,13 @@ int main(int argc, char** argv) {
   }
   if (!ok) {
     std::fprintf(stderr,
-                 "ERROR: relaxing the peripheral quantum moved a CPU-domain "
-                 "observation or a cross-domain stream date\n");
+                 "ERROR: a sweep or worker-count row moved a CPU-domain "
+                 "observation, a cross-domain stream date, or a "
+                 "deterministic counter\n");
     return 1;
   }
-  std::printf("\ncpu-domain accuracy and cross-domain stream dates "
-              "invariant across the sweep: yes\n");
+  std::printf("\ncpu-domain accuracy, cross-domain stream dates and "
+              "deterministic counters invariant across the sweep%s: yes\n",
+              workers_sweep.size() > 1 ? " and all worker counts" : "");
   return 0;
 }

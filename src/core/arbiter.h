@@ -12,6 +12,7 @@
 #pragma once
 
 #include "core/fifo_interface.h"
+#include "kernel/domain_link.h"
 #include "kernel/sync_domain.h"
 
 namespace tdsim {
@@ -28,6 +29,7 @@ class WriteArbiter {
   /// bumped it to a cell's freeing date.
   void write(T value) {
     SyncDomain& domain = current_sync_domain();
+    domain_link_.touch(domain);
     domain.sync(SyncCause::SyncPoint);
     domain.advance_local_to(last_date_);
     target_.write(std::move(value));
@@ -35,7 +37,9 @@ class WriteArbiter {
   }
 
   bool is_full() {
-    current_sync_domain().sync(SyncCause::SyncPoint);
+    SyncDomain& domain = current_sync_domain();
+    domain_link_.touch(domain);
+    domain.sync(SyncCause::SyncPoint);
     return target_.is_full();
   }
 
@@ -43,6 +47,8 @@ class WriteArbiter {
 
  private:
   FifoInterface<T>& target_;
+  /// Arbitrated clients may span domains; last_date_ orders them all.
+  DomainLink domain_link_;
   Time last_date_{};
 };
 
@@ -55,6 +61,7 @@ class ReadArbiter {
   /// WriteArbiter, the caller queues behind the last arbitrated access.
   T read() {
     SyncDomain& domain = current_sync_domain();
+    domain_link_.touch(domain);
     domain.sync(SyncCause::SyncPoint);
     domain.advance_local_to(last_date_);
     T value = target_.read();
@@ -63,7 +70,9 @@ class ReadArbiter {
   }
 
   bool is_empty() {
-    current_sync_domain().sync(SyncCause::SyncPoint);
+    SyncDomain& domain = current_sync_domain();
+    domain_link_.touch(domain);
+    domain.sync(SyncCause::SyncPoint);
     return target_.is_empty();
   }
 
@@ -71,6 +80,8 @@ class ReadArbiter {
 
  private:
   FifoInterface<T>& target_;
+  /// Arbitrated clients may span domains; last_date_ orders them all.
+  DomainLink domain_link_;
   Time last_date_{};
 };
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <utility>
 
+#include "kernel/domain_link.h"
 #include "kernel/event.h"
 #include "kernel/kernel.h"
 
@@ -24,6 +25,7 @@ class PeqWithGet {
 
   /// Posts `payload` for delivery at now + delay.
   void notify(Payload payload, Time delay) {
+    domain_link_.touch(kernel_.current_domain());
     const Time at = kernel_.now() + delay;
     queue_.emplace(at, std::move(payload));
     event_.notify(delay);
@@ -36,6 +38,7 @@ class PeqWithGet {
   /// When payloads remain in the future, get_event() is re-armed for the
   /// earliest one.
   std::optional<Payload> get_next() {
+    domain_link_.touch(kernel_.current_domain());
     if (queue_.empty()) {
       return std::nullopt;
     }
@@ -58,6 +61,9 @@ class PeqWithGet {
  private:
   Kernel& kernel_;
   std::string name_;
+  /// Poster and getter may live in different domains (the annotated date
+  /// travels with the payload); declare the ordering.
+  DomainLink domain_link_;
   std::multimap<Time, Payload> queue_;
   Event event_;
 };

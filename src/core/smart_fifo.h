@@ -39,6 +39,7 @@
 
 #include "core/fifo_interface.h"
 #include "core/mutations.h"
+#include "kernel/domain_link.h"
 #include "kernel/event.h"
 #include "kernel/kernel.h"
 #include "kernel/report.h"
@@ -75,6 +76,7 @@ class SmartFifo final : public FifoInterface<T> {
   /// internally busy. Callable from a method process only when guarded by
   /// is_full().
   void write(T value) override {
+    domain_link_.touch(kernel_.current_domain());
     check_side_order(last_write_date_, "write");
     if (busy_count_ == cells_.size()) {
       // Step 1: internally full -- synchronize, then wait for a free cell.
@@ -129,6 +131,7 @@ class SmartFifo final : public FifoInterface<T> {
   /// full iff every cell is internally busy, or the first free cell's
   /// freeing date is still in the future. Constant time.
   bool is_full() override {
+    domain_link_.touch(kernel_.current_domain());
     if (busy_count_ == cells_.size()) {
       return true;
     }
@@ -156,6 +159,7 @@ class SmartFifo final : public FifoInterface<T> {
 
   /// Blocking read, symmetrical to write (paper SIII.A).
   T read() override {
+    domain_link_.touch(kernel_.current_domain());
     check_side_order(last_read_date_, "read");
     if (busy_count_ == 0) {
       // Internally empty -- synchronize, then wait for data; re-check
@@ -208,6 +212,7 @@ class SmartFifo final : public FifoInterface<T> {
   /// insertion date is still in the future. Constant time ("two tests
   /// instead of one for a regular FIFO").
   bool is_empty() override {
+    domain_link_.touch(kernel_.current_domain());
     if (busy_count_ == 0) {
       return true;
     }
@@ -239,6 +244,7 @@ class SmartFifo final : public FifoInterface<T> {
   /// of the global date. Linear in the depth -- this is the low-rate
   /// interface.
   std::size_t get_size() override {
+    domain_link_.touch(kernel_.current_domain());
     // 1. synchronize the caller (the monitor interface is the low-rate,
     // synchronizing one).
     kernel_.current_domain().sync(SyncCause::Monitor);
@@ -367,6 +373,10 @@ class SmartFifo final : public FifoInterface<T> {
   std::string name_;
   std::vector<Cell> cells_;
   const SmartFifoMutations* mutations_;
+  /// Writer and reader may live in different domains (the cell stamps
+  /// carry the dates across); the link declares that ordering to the
+  /// parallel scheduler.
+  DomainLink domain_link_;
 
   /// Index of the first free cell (next write target).
   std::size_t first_free_ = 0;

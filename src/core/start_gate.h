@@ -14,6 +14,7 @@
 #include <string>
 #include <utility>
 
+#include "kernel/domain_link.h"
 #include "kernel/event.h"
 #include "kernel/kernel.h"
 #include "kernel/sync_domain.h"
@@ -30,6 +31,7 @@ class StartGate {
   /// any process (or hook running on behalf of one). Returns false when a
   /// command is already pending (the worker has not consumed it yet).
   bool post(Command command) {
+    domain_link_.touch(kernel_.current_domain());
     if (pending_.has_value()) {
       return false;
     }
@@ -45,6 +47,7 @@ class StartGate {
   /// local date to the commander's date (timestamped hand-off), and
   /// returns the command. Thread processes only.
   Command await() {
+    domain_link_.touch(kernel_.current_domain());
     if (!pending_.has_value()) {
       // Synchronize before blocking (paper SIII.A: "synchronize the
       // process and wait") -- suspending with a non-zero offset would
@@ -64,6 +67,7 @@ class StartGate {
   /// its date, if any (the method applies the date itself via the sync
   /// domain's inc or by scheduling).
   std::optional<std::pair<Command, Time>> try_take() {
+    domain_link_.touch(kernel_.current_domain());
     if (!pending_.has_value()) {
       return std::nullopt;
     }
@@ -78,6 +82,9 @@ class StartGate {
  private:
   Kernel& kernel_;
   Event event_;
+  /// Commander and worker may live in different domains (the date travels
+  /// with the command); declare the ordering to the parallel scheduler.
+  DomainLink domain_link_;
   std::optional<Command> pending_;
   Time date_;
 };

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "core/fifo_interface.h"
+#include "kernel/domain_link.h"
 #include "kernel/fifo.h"
 #include "kernel/kernel.h"
 #include "kernel/sync_domain.h"
@@ -34,16 +35,19 @@ class SyncFifo final : public FifoInterface<T> {
   }
 
   bool is_full() override {
+    domain_link_.touch(domain());
     domain().sync(SyncCause::Explicit);
     return fifo_.full();
   }
 
   bool is_empty() override {
+    domain_link_.touch(domain());
     domain().sync(SyncCause::Explicit);
     return fifo_.empty();
   }
 
   std::size_t get_size() override {
+    domain_link_.touch(domain());
     domain().sync(SyncCause::Monitor);
     return fifo_.num_available();
   }
@@ -65,6 +69,8 @@ class SyncFifo final : public FifoInterface<T> {
   SyncDomain& domain() const { return kernel_.current_domain(); }
 
   Kernel& kernel_;
+  /// The full()/empty() probes bypass Fifo's own link; track them here.
+  DomainLink domain_link_;
   Fifo<T> fifo_;
 };
 

@@ -1,0 +1,77 @@
+// Channel-side concurrency-group discovery.
+//
+// Parallel per-domain execution (Kernel::set_workers) may only run two
+// domains concurrently when nothing orders them -- and the things that
+// order domains in this codebase are the channels between them: Smart-FIFO
+// cell stamps, StartGate dates, regular FIFO hand-offs, signal updates,
+// arbitration points. Each channel therefore owns a DomainLink and calls
+// touch() with the calling process's domain on every public operation:
+// the first time a channel sees traffic from a second domain it declares
+// the pair to the kernel (Kernel::link_domains), which merges their
+// concurrency groups and restores full serialization between them.
+//
+// The fast path is a single relaxed pointer load and compare (the previous
+// caller's domain), so instrumented channels stay free on the hot path.
+// Links discovered at the initialization wave -- which runs sequentially
+// even in parallel mode, and is when virtually every channel meets both
+// its sides -- are in place before the first parallel round. The fields
+// are atomics so that the pathological case of two *concurrent* groups
+// making first contact on one channel inside the same parallel round
+// still records the link race-free (the kernel re-partitions at the next
+// horizon); the channel's own state has no such protection, so a model
+// must not let unlinked concurrent domains exchange data in the very
+// round that first couples them -- declare such couplings up front with
+// Kernel::link_domains, as with any coupling no channel can see (e.g. a
+// plain variable shared across concurrent domains). See README "Parallel
+// execution".
+#pragma once
+
+#include <atomic>
+
+#include "kernel/kernel.h"
+#include "kernel/sync_domain.h"
+
+namespace tdsim {
+
+class DomainLink {
+ public:
+  /// Records `domain` as a user of the owning channel; merges concurrency
+  /// groups when the channel turns out to span domains. O(1) relaxed load
+  /// and compare when the caller's domain is unchanged since the last
+  /// touch.
+  void touch(SyncDomain& domain) {
+    if (&domain == last_.load(std::memory_order_relaxed)) {
+      return;
+    }
+    last_.store(&domain, std::memory_order_relaxed);
+    SyncDomain* expected = nullptr;
+    if (first_.compare_exchange_strong(expected, &domain,
+                                       std::memory_order_relaxed)) {
+      return;  // we are the channel's first domain
+    }
+    if (expected != &domain) {
+      // Idempotent and lock-free once the groups are already merged.
+      domain.kernel().link_domains(*expected, domain);
+    }
+  }
+
+  /// Ambient-kernel variant for components not bound to a kernel at
+  /// construction (buses, register banks): resolves the calling process's
+  /// domain through Kernel::current(); no-op outside a running simulation
+  /// (e.g. elaboration-time peeks).
+  void touch_current() {
+    Kernel* kernel = Kernel::current();
+    if (kernel != nullptr) {
+      touch(kernel->current_domain());
+    }
+  }
+
+ private:
+  /// The first domain ever seen; every later domain is linked against it
+  /// (transitivity in the kernel's union-find does the rest).
+  std::atomic<SyncDomain*> first_{nullptr};
+  /// The previous caller's domain -- the fast-path filter.
+  std::atomic<SyncDomain*> last_{nullptr};
+};
+
+}  // namespace tdsim

@@ -43,7 +43,7 @@ void Event::notify_delta() {
     generation_++;  // delta overrides timed
   }
   pending_ = Pending::Delta;
-  kernel_.delta_notifications_.emplace_back(this, generation_);
+  kernel_.queue_delta_notification(*this);
 }
 
 void Event::notify(Time delay) {

@@ -1,15 +1,28 @@
-// AddressSanitizer fiber annotations for the ucontext-based stackful
-// processes. ASan tracks one stack per OS thread; every swapcontext between
-// the scheduler stack and a process stack must be bracketed with
+// Sanitizer fiber annotations for the ucontext-based stackful processes.
+//
+// AddressSanitizer tracks one stack per OS thread; every swapcontext between
+// a scheduler stack and a process stack must be bracketed with
 // __sanitizer_start_switch_fiber / __sanitizer_finish_switch_fiber or ASan
-// corrupts its shadow on the first throw/no-return inside a fiber. The
-// helpers compile to nothing outside ASan builds.
+// corrupts its shadow on the first throw/no-return inside a fiber.
+//
+// ThreadSanitizer likewise keeps per-"fiber" shadow state: each process
+// stack owns a __tsan_create_fiber handle, and every switch announces the
+// destination with __tsan_switch_to_fiber immediately before swapcontext.
+// This matters doubly since parallel per-domain execution: a fiber may
+// suspend on one worker thread and resume on another, and the annotations
+// (with the default synchronizing flags) both keep TSan's stacks straight
+// and establish the happens-before edge for that migration.
+//
+// The helpers compile to nothing outside sanitizer builds.
 //
 // Switch protocol (all tdsim switches are scheduler <-> fiber, never
 // fiber <-> fiber):
-//   * before swapcontext: start_switch(&save, dest_bottom, dest_size);
-//     pass save == nullptr when the departing stack is about to die (the
-//     trampoline's final switch), so ASan frees its fake stack.
+//   * before swapcontext: start_switch(&save, dest_bottom, dest_size,
+//     dest_tsan_fiber); pass save == nullptr when the departing stack is
+//     about to die (the trampoline's final switch), so ASan frees its fake
+//     stack. dest_tsan_fiber is the destination's TSan handle: the
+//     process's Process::tsan_fiber_ when entering a fiber, the execution
+//     context's ExecContext::tsan_fiber when yielding back to a scheduler.
 //   * right after resuming on the destination stack:
 //     finish_switch(save_of_that_stack, &old_bottom, &old_size); the old
 //     bounds are those of the stack we came from -- the fiber side uses
@@ -26,20 +39,70 @@
 #endif
 #endif
 
+#if defined(__SANITIZE_THREAD__)
+#define TDSIM_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define TDSIM_TSAN_FIBERS 1
+#endif
+#endif
+
 #ifdef TDSIM_ASAN_FIBERS
 #include <sanitizer/common_interface_defs.h>
+#endif
+#ifdef TDSIM_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
 #endif
 
 namespace tdsim::fiber {
 
+/// TSan shadow state for one fiber stack; null outside TSan builds (and a
+/// valid "do nothing" value for start_switch).
+inline void* tsan_create_fiber() {
+#ifdef TDSIM_TSAN_FIBERS
+  return __tsan_create_fiber(0);
+#else
+  return nullptr;
+#endif
+}
+
+inline void tsan_destroy_fiber(void* fiber) {
+#ifdef TDSIM_TSAN_FIBERS
+  if (fiber != nullptr) {
+    __tsan_destroy_fiber(fiber);
+  }
+#else
+  (void)fiber;
+#endif
+}
+
+/// The implicit TSan fiber of the calling OS thread -- what a scheduler
+/// context switches back to.
+inline void* tsan_current_fiber() {
+#ifdef TDSIM_TSAN_FIBERS
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+
 inline void start_switch(void** fake_stack_save, const void* dest_bottom,
-                         std::size_t dest_size) {
+                         std::size_t dest_size, void* dest_tsan_fiber) {
 #ifdef TDSIM_ASAN_FIBERS
   __sanitizer_start_switch_fiber(fake_stack_save, dest_bottom, dest_size);
 #else
   (void)fake_stack_save;
   (void)dest_bottom;
   (void)dest_size;
+#endif
+#ifdef TDSIM_TSAN_FIBERS
+  // Flag 0 = synchronize on the switch: scheduler->fiber->scheduler edges
+  // then order fiber memory accesses across worker-thread migrations.
+  if (dest_tsan_fiber != nullptr) {
+    __tsan_switch_to_fiber(dest_tsan_fiber, 0);
+  }
+#else
+  (void)dest_tsan_fiber;
 #endif
 }
 

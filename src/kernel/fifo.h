@@ -10,6 +10,7 @@
 #include <string>
 #include <utility>
 
+#include "kernel/domain_link.h"
 #include "kernel/event.h"
 #include "kernel/kernel.h"
 #include "kernel/report.h"
@@ -34,6 +35,7 @@ class Fifo {
 
   /// Blocking write; suspends the calling thread while the FIFO is full.
   void write(T value) {
+    domain_link_.touch(kernel_.current_domain());
     while (buffer_.size() == depth_) {
       writes_blocked_++;
       kernel_.wait(data_read_);
@@ -45,6 +47,7 @@ class Fifo {
 
   /// Blocking read; suspends the calling thread while the FIFO is empty.
   T read() {
+    domain_link_.touch(kernel_.current_domain());
     while (buffer_.empty()) {
       reads_blocked_++;
       kernel_.wait(data_written_);
@@ -58,6 +61,7 @@ class Fifo {
 
   /// Non-blocking write; returns false when full.
   bool nb_write(T value) {
+    domain_link_.touch(kernel_.current_domain());
     if (buffer_.size() == depth_) {
       return false;
     }
@@ -69,6 +73,7 @@ class Fifo {
 
   /// Non-blocking read; returns false when empty.
   bool nb_read(T& out) {
+    domain_link_.touch(kernel_.current_domain());
     if (buffer_.empty()) {
       return false;
     }
@@ -109,6 +114,8 @@ class Fifo {
   Kernel& kernel_;
   std::string name_;
   std::size_t depth_;
+  /// Declares writer/reader domains to the parallel scheduler.
+  DomainLink domain_link_;
   std::deque<T> buffer_;
   Event data_written_;
   Event data_read_;

@@ -1,10 +1,12 @@
 #include "kernel/kernel.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <utility>
 
 #include "kernel/fiber_sanitizer.h"
 #include "kernel/report.h"
+#include "kernel/thread_pool.h"
 
 namespace tdsim {
 
@@ -17,6 +19,19 @@ Kernel& current_kernel_checked() {
   }
   return *g_current_kernel;
 }
+
+/// Zeroes a worker-local counter delta in place (keeping the domains
+/// vector allocated for reuse across phases).
+void clear_stat_delta(KernelStats& stats) {
+  const std::size_t domain_count = stats.domains.size();
+  std::vector<DomainStats> domains = std::move(stats.domains);
+  stats = KernelStats{};
+  for (DomainStats& d : domains) {
+    d = DomainStats{};
+  }
+  domains.resize(domain_count);
+  stats.domains = std::move(domains);
+}
 }  // namespace
 
 Kernel::Kernel() {
@@ -25,6 +40,18 @@ Kernel::Kernel() {
   domains_.emplace_back(new SyncDomain(*this, "default", 0, Time{}));
   stats_.domains.emplace_back();
   stats_.domains.back().name = "default";
+  group_parent_.emplace_back(0);
+  published_front_ps_.emplace_back(std::uint64_t{0} - 1);
+  main_exec_.kernel = this;
+  // CI forces the whole suite parallel through this variable (see
+  // .github/workflows/ci.yml, tsan job); set_workers() overrides it.
+  if (const char* env = std::getenv("TDSIM_WORKERS")) {
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') {
+      workers_ = static_cast<std::size_t>(value);
+    }
+  }
 }
 
 Kernel::~Kernel() {
@@ -35,19 +62,65 @@ Kernel* Kernel::current() {
   return g_current_kernel;
 }
 
+thread_local Kernel::ExecContext* Kernel::t_exec_ = nullptr;
+thread_local Kernel::GroupTask* Kernel::t_task_ = nullptr;
+
+Kernel::ExecContext* Kernel::thread_exec() {
+  return t_exec_;
+}
+
+Kernel::GroupTask* Kernel::thread_task() {
+  return t_task_;
+}
+
+Process* Kernel::current_process() const {
+  ExecContext* e = thread_exec();
+  return (e != nullptr && e->kernel == this) ? e->current_process : nullptr;
+}
+
+Kernel::GroupTask* Kernel::active_task() const {
+  GroupTask* task = thread_task();
+  return (task != nullptr && task->kernel == this) ? task : nullptr;
+}
+
+KernelStats& Kernel::active_stats() {
+  GroupTask* task = active_task();
+  return task != nullptr ? task->stat_delta : stats_;
+}
+
+void Kernel::note_timed_event_stale() {
+  if (GroupTask* task = active_task()) {
+    task->stale_notes++;
+  } else {
+    timed_stale_count_++;
+  }
+}
+
 // --------------------------------------------------------------------------
-// Synchronization domains
+// Synchronization domains and concurrency groups
 // --------------------------------------------------------------------------
 
-SyncDomain& Kernel::create_domain(std::string name, Time quantum) {
+SyncDomain& Kernel::create_domain(std::string name, Time quantum,
+                                  bool concurrent) {
+  if (active_task() != nullptr) {
+    Report::error("Kernel::create_domain: cannot create domain '" + name +
+                  "' from inside a parallel evaluation round");
+  }
   if (find_domain(name) != nullptr) {
     Report::error("Kernel::create_domain: domain '" + name +
                   "' already exists");
   }
   const std::size_t id = domains_.size();
   domains_.emplace_back(new SyncDomain(*this, name, id, quantum));
+  domains_.back()->concurrent_ = concurrent;
   stats_.domains.emplace_back();
   stats_.domains.back().name = std::move(name);
+  group_parent_.emplace_back(id);
+  published_front_ps_.emplace_back(std::uint64_t{0} - 1);
+  if (!concurrent) {
+    std::lock_guard<std::mutex> lock(group_mutex_);
+    unite_groups_locked(id, 0);
+  }
   return *domains_.back();
 }
 
@@ -58,6 +131,86 @@ SyncDomain* Kernel::find_domain(const std::string& name) const {
     }
   }
   return nullptr;
+}
+
+std::size_t Kernel::find_group(std::size_t domain_id) const {
+  // Lock-free root chase: parents are atomics and only ever move toward
+  // smaller roots, so a read racing a unite returns one of the two (still
+  // valid) roots.
+  std::size_t i = domain_id;
+  for (;;) {
+    const std::size_t parent = group_parent_[i].load(std::memory_order_relaxed);
+    if (parent == i) {
+      return i;
+    }
+    i = parent;
+  }
+}
+
+void Kernel::unite_groups_locked(std::size_t a, std::size_t b) {
+  const std::size_t ra = find_group(a);
+  const std::size_t rb = find_group(b);
+  if (ra == rb) {
+    return;
+  }
+  // The smaller id always wins the root, so the final grouping (and with
+  // it the parallel schedule) is independent of link declaration order.
+  const std::size_t root = std::min(ra, rb);
+  const std::size_t child = std::max(ra, rb);
+  group_parent_[child].store(root, std::memory_order_relaxed);
+  group_version_++;
+}
+
+void Kernel::rebuild_groups_locked() {
+  for (std::size_t i = 0; i < group_parent_.size(); ++i) {
+    group_parent_[i].store(i, std::memory_order_relaxed);
+  }
+  for (const auto& domain : domains_) {
+    if (!domain->concurrent_) {
+      unite_groups_locked(domain->id(), 0);
+    }
+  }
+  for (const auto& [a, b] : domain_links_) {
+    unite_groups_locked(a, b);
+  }
+  group_version_++;
+}
+
+void Kernel::link_domains(SyncDomain& a, SyncDomain& b) {
+  if (&a.kernel() != this || &b.kernel() != this) {
+    Report::error("Kernel::link_domains: domains '" + a.name() + "' and '" +
+                  b.name() + "' must both belong to this kernel");
+  }
+  if (&a == &b || find_group(a.id()) == find_group(b.id())) {
+    return;  // already ordered; keep the channel fast path lock-free
+  }
+  std::lock_guard<std::mutex> lock(group_mutex_);
+  domain_links_.emplace_back(a.id(), b.id());
+  unite_groups_locked(a.id(), b.id());
+}
+
+std::size_t Kernel::domain_group(const SyncDomain& domain) const {
+  return find_group(domain.id());
+}
+
+void Kernel::set_domain_concurrent(SyncDomain& domain, bool concurrent) {
+  if (initialized_) {
+    Report::error("SyncDomain::set_concurrent: domain '" + domain.name() +
+                  "' can only change concurrency during elaboration (the "
+                  "first run() has already initialized processes)");
+  }
+  domain.concurrent_ = concurrent;
+  std::lock_guard<std::mutex> lock(group_mutex_);
+  rebuild_groups_locked();
+}
+
+void Kernel::set_workers(std::size_t n) {
+  if (current_process() != nullptr || active_task() != nullptr) {
+    Report::error(
+        "Kernel::set_workers is only callable from outside a running "
+        "simulation");
+  }
+  workers_ = n;
 }
 
 SyncDomain* Kernel::lagging_domain() const {
@@ -74,6 +227,31 @@ SyncDomain* Kernel::lagging_domain() const {
     }
   }
   return lagging;
+}
+
+bool Kernel::foreign_group_read(const SyncDomain& domain) const {
+  GroupTask* task = active_task();
+  return task != nullptr && find_group(domain.id()) != task->group;
+}
+
+std::optional<Time> Kernel::published_front(std::size_t domain_id) const {
+  const std::uint64_t ps =
+      published_front_ps_[domain_id].load(std::memory_order_relaxed);
+  if (ps == std::uint64_t{0} - 1) {
+    return std::nullopt;
+  }
+  return Time::from_ps(ps);
+}
+
+void Kernel::publish_domain_fronts() {
+  // Called with no parallel round in flight, so the exact computation is
+  // safe; the atomics are for the mid-round readers on worker threads.
+  for (const auto& domain : domains_) {
+    const std::optional<Time> front = domain->execution_front();
+    published_front_ps_[domain->id()].store(
+        front.has_value() ? front->ps() : std::uint64_t{0} - 1,
+        std::memory_order_relaxed);
+  }
 }
 
 void Kernel::assign_domain(Process& process, SyncDomain& domain) {
@@ -99,6 +277,26 @@ void Kernel::assign_domain(Process& process, SyncDomain& domain) {
 }
 
 // --------------------------------------------------------------------------
+// Statistics views
+// --------------------------------------------------------------------------
+
+const KernelStats& Kernel::stats() const {
+  GroupTask* task = active_task();
+  if (task == nullptr) {
+    return stats_;
+  }
+  // Mid-round view: the last-horizon aggregate (only mutated between
+  // rounds, so copying it here is race-free) plus this group's own
+  // in-flight counters.
+  if (!task->stats_view) {
+    task->stats_view = std::make_unique<KernelStats>();
+  }
+  *task->stats_view = stats_;
+  accumulate(*task->stats_view, task->stat_delta);
+  return *task->stats_view;
+}
+
+// --------------------------------------------------------------------------
 // Elaboration
 // --------------------------------------------------------------------------
 
@@ -121,16 +319,28 @@ SyncDomain& resolve_spawn_domain(Kernel& kernel, SyncDomain* requested,
 
 Process* Kernel::spawn_thread(std::string name, std::function<void()> body,
                               ThreadOptions opts) {
+  GroupTask* task = active_task();
+  std::unique_lock<std::mutex> lock(spawn_mutex_, std::defer_lock);
+  if (task != nullptr) {
+    lock.lock();  // concurrent groups may spawn in the same round
+  }
   auto process = std::unique_ptr<Process>(
       new Process(*this, std::move(name), ProcessKind::Thread, std::move(body),
                   opts.stack_size, next_process_id_++));
   process->dont_initialize_ = opts.dont_initialize;
   process->domain_ = &resolve_spawn_domain(*this, opts.domain,
                                            process->name());
+  if (task != nullptr &&
+      find_group(process->domain_->id()) != task->group) {
+    Report::error("process '" + process->name() + "' spawned into domain '" +
+                  process->domain_->name() + "' of another concurrency "
+                  "group from inside a parallel round; spawn it from its "
+                  "own group or link the domains");
+  }
   process->domain_->members_.push_back(process.get());
   Process* raw = process.get();
   processes_.push_back(std::move(process));
-  stats_.processes_spawned++;
+  active_stats().processes_spawned++;
   if (initialized_ && !raw->dont_initialize_) {
     make_runnable(raw);  // dynamically spawned: runs in the current phase
   }
@@ -139,16 +349,28 @@ Process* Kernel::spawn_thread(std::string name, std::function<void()> body,
 
 Process* Kernel::spawn_method(std::string name, std::function<void()> body,
                               MethodOptions opts) {
+  GroupTask* task = active_task();
+  std::unique_lock<std::mutex> lock(spawn_mutex_, std::defer_lock);
+  if (task != nullptr) {
+    lock.lock();
+  }
   auto process = std::unique_ptr<Process>(
       new Process(*this, std::move(name), ProcessKind::Method, std::move(body),
                   0, next_process_id_++));
   process->dont_initialize_ = opts.dont_initialize;
   process->domain_ = &resolve_spawn_domain(*this, opts.domain,
                                            process->name());
+  if (task != nullptr &&
+      find_group(process->domain_->id()) != task->group) {
+    Report::error("process '" + process->name() + "' spawned into domain '" +
+                  process->domain_->name() + "' of another concurrency "
+                  "group from inside a parallel round; spawn it from its "
+                  "own group or link the domains");
+  }
   process->domain_->members_.push_back(process.get());
   Process* raw = process.get();
   processes_.push_back(std::move(process));
-  stats_.processes_spawned++;
+  active_stats().processes_spawned++;
   for (Event* e : opts.sensitivity) {
     add_static_sensitivity(raw, *e);
   }
@@ -174,12 +396,27 @@ void Kernel::make_runnable(Process* p) {
   if (p->in_runnable_ || p->state_ == ProcessState::Terminated) {
     return;
   }
+  GroupTask* task = active_task();
+  if (task != nullptr && find_group(p->domain_->id()) != task->group) {
+    // A wake reaching into another concurrency group (an event shared
+    // across groups no channel declared): defer it to the horizon, where
+    // it is applied in deterministic group order -- still within the
+    // current evaluation phase, matching the sequential schedule. The
+    // grouping has usually been merged by the channel layer by the time
+    // this happens again.
+    task->cross_wakes.push_back(p);
+    return;
+  }
   p->in_runnable_ = true;
   p->domain_->runnable_count_++;
   if (p->state_ == ProcessState::Waiting) {
     p->state_ = ProcessState::Ready;
   }
-  runnable_.push_back(p);
+  if (task != nullptr) {
+    task->queue.push_back(p);
+  } else {
+    runnable_.push_back(p);
+  }
 }
 
 void Kernel::bump_wake_generation(Process& p) {
@@ -187,12 +424,12 @@ void Kernel::bump_wake_generation(Process& p) {
   if (p.has_live_resume_entry_) {
     // The entry scheduled under the previous generation is now stale.
     p.has_live_resume_entry_ = false;
-    timed_stale_count_++;
+    note_timed_event_stale();
   }
 }
 
 void Kernel::trigger_event(Event& e) {
-  stats_.event_triggers++;
+  active_stats().event_triggers++;
   for (Process* m : e.static_waiters_) {
     if (!m->trigger_override_) {
       make_runnable(m);
@@ -211,14 +448,27 @@ void Kernel::trigger_event(Event& e) {
   }
 }
 
+void Kernel::queue_delta_notification(Event& e) {
+  if (GroupTask* task = active_task()) {
+    task->delta_notifications.emplace_back(&e, e.generation_);
+  } else {
+    delta_notifications_.emplace_back(&e, e.generation_);
+  }
+}
+
 void Kernel::schedule_event_fire(Event& e, Time at) {
+  e.queued_timed_entries_++;
+  if (GroupTask* task = active_task()) {
+    task->timed.push_back({at, TimedEntry::Kind::EventFire, &e,
+                           e.generation_, nullptr, 0});
+    return;
+  }
   TimedEntry entry;
   entry.when = at;
   entry.seq = next_timed_seq_++;
   entry.kind = TimedEntry::Kind::EventFire;
   entry.event = &e;
   entry.event_generation = e.generation_;
-  e.queued_timed_entries_++;
   timed_queue_.push(entry);
   maybe_compact_timed_queue();
 }
@@ -227,6 +477,33 @@ void Kernel::purge_timed_event_entries(Event& e) {
   if (e.queued_timed_entries_ == 0) {
     return;
   }
+  if (GroupTask* task = active_task()) {
+    // Entries buffered this round live in the group's own TimedReq list
+    // (the event is group-private, so they cannot be in another group's).
+    auto& reqs = task->timed;
+    for (auto it = reqs.begin(); it != reqs.end();) {
+      if (it->kind == TimedEntry::Kind::EventFire && it->event == &e) {
+        const bool stale = e.pending_ != Event::Pending::Timed ||
+                           e.generation_ != it->event_generation;
+        if (stale && task->stale_notes > 0) {
+          task->stale_notes--;
+        }
+        e.queued_timed_entries_--;
+        it = reqs.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (e.queued_timed_entries_ == 0) {
+      return;
+    }
+  }
+  // Entries already merged into the global queue. Workers purging
+  // concurrently serialize here; the main thread never touches the queue
+  // while a round is in flight. (An entry made stale earlier this round
+  // has its stale note still buffered, so the count can drift by the rare
+  // destroy-during-round case -- compaction stays safe either way.)
+  std::lock_guard<std::mutex> lock(timed_purge_mutex_);
   std::vector<TimedEntry> keep;
   keep.reserve(timed_queue_.size());
   while (!timed_queue_.empty()) {
@@ -247,13 +524,18 @@ void Kernel::purge_timed_event_entries(Event& e) {
 }
 
 void Kernel::schedule_process_resume(Process& p, Time at) {
+  p.has_live_resume_entry_ = true;
+  if (GroupTask* task = active_task()) {
+    task->timed.push_back({at, TimedEntry::Kind::ProcessResume, nullptr, 0,
+                           &p, p.wake_generation_});
+    return;
+  }
   TimedEntry entry;
   entry.when = at;
   entry.seq = next_timed_seq_++;
   entry.kind = TimedEntry::Kind::ProcessResume;
   entry.process = &p;
   entry.process_generation = p.wake_generation_;
-  p.has_live_resume_entry_ = true;
   timed_queue_.push(entry);
   maybe_compact_timed_queue();
 }
@@ -328,31 +610,273 @@ void Kernel::fire_delta_notifications() {
   }
 }
 
+// --------------------------------------------------------------------------
+// Parallel evaluation (see README "Parallel execution")
+//
+// The evaluation phase partitions the runnable set by concurrency group
+// (preserving kernel schedule order within each group) and dispatches every
+// runnable group onto a worker. A group's processes run strictly in order
+// under one worker, so each group's execution is exactly its slice of the
+// sequential schedule; groups share no mutable state (that is what the
+// grouping means), so the interleaving between workers cannot be observed.
+// All side effects on kernel-global structures -- timed notifications,
+// delta notifications, update requests, counters -- are buffered per group
+// and merged in group order at the synchronization horizon, which makes
+// dates, delta counts and per-cause sync counts bit-identical to the
+// sequential scheduler by construction.
+// --------------------------------------------------------------------------
+
+void Kernel::ensure_pool() {
+  const std::size_t threads = workers_ - 1;  // the main thread participates
+  if (!pool_ || pool_->size() != threads) {
+    pool_.reset();
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+}
+
+Kernel::GroupTask& Kernel::task_for_group(std::size_t group_root) {
+  if (GroupTask* existing = task_by_root_[group_root]) {
+    return *existing;
+  }
+  if (tasks_in_use_ == tasks_.size()) {
+    tasks_.emplace_back(new GroupTask);
+  }
+  GroupTask& task = *tasks_[tasks_in_use_++];
+  task.kernel = this;
+  task.group = group_root;
+  task.exec.kernel = this;
+  task.stat_delta.domains.resize(stats_.domains.size());
+  task_by_root_[group_root] = &task;
+  phase_tasks_.push_back(&task);
+  return task;
+}
+
+void Kernel::execute_group_task(GroupTask& task) {
+  // Workers arrive with clean thread-locals; the main thread (running one
+  // group inline) temporarily trades its scheduler context for the
+  // group's.
+  Kernel* previous_kernel = std::exchange(g_current_kernel, this);
+  ExecContext* previous_exec = std::exchange(t_exec_, &task.exec);
+  GroupTask* previous_task = std::exchange(t_task_, &task);
+  task.exec.tsan_fiber = fiber::tsan_current_fiber();
+  try {
+    while (!task.queue.empty()) {
+      Process* p = task.queue.front();
+      task.queue.pop_front();
+      p->in_runnable_ = false;
+      p->domain_->runnable_count_--;
+      if (p->state_ == ProcessState::Terminated) {
+        continue;
+      }
+      dispatch(p);
+      if (task.stop) {
+        break;  // sequential stop semantics, scoped to this group
+      }
+    }
+  } catch (...) {
+    task.exception = std::current_exception();
+  }
+  t_task_ = previous_task;
+  t_exec_ = previous_exec;
+  g_current_kernel = previous_kernel;
+}
+
+void Kernel::apply_cross_wake(Process* p) {
+  // Horizon-time version of make_runnable: called between rounds, so the
+  // target group's worker is quiescent and its queue is safe to extend.
+  if (p->in_runnable_ || p->state_ == ProcessState::Terminated) {
+    return;
+  }
+  p->in_runnable_ = true;
+  p->domain_->runnable_count_++;
+  if (p->state_ == ProcessState::Waiting) {
+    p->state_ = ProcessState::Ready;
+  }
+  task_for_group(find_group(p->domain_->id())).queue.push_back(p);
+}
+
+void Kernel::flush_group_task(GroupTask& task) {
+  // Leftover runnables (stop or error mid-round) return to the kernel
+  // queue so a later run() resumes them, like the sequential scheduler.
+  for (Process* p : task.queue) {
+    runnable_.push_back(p);
+  }
+  task.queue.clear();
+  for (Process* p : task.cross_wakes) {
+    if (!p->in_runnable_ && p->state_ != ProcessState::Terminated) {
+      p->in_runnable_ = true;
+      p->domain_->runnable_count_++;
+      if (p->state_ == ProcessState::Waiting) {
+        p->state_ = ProcessState::Ready;
+      }
+      runnable_.push_back(p);
+    }
+  }
+  task.cross_wakes.clear();
+  for (Process* p : task.delta_resume) {
+    delta_resume_.push_back(p);
+  }
+  task.delta_resume.clear();
+  for (const auto& notification : task.delta_notifications) {
+    delta_notifications_.push_back(notification);
+  }
+  task.delta_notifications.clear();
+  for (UpdateListener* listener : task.update_requests) {
+    update_requests_.push_back(listener);
+  }
+  task.update_requests.clear();
+  for (const GroupTask::TimedReq& req : task.timed) {
+    TimedEntry entry;
+    entry.when = req.when;
+    entry.seq = next_timed_seq_++;
+    entry.kind = req.kind;
+    entry.event = req.event;
+    entry.event_generation = req.event_generation;
+    entry.process = req.process;
+    entry.process_generation = req.process_generation;
+    timed_queue_.push(entry);
+  }
+  task.timed.clear();
+  timed_stale_count_ += task.stale_notes;
+  task.stale_notes = 0;
+  accumulate(stats_, task.stat_delta);
+  clear_stat_delta(task.stat_delta);
+  task.stop = false;
+}
+
+void Kernel::run_parallel_evaluation_phase() {
+  phase_tasks_.clear();
+  tasks_in_use_ = 0;
+  task_by_root_.assign(domains_.size(), nullptr);
+  while (!runnable_.empty()) {
+    Process* p = runnable_.front();
+    runnable_.pop_front();
+    task_for_group(find_group(p->domain_->id())).queue.push_back(p);
+  }
+  const auto by_group = [](const GroupTask* a, const GroupTask* b) {
+    return a->group < b->group;
+  };
+  std::exception_ptr first_exception;
+  std::vector<GroupTask*> active;
+  for (;;) {
+    std::sort(phase_tasks_.begin(), phase_tasks_.end(), by_group);
+    active.clear();
+    for (GroupTask* task : phase_tasks_) {
+      if (!task->queue.empty()) {
+        active.push_back(task);
+      }
+    }
+    if (active.empty()) {
+      break;
+    }
+    stats_.parallel_rounds++;
+    const std::uint64_t groups_before = group_version_;
+    if (active.size() == 1) {
+      execute_group_task(*active.front());
+    } else {
+      stats_.horizon_waits += active.size() - 1;
+      ensure_pool();
+      for (std::size_t i = 1; i < active.size(); ++i) {
+        GroupTask* task = active[i];
+        pool_->submit([this, task] { execute_group_task(*task); });
+      }
+      execute_group_task(*active.front());
+      pool_->wait_idle();
+    }
+    // Horizon: surface errors and stops, then route cross-group wakes --
+    // all in group order, so the next round's queues are deterministic.
+    for (GroupTask* task : active) {
+      if (task->exception != nullptr && first_exception == nullptr) {
+        first_exception = task->exception;
+      }
+      task->exception = nullptr;
+      if (task->stop) {
+        stop_requested_ = true;
+      }
+    }
+    for (GroupTask* task : active) {
+      std::vector<Process*> wakes = std::move(task->cross_wakes);
+      task->cross_wakes.clear();
+      for (Process* p : wakes) {
+        apply_cross_wake(p);
+      }
+    }
+    if (first_exception != nullptr || stop_requested_) {
+      break;
+    }
+    if (group_version_ != groups_before) {
+      // The channel layer merged groups mid-round (first cross-domain
+      // traffic on some channel). Re-partition the remaining work under
+      // the new grouping before running another round.
+      std::sort(phase_tasks_.begin(), phase_tasks_.end(), by_group);
+      std::deque<Process*> pending;
+      for (GroupTask* task : phase_tasks_) {
+        for (Process* p : task->queue) {
+          pending.push_back(p);
+        }
+        task->queue.clear();
+      }
+      for (Process* p : pending) {
+        task_for_group(find_group(p->domain_->id())).queue.push_back(p);
+      }
+    }
+  }
+  // Merge every group's buffered side effects, in group order.
+  std::sort(phase_tasks_.begin(), phase_tasks_.end(), by_group);
+  for (GroupTask* task : phase_tasks_) {
+    flush_group_task(*task);
+  }
+  maybe_compact_timed_queue();
+  publish_domain_fronts();
+  if (first_exception != nullptr) {
+    std::rethrow_exception(first_exception);
+  }
+}
+
+// --------------------------------------------------------------------------
+// The scheduler main loop
+// --------------------------------------------------------------------------
+
 void Kernel::run(Time until) {
-  if (current_process_ != nullptr) {
+  if (current_process() != nullptr || active_task() != nullptr) {
     Report::error("Kernel::run() called from inside a simulation process");
   }
   Kernel* previous = std::exchange(g_current_kernel, this);
+  ExecContext* previous_exec = std::exchange(t_exec_, &main_exec_);
+  main_exec_.tsan_fiber = fiber::tsan_current_fiber();
   stop_requested_ = false;
+  bool force_sequential_phase = false;
   if (!initialized_) {
     initialize_processes();
+    // The initialization wave always runs sequentially, even in parallel
+    // mode: it is where channels first see their callers' domains and
+    // record the links the concurrency grouping is derived from.
+    force_sequential_phase = true;
+  }
+  if (parallel_enabled()) {
+    publish_domain_fronts();
   }
   try {
     while (!stop_requested_) {
       // Evaluation phase.
-      while (!runnable_.empty()) {
-        Process* p = runnable_.front();
-        runnable_.pop_front();
-        p->in_runnable_ = false;
-        p->domain_->runnable_count_--;
-        if (p->state_ == ProcessState::Terminated) {
-          continue;
-        }
-        dispatch(p);
-        if (stop_requested_) {
-          break;
+      if (parallel_enabled() && !force_sequential_phase) {
+        run_parallel_evaluation_phase();
+      } else {
+        while (!runnable_.empty()) {
+          Process* p = runnable_.front();
+          runnable_.pop_front();
+          p->in_runnable_ = false;
+          p->domain_->runnable_count_--;
+          if (p->state_ == ProcessState::Terminated) {
+            continue;
+          }
+          dispatch(p);
+          if (stop_requested_) {
+            break;
+          }
         }
       }
+      force_sequential_phase = false;
       if (stop_requested_) {
         break;
       }
@@ -439,13 +963,22 @@ void Kernel::run(Time until) {
       check_domain_delta_limits();
     }
   } catch (...) {
+    t_exec_ = previous_exec;
     g_current_kernel = previous;
     throw;
   }
+  t_exec_ = previous_exec;
   g_current_kernel = previous;
 }
 
 void Kernel::stop() {
+  if (GroupTask* task = active_task()) {
+    // Scoped to the stopping group until the horizon: its queue breaks
+    // immediately (sequential semantics); other groups finish their round
+    // deterministically before the kernel-wide stop is observed.
+    task->stop = true;
+    return;
+  }
   stop_requested_ = true;
 }
 
@@ -459,17 +992,18 @@ void Kernel::dispatch(Process* p) {
 }
 
 void Kernel::dispatch_thread(Process* p) {
-  stats_.context_switches++;
+  active_stats().context_switches++;
+  ExecContext& exec = *t_exec_;
   if (!p->thread_started_) {
-    p->start_thread_context(&scheduler_context_);
+    p->start_thread_context();
   }
   p->state_ = ProcessState::Running;
-  Process* previous = std::exchange(current_process_, p);
-  fiber::start_switch(&scheduler_fake_stack_, p->stack_.get(),
-                      p->stack_size_);
-  swapcontext(&scheduler_context_, &p->context_);
-  fiber::finish_switch(scheduler_fake_stack_, nullptr, nullptr);
-  current_process_ = previous;
+  Process* previous = std::exchange(exec.current_process, p);
+  fiber::start_switch(&exec.scheduler_fake_stack, p->stack_.get(),
+                      p->stack_size_, p->tsan_fiber_);
+  swapcontext(&exec.scheduler_context, &p->context_);
+  fiber::finish_switch(exec.scheduler_fake_stack, nullptr, nullptr);
+  exec.current_process = previous;
   if (p->pending_exception_) {
     std::exception_ptr ex = std::exchange(p->pending_exception_, nullptr);
     std::rethrow_exception(ex);
@@ -477,7 +1011,7 @@ void Kernel::dispatch_thread(Process* p) {
 }
 
 void Kernel::dispatch_method(Process* p) {
-  stats_.method_activations++;
+  active_stats().method_activations++;
   // The next_trigger override is consumed by this activation: unless the
   // body re-arms one, the method falls back to its static sensitivity
   // (SystemC semantics). The event-trigger path already cleared it; the
@@ -488,15 +1022,16 @@ void Kernel::dispatch_method(Process* p) {
   // activation (used by packetizing network interfaces, paper SIV.C).
   p->clock_.set_offset(Time{});
   p->state_ = ProcessState::Running;
-  Process* previous = std::exchange(current_process_, p);
+  ExecContext& exec = *t_exec_;
+  Process* previous = std::exchange(exec.current_process, p);
   try {
     p->body_();
   } catch (...) {
-    current_process_ = previous;
+    exec.current_process = previous;
     p->state_ = ProcessState::Terminated;
     throw;
   }
-  current_process_ = previous;
+  exec.current_process = previous;
   if (p->state_ == ProcessState::Running) {
     // A method is perpetually waiting on its (static or overridden)
     // sensitivity between activations.
@@ -505,13 +1040,20 @@ void Kernel::dispatch_method(Process* p) {
 }
 
 void Kernel::yield_current_thread() {
-  Process* p = current_process_;
-  fiber::start_switch(&p->fake_stack_, scheduler_stack_bottom_,
-                      scheduler_stack_size_);
-  swapcontext(&p->context_, &scheduler_context_);
-  // Resumed (we came from the scheduler stack; refresh its bounds).
-  fiber::finish_switch(p->fake_stack_, &scheduler_stack_bottom_,
-                       &scheduler_stack_size_);
+  // This function runs on the fiber's stack and spans a suspension, so
+  // both thread-local reads go through the noinline accessor (see
+  // thread_exec() in kernel.h).
+  ExecContext& from = *thread_exec();
+  Process* p = from.current_process;
+  fiber::start_switch(&p->fake_stack_, from.scheduler_stack_bottom,
+                      from.scheduler_stack_size, from.tsan_fiber);
+  swapcontext(&p->context_, &from.scheduler_context);
+  // Resumed -- in parallel mode possibly under a different worker's
+  // execution context; re-read the thread-local before refreshing the
+  // scheduler-stack bookkeeping.
+  ExecContext& to = *thread_exec();
+  fiber::finish_switch(p->fake_stack_, &to.scheduler_stack_bottom,
+                       &to.scheduler_stack_size);
   // If the kernel is tearing down, unwind this stack now.
   if (p->kill_requested_) {
     throw ProcessKilled{};
@@ -519,21 +1061,21 @@ void Kernel::yield_current_thread() {
 }
 
 Process* Kernel::require_thread(const char* what) const {
-  if (current_process_ == nullptr ||
-      current_process_->kind() != ProcessKind::Thread) {
+  Process* p = current_process();
+  if (p == nullptr || p->kind() != ProcessKind::Thread) {
     Report::error(std::string(what) +
                   " may only be called from a thread process");
   }
-  return current_process_;
+  return p;
 }
 
 Process* Kernel::require_method(const char* what) const {
-  if (current_process_ == nullptr ||
-      current_process_->kind() != ProcessKind::Method) {
+  Process* p = current_process();
+  if (p == nullptr || p->kind() != ProcessKind::Method) {
     Report::error(std::string(what) +
                   " may only be called from a method process");
   }
-  return current_process_;
+  return p;
 }
 
 // --------------------------------------------------------------------------
@@ -567,7 +1109,11 @@ bool Kernel::wait(Event& event, Time timeout) {
 
 void Kernel::wait_delta() {
   Process* p = require_thread("wait_delta()");
-  delta_resume_.push_back(p);
+  if (GroupTask* task = active_task()) {
+    task->delta_resume.push_back(p);
+  } else {
+    delta_resume_.push_back(p);
+  }
   bump_wake_generation(*p);  // invalidate any stale timers
   p->state_ = ProcessState::Waiting;
   yield_current_thread();
@@ -621,22 +1167,28 @@ void Kernel::cancel_dynamic_wait(Process& p) {
 }
 
 void Kernel::request_update(UpdateListener* listener) {
-  update_requests_.push_back(listener);
+  if (GroupTask* task = active_task()) {
+    task->update_requests.push_back(listener);
+  } else {
+    update_requests_.push_back(listener);
+  }
 }
 
 void Kernel::kill_all_threads() {
   // Resume every suspended thread so ProcessKilled unwinds its stack and
   // destructors of stack objects run.
+  ExecContext* previous_exec = std::exchange(t_exec_, &main_exec_);
+  main_exec_.tsan_fiber = fiber::tsan_current_fiber();
   for (const auto& p : processes_) {
     if (p->kind() == ProcessKind::Thread && p->thread_started_ &&
         p->state_ != ProcessState::Terminated) {
       p->kill_requested_ = true;
-      Process* previous = std::exchange(current_process_, p.get());
-      fiber::start_switch(&scheduler_fake_stack_, p->stack_.get(),
-                          p->stack_size_);
-      swapcontext(&scheduler_context_, &p->context_);
-      fiber::finish_switch(scheduler_fake_stack_, nullptr, nullptr);
-      current_process_ = previous;
+      Process* previous = std::exchange(main_exec_.current_process, p.get());
+      fiber::start_switch(&main_exec_.scheduler_fake_stack, p->stack_.get(),
+                          p->stack_size_, p->tsan_fiber_);
+      swapcontext(&main_exec_.scheduler_context, &p->context_);
+      fiber::finish_switch(main_exec_.scheduler_fake_stack, nullptr, nullptr);
+      main_exec_.current_process = previous;
       if (p->state_ != ProcessState::Terminated) {
         Report::warning("process " + p->name() +
                         " survived kill request; abandoning its stack");
@@ -644,6 +1196,7 @@ void Kernel::kill_all_threads() {
       p->pending_exception_ = nullptr;
     }
   }
+  t_exec_ = previous_exec;
 }
 
 // --------------------------------------------------------------------------

@@ -1,14 +1,29 @@
 // The discrete-event scheduler: evaluate -> update -> delta-notify phases,
 // timed notification queue, process dispatch. This is the SystemC-kernel
 // substrate the paper's techniques run on.
+//
+// Since PR 3 the evaluation phase can run in parallel: independent
+// *concurrency groups* of SyncDomains are dispatched onto a worker-thread
+// pool between synchronization horizons (see "Parallel execution" in the
+// README). Parallel mode is opt-in (set_workers), n <= 1 keeps the
+// sequential scheduler bit-exact, and n >= 2 produces bit-identical dates,
+// delta counts and per-cause sync counts by construction: each group
+// executes its processes in kernel schedule order on one worker, and all
+// scheduler side effects are buffered per group and merged in group order
+// at the horizon.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <queue>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "kernel/event.h"
@@ -18,6 +33,8 @@
 #include "kernel/time.h"
 
 namespace tdsim {
+
+class ThreadPool;
 
 /// Implemented by primitive channels (e.g. Signal) that need the SystemC
 /// evaluate/update two-phase protocol.
@@ -77,14 +94,50 @@ class Kernel {
   void run(Time until = Time::max());
 
   /// Requests the current run() to return after the current delta cycle.
-  /// Callable from inside a process.
+  /// Callable from inside a process. In parallel mode a stop only takes
+  /// effect at the next synchronization horizon: the stopping group breaks
+  /// out of its queue immediately (sequential semantics), other groups
+  /// finish their current round deterministically first.
   void stop();
 
   /// Current global simulated date (sc_time_stamp analog).
   Time now() const { return now_; }
 
   std::uint64_t delta_count() const { return stats_.delta_cycles; }
-  const KernelStats& stats() const { return stats_; }
+
+  /// Kernel counters. In sequential contexts this is the live aggregate.
+  /// From inside a parallel evaluation round, the returned view merges the
+  /// calling group's own in-flight counters into the last-horizon
+  /// aggregate: the caller's group is exact, foreign groups are as of the
+  /// previous synchronization horizon (race-free by construction). The
+  /// reference stays valid until the caller's next stats() call.
+  const KernelStats& stats() const;
+
+  // --- parallel execution ---
+
+  /// Enables parallel per-domain execution: evaluation phases dispatch
+  /// each runnable concurrency group (domains transitively linked by
+  /// channels or link_domains; see SyncDomain::set_concurrent) onto up to
+  /// `n` OS threads between synchronization horizons. 0 and 1 keep the
+  /// sequential scheduler; n >= 2 is opt-in and yields bit-identical
+  /// dates, delta counts and per-cause sync counts. The initial value
+  /// comes from $TDSIM_WORKERS when set (CI forces the suite parallel
+  /// this way). Only callable from outside a running simulation.
+  void set_workers(std::size_t n);
+  std::size_t workers() const { return workers_; }
+
+  /// Declares an ordering dependency between two domains: they join the
+  /// same concurrency group and always execute serialized, in kernel
+  /// schedule order, on one worker. Channels declare the domains they
+  /// carry traffic between automatically (DomainLink); call this for
+  /// couplings no channel can see, e.g. a plain variable shared across
+  /// concurrent domains. Idempotent and cheap when already linked.
+  void link_domains(SyncDomain& a, SyncDomain& b);
+
+  /// The concurrency group `domain` belongs to, as the id of the group's
+  /// representative domain. Two domains may execute concurrently iff their
+  /// groups differ. Mainly for tests and diagnostics.
+  std::size_t domain_group(const SyncDomain& domain) const;
 
   // --- synchronization domains ---
 
@@ -92,7 +145,10 @@ class Kernel {
   /// per-cause sync statistics. Names must be unique within the kernel.
   /// Domains live as long as the kernel; processes join one at spawn time
   /// (ThreadOptions/MethodOptions::domain, Module::set_default_domain).
-  SyncDomain& create_domain(std::string name, Time quantum = Time{});
+  /// `concurrent` seeds the domain's concurrency-group membership -- see
+  /// SyncDomain::set_concurrent.
+  SyncDomain& create_domain(std::string name, Time quantum = Time{},
+                            bool concurrent = false);
 
   /// The kernel's default synchronization domain: quantum policy,
   /// current-process temporal-decoupling operations, and per-cause sync
@@ -108,8 +164,8 @@ class Kernel {
   /// (Smart FIFOs, gates, sockets) resolves the right policy for whoever
   /// is calling.
   SyncDomain& current_domain() {
-    return current_process_ != nullptr ? current_process_->domain()
-                                       : sync_domain();
+    Process* p = current_process();
+    return p != nullptr ? p->domain() : sync_domain();
   }
 
   /// All domains, in creation order; index 0 is the default domain.
@@ -123,7 +179,9 @@ class Kernel {
   /// The domain gating global progress: the one whose execution front
   /// (max local date over its live processes) is furthest behind. Null
   /// when no domain has a live process. run() names it in livelock
-  /// diagnostics; benches read it to see which subsystem to relax.
+  /// diagnostics; benches read it to see which subsystem to relax. Safe
+  /// to call mid-run from a probe even in parallel mode: foreign groups
+  /// are then reported as of the last synchronization horizon.
   SyncDomain* lagging_domain() const;
 
   /// Moves `process` to `domain`. Only legal during elaboration (before
@@ -146,9 +204,11 @@ class Kernel {
   /// The kernel currently executing run() on this OS thread, or null.
   static Kernel* current();
 
-  /// The simulation process currently executing, or null (e.g. during
-  /// elaboration or from the scheduler itself).
-  Process* current_process() const { return current_process_; }
+  /// The simulation process currently executing on this OS thread within
+  /// this kernel, or null (e.g. during elaboration or from the scheduler
+  /// itself). Per OS thread: in parallel mode each worker sees its own
+  /// group's process. Deliberately out of line -- see thread_exec().
+  Process* current_process() const;
 
   // --- process-facing API (called from inside processes) ---
 
@@ -201,13 +261,77 @@ class Kernel {
     }
   };
 
+  /// Per-OS-thread fiber dispatch state: the scheduler-side ucontext plus
+  /// the sanitizer bookkeeping for the stack that context lives on. The
+  /// sequential scheduler owns one (main_exec_); in parallel mode each
+  /// group execution gets its own, so fibers can suspend under one worker
+  /// and resume under another with a consistent stack discipline (the
+  /// suspension always swaps to the *current* thread's ExecContext, found
+  /// through the thread-local t_exec_).
+  struct ExecContext {
+    Kernel* kernel = nullptr;
+    Process* current_process = nullptr;
+    ucontext_t scheduler_context{};
+    /// Scheduler (OS thread) stack bounds, learned each time a fiber
+    /// resumes and reports where it came from; used when switching back.
+    const void* scheduler_stack_bottom = nullptr;
+    std::size_t scheduler_stack_size = 0;
+    /// ASan fake-stack handle saved while the scheduler stack is switched
+    /// away from.
+    void* scheduler_fake_stack = nullptr;
+    /// TSan fiber handle of the hosting OS thread (refreshed per group
+    /// execution -- the same ExecContext may move between workers).
+    void* tsan_fiber = nullptr;
+  };
+
+  /// One concurrency group's work and side-effect buffers for the current
+  /// parallel evaluation phase. Everything a group's processes do to
+  /// kernel-global structures lands here and is merged -- in group order,
+  /// hence deterministically -- at the next synchronization horizon.
+  struct GroupTask {
+    Kernel* kernel = nullptr;
+    /// Group representative (union-find root domain id) this phase.
+    std::size_t group = 0;
+    /// The group's runnable processes, in kernel schedule order. Wakes of
+    /// same-group processes append here and run within the same round.
+    std::deque<Process*> queue;
+    ExecContext exec;
+    /// Wakes targeting processes of *other* groups (dynamic spawns,
+    /// foreign-group event notifies); routed at the horizon.
+    std::vector<Process*> cross_wakes;
+    std::vector<std::pair<Event*, std::uint64_t>> delta_notifications;
+    std::vector<Process*> delta_resume;
+    std::vector<UpdateListener*> update_requests;
+    struct TimedReq {
+      Time when;
+      TimedEntry::Kind kind;
+      Event* event;
+      std::uint64_t event_generation;
+      Process* process;
+      std::uint64_t process_generation;
+    };
+    /// Timed-queue insertions; sequence numbers are assigned at the merge
+    /// so per-group relative order (the only order that can matter --
+    /// groups share no state) matches the sequential schedule.
+    std::vector<TimedReq> timed;
+    /// Buffered timed_stale_count_ increments.
+    std::size_t stale_notes = 0;
+    /// Worker-local counter deltas (aggregate + per-domain), folded into
+    /// stats_ at the horizon.
+    KernelStats stat_delta;
+    /// Lazily built merged view for mid-round stats() calls.
+    std::unique_ptr<KernelStats> stats_view;
+    bool stop = false;
+    std::exception_ptr exception;
+  };
+
   bool is_stale(const TimedEntry& entry) const;
   /// Bumps the process's wake generation, keeping the stale-entry count
   /// exact when a live timed resume entry gets invalidated.
   void bump_wake_generation(Process& p);
   /// Called by Event when a pending timed notification is superseded or
   /// cancelled, leaving its queue entry stale.
-  void note_timed_event_stale() { timed_stale_count_++; }
+  void note_timed_event_stale();
   /// Called by ~Event while the event is still valid: removes every queue
   /// entry referring to it, so no is_stale() call can ever dereference a
   /// destroyed event.
@@ -228,10 +352,44 @@ class Kernel {
   Process* require_method(const char* what) const;
   void schedule_event_fire(Event& e, Time at);
   void schedule_process_resume(Process& p, Time at);
+  void queue_delta_notification(Event& e);
   void cancel_dynamic_wait(Process& p);
   void kill_all_threads();
   void run_update_phase();
   void fire_delta_notifications();
+
+  // --- parallel scheduling (see kernel.cpp "Parallel evaluation") ---
+
+  /// The group task the calling OS thread is executing for *this* kernel,
+  /// or null in sequential/scheduler contexts.
+  GroupTask* active_task() const;
+  /// Where scheduler counters go: the active group's local delta inside a
+  /// parallel round, the kernel aggregate otherwise.
+  KernelStats& active_stats();
+  bool parallel_enabled() const { return workers_ > 1; }
+  void run_parallel_evaluation_phase();
+  void execute_group_task(GroupTask& task);
+  /// Horizon-time make_runnable for wakes that crossed groups mid-round.
+  void apply_cross_wake(Process* p);
+  /// Merges one group's buffered side effects into the kernel structures;
+  /// called at the horizon in group order.
+  void flush_group_task(GroupTask& task);
+  GroupTask& task_for_group(std::size_t group_root);
+  void ensure_pool();
+  /// Union-find over domain ids; readers are lock-free (workers resolve
+  /// groups on every wake), writers serialize on group_mutex_.
+  std::size_t find_group(std::size_t domain_id) const;
+  /// True when called from a worker whose group does not contain
+  /// `domain` -- its members' live state must not be read, use the
+  /// published horizon values instead.
+  bool foreign_group_read(const SyncDomain& domain) const;
+  std::optional<Time> published_front(std::size_t domain_id) const;
+  void publish_domain_fronts();
+  /// Backs SyncDomain::set_concurrent; rebuilds the union-find from the
+  /// concurrency flags and the recorded links.
+  void set_domain_concurrent(SyncDomain& domain, bool concurrent);
+  void unite_groups_locked(std::size_t a, std::size_t b);
+  void rebuild_groups_locked();
 
   Time now_;
   /// Domain registry; [0] is the default domain, created in the
@@ -262,17 +420,56 @@ class Kernel {
                       std::greater<TimedEntry>>
       timed_queue_;
 
-  Process* current_process_ = nullptr;
-  ucontext_t scheduler_context_{};
+  /// Fresh thread-local reads for code that runs on fiber stacks: every
+  /// read of t_exec_/t_task_ that can happen after a suspension point MUST
+  /// go through these noinline accessors. Were the reads inlined, the
+  /// compiler could legally cache the TLS slot's address across a
+  /// swapcontext -- and a fiber resumed on a different worker would then
+  /// read (and race on) the *original* thread's slot.
+  __attribute__((noinline)) static ExecContext* thread_exec();
+  __attribute__((noinline)) static GroupTask* thread_task();
 
-  // --- AddressSanitizer fiber bookkeeping (see fiber_sanitizer.h) ---
-  /// Scheduler (OS thread) stack bounds, learned each time a fiber resumes
-  /// and reports where it came from; used when switching back.
-  const void* scheduler_stack_bottom_ = nullptr;
-  std::size_t scheduler_stack_size_ = 0;
-  /// ASan fake-stack handle saved while the scheduler stack is switched
-  /// away from.
-  void* scheduler_fake_stack_ = nullptr;
+  /// The ExecContext the calling OS thread dispatches fibers through; set
+  /// by run() (main_exec_) and by each group execution (GroupTask::exec).
+  /// Written only from scheduler stacks (never from a fiber).
+  static thread_local ExecContext* t_exec_;
+  /// The GroupTask the calling OS thread is running, if any.
+  static thread_local GroupTask* t_task_;
+
+  /// Sequential-mode (and phase-driver) execution context.
+  ExecContext main_exec_;
+
+  /// Parallel-execution state. workers_ <= 1 leaves all of it idle.
+  std::size_t workers_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<GroupTask>> tasks_;
+  /// Tasks handed out for the current phase (prefix of tasks_).
+  std::size_t tasks_in_use_ = 0;
+  /// The current phase's tasks, sorted by group root before each round
+  /// and at the merge (the deterministic "group order").
+  std::vector<GroupTask*> phase_tasks_;
+  /// Per-phase map from group root to the task executing it (index =
+  /// domain id, null = group not runnable this phase).
+  std::vector<GroupTask*> task_by_root_;
+  /// Bumped on every union; lets the phase driver notice mid-round
+  /// channel-discovered links and re-partition.
+  std::uint64_t group_version_ = 0;
+  /// Concurrency-group union-find parents, one per domain. A deque of
+  /// atomics: stable addresses, lock-free monotone reads from workers.
+  std::deque<std::atomic<std::size_t>> group_parent_;
+  /// Every link ever declared (channel-observed or explicit), replayed
+  /// when set_concurrent rebuilds the union-find.
+  std::vector<std::pair<std::size_t, std::size_t>> domain_links_;
+  mutable std::mutex group_mutex_;
+  /// Guards processes_ / next_process_id_ against concurrent dynamic
+  /// spawns from parallel rounds.
+  std::mutex spawn_mutex_;
+  /// Serializes ~Event timed-queue purges from parallel rounds.
+  std::mutex timed_purge_mutex_;
+  /// Per-domain execution fronts as of the last synchronization horizon
+  /// (ps; UINT64_MAX = no live process). What mid-round probes see for
+  /// foreign groups.
+  std::deque<std::atomic<std::uint64_t>> published_front_ps_;
 };
 
 /// Free-function conveniences mirroring SystemC's global wait()/time API.

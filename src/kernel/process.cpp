@@ -22,16 +22,23 @@ Process::Process(Kernel& kernel, std::string name, ProcessKind kind,
   }
 }
 
-Process::~Process() = default;
+Process::~Process() {
+  fiber::tsan_destroy_fiber(tsan_fiber_);
+}
 
 void Process::trampoline(unsigned hi, unsigned lo) {
   auto* self = reinterpret_cast<Process*>(
       (static_cast<std::uintptr_t>(hi) << 32) |
       static_cast<std::uintptr_t>(lo));
-  // First time on this fiber stack; we came from the scheduler stack,
-  // whose bounds the kernel needs for the switches back.
-  fiber::finish_switch(nullptr, &self->kernel_.scheduler_stack_bottom_,
-                       &self->kernel_.scheduler_stack_size_);
+  // First time on this fiber stack; we came from the dispatching execution
+  // context's scheduler stack, whose bounds it needs for the switches back.
+  // The context is resolved through the thread-local: in parallel mode the
+  // dispatching worker's, in sequential mode the kernel's main one.
+  {
+    Kernel::ExecContext* exec = Kernel::thread_exec();
+    fiber::finish_switch(nullptr, &exec->scheduler_stack_bottom,
+                         &exec->scheduler_stack_size);
+  }
   try {
     self->body_();
   } catch (const ProcessKilled&) {
@@ -40,24 +47,31 @@ void Process::trampoline(unsigned hi, unsigned lo) {
     self->pending_exception_ = std::current_exception();
   }
   self->state_ = ProcessState::Terminated;
-  // Hand control back to the scheduler; never returns here again, so the
-  // null save lets ASan release this fiber's fake stack.
-  fiber::start_switch(nullptr, self->kernel_.scheduler_stack_bottom_,
-                      self->kernel_.scheduler_stack_size_);
-  swapcontext(&self->context_, &self->kernel_.scheduler_context_);
+  // Hand control back to whichever scheduler context is dispatching us
+  // *now* -- re-read the thread-local through the noinline accessor, the
+  // fiber may have migrated workers since it started. Never returns here
+  // again, so the null save lets ASan release this fiber's fake stack.
+  Kernel::ExecContext* exec = Kernel::thread_exec();
+  fiber::start_switch(nullptr, exec->scheduler_stack_bottom,
+                      exec->scheduler_stack_size, exec->tsan_fiber);
+  swapcontext(&self->context_, &exec->scheduler_context);
 }
 
-void Process::start_thread_context(ucontext_t* return_ctx) {
+void Process::start_thread_context() {
   if (getcontext(&context_) != 0) {
     Report::error("getcontext failed for process " + name_);
   }
   context_.uc_stack.ss_sp = stack_.get();
   context_.uc_stack.ss_size = stack_size_;
-  context_.uc_link = return_ctx;
+  // The trampoline's final explicit swapcontext is the only exit; uc_link
+  // must not pin one particular scheduler context (fibers may finish under
+  // a different worker than the one that started them).
+  context_.uc_link = nullptr;
   const auto ptr = reinterpret_cast<std::uintptr_t>(this);
   makecontext(&context_, reinterpret_cast<void (*)()>(&Process::trampoline), 2,
               static_cast<unsigned>(ptr >> 32),
               static_cast<unsigned>(ptr & 0xffffffffu));
+  tsan_fiber_ = fiber::tsan_create_fiber();
   thread_started_ = true;
 }
 

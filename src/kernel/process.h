@@ -80,7 +80,7 @@ class Process {
           std::function<void()> body, std::size_t stack_size,
           std::uint64_t id);
 
-  void start_thread_context(ucontext_t* return_ctx);
+  void start_thread_context();
   static void trampoline(unsigned hi, unsigned lo);
 
   Kernel& kernel_;
@@ -127,6 +127,9 @@ class Process {
   /// ASan fake-stack handle saved while this fiber is switched away from
   /// (see kernel/fiber_sanitizer.h).
   void* fake_stack_ = nullptr;
+  /// TSan fiber handle for this stack (see kernel/fiber_sanitizer.h);
+  /// null outside TSan builds.
+  void* tsan_fiber_ = nullptr;
 
   // --- method-only state ---
   std::vector<Event*> static_sensitivity_;

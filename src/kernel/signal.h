@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "kernel/domain_link.h"
 #include "kernel/event.h"
 #include "kernel/kernel.h"
 
@@ -22,11 +23,15 @@ class Signal : public UpdateListener {
         value_changed_(kernel, name_ + ".value_changed") {}
 
   /// Current (committed) value.
-  const T& read() const { return current_; }
+  const T& read() const {
+    domain_link_.touch(kernel_.current_domain());
+    return current_;
+  }
 
   /// Schedules `value` to become visible at the next delta boundary. The
   /// last write in an evaluation phase wins.
   void write(const T& value) {
+    domain_link_.touch(kernel_.current_domain());
     next_ = value;
     if (!update_requested_) {
       update_requested_ = true;
@@ -50,6 +55,9 @@ class Signal : public UpdateListener {
 
   Kernel& kernel_;
   std::string name_;
+  /// Readers and writers may span domains; mutable because read() is
+  /// logically const.
+  mutable DomainLink domain_link_;
   T current_;
   T next_;
   bool update_requested_ = false;

@@ -130,6 +130,20 @@ struct KernelStats {
   /// stale entries once they outnumber the live ones).
   std::uint64_t timed_queue_compactions = 0;
 
+  // --- parallel execution bookkeeping (see README "Parallel execution") ---
+
+  /// Number of parallel evaluation rounds: per evaluation phase, one round
+  /// dispatches every concurrency group with runnable processes (most
+  /// phases need exactly one round; cross-group wakes add more). Only
+  /// counted in parallel mode (Kernel::set_workers >= 2).
+  std::uint64_t parallel_rounds = 0;
+
+  /// Number of group executions that had to be awaited at a
+  /// synchronization horizon: each round dispatching G >= 2 groups
+  /// concurrently adds G - 1. Zero means the parallel scheduler never
+  /// found two groups runnable at once (no concurrency to exploit).
+  std::uint64_t horizon_waits = 0;
+
   // --- temporal-decoupling bookkeeping (maintained by SyncDomain) ---
 
   /// Number of synchronization requests -- sync() calls (including those
@@ -182,6 +196,8 @@ struct KernelStats {
     r.event_triggers -= o.event_triggers;
     r.processes_spawned -= o.processes_spawned;
     r.timed_queue_compactions -= o.timed_queue_compactions;
+    r.parallel_rounds -= o.parallel_rounds;
+    r.horizon_waits -= o.horizon_waits;
     r.sync_requests -= o.sync_requests;
     r.syncs_elided -= o.syncs_elided;
     for (std::size_t i = 0; i < kSyncCauseCount; ++i) {
@@ -196,5 +212,39 @@ struct KernelStats {
     return r;
   }
 };
+
+/// Adds `delta` into `into`, field by field (per-domain entries
+/// entrywise; names are kept from `into`). This is how the parallel
+/// scheduler folds each group's worker-local counter deltas into the
+/// kernel aggregate at a synchronization horizon -- addition is
+/// commutative, so the merged totals are independent of worker timing.
+inline void accumulate(KernelStats& into, const KernelStats& delta) {
+  into.context_switches += delta.context_switches;
+  into.method_activations += delta.method_activations;
+  into.delta_cycles += delta.delta_cycles;
+  into.timed_waves += delta.timed_waves;
+  into.event_triggers += delta.event_triggers;
+  into.processes_spawned += delta.processes_spawned;
+  into.timed_queue_compactions += delta.timed_queue_compactions;
+  into.parallel_rounds += delta.parallel_rounds;
+  into.horizon_waits += delta.horizon_waits;
+  into.sync_requests += delta.sync_requests;
+  into.syncs_elided += delta.syncs_elided;
+  for (std::size_t i = 0; i < kSyncCauseCount; ++i) {
+    into.syncs_by_cause[i] += delta.syncs_by_cause[i];
+  }
+  into.method_rearms += delta.method_rearms;
+  for (std::size_t d = 0; d < into.domains.size() && d < delta.domains.size();
+       ++d) {
+    DomainStats& a = into.domains[d];
+    const DomainStats& b = delta.domains[d];
+    a.sync_requests += b.sync_requests;
+    a.syncs_elided += b.syncs_elided;
+    for (std::size_t i = 0; i < kSyncCauseCount; ++i) {
+      a.syncs_by_cause[i] += b.syncs_by_cause[i];
+    }
+    a.method_rearms += b.method_rearms;
+  }
+}
 
 }  // namespace tdsim

@@ -27,6 +27,11 @@ bool SyncDomain::quantum_exceeded(const LocalClock& clock) const {
 }
 
 std::optional<Time> SyncDomain::execution_front() const {
+  if (kernel_.foreign_group_read(*this)) {
+    // Mid-round probe of another group's domain: its processes' clocks
+    // are live on another worker; report the last-horizon snapshot.
+    return kernel_.published_front(id_);
+  }
   std::optional<Time> front;
   for (const Process* p : members_) {
     if (p->terminated()) {
@@ -41,6 +46,16 @@ std::optional<Time> SyncDomain::execution_front() const {
 }
 
 Time SyncDomain::max_offset() const {
+  if (kernel_.foreign_group_read(*this)) {
+    // front == global date + max offset over live processes, so the
+    // horizon snapshot reconstructs the offset without touching live
+    // clocks.
+    const std::optional<Time> front = kernel_.published_front(id_);
+    if (!front.has_value() || *front <= kernel_.now()) {
+      return Time{};
+    }
+    return *front - kernel_.now();
+  }
   Time max;
   for (const Process* p : members_) {
     if (!p->terminated() && p->clock().offset() > max) {
@@ -48,6 +63,10 @@ Time SyncDomain::max_offset() const {
     }
   }
   return max;
+}
+
+void SyncDomain::set_concurrent(bool concurrent) {
+  kernel_.set_domain_concurrent(*this, concurrent);
 }
 
 LocalClock& SyncDomain::current_clock() const {
@@ -113,11 +132,17 @@ Time SyncDomain::local_time_of(const Process& process) const {
 }
 
 const DomainStats& SyncDomain::stats() const {
+  // kernel_.stats() resolves to the calling group's merged view inside a
+  // parallel round, so a domain's own processes always see their own
+  // counters exactly.
   return kernel_.stats().domains[id_];
 }
 
 DomainStats& SyncDomain::stats_mut() const {
-  return kernel_.stats_.domains[id_];
+  // Inside a parallel round this lands in the calling group's local
+  // counter delta (merged at the horizon); the domain's entry is only
+  // ever written by its own group, so the books never race.
+  return kernel_.active_stats().domains[id_];
 }
 
 std::uint64_t SyncDomain::syncs(SyncCause cause) const {
@@ -153,8 +178,8 @@ void SyncDomain::perform_sync(LocalClock& clock, SyncCause cause) {
   // A sync through a foreign domain would apply the wrong quantum policy
   // and book the switch against the wrong subsystem.
   require_member(p);
-  KernelStats& stats = kernel_.stats_;
-  DomainStats& domain_stats = stats_mut();
+  KernelStats& stats = kernel_.active_stats();
+  DomainStats& domain_stats = stats.domains[id_];
   stats.sync_requests++;
   domain_stats.sync_requests++;
   const Time offset = clock.offset();
@@ -185,8 +210,8 @@ void SyncDomain::perform_method_rearm(LocalClock& clock, SyncCause cause) {
                   p.name() + "', which is not the currently executing process");
   }
   require_member(p);
-  KernelStats& stats = kernel_.stats_;
-  DomainStats& domain_stats = stats_mut();
+  KernelStats& stats = kernel_.active_stats();
+  DomainStats& domain_stats = stats.domains[id_];
   // A re-arm is a performed synchronization request (never elided), so it
   // counts on both sides of the requests == performed + elided invariant.
   stats.sync_requests++;

@@ -69,6 +69,21 @@ class SyncDomain {
   void set_delta_cycle_limit(std::uint64_t limit);
   std::uint64_t delta_cycle_limit() const { return delta_limit_; }
 
+  // --- concurrency (parallel per-domain execution) ---
+
+  /// Opts this domain into concurrent execution: it starts in its own
+  /// concurrency group instead of the default group, so under
+  /// Kernel::set_workers(n >= 2) it may run on a worker thread in
+  /// parallel with other groups. Channels that later carry its traffic
+  /// to another domain automatically merge the two groups back
+  /// (Kernel::link_domains), which restores full serialization between
+  /// them -- only *truly* independent domains ever run concurrently, and
+  /// results stay bit-identical to the sequential schedule. Couplings no
+  /// channel can see (a plain variable shared across domains) must be
+  /// declared with Kernel::link_domains by hand. Elaboration-only.
+  void set_concurrent(bool concurrent);
+  bool concurrent() const { return concurrent_; }
+
   // --- membership / scheduler bookkeeping ---
 
   /// Processes of this domain, in spawn order (includes terminated ones).
@@ -82,10 +97,14 @@ class SyncDomain {
   /// (non-terminated) processes, i.e. how far ahead of the global date the
   /// domain has run. Empty when the domain has no live process. The domain
   /// with the smallest front is the one gating global progress -- see
-  /// Kernel::lagging_domain().
+  /// Kernel::lagging_domain(). Safe to query mid-run from a probe even in
+  /// parallel mode: a foreign group's front is then reported as of the
+  /// last synchronization horizon (reading its processes' live clocks
+  /// from another worker would race).
   std::optional<Time> execution_front() const;
 
-  /// Largest local-time offset among live processes of this domain.
+  /// Largest local-time offset among live processes of this domain. Same
+  /// mid-run visibility rule as execution_front().
   Time max_offset() const;
 
   // --- current-process operations ---
@@ -165,6 +184,8 @@ class SyncDomain {
   std::string name_;
   std::size_t id_;
   Time quantum_{};
+  /// See set_concurrent(); seeds the concurrency-group membership.
+  bool concurrent_ = false;
   std::uint64_t delta_limit_ = 0;
   /// Consecutive delta cycles at the current date with members runnable.
   std::uint64_t deltas_at_current_date_ = 0;

@@ -1,0 +1,62 @@
+#include "kernel/thread_pool.h"
+
+#include <utility>
+
+namespace tdsim {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();  // degenerate pool: run inline
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });
+}
+
+void ThreadPool::worker_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return;  // shutdown with nothing left to do
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    busy_++;
+    lock.unlock();
+    task();
+    lock.lock();
+    busy_--;
+    if (queue_.empty() && busy_ == 0) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace tdsim

@@ -1,0 +1,54 @@
+// A minimal fixed-size worker-thread pool for the kernel's parallel
+// evaluation rounds (see README "Parallel execution").
+//
+// The kernel submits one closure per runnable concurrency group and then
+// blocks on wait_idle() -- the synchronization horizon. The pool is
+// deliberately dumb: no futures, no stealing, no priorities; determinism
+// comes from the kernel's group scheduling, not from here. Tasks must not
+// throw (the kernel routes simulation errors through
+// GroupTask::exception).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tdsim {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 is legal: submit() then runs inline).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains outstanding work and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return threads_.size(); }
+
+  /// Enqueues `task` for execution on some worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished (the barrier the
+  /// kernel's synchronization horizons are made of).
+  void wait_idle();
+
+ private:
+  void worker_main();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t busy_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace tdsim

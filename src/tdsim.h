@@ -5,6 +5,7 @@
 #pragma once
 
 // Discrete-event kernel substrate.
+#include "kernel/domain_link.h"
 #include "kernel/event.h"
 #include "kernel/fifo.h"
 #include "kernel/kernel.h"
@@ -15,6 +16,7 @@
 #include "kernel/signal.h"
 #include "kernel/stats.h"
 #include "kernel/sync_domain.h"
+#include "kernel/thread_pool.h"
 #include "kernel/time.h"
 
 // Temporal decoupling and the Smart FIFO (the paper's contribution).

@@ -41,6 +41,7 @@ const Bus::Region* Bus::decode(std::uint64_t address,
 }
 
 void Bus::b_transport(Payload& payload, Time& delay) {
+  domain_link_.touch_current();
   delay += hop_latency_;
   const Region* region = decode(payload.address, payload.length);
   if (region == nullptr) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "kernel/domain_link.h"
 #include "tlm/payload.h"
 
 namespace tdsim::tlm {
@@ -38,6 +39,9 @@ class Bus final : public TransportIf {
 
   std::string name_;
   Time hop_latency_;
+  /// Initiators routed through one bus may span domains; declare the
+  /// ordering to the parallel scheduler.
+  DomainLink domain_link_;
   std::vector<Region> regions_;  // kept sorted by base
   std::uint64_t routed_ = 0;
   std::uint64_t decode_errors_ = 0;

@@ -28,6 +28,7 @@ void RegisterBank::set_write_hook(std::size_t index, WriteHook hook) {
 }
 
 std::uint32_t RegisterBank::peek(std::size_t index) const {
+  domain_link_.touch_current();
   if (index >= values_.size()) {
     Report::error("RegisterBank " + name_ + ": peek index out of range");
   }
@@ -35,6 +36,7 @@ std::uint32_t RegisterBank::peek(std::size_t index) const {
 }
 
 void RegisterBank::poke(std::size_t index, std::uint32_t value) {
+  domain_link_.touch_current();
   if (index >= values_.size()) {
     Report::error("RegisterBank " + name_ + ": poke index out of range");
   }
@@ -42,6 +44,7 @@ void RegisterBank::poke(std::size_t index, std::uint32_t value) {
 }
 
 void RegisterBank::b_transport(Payload& payload, Time& delay) {
+  domain_link_.touch_current();
   // Register access must be whole, aligned, single 32-bit words.
   if (payload.length != 4 || payload.address % 4 != 0 ||
       payload.address / 4 >= values_.size() || payload.data == nullptr) {

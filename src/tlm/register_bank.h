@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "kernel/domain_link.h"
 #include "tlm/payload.h"
 
 namespace tdsim::tlm {
@@ -47,6 +48,9 @@ class RegisterBank final : public TransportIf {
 
   std::string name_;
   Time access_latency_;
+  /// Bus initiators and the owning module's own peeks/pokes may span
+  /// domains; declare the ordering. Mutable: peek() is logically const.
+  mutable DomainLink domain_link_;
   std::vector<std::uint32_t> values_;
   std::vector<Hooks> hooks_;
 };

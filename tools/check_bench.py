@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the BENCH_*.json files the benches emit.
+
+Two checks, run by CI's perf-gate job (see .github/workflows/ci.yml):
+
+1. Determinism vs committed baseline (bench/baselines/): every numeric
+   field except wall-clock ones must match the baseline bit-for-bit.
+   Simulation results (dates, delta counts, per-cause sync counts) are
+   machine-independent, so any drift is a functional regression -- this is
+   the line the parallel scheduler's bit-exactness guarantee is held to on
+   every push.
+
+2. Worker-sweep wall gate: for files whose rows carry a "workers" field
+   (bench_multidomain_soc --workers), the summed wall time of every worker
+   count must stay within --wall-tolerance of the smallest worker count's
+   sum. A parallel run more than that much slower than sequential fails
+   the gate; the tolerance also bounds how much headline speedup may
+   regress run-over-run. Sums (not per-row walls) are gated so the
+   fine-quantum rows' barrier overhead cannot fail a sweep whose total is
+   dominated by the realistic rows.
+
+Wall-clock fields (any key containing "wall" or "seconds") are never
+compared against the baseline: baselines are committed from whatever
+machine regenerated them, and absolute times do not travel.
+
+Usage:
+  tools/check_bench.py --baseline-dir bench/baselines \
+      [--wall-tolerance 0.25] [--min-ref-wall 0.05] [--report FILE] \
+      BENCH_foo.json [BENCH_bar.json ...]
+
+Exit status 0 when every check passes, 1 otherwise. --report additionally
+writes the full comparison (uploaded as a CI artifact).
+
+Regenerating baselines after an intended behavior change:
+  run the bench with the exact invocation recorded in
+  bench/baselines/README.md and copy the BENCH_*.json over the old one.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def is_wall_key(key):
+    lowered = key.lower()
+    return "wall" in lowered or "seconds" in lowered
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("rows", [])
+
+
+def compare_to_baseline(name, rows, baseline_rows, out):
+    """Field-exact comparison of deterministic fields; returns #failures."""
+    failures = 0
+    if len(rows) != len(baseline_rows):
+        out.append(f"FAIL {name}: {len(rows)} rows vs {len(baseline_rows)} "
+                   "in baseline (bench invocation changed? regenerate the "
+                   "baseline alongside)")
+        return 1
+    for i, (row, base) in enumerate(zip(rows, baseline_rows)):
+        for key, expected in base.items():
+            if is_wall_key(key):
+                continue
+            actual = row.get(key)
+            if actual != expected:
+                out.append(f"FAIL {name} row {i}: {key} = {actual!r}, "
+                           f"baseline {expected!r}")
+                failures += 1
+    if failures == 0:
+        out.append(f"ok   {name}: {len(rows)} rows match baseline "
+                   "(deterministic fields)")
+    return failures
+
+
+def check_worker_walls(name, rows, tolerance, min_ref_wall, out):
+    """Summed wall time per worker count vs the smallest count's sum."""
+    sums = {}
+    for row in rows:
+        if "workers" not in row or "wall_seconds" not in row:
+            return 0
+        sums.setdefault(row["workers"], 0.0)
+        sums[row["workers"]] += row["wall_seconds"]
+    if len(sums) < 2:
+        return 0
+    reference_workers = min(sums)
+    reference = sums[reference_workers]
+    if reference < min_ref_wall:
+        out.append(f"skip {name}: reference wall {reference:.3f}s below "
+                   f"{min_ref_wall}s noise floor, worker gate not applied")
+        return 0
+    failures = 0
+    for workers in sorted(sums):
+        ratio = sums[workers] / reference
+        verdict = "ok  "
+        if workers != reference_workers and ratio > 1.0 + tolerance:
+            verdict = "FAIL"
+            failures += 1
+        out.append(f"{verdict} {name}: workers={workers} wall "
+                   f"{sums[workers]:.3f}s ({ratio:.2f}x of "
+                   f"workers={reference_workers})")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", required=True)
+    parser.add_argument("--wall-tolerance", type=float, default=0.25,
+                        help="allowed fractional wall regression of any "
+                        "worker count vs the smallest one (default 0.25)")
+    parser.add_argument("--min-ref-wall", type=float, default=0.05,
+                        help="skip the worker gate when the reference sum "
+                        "is below this many seconds (noise floor)")
+    parser.add_argument("--report", help="also write the comparison here")
+    parser.add_argument("files", nargs="+")
+    args = parser.parse_args()
+
+    out = []
+    failures = 0
+    for path in args.files:
+        name = os.path.basename(path)
+        rows = load_rows(path)
+        baseline_path = os.path.join(args.baseline_dir, name)
+        if os.path.exists(baseline_path):
+            failures += compare_to_baseline(name, rows,
+                                            load_rows(baseline_path), out)
+        else:
+            out.append(f"FAIL {name}: no baseline at {baseline_path} "
+                       "(new bench? commit its baseline)")
+            failures += 1
+        failures += check_worker_walls(name, rows, args.wall_tolerance,
+                                       args.min_ref_wall, out)
+
+    report = "\n".join(out) + "\n"
+    sys.stdout.write(report)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report)
+    if failures:
+        sys.stdout.write(f"{failures} check(s) failed\n")
+        return 1
+    sys.stdout.write("all bench checks passed\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
