@@ -21,11 +21,19 @@
 //
 // Usage: bench_multidomain_soc [--cpus N] [--periphs N] [--steps N]
 //                              [--stream-words N] [--clusters N]
-//                              [--workers LIST] [--work N] [--json]
+//                              [--workers LIST] [--work N] [--adaptive]
+//                              [--explain] [--json]
 //
 // --workers takes a comma-separated list of worker counts (0 = sequential
 // scheduler); every count must reproduce the same dates, delta counts and
-// per-cause sync counts, and the bench fails otherwise. --json writes
+// per-cause sync counts, and the bench fails otherwise. --adaptive appends
+// one row per worker count where the periph domains run under an adaptive
+// quantum policy seeded from the *worst* fixed quantum of the sweep
+// (100 ns): the controller must climb out on its own, bit-identically
+// under every worker count, without moving the CPU-domain observation or
+// the cross-domain stream date. --explain prints, for the first sweep
+// point, Kernel::explain_group()'s answer to "which channels merged each
+// domain's concurrency group" and exits. --json writes
 // BENCH_multidomain_soc.json: one row per (workers, sweep point) with
 // per-domain-kind per-cause sync counts summed over clusters.
 #include <chrono>
@@ -38,12 +46,14 @@
 #include "bench_json.h"
 #include "core/smart_fifo.h"
 #include "kernel/kernel.h"
+#include "kernel/quantum_controller.h"
 #include "kernel/sync_domain.h"
 
 namespace {
 
 using tdsim::DomainStats;
 using tdsim::Kernel;
+using tdsim::QuantumPolicy;
 using tdsim::SmartFifo;
 using tdsim::SyncCause;
 using tdsim::SyncDomain;
@@ -85,17 +95,20 @@ struct KindStats {
   std::uint64_t syncs_elided = 0;
   std::uint64_t syncs_quantum = 0;
   std::uint64_t syncs_fifo = 0;
+  std::uint64_t quantum_adjustments = 0;
 
   void add(const DomainStats& d) {
     sync_requests += d.sync_requests;
     syncs_elided += d.syncs_elided;
     syncs_quantum += d.syncs(SyncCause::Quantum);
     syncs_fifo += d.syncs(SyncCause::FifoFull) + d.syncs(SyncCause::FifoEmpty);
+    quantum_adjustments += d.quantum_adjustments;
   }
 
   bool operator==(const KindStats& o) const {
     return sync_requests == o.sync_requests && syncs_elided == o.syncs_elided &&
-           syncs_quantum == o.syncs_quantum && syncs_fifo == o.syncs_fifo;
+           syncs_quantum == o.syncs_quantum && syncs_fifo == o.syncs_fifo &&
+           quantum_adjustments == o.quantum_adjustments;
   }
 };
 
@@ -106,6 +119,11 @@ struct RunResult {
   bool stream_ok = false;
   KindStats cpu;
   KindStats periph;
+  /// Final quantum of the periph domains after the run (all clusters are
+  /// symmetric, so the controller must land every one on the same value;
+  /// checked below). Equals the swept quantum on fixed rows.
+  Time periph_final_quantum;
+  bool final_quanta_uniform = true;
   std::uint64_t context_switches = 0;
   std::uint64_t delta_cycles = 0;
   std::uint64_t parallel_rounds = 0;
@@ -116,13 +134,17 @@ struct RunResult {
     return cpu_error_max == o.cpu_error_max &&
            stream_done_date == o.stream_done_date && stream_ok == o.stream_ok &&
            cpu == o.cpu && periph == o.periph &&
+           periph_final_quantum == o.periph_final_quantum &&
+           final_quanta_uniform == o.final_quanta_uniform &&
            context_switches == o.context_switches &&
            delta_cycles == o.delta_cycles;
   }
 };
 
 RunResult run_once(const BenchConfig& config, Time periph_quantum,
-                   std::size_t workers) {
+                   std::size_t workers,
+                   const QuantumPolicy* periph_policy = nullptr,
+                   bool explain = false) {
   Kernel kernel;
   kernel.set_workers(workers);
 
@@ -152,8 +174,12 @@ RunResult run_once(const BenchConfig& config, Time periph_quantum,
     // independent clusters run on separate workers under --workers >= 2.
     cluster.cpu = &kernel.create_domain("cpu" + suffix, config.cpu_quantum,
                                         /*concurrent=*/true);
-    cluster.periph = &kernel.create_domain("periph" + suffix, periph_quantum,
-                                           /*concurrent=*/true);
+    cluster.periph =
+        periph_policy != nullptr
+            ? &kernel.create_domain("periph" + suffix, periph_quantum,
+                                    /*concurrent=*/true, *periph_policy)
+            : &kernel.create_domain("periph" + suffix, periph_quantum,
+                                    /*concurrent=*/true);
     cluster.observed.resize(config.cpu_workers);
     std::uint64_t* work_sink = &cluster.work_acc;
     cluster.stream = std::make_unique<SmartFifo<std::uint32_t>>(
@@ -231,6 +257,19 @@ RunResult run_once(const BenchConfig& config, Time periph_quantum,
   kernel.run();
   const auto stop = std::chrono::steady_clock::now();
 
+  if (explain) {
+    // "Why is my model not parallel": name the channels that merged each
+    // domain's concurrency group (discovered during the run).
+    for (const auto& domain : kernel.domains()) {
+      const std::vector<std::string> chain = kernel.explain_group(*domain);
+      std::printf("group of '%s' (root %zu):%s\n", domain->name().c_str(),
+                  kernel.domain_group(*domain), chain.empty() ? " alone" : "");
+      for (const std::string& line : chain) {
+        std::printf("  - %s\n", line.c_str());
+      }
+    }
+  }
+
   std::uint32_t expected = 0;
   for (std::uint64_t i = 0; i < config.stream_words; ++i) {
     expected = expected * 31 + static_cast<std::uint32_t>(i);
@@ -256,6 +295,12 @@ RunResult run_once(const BenchConfig& config, Time periph_quantum,
     result.stream_ok = result.stream_ok && cluster.checksum == expected;
     result.cpu.add(kernel.stats().domains[cluster.cpu->id()]);
     result.periph.add(kernel.stats().domains[cluster.periph->id()]);
+    if (&cluster == &clusters.front()) {
+      result.periph_final_quantum = cluster.periph->quantum();
+    } else if (cluster.periph->quantum() != result.periph_final_quantum) {
+      // Symmetric clusters must make symmetric decisions.
+      result.final_quanta_uniform = false;
+    }
   }
   result.context_switches = kernel.stats().context_switches;
   result.delta_cycles = kernel.stats().delta_cycles;
@@ -284,6 +329,8 @@ int main(int argc, char** argv) {
   BenchConfig config;
   std::vector<std::size_t> workers_sweep = {0};
   bool emit_json = false;
+  bool run_adaptive = false;
+  bool explain = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
       config.cpu_workers = std::strtoull(argv[++i], nullptr, 10);
@@ -299,13 +346,17 @@ int main(int argc, char** argv) {
       workers_sweep = parse_workers_list(argv[++i]);
     } else if (std::strcmp(argv[i], "--work") == 0 && i + 1 < argc) {
       config.work = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--adaptive") == 0) {
+      run_adaptive = true;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      explain = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       emit_json = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--cpus N] [--periphs N] [--steps N] "
                    "[--stream-words N] [--clusters N] [--workers LIST] "
-                   "[--work N] [--json]\n",
+                   "[--work N] [--adaptive] [--explain] [--json]\n",
                    argv[0]);
       return 2;
     }
@@ -313,6 +364,12 @@ int main(int argc, char** argv) {
   if (workers_sweep.empty() || config.clusters == 0) {
     std::fprintf(stderr, "invalid --workers/--clusters\n");
     return 2;
+  }
+  if (explain) {
+    // One run of the first sweep point, then the group explanations.
+    run_once(config, 100_ns, workers_sweep.front(), nullptr,
+             /*explain=*/true);
+    return 0;
   }
 
   std::printf("Per-domain quantum sweep: %zu clusters x (%zu cpu workers "
@@ -322,23 +379,52 @@ int main(int argc, char** argv) {
               config.cpu_quantum.to_string().c_str(), config.periph_masters,
               static_cast<unsigned long long>(config.steps),
               static_cast<unsigned long long>(config.stream_words));
-  std::printf("%7s | %14s | %12s | %14s | %14s | %16s | %10s\n", "workers",
+  std::printf("%7s | %16s | %12s | %14s | %14s | %16s | %10s\n", "workers",
               "periph quantum", "cpu q-syncs", "periph q-syncs",
               "cpu error[ns]", "stream done[ps]", "wall[s]");
 
   benchjson::Report report("multidomain_soc");
   const std::vector<Time> sweep = {100_ns, 1_us, 10_us, 100_us};
+  // The adaptive row starts from the sweep's worst (smallest) quantum and
+  // may roam the sweep's own range. The periph domains carry a mix of
+  // pure churn (the masters) and Smart-FIFO stream syncs (the DMA), whose
+  // dates ride on cell stamps regardless of quantum -- so churn is the
+  // growth signal even when it is only a majority, not near-total, of the
+  // window: grow_share_pct is lowered accordingly, letting the controller
+  // converge to the sweep's cheap end instead of stalling mid-range.
+  QuantumPolicy adaptive_policy;
+  adaptive_policy.min_quantum = sweep.front();
+  adaptive_policy.max_quantum = sweep.back();
+  adaptive_policy.grow_share_pct = 60;
+  // A converged periph domain syncs rarely (that is the point), so the
+  // default 32-sync decision window would stop ripening mid-run and
+  // freeze the quantum at whatever the stream phase settled on; a short
+  // window keeps the controller deciding in the sparse-sync regime.
+  adaptive_policy.min_syncs_per_decision = 8;
+  struct SweepPoint {
+    Time quantum;
+    bool adaptive;
+  };
+  std::vector<SweepPoint> points;
+  for (Time q : sweep) {
+    points.push_back({q, false});
+  }
+  if (run_adaptive) {
+    points.push_back({sweep.front(), true});
+  }
   bool ok = true;
   // Reference results per sweep point: every worker count must reproduce
   // the first one's dates, delta counts and per-cause sync counts exactly.
-  std::vector<RunResult> reference(sweep.size());
+  std::vector<RunResult> reference(points.size());
   for (std::size_t w = 0; w < workers_sweep.size(); ++w) {
     const std::size_t workers = workers_sweep[w];
     Time first_error_max;
     Time first_stream_done;
-    for (std::size_t i = 0; i < sweep.size(); ++i) {
-      const Time q = sweep[i];
-      const RunResult r = run_once(config, q, workers);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& point = points[i];
+      const RunResult r =
+          run_once(config, point.quantum, workers,
+                   point.adaptive ? &adaptive_policy : nullptr);
       if (i == 0) {
         first_error_max = r.cpu_error_max;
         first_stream_done = r.stream_done_date;
@@ -348,28 +434,48 @@ int main(int argc, char** argv) {
       } else if (!r.deterministically_equal(reference[i])) {
         std::fprintf(stderr,
                      "ERROR: workers=%zu diverged from workers=%zu at "
-                     "periph quantum %s\n",
-                     workers, workers_sweep[0], q.to_string().c_str());
+                     "periph quantum %s%s\n",
+                     workers, workers_sweep[0],
+                     point.quantum.to_string().c_str(),
+                     point.adaptive ? " (adaptive)" : "");
         ok = false;
       }
       // The headline claims: CPU-domain accuracy and the cross-domain
-      // stream dates are invariant under the peripheral quantum.
+      // stream dates are invariant under the peripheral quantum -- the
+      // adaptive rows included (the controller may only move speed).
       ok = ok && r.stream_ok && r.cpu_error_max == first_error_max &&
-           r.stream_done_date == first_stream_done;
-      std::printf("%7zu | %14s | %12llu | %14llu | %14.0f | %16llu | "
+           r.stream_done_date == first_stream_done &&
+           r.final_quanta_uniform;
+      char quantum_label[32];
+      std::snprintf(quantum_label, sizeof(quantum_label), "%s%s",
+                    point.adaptive ? "adaptive " : "",
+                    point.quantum.to_string().c_str());
+      std::printf("%7zu | %16s | %12llu | %14llu | %14.0f | %16llu | "
                   "%10.3f%s\n",
-                  workers, q.to_string().c_str(),
+                  workers, quantum_label,
                   static_cast<unsigned long long>(r.cpu.syncs_quantum),
                   static_cast<unsigned long long>(r.periph.syncs_quantum),
                   static_cast<double>(r.cpu_error_max.ps()) / 1e3,
                   static_cast<unsigned long long>(r.stream_done_date.ps()),
                   r.wall_seconds, r.stream_ok ? "" : "  CHECKSUM MISMATCH");
+      if (point.adaptive) {
+        std::printf("%7s > periph quantum converged %s -> %s in %llu "
+                    "adjustments\n",
+                    "", point.quantum.to_string().c_str(),
+                    r.periph_final_quantum.to_string().c_str(),
+                    static_cast<unsigned long long>(
+                        r.periph.quantum_adjustments));
+      }
       if (emit_json) {
         benchjson::Row& row = report.row();
         row.add("workers", static_cast<std::uint64_t>(workers))
             .add("clusters", static_cast<std::uint64_t>(config.clusters))
+            .add("adaptive",
+                 static_cast<std::uint64_t>(point.adaptive ? 1 : 0))
             .add("cpu_quantum_ps", config.cpu_quantum.ps())
-            .add("periph_quantum_ps", q.ps())
+            .add("periph_quantum_ps", point.quantum.ps())
+            .add("periph_final_quantum_ps", r.periph_final_quantum.ps())
+            .add("quantum_adjustments", r.periph.quantum_adjustments)
             .add("cpu_error_ns",
                  static_cast<double>(r.cpu_error_max.ps()) / 1e3)
             .add("stream_done_ps", r.stream_done_date.ps())

@@ -16,12 +16,26 @@
 // date accuracy for speed as its quantum grows; the Smart FIFO is as fast
 // with zero date error.
 //
+// Table C (--adaptive) -- the adaptive quantum controller closing the
+// loop: a quantum-churn workload swept over fixed quanta, then re-run with
+// an adaptive policy seeded from the *worst* fixed quantum. The adaptive
+// run must converge to near-best wall-clock throughput while every
+// deterministic timing field (a Smart-FIFO stream's completion date and
+// checksum, which no quantum may move) stays bit-identical across all
+// rows; tools/check_bench.py gates both.
+//
 // Usage: bench_quantum_tradeoff [--steps N] [--blocks N] [--words N]
-//                                [--json]
+//                                [--adaptive] [--churn-steps N] [--json]
+//
+// --churn-steps sizes Table C independently of Table A's --steps (default:
+// equal), so a fast CI smoke invocation can still give the adaptive sweep
+// enough work for its wall-clock gate to clear the noise floor.
 //
 // --json additionally writes BENCH_quantum_tradeoff.json with one row per
 // sweep point, including the per-cause sync counts from KernelStats
-// (quantum- vs. FIFO-driven) behind each context-switch total.
+// (quantum- vs. FIFO-driven) behind each context-switch total; adaptive
+// rows carry the final quantum and the quantum_adjustments count from the
+// controller's decision trace.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -29,13 +43,19 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "core/smart_fifo.h"
+#include "kernel/quantum_controller.h"
 #include "workloads/pipeline.h"
 
 namespace {
 
 using tdsim::Kernel;
 using tdsim::KernelStats;
+using tdsim::QuantumPolicy;
+using tdsim::SmartFifo;
 using tdsim::SyncCause;
+using tdsim::SyncDomain;
+using tdsim::ThreadOptions;
 using tdsim::Time;
 using tdsim::TimeUnit;
 using namespace tdsim::time_literals;
@@ -127,13 +147,96 @@ double signed_error_ns(Time value, Time reference) {
   return (v - r) / 1e3;
 }
 
+// -------------------------------------------------------------------------
+// Table C: fixed-quantum sweep vs the adaptive controller.
+// -------------------------------------------------------------------------
+
+struct ChurnResult {
+  Time stream_done;          ///< Smart-FIFO stream completion (local date).
+  bool checksum_ok = false;
+  Time final_quantum;        ///< compute-domain quantum after the run
+  std::uint64_t quantum_adjustments = 0;
+  KernelStats stats;
+  double wall_seconds = 0;
+};
+
+/// Two "compute" workers annotate fine-grained steps under the swept (or
+/// adaptive) quantum -- nothing observes them below quantum granularity,
+/// so their syncs are pure churn and only cost wall time. A separate
+/// "stream" domain runs a Smart-FIFO producer/consumer pair whose
+/// completion date rides on cell stamps alone: it is the deterministic
+/// timing field no quantum choice may move.
+ChurnResult run_churn(Time initial_quantum, bool adaptive,
+                      std::uint64_t steps, std::uint64_t stream_words) {
+  Kernel kernel;
+  SyncDomain* compute = nullptr;
+  if (adaptive) {
+    QuantumPolicy policy;
+    // Clamp to the fixed sweep's own range, so the adaptive run cannot
+    // "win" by leaving the swept space.
+    policy.min_quantum = 10_ns;
+    policy.max_quantum = 100_us;
+    compute = &kernel.create_domain("compute", initial_quantum,
+                                    /*concurrent=*/false, policy);
+  } else {
+    compute = &kernel.create_domain("compute", initial_quantum);
+  }
+  SyncDomain& stream_domain = kernel.create_domain("stream");
+  SmartFifo<std::uint32_t> fifo(kernel, "churn_stream", 16);
+
+  for (int w = 0; w < 2; ++w) {
+    ThreadOptions opts;
+    opts.domain = compute;
+    kernel.spawn_thread("compute" + std::to_string(w), [&kernel, steps] {
+      for (std::uint64_t i = 0; i < steps; ++i) {
+        kernel.current_domain().inc_and_sync_if_needed(10_ns);
+      }
+    }, opts);
+  }
+  ThreadOptions stream_opts;
+  stream_opts.domain = &stream_domain;
+  kernel.spawn_thread("producer", [&kernel, &fifo, stream_words] {
+    for (std::uint64_t i = 0; i < stream_words; ++i) {
+      kernel.current_domain().inc(3_ns);
+      fifo.write(static_cast<std::uint32_t>(i));
+    }
+  }, stream_opts);
+  ChurnResult result;
+  std::uint32_t checksum = 0;
+  kernel.spawn_thread("consumer",
+                      [&kernel, &fifo, &result, &checksum, stream_words] {
+    for (std::uint64_t i = 0; i < stream_words; ++i) {
+      checksum = checksum * 31 + fifo.read();
+      kernel.current_domain().inc(4_ns);
+    }
+    result.stream_done = kernel.current_domain().local_time_stamp();
+  }, stream_opts);
+
+  const auto start = std::chrono::steady_clock::now();
+  kernel.run();
+  const auto stop = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+
+  std::uint32_t expected = 0;
+  for (std::uint64_t i = 0; i < stream_words; ++i) {
+    expected = expected * 31 + static_cast<std::uint32_t>(i);
+  }
+  result.checksum_ok = checksum == expected;
+  result.final_quantum = compute->quantum();
+  result.stats = kernel.stats();
+  result.quantum_adjustments = result.stats.quantum_adjustments;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t steps = 2'000'000;
   std::uint64_t blocks = 200;
   std::uint64_t words_per_block = 1000;
+  std::uint64_t churn_steps = 0;  // 0: follow --steps
   bool emit_json = false;
+  bool run_adaptive = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
       steps = std::strtoull(argv[++i], nullptr, 10);
@@ -141,14 +244,22 @@ int main(int argc, char** argv) {
       blocks = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--words") == 0 && i + 1 < argc) {
       words_per_block = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--churn-steps") == 0 && i + 1 < argc) {
+      churn_steps = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--adaptive") == 0) {
+      run_adaptive = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       emit_json = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--steps N] [--blocks N] [--words N] [--json]\n",
+                   "usage: %s [--steps N] [--blocks N] [--words N] "
+                   "[--adaptive] [--churn-steps N] [--json]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (churn_steps == 0) {
+    churn_steps = steps;
   }
   benchjson::Report report("quantum_tradeoff");
 
@@ -259,13 +370,95 @@ int main(int argc, char** argv) {
     add_pipeline_row("TDfull", Time{}, smart, reference);
   }
 
+  if (run_adaptive) {
+    // Table C: the same fixed-quantum tension, then the controller closing
+    // the loop from the worst seed. stream length scales with --steps so
+    // the CI smoke invocation stays fast.
+    const std::uint64_t stream_words = churn_steps / 100 + 16;
+    std::printf("\nTable C: fixed-quantum churn sweep vs adaptive "
+                "controller\n");
+    std::printf("2 compute workers x %llu steps of 10 ns; Smart-FIFO "
+                "stream of %llu words (dates quantum-invariant)\n\n",
+                static_cast<unsigned long long>(churn_steps),
+                static_cast<unsigned long long>(stream_words));
+    std::printf("%18s | %12s | %14s | %11s | %16s | %10s\n", "quantum",
+                "q-syncs", "final quantum", "adjustments", "stream done[ps]",
+                "wall[s]");
+
+    const auto churn_row = [&](const char* label, Time initial, bool adaptive,
+                               const ChurnResult& r) {
+      std::printf("%18s | %12llu | %14s | %11llu | %16llu | %10.3f%s\n",
+                  label,
+                  static_cast<unsigned long long>(
+                      r.stats.syncs(SyncCause::Quantum)),
+                  r.final_quantum.to_string().c_str(),
+                  static_cast<unsigned long long>(r.quantum_adjustments),
+                  static_cast<unsigned long long>(r.stream_done.ps()),
+                  r.wall_seconds, r.checksum_ok ? "" : "  CHECKSUM MISMATCH");
+      if (emit_json) {
+        report.row()
+            .add("table", std::string("adaptive_churn"))
+            .add("adaptive", static_cast<std::uint64_t>(adaptive ? 1 : 0))
+            .add("quantum_ps", initial.ps())
+            .add("final_quantum_ps", r.final_quantum.ps())
+            .add("quantum_adjustments", r.quantum_adjustments)
+            .add("syncs_quantum", r.stats.syncs(SyncCause::Quantum))
+            .add("syncs_fifo", r.stats.syncs(SyncCause::FifoFull) +
+                                  r.stats.syncs(SyncCause::FifoEmpty))
+            .add("context_switches", r.stats.context_switches)
+            .add("stream_done_ps", r.stream_done.ps())
+            .add("wall_seconds", r.wall_seconds);
+      }
+    };
+
+    const std::vector<Time> churn_sweep = {10_ns, 100_ns, 1_us, 10_us,
+                                           100_us};
+    Time stream_reference;
+    double best_fixed_wall = 0;
+    bool have_best = false;
+    for (Time q : churn_sweep) {
+      const ChurnResult r = run_churn(q, /*adaptive=*/false, churn_steps,
+                                      stream_words);
+      ok = ok && r.checksum_ok;
+      if (stream_reference.is_zero()) {
+        stream_reference = r.stream_done;
+      }
+      ok = ok && r.stream_done == stream_reference;
+      if (!have_best || r.wall_seconds < best_fixed_wall) {
+        best_fixed_wall = r.wall_seconds;
+        have_best = true;
+      }
+      churn_row(q.to_string().c_str(), q, false, r);
+    }
+    // The adaptive run starts from the sweep's worst point (the smallest
+    // quantum: maximal churn) and must climb out on its own.
+    const Time worst = churn_sweep.front();
+    const ChurnResult adaptive =
+        run_churn(worst, /*adaptive=*/true, churn_steps, stream_words);
+    ok = ok && adaptive.checksum_ok &&
+         adaptive.stream_done == stream_reference &&
+         adaptive.final_quantum > worst;
+    churn_row("adaptive", worst, true, adaptive);
+    std::printf("\nadaptive from %s: final quantum %s after %llu "
+                "adjustments; wall %.3fs vs best fixed %.3fs (%.0f%% "
+                "throughput)\n",
+                worst.to_string().c_str(),
+                adaptive.final_quantum.to_string().c_str(),
+                static_cast<unsigned long long>(adaptive.quantum_adjustments),
+                adaptive.wall_seconds, best_fixed_wall,
+                adaptive.wall_seconds > 0
+                    ? 100.0 * best_fixed_wall / adaptive.wall_seconds
+                    : 100.0);
+  }
+
   if (emit_json && !report.write()) {
     return 1;
   }
 
   if (!ok) {
     std::fprintf(stderr,
-                 "ERROR: checksum failure or Smart FIFO date mismatch\n");
+                 "ERROR: checksum failure, Smart FIFO date mismatch, or "
+                 "adaptive run moved a deterministic field\n");
     return 1;
   }
   return 0;

@@ -48,7 +48,7 @@ class WriteArbiter {
  private:
   FifoInterface<T>& target_;
   /// Arbitrated clients may span domains; last_date_ orders them all.
-  DomainLink domain_link_;
+  DomainLink domain_link_{"write arbiter"};
   Time last_date_{};
 };
 
@@ -81,7 +81,7 @@ class ReadArbiter {
  private:
   FifoInterface<T>& target_;
   /// Arbitrated clients may span domains; last_date_ orders them all.
-  DomainLink domain_link_;
+  DomainLink domain_link_{"read arbiter"};
   Time last_date_{};
 };
 

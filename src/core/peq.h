@@ -62,8 +62,9 @@ class PeqWithGet {
   Kernel& kernel_;
   std::string name_;
   /// Poster and getter may live in different domains (the annotated date
-  /// travels with the payload); declare the ordering.
-  DomainLink domain_link_;
+  /// travels with the payload); declare the ordering. Labeled for
+  /// Kernel::explain_group().
+  DomainLink domain_link_{name_};
   std::multimap<Time, Payload> queue_;
   Event event_;
 };

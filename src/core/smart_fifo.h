@@ -42,6 +42,8 @@
 #include "kernel/domain_link.h"
 #include "kernel/event.h"
 #include "kernel/kernel.h"
+#include "kernel/local_clock.h"
+#include "kernel/process.h"
 #include "kernel/report.h"
 #include "kernel/sync_domain.h"
 
@@ -76,8 +78,15 @@ class SmartFifo final : public FifoInterface<T> {
   /// internally busy. Callable from a method process only when guarded by
   /// is_full().
   void write(T value) override {
-    domain_link_.touch(kernel_.current_domain());
-    check_side_order(last_write_date_, "write");
+    // The writer's process, domain and clock are resolved once per access
+    // (one thread-local read); every date operation below then works on
+    // the clock directly. This is the channel-side hot path the adaptive
+    // quantum tuner leans on -- see "sync-cause hinting" below.
+    Process& p = require_process("write");
+    SyncDomain& domain = p.domain();
+    LocalClock& clock = p.clock();
+    domain_link_.touch(domain);
+    check_side_order(clock, last_write_date_, "write");
     if (busy_count_ == cells_.size()) {
       // Step 1: internally full -- synchronize, then wait for a free cell.
       // The synchronization may already let the (possibly decoupled, but
@@ -85,7 +94,7 @@ class SmartFifo final : public FifoInterface<T> {
       // condition is re-checked before suspending on the event.
       writer_blocks_++;
       if (!mut(&SmartFifoMutations::skip_sync_on_block)) {
-        kernel_.current_domain().sync(SyncCause::FifoFull);
+        domain.sync(SyncCause::FifoFull);
       }
       while (busy_count_ == cells_.size()) {
         kernel_.wait(internal_space_);
@@ -95,9 +104,9 @@ class SmartFifo final : public FifoInterface<T> {
     // Step 2: the cell may still be "occupied" in real time; push the
     // writer's local date to the date the cell was freed.
     if (!mut(&SmartFifoMutations::skip_writer_time_bump)) {
-      kernel_.current_domain().advance_local_to(cell.freeing_date);
+      clock.advance_to(cell.freeing_date);
     }
-    const Time date = kernel_.current_domain().local_time_stamp();
+    const Time date = clock.now();
     last_write_date_ = date;
     const bool was_internally_empty = (busy_count_ == 0);
     // Step 3: fill the cell and stamp the insertion.
@@ -131,7 +140,8 @@ class SmartFifo final : public FifoInterface<T> {
   /// full iff every cell is internally busy, or the first free cell's
   /// freeing date is still in the future. Constant time.
   bool is_full() override {
-    domain_link_.touch(kernel_.current_domain());
+    Process* p = kernel_.current_process();
+    domain_link_.touch(p != nullptr ? p->domain() : kernel_.sync_domain());
     if (busy_count_ == cells_.size()) {
       return true;
     }
@@ -139,7 +149,9 @@ class SmartFifo final : public FifoInterface<T> {
       return false;
     }
     const Time freeing = cells_[first_free_].freeing_date;
-    if (freeing > kernel_.current_domain().local_time_stamp()) {
+    // From scheduler context (no process) the local date degenerates to
+    // the global date, as local_time_stamp() used to.
+    if (freeing > (p != nullptr ? p->clock().now() : kernel_.now())) {
       // Externally full until `freeing`. Re-arm the delayed notification:
       // an earlier pending notification may already have fired (waking the
       // caller spuriously) and consumed the one scheduled by read().
@@ -159,14 +171,17 @@ class SmartFifo final : public FifoInterface<T> {
 
   /// Blocking read, symmetrical to write (paper SIII.A).
   T read() override {
-    domain_link_.touch(kernel_.current_domain());
-    check_side_order(last_read_date_, "read");
+    Process& p = require_process("read");
+    SyncDomain& domain = p.domain();
+    LocalClock& clock = p.clock();
+    domain_link_.touch(domain);
+    check_side_order(clock, last_read_date_, "read");
     if (busy_count_ == 0) {
       // Internally empty -- synchronize, then wait for data; re-check
       // after the synchronization (see write()).
       reader_blocks_++;
       if (!mut(&SmartFifoMutations::skip_sync_on_block)) {
-        kernel_.current_domain().sync(SyncCause::FifoEmpty);
+        domain.sync(SyncCause::FifoEmpty);
       }
       while (busy_count_ == 0) {
         kernel_.wait(internal_data_);
@@ -176,9 +191,9 @@ class SmartFifo final : public FifoInterface<T> {
     // The data may not have arrived yet in real time; push the reader's
     // local date to the insertion date.
     if (!mut(&SmartFifoMutations::skip_reader_time_bump)) {
-      kernel_.current_domain().advance_local_to(cell.insertion_date);
+      clock.advance_to(cell.insertion_date);
     }
-    const Time date = kernel_.current_domain().local_time_stamp();
+    const Time date = clock.now();
     last_read_date_ = date;
     const bool was_internally_full = (busy_count_ == cells_.size());
     T value = std::move(cell.data);
@@ -212,7 +227,8 @@ class SmartFifo final : public FifoInterface<T> {
   /// insertion date is still in the future. Constant time ("two tests
   /// instead of one for a regular FIFO").
   bool is_empty() override {
-    domain_link_.touch(kernel_.current_domain());
+    Process* p = kernel_.current_process();
+    domain_link_.touch(p != nullptr ? p->domain() : kernel_.sync_domain());
     if (busy_count_ == 0) {
       return true;
     }
@@ -220,7 +236,7 @@ class SmartFifo final : public FifoInterface<T> {
       return false;
     }
     const Time insertion = cells_[first_busy_].insertion_date;
-    if (insertion > kernel_.current_domain().local_time_stamp()) {
+    if (insertion > (p != nullptr ? p->clock().now() : kernel_.now())) {
       // Externally empty until `insertion`; re-arm the delayed
       // notification (see is_full()).
       schedule_external(not_empty_, insertion);
@@ -244,10 +260,12 @@ class SmartFifo final : public FifoInterface<T> {
   /// of the global date. Linear in the depth -- this is the low-rate
   /// interface.
   std::size_t get_size() override {
-    domain_link_.touch(kernel_.current_domain());
+    Process& p = require_process("get_size");
+    SyncDomain& domain = p.domain();
+    domain_link_.touch(domain);
     // 1. synchronize the caller (the monitor interface is the low-rate,
     // synchronizing one).
-    kernel_.current_domain().sync(SyncCause::Monitor);
+    domain.sync(SyncCause::Monitor);
     monitor_queries_++;
     if (mut(&SmartFifoMutations::naive_get_size)) {
       return busy_count_;
@@ -284,9 +302,10 @@ class SmartFifo final : public FifoInterface<T> {
   /// packetizing network interface uses to emit a whole packet.
   template <typename It>
   void write_burst(It first, It last, Time per_word) {
+    LocalClock& clock = require_process("write_burst").clock();
     for (It it = first; it != last; ++it) {
       write(*it);
-      kernel_.current_domain().inc(per_word);
+      clock.inc(per_word);
     }
   }
 
@@ -294,9 +313,10 @@ class SmartFifo final : public FifoInterface<T> {
   /// `per_word` after each word.
   template <typename OutIt>
   void read_burst(OutIt out, std::size_t count, Time per_word) {
+    LocalClock& clock = require_process("read_burst").clock();
     for (std::size_t i = 0; i < count; ++i) {
       *out++ = read();
-      kernel_.current_domain().inc(per_word);
+      clock.inc(per_word);
     }
   }
 
@@ -342,14 +362,27 @@ class SmartFifo final : public FifoInterface<T> {
     return mutations_ != nullptr && mutations_->*flag;
   }
 
+  /// The calling process -- the data-path interfaces are only usable from
+  /// inside a simulation process (there is no local date to stamp
+  /// otherwise).
+  Process& require_process(const char* what) const {
+    Process* p = kernel_.current_process();
+    if (p == nullptr) {
+      Report::error("SmartFifo " + name_ + ": " + what +
+                    " called outside of a simulation process");
+    }
+    return *p;
+  }
+
   /// Both sides require non-decreasing access dates (paper Fig. 4
   /// "requires ordered dates"); violating this means an arbiter is
   /// missing in the design.
-  void check_side_order(Time last_date, const char* side) const {
+  void check_side_order(const LocalClock& clock, Time last_date,
+                        const char* side) const {
     if (!check_side_order_) {
       return;  // keep the disabled check free on the hot path
     }
-    const Time date = kernel_.current_domain().local_time_stamp();
+    const Time date = clock.now();
     if (date < last_date) {
       Report::error("SmartFifo " + name_ + ": " + side +
                     " access date went backwards (" + date.to_string() +
@@ -375,8 +408,12 @@ class SmartFifo final : public FifoInterface<T> {
   const SmartFifoMutations* mutations_;
   /// Writer and reader may live in different domains (the cell stamps
   /// carry the dates across); the link declares that ordering to the
-  /// parallel scheduler.
-  DomainLink domain_link_;
+  /// parallel scheduler and, labeled with the FIFO's name, shows up in
+  /// Kernel::explain_group(). Sync-cause hinting: the blocking paths
+  /// attribute their syncs precisely (FifoFull / FifoEmpty / Monitor, all
+  /// accuracy_relevant()), which is exactly the signal the adaptive
+  /// quantum controller shrinks the quantum on.
+  DomainLink domain_link_{name_};
 
   /// Index of the first free cell (next write target).
   std::size_t first_free_ = 0;

@@ -25,7 +25,9 @@ template <typename Command>
 class StartGate {
  public:
   StartGate(Kernel& kernel, std::string name)
-      : kernel_(kernel), event_(kernel, name + ".start") {}
+      : kernel_(kernel), event_(kernel, name + ".start") {
+    domain_link_.set_label(std::move(name));
+  }
 
   /// Posts `command`, stamped with the caller's local date. Callable from
   /// any process (or hook running on behalf of one). Returns false when a

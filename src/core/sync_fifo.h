@@ -22,33 +22,47 @@ template <typename T>
 class SyncFifo final : public FifoInterface<T> {
  public:
   SyncFifo(Kernel& kernel, std::string name, std::size_t depth)
-      : kernel_(kernel), fifo_(kernel, std::move(name), depth) {}
+      : kernel_(kernel), fifo_(kernel, std::move(name), depth) {
+    domain_link_.set_label(fifo_.name());
+  }
+
+  /// Sync-cause hint for the adaptive quantum controller: the per-access
+  /// syncs of this reference FIFO are attributed to `cause` (default
+  /// SyncCause::Explicit, the historical attribution -- both are
+  /// accuracy_relevant()). A model that treats a SyncFifo as a
+  /// date-accurate hand-off point can reclassify it as
+  /// SyncCause::SyncPoint to make the controller's decision trace name
+  /// the pressure precisely.
+  void set_data_sync_cause(SyncCause cause) { data_sync_cause_ = cause; }
 
   void write(T value) override {
-    domain().sync(SyncCause::Explicit);
+    kernel_.current_domain().sync(data_sync_cause_);
     fifo_.write(std::move(value));
   }
 
   T read() override {
-    domain().sync(SyncCause::Explicit);
+    kernel_.current_domain().sync(data_sync_cause_);
     return fifo_.read();
   }
 
   bool is_full() override {
-    domain_link_.touch(domain());
-    domain().sync(SyncCause::Explicit);
+    SyncDomain& domain = kernel_.current_domain();
+    domain_link_.touch(domain);
+    domain.sync(data_sync_cause_);
     return fifo_.full();
   }
 
   bool is_empty() override {
-    domain_link_.touch(domain());
-    domain().sync(SyncCause::Explicit);
+    SyncDomain& domain = kernel_.current_domain();
+    domain_link_.touch(domain);
+    domain.sync(data_sync_cause_);
     return fifo_.empty();
   }
 
   std::size_t get_size() override {
-    domain_link_.touch(domain());
-    domain().sync(SyncCause::Monitor);
+    SyncDomain& domain = kernel_.current_domain();
+    domain_link_.touch(domain);
+    domain.sync(SyncCause::Monitor);
     return fifo_.num_available();
   }
 
@@ -64,14 +78,12 @@ class SyncFifo final : public FifoInterface<T> {
   Fifo<T>& underlying() { return fifo_; }
 
  private:
-  /// The accessing process's own domain: writers and readers of one FIFO
-  /// may live in different domains.
-  SyncDomain& domain() const { return kernel_.current_domain(); }
-
   Kernel& kernel_;
   /// The full()/empty() probes bypass Fifo's own link; track them here.
   DomainLink domain_link_;
   Fifo<T> fifo_;
+  /// See set_data_sync_cause().
+  SyncCause data_sync_cause_ = SyncCause::Explicit;
 };
 
 /// The plain FIFO behind the common interface, for untimed models: accesses

@@ -27,6 +27,8 @@
 #pragma once
 
 #include <atomic>
+#include <string>
+#include <utility>
 
 #include "kernel/kernel.h"
 #include "kernel/sync_domain.h"
@@ -35,6 +37,21 @@ namespace tdsim {
 
 class DomainLink {
  public:
+  DomainLink() = default;
+
+  /// `label` names the owning channel in Kernel::explain_group() output --
+  /// the answer to "which channel merged my concurrency group". Channels
+  /// that know their name pass it here (or via set_label from a
+  /// constructor body).
+  explicit DomainLink(const std::string& label) { set_label(label); }
+
+  /// Elaboration-time only (the label is read when a link is declared).
+  /// The "via" string is composed here, once, so touch() stays
+  /// allocation-free on the channel hot path.
+  void set_label(const std::string& label) {
+    via_ = "channel '" + label + "'";
+  }
+
   /// Records `domain` as a user of the owning channel; merges concurrency
   /// groups when the channel turns out to span domains. O(1) relaxed load
   /// and compare when the caller's domain is unchanged since the last
@@ -50,8 +67,10 @@ class DomainLink {
       return;  // we are the channel's first domain
     }
     if (expected != &domain) {
-      // Idempotent and lock-free once the groups are already merged.
-      domain.kernel().link_domains(*expected, domain);
+      // Idempotent and lock-free once the groups are already merged; via_
+      // is passed by reference and only copied when a new link is
+      // actually recorded.
+      domain.kernel().link_domains(*expected, domain, via_);
     }
   }
 
@@ -72,6 +91,8 @@ class DomainLink {
   std::atomic<SyncDomain*> first_{nullptr};
   /// The previous caller's domain -- the fast-path filter.
   std::atomic<SyncDomain*> last_{nullptr};
+  /// Pre-composed explain_group() attribution (see set_label).
+  std::string via_ = "an unnamed channel";
 };
 
 }  // namespace tdsim

@@ -114,8 +114,9 @@ class Fifo {
   Kernel& kernel_;
   std::string name_;
   std::size_t depth_;
-  /// Declares writer/reader domains to the parallel scheduler.
-  DomainLink domain_link_;
+  /// Declares writer/reader domains to the parallel scheduler; labeled so
+  /// Kernel::explain_group() can name this FIFO.
+  DomainLink domain_link_{name_};
   std::deque<T> buffer_;
   Event data_written_;
   Event data_read_;

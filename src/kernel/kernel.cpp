@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <numeric>
 #include <utility>
 
 #include "kernel/fiber_sanitizer.h"
+#include "kernel/quantum_controller.h"
 #include "kernel/report.h"
 #include "kernel/thread_pool.h"
 
@@ -43,6 +45,7 @@ Kernel::Kernel() {
   group_parent_.emplace_back(0);
   published_front_ps_.emplace_back(std::uint64_t{0} - 1);
   main_exec_.kernel = this;
+  main_exec_.stats = &stats_;
   // CI forces the whole suite parallel through this variable (see
   // .github/workflows/ci.yml, tsan job); set_workers() overrides it.
   if (const char* env = std::getenv("TDSIM_WORKERS")) {
@@ -50,6 +53,14 @@ Kernel::Kernel() {
     const unsigned long value = std::strtoul(env, &end, 10);
     if (end != env && *end == '\0') {
       workers_ = static_cast<std::size_t>(value);
+    }
+  }
+  // Seeds a default adaptive quantum policy on every domain (the default
+  // one included); set_quantum_policy() with an explicit policy overrides.
+  if (const char* env = std::getenv("TDSIM_ADAPTIVE_QUANTUM")) {
+    env_adaptive_ = env[0] != '\0' && std::string(env) != "0";
+    if (env_adaptive_) {
+      set_quantum_policy(sync_domain(), QuantumPolicy{});
     }
   }
 }
@@ -84,8 +95,11 @@ Kernel::GroupTask* Kernel::active_task() const {
 }
 
 KernelStats& Kernel::active_stats() {
-  GroupTask* task = active_task();
-  return task != nullptr ? task->stat_delta : stats_;
+  // Same resolution as sync_context(): the ExecContext already knows its
+  // counter sink, so one thread-local read answers both "who is running"
+  // and "where do counters go".
+  ExecContext* e = thread_exec();
+  return (e != nullptr && e->kernel == this) ? *e->stats : stats_;
 }
 
 void Kernel::note_timed_event_stale() {
@@ -102,6 +116,16 @@ void Kernel::note_timed_event_stale() {
 
 SyncDomain& Kernel::create_domain(std::string name, Time quantum,
                                   bool concurrent) {
+  SyncDomain& domain = create_domain_impl(std::move(name), quantum,
+                                          concurrent);
+  if (env_adaptive_) {
+    set_quantum_policy(domain, QuantumPolicy{});
+  }
+  return domain;
+}
+
+SyncDomain& Kernel::create_domain_impl(std::string name, Time quantum,
+                                       bool concurrent) {
   if (active_task() != nullptr) {
     Report::error("Kernel::create_domain: cannot create domain '" + name +
                   "' from inside a parallel evaluation round");
@@ -122,6 +146,69 @@ SyncDomain& Kernel::create_domain(std::string name, Time quantum,
     unite_groups_locked(id, 0);
   }
   return *domains_.back();
+}
+
+SyncDomain& Kernel::create_domain(std::string name, Time quantum,
+                                  bool concurrent,
+                                  const QuantumPolicy& policy) {
+  // Bypasses the TDSIM_ADAPTIVE_QUANTUM default-policy hook: attaching the
+  // env default first would clamp `quantum` into *its* range before the
+  // explicit policy ever saw the caller's seed.
+  SyncDomain& domain = create_domain_impl(std::move(name), quantum,
+                                          concurrent);
+  set_quantum_policy(domain, policy);
+  return domain;
+}
+
+void Kernel::set_quantum_policy(SyncDomain& domain,
+                                const QuantumPolicy& policy) {
+  if (&domain.kernel() != this) {
+    Report::error("Kernel::set_quantum_policy: domain '" + domain.name() +
+                  "' belongs to another kernel");
+  }
+  if (active_task() != nullptr) {
+    Report::error("Kernel::set_quantum_policy: cannot attach a policy to "
+                  "domain '" + domain.name() +
+                  "' from inside a parallel evaluation round");
+  }
+  if (!quantum_controller_) {
+    quantum_controller_ = std::make_unique<QuantumController>(*this);
+  }
+  quantum_controller_->set_policy(domain, policy);
+}
+
+namespace {
+
+/// Domain ids are only meaningful within their own kernel; resolving a
+/// foreign kernel's domain by id here would silently act on the wrong
+/// domain (set_quantum_policy errors loudly -- so do its siblings).
+void require_same_kernel(const Kernel* kernel, const SyncDomain& domain,
+                         const char* what) {
+  if (&domain.kernel() != kernel) {
+    Report::error(std::string("Kernel::") + what + ": domain '" +
+                  domain.name() + "' belongs to another kernel");
+  }
+}
+
+}  // namespace
+
+void Kernel::clear_quantum_policy(SyncDomain& domain) {
+  require_same_kernel(this, domain, "clear_quantum_policy");
+  if (quantum_controller_) {
+    quantum_controller_->clear_policy(domain);
+  }
+}
+
+const QuantumPolicy* Kernel::quantum_policy(const SyncDomain& domain) const {
+  require_same_kernel(this, domain, "quantum_policy");
+  return quantum_controller_ ? quantum_controller_->policy(domain) : nullptr;
+}
+
+const QuantumDecision* Kernel::last_quantum_decision(
+    const SyncDomain& domain) const {
+  require_same_kernel(this, domain, "last_quantum_decision");
+  return quantum_controller_ ? quantum_controller_->last_decision(domain)
+                             : nullptr;
 }
 
 SyncDomain* Kernel::find_domain(const std::string& name) const {
@@ -170,13 +257,14 @@ void Kernel::rebuild_groups_locked() {
       unite_groups_locked(domain->id(), 0);
     }
   }
-  for (const auto& [a, b] : domain_links_) {
-    unite_groups_locked(a, b);
+  for (const DomainLinkRecord& link : domain_links_) {
+    unite_groups_locked(link.a, link.b);
   }
   group_version_++;
 }
 
-void Kernel::link_domains(SyncDomain& a, SyncDomain& b) {
+void Kernel::link_domains(SyncDomain& a, SyncDomain& b,
+                          const std::string& via) {
   if (&a.kernel() != this || &b.kernel() != this) {
     Report::error("Kernel::link_domains: domains '" + a.name() + "' and '" +
                   b.name() + "' must both belong to this kernel");
@@ -185,8 +273,61 @@ void Kernel::link_domains(SyncDomain& a, SyncDomain& b) {
     return;  // already ordered; keep the channel fast path lock-free
   }
   std::lock_guard<std::mutex> lock(group_mutex_);
-  domain_links_.emplace_back(a.id(), b.id());
+  domain_links_.push_back(
+      {a.id(), b.id(), via.empty() ? "Kernel::link_domains" : via});
   unite_groups_locked(a.id(), b.id());
+}
+
+std::vector<std::string> Kernel::explain_group(const SyncDomain& domain) const {
+  // Replay the grouping from scratch on a scratch union-find, keeping only
+  // the load-bearing merges (a link between already-united groups explains
+  // nothing); then filter to the queried domain's final group.
+  std::vector<std::size_t> parent(domains_.size());
+  std::iota(parent.begin(), parent.end(), 0);
+  const auto find = [&parent](std::size_t i) {
+    while (parent[i] != i) {
+      i = parent[i];
+    }
+    return i;
+  };
+  const auto unite = [&](std::size_t a, std::size_t b) {
+    const std::size_t ra = find(a);
+    const std::size_t rb = find(b);
+    if (ra == rb) {
+      return false;
+    }
+    parent[std::max(ra, rb)] = std::min(ra, rb);
+    return true;
+  };
+  struct Merge {
+    std::size_t a;
+    std::string text;
+  };
+  std::vector<Merge> merges;
+  std::lock_guard<std::mutex> lock(group_mutex_);
+  for (const auto& d : domains_) {
+    if (!d->concurrent_ && unite(d->id(), 0)) {
+      merges.push_back({d->id(), "'" + d->name() +
+                                     "' never opted into concurrency "
+                                     "(SyncDomain::set_concurrent), so it is "
+                                     "serialized with the default group"});
+    }
+  }
+  for (const DomainLinkRecord& link : domain_links_) {
+    if (unite(link.a, link.b)) {
+      merges.push_back({link.a, "'" + domains_[link.a]->name() + "' <-> '" +
+                                    domains_[link.b]->name() + "' via " +
+                                    link.via});
+    }
+  }
+  const std::size_t root = find(domain.id());
+  std::vector<std::string> out;
+  for (const Merge& merge : merges) {
+    if (find(merge.a) == root) {
+      out.push_back(merge.text);
+    }
+  }
+  return out;
 }
 
 std::size_t Kernel::domain_group(const SyncDomain& domain) const {
@@ -283,6 +424,15 @@ void Kernel::assign_domain(Process& process, SyncDomain& domain) {
 const KernelStats& Kernel::stats() const {
   GroupTask* task = active_task();
   if (task == nullptr) {
+    // The aggregate sync fields are a derived cache over the per-domain
+    // entries (the hot path books only into its own domain); refresh them
+    // when booking left them stale. Staleness only exists while the
+    // kernel is running (syncs happen inside run(), and run() folds on
+    // exit), so the fold never races: a quiescent kernel's stats() is a
+    // pure read, safe from concurrent threads.
+    if (stats_.sync_aggregates_stale != 0) {
+      const_cast<Kernel*>(this)->stats_.fold_domain_sync_aggregates();
+    }
     return stats_;
   }
   // Mid-round view: the last-horizon aggregate (only mutated between
@@ -293,6 +443,7 @@ const KernelStats& Kernel::stats() const {
   }
   *task->stats_view = stats_;
   accumulate(*task->stats_view, task->stat_delta);
+  task->stats_view->fold_domain_sync_aggregates();
   return *task->stats_view;
 }
 
@@ -456,6 +607,23 @@ void Kernel::queue_delta_notification(Event& e) {
   }
 }
 
+void Kernel::timed_push(const TimedEntry& entry) {
+  timed_queue_.push_back(entry);
+  std::push_heap(timed_queue_.begin(), timed_queue_.end(),
+                 std::greater<TimedEntry>{});
+}
+
+void Kernel::timed_pop() {
+  std::pop_heap(timed_queue_.begin(), timed_queue_.end(),
+                std::greater<TimedEntry>{});
+  timed_queue_.pop_back();
+}
+
+void Kernel::timed_reheap() {
+  std::make_heap(timed_queue_.begin(), timed_queue_.end(),
+                 std::greater<TimedEntry>{});
+}
+
 void Kernel::schedule_event_fire(Event& e, Time at) {
   e.queued_timed_entries_++;
   if (GroupTask* task = active_task()) {
@@ -469,7 +637,7 @@ void Kernel::schedule_event_fire(Event& e, Time at) {
   entry.kind = TimedEntry::Kind::EventFire;
   entry.event = &e;
   entry.event_generation = e.generation_;
-  timed_queue_.push(entry);
+  timed_push(entry);
   maybe_compact_timed_queue();
 }
 
@@ -502,24 +670,22 @@ void Kernel::purge_timed_event_entries(Event& e) {
   // concurrently serialize here; the main thread never touches the queue
   // while a round is in flight. (An entry made stale earlier this round
   // has its stale note still buffered, so the count can drift by the rare
-  // destroy-during-round case -- compaction stays safe either way.)
+  // destroy-during-round case -- compaction stays safe either way.) The
+  // filter runs in place on the heap storage: no allocation.
   std::lock_guard<std::mutex> lock(timed_purge_mutex_);
-  std::vector<TimedEntry> keep;
-  keep.reserve(timed_queue_.size());
-  while (!timed_queue_.empty()) {
-    const TimedEntry& top = timed_queue_.top();
-    if (top.kind == TimedEntry::Kind::EventFire && top.event == &e) {
-      // Superseded entries were counted stale; the live one was not.
-      if (is_stale(top) && timed_stale_count_ > 0) {
-        timed_stale_count_--;
-      }
-    } else {
-      keep.push_back(top);
-    }
-    timed_queue_.pop();
-  }
-  timed_queue_ = decltype(timed_queue_)(std::greater<TimedEntry>{},
-                                        std::move(keep));
+  const auto keep_end = std::remove_if(
+      timed_queue_.begin(), timed_queue_.end(), [&](const TimedEntry& entry) {
+        if (entry.kind != TimedEntry::Kind::EventFire || entry.event != &e) {
+          return false;
+        }
+        // Superseded entries were counted stale; the live one was not.
+        if (is_stale(entry) && timed_stale_count_ > 0) {
+          timed_stale_count_--;
+        }
+        return true;
+      });
+  timed_queue_.erase(keep_end, timed_queue_.end());
+  timed_reheap();
   e.queued_timed_entries_ = 0;
 }
 
@@ -536,31 +702,34 @@ void Kernel::schedule_process_resume(Process& p, Time at) {
   entry.kind = TimedEntry::Kind::ProcessResume;
   entry.process = &p;
   entry.process_generation = p.wake_generation_;
-  timed_queue_.push(entry);
+  timed_push(entry);
   maybe_compact_timed_queue();
 }
 
 void Kernel::maybe_compact_timed_queue() {
   // Compact when stale entries outnumber live ones; the size floor keeps
-  // small queues on the cheap lazy-deletion path.
+  // small queues on the cheap lazy-deletion path. The stale entries are
+  // filtered out of the heap storage in place and the heap rebuilt --
+  // allocation-free in steady state (the vector keeps its capacity), where
+  // the adapter-based rebuild used to allocate a fresh container every
+  // compaction under cancel/supersede-heavy workloads.
   constexpr std::size_t kMinSizeForCompaction = 64;
   if (timed_queue_.size() < kMinSizeForCompaction ||
       timed_stale_count_ * 2 <= timed_queue_.size()) {
     return;
   }
-  std::vector<TimedEntry> live;
-  live.reserve(timed_queue_.size() - timed_stale_count_);
-  while (!timed_queue_.empty()) {
-    const TimedEntry& top = timed_queue_.top();
-    if (!is_stale(top)) {
-      live.push_back(top);
-    } else if (top.kind == TimedEntry::Kind::EventFire) {
-      top.event->queued_timed_entries_--;
-    }
-    timed_queue_.pop();
-  }
-  timed_queue_ = decltype(timed_queue_)(std::greater<TimedEntry>{},
-                                        std::move(live));
+  const auto live_end = std::remove_if(
+      timed_queue_.begin(), timed_queue_.end(), [&](const TimedEntry& entry) {
+        if (!is_stale(entry)) {
+          return false;
+        }
+        if (entry.kind == TimedEntry::Kind::EventFire) {
+          entry.event->queued_timed_entries_--;
+        }
+        return true;
+      });
+  timed_queue_.erase(live_end, timed_queue_.end());
+  timed_reheap();
   timed_stale_count_ = 0;
   stats_.timed_queue_compactions++;
 }
@@ -645,6 +814,7 @@ Kernel::GroupTask& Kernel::task_for_group(std::size_t group_root) {
   task.kernel = this;
   task.group = group_root;
   task.exec.kernel = this;
+  task.exec.stats = &task.stat_delta;
   task.stat_delta.domains.resize(stats_.domains.size());
   task_by_root_[group_root] = &task;
   phase_tasks_.push_back(&task);
@@ -734,7 +904,7 @@ void Kernel::flush_group_task(GroupTask& task) {
     entry.event_generation = req.event_generation;
     entry.process = req.process;
     entry.process_generation = req.process_generation;
-    timed_queue_.push(entry);
+    timed_push(entry);
   }
   task.timed.clear();
   timed_stale_count_ += task.stale_notes;
@@ -778,7 +948,12 @@ void Kernel::run_parallel_evaluation_phase() {
       ensure_pool();
       for (std::size_t i = 1; i < active.size(); ++i) {
         GroupTask* task = active[i];
-        pool_->submit([this, task] { execute_group_task(*task); });
+        pool_->submit(
+            [](void* t) {
+              GroupTask& group_task = *static_cast<GroupTask*>(t);
+              group_task.kernel->execute_group_task(group_task);
+            },
+            task);
       }
       execute_group_task(*active.front());
       pool_->wait_idle();
@@ -903,14 +1078,20 @@ void Kernel::run(Time until) {
         check_domain_delta_limits();
         continue;
       }
+      // Quantum-control horizon: every group is quiescent and the books
+      // are merged, so adaptive decisions here read the same deterministic
+      // inputs under any worker count (see kernel/quantum_controller.h).
+      if (quantum_controller_ && quantum_controller_->any_active()) {
+        quantum_controller_->on_horizon(stats_, now_);
+      }
       // Timed-notification phase. Drop stale entries (cancelled or
       // superseded notifications) first so they never advance time.
-      while (!timed_queue_.empty() && is_stale(timed_queue_.top())) {
-        const TimedEntry& top = timed_queue_.top();
+      while (!timed_queue_.empty() && is_stale(timed_queue_.front())) {
+        const TimedEntry& top = timed_queue_.front();
         if (top.kind == TimedEntry::Kind::EventFire) {
           top.event->queued_timed_entries_--;
         }
-        timed_queue_.pop();
+        timed_pop();
         if (timed_stale_count_ > 0) {
           timed_stale_count_--;
         }
@@ -918,7 +1099,7 @@ void Kernel::run(Time until) {
       if (timed_queue_.empty()) {
         break;
       }
-      const Time next = timed_queue_.top().when;
+      const Time next = timed_queue_.front().when;
       if (next > until) {
         now_ = until;
         break;
@@ -932,9 +1113,9 @@ void Kernel::run(Time until) {
       }
       stats_.timed_waves++;
       stats_.delta_cycles++;
-      while (!timed_queue_.empty() && timed_queue_.top().when == now_) {
-        TimedEntry entry = timed_queue_.top();
-        timed_queue_.pop();
+      while (!timed_queue_.empty() && timed_queue_.front().when == now_) {
+        TimedEntry entry = timed_queue_.front();
+        timed_pop();
         if (entry.kind == TimedEntry::Kind::EventFire) {
           entry.event->queued_timed_entries_--;
         }
@@ -963,10 +1144,14 @@ void Kernel::run(Time until) {
       check_domain_delta_limits();
     }
   } catch (...) {
+    stats_.fold_domain_sync_aggregates();
     t_exec_ = previous_exec;
     g_current_kernel = previous;
     throw;
   }
+  // Leave with the aggregate cache current, so post-run stats() reads are
+  // pure (see stats()).
+  stats_.fold_domain_sync_aggregates();
   t_exec_ = previous_exec;
   g_current_kernel = previous;
 }
@@ -1084,8 +1269,12 @@ Process* Kernel::require_method(const char* what) const {
 
 void Kernel::wait(Time duration) {
   Process* p = require_thread("wait(duration)");
-  schedule_process_resume(*p, now_ + duration);
-  p->state_ = ProcessState::Waiting;
+  wait_for(*p, duration);
+}
+
+void Kernel::wait_for(Process& p, Time duration) {
+  schedule_process_resume(p, now_ + duration);
+  p.state_ = ProcessState::Waiting;
   yield_current_thread();
 }
 

@@ -21,7 +21,6 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <queue>
 #include <string>
 #include <utility>
 #include <vector>
@@ -34,6 +33,9 @@
 
 namespace tdsim {
 
+class QuantumController;
+struct QuantumDecision;
+struct QuantumPolicy;
 class ThreadPool;
 
 /// Implemented by primitive channels (e.g. Signal) that need the SystemC
@@ -111,6 +113,14 @@ class Kernel {
   /// aggregate: the caller's group is exact, foreign groups are as of the
   /// previous synchronization horizon (race-free by construction). The
   /// reference stays valid until the caller's next stats() call.
+  ///
+  /// The aggregate sync fields are a derived cache over the per-domain
+  /// entries (the hot path books only into its owning domain) and are
+  /// refolded lazily: mid-run calls refresh them when stale, and run()
+  /// folds on exit, so stats() on a quiescent kernel is a pure read --
+  /// safe from concurrent threads, exactly as before the aggregates
+  /// became derived. Mid-run, the supported readers remain simulation
+  /// processes and the thread driving run().
   const KernelStats& stats() const;
 
   // --- parallel execution ---
@@ -131,8 +141,17 @@ class Kernel {
   /// schedule order, on one worker. Channels declare the domains they
   /// carry traffic between automatically (DomainLink); call this for
   /// couplings no channel can see, e.g. a plain variable shared across
-  /// concurrent domains. Idempotent and cheap when already linked.
-  void link_domains(SyncDomain& a, SyncDomain& b);
+  /// concurrent domains. Idempotent and cheap when already linked. `via`
+  /// names the channel (or reason) behind the link for explain_group().
+  void link_domains(SyncDomain& a, SyncDomain& b,
+                    const std::string& via = std::string());
+
+  /// Answers "why is my model not parallel": the chain of recorded links
+  /// (channel names and explicit link_domains calls) that merged
+  /// `domain`'s concurrency group, one human-readable line per
+  /// load-bearing merge, in discovery order. Empty when the domain is
+  /// alone in its group. bench_multidomain_soc --explain prints this.
+  std::vector<std::string> explain_group(const SyncDomain& domain) const;
 
   /// The concurrency group `domain` belongs to, as the id of the group's
   /// representative domain. Two domains may execute concurrently iff their
@@ -149,6 +168,37 @@ class Kernel {
   /// SyncDomain::set_concurrent.
   SyncDomain& create_domain(std::string name, Time quantum = Time{},
                             bool concurrent = false);
+
+  /// As above, and attaches `policy` (see set_quantum_policy) in the same
+  /// call; `quantum` seeds the adaptive starting point and is clamped into
+  /// the policy's [min_quantum, max_quantum].
+  SyncDomain& create_domain(std::string name, Time quantum, bool concurrent,
+                            const QuantumPolicy& policy);
+
+  // --- adaptive quantum control (see kernel/quantum_controller.h) ---
+
+  /// Opts `domain` into adaptive quantum control: the kernel re-evaluates
+  /// its quantum at every synchronization horizon from the domain's
+  /// per-cause sync deltas and the deterministic parallel cost signal,
+  /// within the policy's clamps. Attaching immediately clamps the domain's
+  /// current quantum into [min_quantum, max_quantum]. Replaces any earlier
+  /// policy. Only callable with no parallel round in flight. The
+  /// TDSIM_ADAPTIVE_QUANTUM environment variable (any value but "0") seeds
+  /// a default QuantumPolicy on every domain at creation.
+  void set_quantum_policy(SyncDomain& domain, const QuantumPolicy& policy);
+
+  /// Detaches the domain's policy; the quantum stays at its last value.
+  void clear_quantum_policy(SyncDomain& domain);
+
+  /// The policy attached to `domain`, or null when the domain is not
+  /// adaptive.
+  const QuantumPolicy* quantum_policy(const SyncDomain& domain) const;
+
+  /// The domain's most recent adaptive decision (applied, clamped or
+  /// held), or null before the first one. This is the decision trace:
+  /// serial number, horizon date, old/new quantum, direction, reason and
+  /// the per-cause input window behind it.
+  const QuantumDecision* last_quantum_decision(const SyncDomain& domain) const;
 
   /// The kernel's default synchronization domain: quantum policy,
   /// current-process temporal-decoupling operations, and per-cause sync
@@ -271,6 +321,11 @@ class Kernel {
   struct ExecContext {
     Kernel* kernel = nullptr;
     Process* current_process = nullptr;
+    /// Where this execution context's counters go: the owning group's
+    /// stat_delta inside a parallel round, the kernel aggregate otherwise.
+    /// Bundled here so the synchronization hot path resolves process and
+    /// stats in a single thread-local read (sync_context()).
+    KernelStats* stats = nullptr;
     ucontext_t scheduler_context{};
     /// Scheduler (OS thread) stack bounds, learned each time a fiber
     /// resumes and reports where it came from; used when switching back.
@@ -325,6 +380,21 @@ class Kernel {
     std::exception_ptr exception;
   };
 
+  /// create_domain minus the TDSIM_ADAPTIVE_QUANTUM default-policy hook
+  /// (the policy-taking overload attaches its own policy instead).
+  SyncDomain& create_domain_impl(std::string name, Time quantum,
+                                 bool concurrent);
+
+  /// See SyncContext (sync_domain.h): process + stats sink in one
+  /// thread-local read. The synchronization hot path's entry point.
+  SyncContext sync_context() {
+    ExecContext* e = thread_exec();
+    if (e != nullptr && e->kernel == this) {
+      return {e->current_process, e->stats};
+    }
+    return {nullptr, &stats_};
+  }
+
   bool is_stale(const TimedEntry& entry) const;
   /// Bumps the process's wake generation, keeping the stale-entry count
   /// exact when a live timed resume entry gets invalidated.
@@ -341,6 +411,10 @@ class Kernel {
   /// under cancel/supersede-heavy workloads).
   void maybe_compact_timed_queue();
   void check_domain_delta_limits();
+  void timed_push(const TimedEntry& entry);
+  void timed_pop();
+  /// Re-heapifies timed_queue_ after an in-place filter.
+  void timed_reheap();
   void initialize_processes();
   void dispatch(Process* p);
   void dispatch_thread(Process* p);
@@ -348,6 +422,10 @@ class Kernel {
   void make_runnable(Process* p);
   void trigger_event(Event& e);
   void yield_current_thread();
+  /// wait(duration) for an already-validated thread process -- the
+  /// synchronization hot path (SyncDomain::perform_sync) resolved and
+  /// checked the process once and must not pay a second resolution here.
+  void wait_for(Process& p, Time duration);
   Process* require_thread(const char* what) const;
   Process* require_method(const char* what) const;
   void schedule_event_fire(Event& e, Time at);
@@ -416,9 +494,12 @@ class Kernel {
   std::vector<std::pair<Event*, std::uint64_t>> delta_notifications_;
   std::vector<Process*> delta_resume_;
   std::vector<UpdateListener*> update_requests_;
-  std::priority_queue<TimedEntry, std::vector<TimedEntry>,
-                      std::greater<TimedEntry>>
-      timed_queue_;
+  /// The timed notification queue: a (when, seq) min-heap maintained with
+  /// std::push_heap/pop_heap over a plain vector, so the stale-entry
+  /// compaction and the ~Event purge can filter the storage in place and
+  /// re-heapify -- allocation-free in steady state, where a
+  /// priority_queue rebuild would reallocate on every compaction.
+  std::vector<TimedEntry> timed_queue_;
 
   /// Fresh thread-local reads for code that runs on fiber stacks: every
   /// read of t_exec_/t_task_ that can happen after a suspension point MUST
@@ -457,9 +538,17 @@ class Kernel {
   /// Concurrency-group union-find parents, one per domain. A deque of
   /// atomics: stable addresses, lock-free monotone reads from workers.
   std::deque<std::atomic<std::size_t>> group_parent_;
+  /// A recorded inter-domain ordering declaration: the two domain ids and
+  /// the channel name (or caller-supplied reason) behind it, for
+  /// explain_group().
+  struct DomainLinkRecord {
+    std::size_t a;
+    std::size_t b;
+    std::string via;
+  };
   /// Every link ever declared (channel-observed or explicit), replayed
   /// when set_concurrent rebuilds the union-find.
-  std::vector<std::pair<std::size_t, std::size_t>> domain_links_;
+  std::vector<DomainLinkRecord> domain_links_;
   mutable std::mutex group_mutex_;
   /// Guards processes_ / next_process_id_ against concurrent dynamic
   /// spawns from parallel rounds.
@@ -470,6 +559,15 @@ class Kernel {
   /// (ps; UINT64_MAX = no live process). What mid-round probes see for
   /// foreign groups.
   std::deque<std::atomic<std::uint64_t>> published_front_ps_;
+
+  /// Adaptive quantum control (see kernel/quantum_controller.h). Created
+  /// lazily by the first set_quantum_policy(); the scheduler loop invokes
+  /// it at timed-wave boundaries only while a policy is attached, so
+  /// policy-free kernels pay a single null check per wave.
+  std::unique_ptr<QuantumController> quantum_controller_;
+  /// TDSIM_ADAPTIVE_QUANTUM was set: every domain gets a default policy
+  /// at creation.
+  bool env_adaptive_ = false;
 };
 
 /// Free-function conveniences mirroring SystemC's global wait()/time API.

@@ -50,7 +50,10 @@ class LocalClock {
   bool is_synchronized() const { return offset_.is_zero(); }
 
   /// True when the owning domain's quantum policy demands a sync (offset
-  /// reached the quantum, or the quantum is zero).
+  /// reached the quantum, or the quantum is zero). The quantum is read
+  /// from the domain on every query -- under an adaptive policy
+  /// (kernel/quantum_controller.h) it may move between synchronization
+  /// horizons, and a clock must always answer against the current value.
   bool needs_sync() const;
 
   /// Synchronizes the owner: suspends it until the global date equals its

@@ -56,8 +56,8 @@ class Signal : public UpdateListener {
   Kernel& kernel_;
   std::string name_;
   /// Readers and writers may span domains; mutable because read() is
-  /// logically const.
-  mutable DomainLink domain_link_;
+  /// logically const. Labeled for Kernel::explain_group().
+  mutable DomainLink domain_link_{name_};
   T current_;
   T next_;
   bool update_requested_ = false;

@@ -57,11 +57,36 @@ constexpr const char* to_string(SyncCause cause) {
   return "?";
 }
 
+/// Classifies a cause for the adaptive quantum controller: accuracy-relevant
+/// causes are the ones where a synchronization carries timing information the
+/// model observes (a Smart-FIFO boundary, an explicit sync point, a monitor
+/// access) -- when they dominate, shrinking the quantum buys accuracy the
+/// model actually uses. SyncCause::Quantum is the pure churn the controller
+/// grows the quantum against; MethodRearm is neutral (a method re-arm is the
+/// method-process analog of either kind, already attributed elsewhere when a
+/// more specific cause is known). Channels hint the controller simply by
+/// attributing their syncs precisely -- see SmartFifo / SyncFifo.
+constexpr bool accuracy_relevant(SyncCause cause) {
+  switch (cause) {
+    case SyncCause::Explicit:
+    case SyncCause::FifoFull:
+    case SyncCause::FifoEmpty:
+    case SyncCause::SyncPoint:
+    case SyncCause::Monitor:
+      return true;
+    case SyncCause::Quantum:
+    case SyncCause::MethodRearm:
+      return false;
+  }
+  return false;
+}
+
 /// Synchronization bookkeeping of one SyncDomain, indexed by the domain's
-/// id inside KernelStats::domains. The kernel-wide aggregate fields of
-/// KernelStats are maintained in lockstep (every sync counts once in its
-/// domain and once in the aggregate), so per-domain entries always sum to
-/// the aggregate view existing consumers read.
+/// id inside KernelStats::domains. The per-domain entries are the
+/// authoritative books -- the hot path increments exactly one of them per
+/// event -- and the kernel-wide aggregate fields of KernelStats are folded
+/// from them on read, so per-domain entries always sum to the aggregate
+/// view existing consumers read.
 struct DomainStats {
   /// The owning domain's name, for reports and BENCH rows.
   std::string name;
@@ -81,6 +106,29 @@ struct DomainStats {
   /// Method re-arms at a future local date (also in syncs_by_cause).
   std::uint64_t method_rearms = 0;
 
+  /// Quantum changes applied to the owning domain by the adaptive
+  /// controller (see kernel/quantum_controller.h). Hold and clamped-to-same
+  /// decisions do not count.
+  std::uint64_t quantum_adjustments = 0;
+
+  /// The single enumeration point of every DomainStats counter: applies
+  /// `f(mine, theirs)` to each counter of `a` and `b` in lockstep. All
+  /// merge helpers (operator-, accumulate, the kernel's aggregate fold) go
+  /// through here, so a new counter participates everywhere the moment it
+  /// is added -- and the sizeof tripwire below makes forgetting to add it a
+  /// compile error. `A` may be any struct carrying the same counter names
+  /// (KernelStats reuses this to fold domain entries into its aggregate).
+  template <typename A, typename B, typename F>
+  static void for_each_counter(A& a, B& b, F&& f) {
+    f(a.sync_requests, b.sync_requests);
+    f(a.syncs_elided, b.syncs_elided);
+    for (std::size_t i = 0; i < kSyncCauseCount; ++i) {
+      f(a.syncs_by_cause[i], b.syncs_by_cause[i]);
+    }
+    f(a.method_rearms, b.method_rearms);
+    f(a.quantum_adjustments, b.quantum_adjustments);
+  }
+
   std::uint64_t syncs(SyncCause cause) const {
     return syncs_by_cause[static_cast<std::size_t>(cause)];
   }
@@ -95,15 +143,21 @@ struct DomainStats {
 
   DomainStats operator-(const DomainStats& o) const {
     DomainStats r = *this;
-    r.sync_requests -= o.sync_requests;
-    r.syncs_elided -= o.syncs_elided;
-    for (std::size_t i = 0; i < kSyncCauseCount; ++i) {
-      r.syncs_by_cause[i] -= o.syncs_by_cause[i];
-    }
-    r.method_rearms -= o.method_rearms;
+    for_each_counter(r, o,
+                     [](std::uint64_t& a, const std::uint64_t& b) { a -= b; });
     return r;
   }
 };
+
+/// Tripwire: a new DomainStats field that is not threaded through
+/// for_each_counter() would silently be dropped by every merge path (the
+/// parallel per-group buffered merge included). Adding a field therefore
+/// must update both for_each_counter() and this expected size.
+static_assert(sizeof(DomainStats) ==
+                  sizeof(std::string) +
+                      (4 + kSyncCauseCount) * sizeof(std::uint64_t),
+              "new DomainStats field? add it to DomainStats::for_each_counter "
+              "and update this tripwire");
 
 struct KernelStats {
   /// Number of resumes of stackful thread processes. Each resume costs two
@@ -145,6 +199,13 @@ struct KernelStats {
   std::uint64_t horizon_waits = 0;
 
   // --- temporal-decoupling bookkeeping (maintained by SyncDomain) ---
+  //
+  // The sync counters below exist once per domain (KernelStats::domains)
+  // and once as the kernel-wide aggregate. The hot path only touches the
+  // owning domain's entry; the aggregate fields are a derived cache
+  // recomputed from the domain entries by fold_domain_sync_aggregates()
+  // whenever Kernel::stats() hands the struct out -- so per-domain entries
+  // always sum to the aggregate by construction.
 
   /// Number of synchronization requests -- sync() calls (including those
   /// on already-synchronized processes, which are free: no suspension, no
@@ -168,6 +229,18 @@ struct KernelStats {
   /// in syncs_by_cause (usually as SyncCause::MethodRearm).
   std::uint64_t method_rearms = 0;
 
+  /// Quantum changes applied by the adaptive quantum controller, summed
+  /// over domains (see kernel/quantum_controller.h). Zero on every kernel
+  /// that never attached a policy.
+  std::uint64_t quantum_adjustments = 0;
+
+  /// Non-zero while the aggregate sync fields above lag the per-domain
+  /// books (set by every hot-path booking, cleared by
+  /// fold_domain_sync_aggregates). Kernel::stats() folds only when set,
+  /// so reading a quiescent kernel's stats stays a pure read -- safe from
+  /// concurrent threads, as it was before the aggregates became derived.
+  std::uint64_t sync_aggregates_stale = 0;
+
   /// Per-domain breakdown of the sync bookkeeping above, indexed by
   /// SyncDomain::id() (index 0 is the kernel's default domain). Each sync
   /// is counted in exactly one domain entry, so for every field the domain
@@ -187,6 +260,23 @@ struct KernelStats {
     return total;
   }
 
+  /// Recomputes the kernel-wide sync aggregates from the per-domain
+  /// entries. KernelStats carries the same counter names DomainStats
+  /// enumerates, so the fold reuses the single enumeration point and can
+  /// never miss a field.
+  void fold_domain_sync_aggregates() {
+    sync_requests = 0;
+    syncs_elided = 0;
+    syncs_by_cause = {};
+    method_rearms = 0;
+    quantum_adjustments = 0;
+    for (const DomainStats& d : domains) {
+      DomainStats::for_each_counter(
+          *this, d, [](std::uint64_t& a, const std::uint64_t& b) { a += b; });
+    }
+    sync_aggregates_stale = 0;
+  }
+
   KernelStats operator-(const KernelStats& o) const {
     KernelStats r = *this;
     r.context_switches -= o.context_switches;
@@ -198,12 +288,8 @@ struct KernelStats {
     r.timed_queue_compactions -= o.timed_queue_compactions;
     r.parallel_rounds -= o.parallel_rounds;
     r.horizon_waits -= o.horizon_waits;
-    r.sync_requests -= o.sync_requests;
-    r.syncs_elided -= o.syncs_elided;
-    for (std::size_t i = 0; i < kSyncCauseCount; ++i) {
-      r.syncs_by_cause[i] -= o.syncs_by_cause[i];
-    }
-    r.method_rearms -= o.method_rearms;
+    DomainStats::for_each_counter(
+        r, o, [](std::uint64_t& a, const std::uint64_t& b) { a -= b; });
     // Domains created after the `o` snapshot keep their full counts.
     for (std::size_t d = 0; d < r.domains.size() && d < o.domains.size();
          ++d) {
@@ -212,6 +298,16 @@ struct KernelStats {
     return r;
   }
 };
+
+/// Tripwire, mirroring the DomainStats one: a new KernelStats counter must
+/// be added to operator- and accumulate() (or, for a sync counter, to
+/// DomainStats::for_each_counter) -- this assert forces that review.
+static_assert(sizeof(KernelStats) ==
+                  sizeof(std::vector<DomainStats>) +
+                      (14 + kSyncCauseCount) * sizeof(std::uint64_t),
+              "new KernelStats field? thread it through operator-, "
+              "accumulate() and fold_domain_sync_aggregates(), then update "
+              "this tripwire");
 
 /// Adds `delta` into `into`, field by field (per-domain entries
 /// entrywise; names are kept from `into`). This is how the parallel
@@ -228,22 +324,14 @@ inline void accumulate(KernelStats& into, const KernelStats& delta) {
   into.timed_queue_compactions += delta.timed_queue_compactions;
   into.parallel_rounds += delta.parallel_rounds;
   into.horizon_waits += delta.horizon_waits;
-  into.sync_requests += delta.sync_requests;
-  into.syncs_elided += delta.syncs_elided;
-  for (std::size_t i = 0; i < kSyncCauseCount; ++i) {
-    into.syncs_by_cause[i] += delta.syncs_by_cause[i];
-  }
-  into.method_rearms += delta.method_rearms;
+  const auto add = [](std::uint64_t& a, const std::uint64_t& b) { a += b; };
+  DomainStats::for_each_counter(into, delta, add);
+  // A group that booked syncs leaves its buffered delta stale; merging it
+  // makes the target's aggregates stale too (until the next fold).
+  into.sync_aggregates_stale |= delta.sync_aggregates_stale;
   for (std::size_t d = 0; d < into.domains.size() && d < delta.domains.size();
        ++d) {
-    DomainStats& a = into.domains[d];
-    const DomainStats& b = delta.domains[d];
-    a.sync_requests += b.sync_requests;
-    a.syncs_elided += b.syncs_elided;
-    for (std::size_t i = 0; i < kSyncCauseCount; ++i) {
-      a.syncs_by_cause[i] += b.syncs_by_cause[i];
-    }
-    a.method_rearms += b.method_rearms;
+    DomainStats::for_each_counter(into.domains[d], delta.domains[d], add);
   }
 }
 

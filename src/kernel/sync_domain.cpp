@@ -3,6 +3,7 @@
 #include "kernel/kernel.h"
 #include "kernel/local_clock.h"
 #include "kernel/process.h"
+#include "kernel/quantum_controller.h"
 #include "kernel/report.h"
 
 namespace tdsim {
@@ -15,6 +16,18 @@ void SyncDomain::set_delta_cycle_limit(std::uint64_t limit) {
     // doesn't prove no other domain still has one.
     kernel_.domain_delta_limits_enabled_ = true;
   }
+}
+
+void SyncDomain::set_quantum_policy(const QuantumPolicy& policy) {
+  kernel_.set_quantum_policy(*this, policy);
+}
+
+const QuantumPolicy* SyncDomain::quantum_policy() const {
+  return kernel_.quantum_policy(*this);
+}
+
+const QuantumDecision* SyncDomain::last_quantum_decision() const {
+  return kernel_.last_quantum_decision(*this);
 }
 
 bool SyncDomain::quantum_exceeded(const LocalClock& clock) const {
@@ -97,17 +110,27 @@ void SyncDomain::advance_local_to(Time date) {
 }
 
 void SyncDomain::sync(SyncCause cause) {
-  perform_sync(current_clock(), cause);
+  const SyncContext ctx = kernel_.sync_context();
+  if (ctx.process == nullptr) {
+    Report::error("temporal decoupling used outside of a simulation process");
+  }
+  perform_sync_in(ctx, ctx.process->clock(), cause);
 }
 
 void SyncDomain::inc_and_sync_if_needed(Time duration, SyncCause cause) {
-  LocalClock& clock = current_clock();
+  // The loosely-timed hot path: one thread-local read resolves the
+  // process, its clock and the counter sink for the whole operation.
+  const SyncContext ctx = kernel_.sync_context();
+  if (ctx.process == nullptr) {
+    Report::error("temporal decoupling used outside of a simulation process");
+  }
   // Check membership before mutating the clock, so a misrouted call fails
   // without side effects.
-  require_member(clock.owner());
+  require_member(*ctx.process);
+  LocalClock& clock = ctx.process->clock();
   clock.inc(duration);
   if (quantum_exceeded(clock)) {
-    perform_sync(clock, cause);
+    perform_sync_in(ctx, clock, cause);
   }
 }
 
@@ -138,13 +161,6 @@ const DomainStats& SyncDomain::stats() const {
   return kernel_.stats().domains[id_];
 }
 
-DomainStats& SyncDomain::stats_mut() const {
-  // Inside a parallel round this lands in the calling group's local
-  // counter delta (merged at the horizon); the domain's entry is only
-  // ever written by its own group, so the books never race.
-  return kernel_.active_stats().domains[id_];
-}
-
 std::uint64_t SyncDomain::syncs(SyncCause cause) const {
   return stats().syncs(cause);
 }
@@ -167,24 +183,32 @@ void SyncDomain::require_member(const Process& process) const {
 }
 
 void SyncDomain::perform_sync(LocalClock& clock, SyncCause cause) {
-  Process& p = clock.owner();
+  const SyncContext ctx = kernel_.sync_context();
   // Suspension acts on the currently executing process, so only the owner
   // may sync its own clock; anything else would clear one process's offset
   // while suspending another.
-  if (kernel_.current_process() != &p) {
-    Report::error("sync() invoked on the clock of process '" + p.name() +
+  if (ctx.process != &clock.owner()) {
+    Report::error("sync() invoked on the clock of process '" +
+                  clock.owner().name() +
                   "', which is not the currently executing process");
   }
+  perform_sync_in(ctx, clock, cause);
+}
+
+void SyncDomain::perform_sync_in(const SyncContext& ctx, LocalClock& clock,
+                                 SyncCause cause) {
+  Process& p = clock.owner();
   // A sync through a foreign domain would apply the wrong quantum policy
   // and book the switch against the wrong subsystem.
   require_member(p);
-  KernelStats& stats = kernel_.active_stats();
-  DomainStats& domain_stats = stats.domains[id_];
-  stats.sync_requests++;
+  // Only the owning domain's entry is touched per event; the kernel-wide
+  // aggregate is folded from the domain entries when stats() is read (the
+  // stale mark tells it to).
+  ctx.stats->sync_aggregates_stale = 1;
+  DomainStats& domain_stats = ctx.stats->domains[id_];
   domain_stats.sync_requests++;
   const Time offset = clock.offset();
   if (offset.is_zero()) {
-    stats.syncs_elided++;
     domain_stats.syncs_elided++;
     return;
   }
@@ -193,10 +217,9 @@ void SyncDomain::perform_sync(LocalClock& clock, SyncCause cause) {
                   "' with a non-zero local offset; use "
                   "method_sync_trigger() instead");
   }
-  stats.syncs_by_cause[static_cast<std::size_t>(cause)]++;
   domain_stats.syncs_by_cause[static_cast<std::size_t>(cause)]++;
   clock.set_offset(Time{});
-  kernel_.wait(offset);
+  kernel_.wait_for(p, offset);
 }
 
 void SyncDomain::perform_method_rearm(LocalClock& clock, SyncCause cause) {
@@ -205,20 +228,18 @@ void SyncDomain::perform_method_rearm(LocalClock& clock, SyncCause cause) {
     Report::error("method_sync_trigger() called from non-method process '" +
                   p.name() + "'");
   }
-  if (kernel_.current_process() != &p) {
+  const SyncContext ctx = kernel_.sync_context();
+  if (ctx.process != &p) {
     Report::error("method_sync_trigger() invoked on the clock of process '" +
                   p.name() + "', which is not the currently executing process");
   }
   require_member(p);
-  KernelStats& stats = kernel_.active_stats();
-  DomainStats& domain_stats = stats.domains[id_];
+  ctx.stats->sync_aggregates_stale = 1;
+  DomainStats& domain_stats = ctx.stats->domains[id_];
   // A re-arm is a performed synchronization request (never elided), so it
   // counts on both sides of the requests == performed + elided invariant.
-  stats.sync_requests++;
   domain_stats.sync_requests++;
-  stats.method_rearms++;
   domain_stats.method_rearms++;
-  stats.syncs_by_cause[static_cast<std::size_t>(cause)]++;
   domain_stats.syncs_by_cause[static_cast<std::size_t>(cause)]++;
   // next_trigger bumps the process's wake generation, so a previously
   // scheduled re-arm or timeout for this method can never fire stale.

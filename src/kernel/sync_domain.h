@@ -38,6 +38,19 @@ namespace tdsim {
 class Kernel;
 class LocalClock;
 class Process;
+struct QuantumDecision;
+struct QuantumPolicy;
+
+/// What the synchronization hot path needs from the executing context --
+/// the current process and the counter sink (the group's buffered delta
+/// inside a parallel round, the kernel aggregate otherwise) -- resolved in
+/// a single thread-local read by Kernel::sync_context(). Channel-driven
+/// sync storms hit this path once per annotation, so the bundle is
+/// resolved once per operation instead of once per query.
+struct SyncContext {
+  Process* process = nullptr;
+  KernelStats* stats = nullptr;
+};
 
 class SyncDomain {
  public:
@@ -56,7 +69,21 @@ class SyncDomain {
   /// process of the domain accumulates before synchronizing. Zero disables
   /// quantum-driven decoupling ("synchronize at every annotation").
   Time quantum() const { return quantum_; }
+  /// On an adaptive domain (quantum_policy() != null) a value outside the
+  /// policy's [min_quantum, max_quantum] is corrected back into range at
+  /// the next synchronization horizon, recorded as a "clamped" decision.
   void set_quantum(Time quantum) { quantum_ = quantum; }
+
+  /// Opts this domain into adaptive quantum control (delegates to
+  /// Kernel::set_quantum_policy; see kernel/quantum_controller.h).
+  void set_quantum_policy(const QuantumPolicy& policy);
+
+  /// The attached adaptive policy, or null when the quantum is fixed.
+  const QuantumPolicy* quantum_policy() const;
+
+  /// The adaptive controller's most recent decision for this domain, or
+  /// null before the first one.
+  const QuantumDecision* last_quantum_decision() const;
 
   /// Policy decision for a clock in this domain: true when the quantum is
   /// zero or the clock's offset has reached it.
@@ -165,10 +192,18 @@ class SyncDomain {
   SyncDomain(Kernel& kernel, std::string name, std::size_t id, Time quantum)
       : kernel_(kernel), name_(std::move(name)), id_(id), quantum_(quantum) {}
 
-  /// The one place a synchronization happens: validates the caller, keeps
-  /// the per-cause books (domain + kernel aggregate), clears the offset and
-  /// suspends the owner until the global date catches up.
+  /// Validates that `clock` belongs to the currently executing process,
+  /// then synchronizes through perform_sync_in().
   void perform_sync(LocalClock& clock, SyncCause cause);
+
+  /// The one place a synchronization happens: checks membership, keeps the
+  /// per-cause books (the owning domain's entry of ctx.stats -- the kernel
+  /// aggregate is a derived cache, see KernelStats), clears the offset and
+  /// suspends the owner until the global date catches up. `ctx` is the
+  /// caller's already-resolved execution context, so the hot path performs
+  /// exactly one thread-local read per synchronization request.
+  void perform_sync_in(const SyncContext& ctx, LocalClock& clock,
+                       SyncCause cause);
 
   /// The method-process counterpart: re-arm at the local date through
   /// Kernel::next_trigger (generation-safe) and keep the books.
@@ -177,8 +212,6 @@ class SyncDomain {
   /// Errors unless `process` (the owner of a clock being synchronized
   /// through this domain) is a member of this domain.
   void require_member(const Process& process) const;
-
-  DomainStats& stats_mut() const;
 
   Kernel& kernel_;
   std::string name_;

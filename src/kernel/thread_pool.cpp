@@ -22,14 +22,14 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(TaskFn fn, void* arg) {
   if (threads_.empty()) {
-    task();  // degenerate pool: run inline
+    fn(arg);  // degenerate pool: run inline
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.emplace_back(fn, arg);
   }
   work_cv_.notify_one();
 }
@@ -46,11 +46,11 @@ void ThreadPool::worker_main() {
     if (queue_.empty()) {
       return;  // shutdown with nothing left to do
     }
-    std::function<void()> task = std::move(queue_.front());
+    const auto [fn, arg] = queue_.front();
     queue_.pop_front();
     busy_++;
     lock.unlock();
-    task();
+    fn(arg);
     lock.lock();
     busy_--;
     if (queue_.empty() && busy_ == 0) {

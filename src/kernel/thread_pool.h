@@ -1,26 +1,34 @@
 // A minimal fixed-size worker-thread pool for the kernel's parallel
 // evaluation rounds (see README "Parallel execution").
 //
-// The kernel submits one closure per runnable concurrency group and then
+// The kernel submits one task per runnable concurrency group and then
 // blocks on wait_idle() -- the synchronization horizon. The pool is
 // deliberately dumb: no futures, no stealing, no priorities; determinism
 // comes from the kernel's group scheduling, not from here. Tasks must not
 // throw (the kernel routes simulation errors through
 // GroupTask::exception).
+//
+// Tasks are a raw (function pointer, argument) pair rather than a
+// std::function: the kernel submits every runnable group on every
+// evaluation round, and a bare pair can never allocate or indirect through
+// a type-erased callable on that path.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace tdsim {
 
 class ThreadPool {
  public:
+  /// A pool task: `fn(arg)`.
+  using TaskFn = void (*)(void*);
+
   /// Spawns `threads` workers (0 is legal: submit() then runs inline).
   explicit ThreadPool(std::size_t threads);
 
@@ -32,8 +40,8 @@ class ThreadPool {
 
   std::size_t size() const { return threads_.size(); }
 
-  /// Enqueues `task` for execution on some worker.
-  void submit(std::function<void()> task);
+  /// Enqueues `fn(arg)` for execution on some worker.
+  void submit(TaskFn fn, void* arg);
 
   /// Blocks until every submitted task has finished (the barrier the
   /// kernel's synchronization horizons are made of).
@@ -43,7 +51,7 @@ class ThreadPool {
   void worker_main();
 
   std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<std::pair<TaskFn, void*>> queue_;
   std::mutex mutex_;
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;

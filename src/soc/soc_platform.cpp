@@ -24,6 +24,11 @@ SocPlatform::SocPlatform(Kernel& kernel, const SocConfig& config)
   }
   kernel.set_global_quantum(config_.quantum);
 
+  if (config_.adaptive.has_value() && !config_.split_domains) {
+    Report::error("SocPlatform: config.adaptive requires split_domains "
+                  "(the kernel default domain is shared with whatever else "
+                  "runs in the kernel)");
+  }
   SyncDomain* cpu_domain = nullptr;
   SyncDomain* periph_domain = nullptr;
   SyncDomain* noc_domain = nullptr;
@@ -31,6 +36,11 @@ SocPlatform::SocPlatform(Kernel& kernel, const SocConfig& config)
     cpu_domain = &kernel.create_domain("soc.cpu", config_.quantum);
     periph_domain = &kernel.create_domain("soc.periph", config_.quantum);
     noc_domain = &kernel.create_domain("soc.noc", config_.quantum);
+    if (config_.adaptive.has_value()) {
+      for (SyncDomain* domain : {cpu_domain, periph_domain, noc_domain}) {
+        kernel.set_quantum_policy(*domain, *config_.adaptive);
+      }
+    }
   }
 
   bus_ = std::make_unique<tlm::Bus>("soc.bus", 2_ns);

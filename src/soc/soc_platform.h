@@ -13,11 +13,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/fifo_interface.h"
 #include "kernel/module.h"
+#include "kernel/quantum_controller.h"
 #include "noc/mesh.h"
 #include "noc/network_interface.h"
 #include "soc/accelerator.h"
@@ -65,6 +67,11 @@ struct SocConfig {
   /// way -- only the per-domain attribution of the sync statistics moves --
   /// and each domain's quantum can then be tuned independently.
   bool split_domains = false;
+  /// Attaches this adaptive quantum policy to every split domain
+  /// (requires split_domains), so each subsystem's quantum is tuned from
+  /// its own sync-cause profile instead of hand-picked. `quantum` seeds
+  /// the starting point, clamped into the policy's range.
+  std::optional<QuantumPolicy> adaptive;
 };
 
 class SocPlatform : public Module {

@@ -12,6 +12,7 @@
 #include "kernel/local_clock.h"
 #include "kernel/module.h"
 #include "kernel/process.h"
+#include "kernel/quantum_controller.h"
 #include "kernel/report.h"
 #include "kernel/signal.h"
 #include "kernel/stats.h"

@@ -40,8 +40,9 @@ class Bus final : public TransportIf {
   std::string name_;
   Time hop_latency_;
   /// Initiators routed through one bus may span domains; declare the
-  /// ordering to the parallel scheduler.
-  DomainLink domain_link_;
+  /// ordering to the parallel scheduler. Labeled for
+  /// Kernel::explain_group().
+  DomainLink domain_link_{name_};
   std::vector<Region> regions_;  // kept sorted by base
   std::uint64_t routed_ = 0;
   std::uint64_t decode_errors_ = 0;

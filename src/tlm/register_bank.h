@@ -50,7 +50,8 @@ class RegisterBank final : public TransportIf {
   Time access_latency_;
   /// Bus initiators and the owning module's own peeks/pokes may span
   /// domains; declare the ordering. Mutable: peek() is logically const.
-  mutable DomainLink domain_link_;
+  /// Labeled for Kernel::explain_group().
+  mutable DomainLink domain_link_{name_};
   std::vector<std::uint32_t> values_;
   std::vector<Hooks> hooks_;
 };

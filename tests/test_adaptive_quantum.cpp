@@ -1,0 +1,339 @@
+// The adaptive quantum controller (kernel/quantum_controller.h):
+// convergence direction under churn-heavy vs sync-point-heavy traffic,
+// min/max clamping, hysteresis (no oscillation on a steady workload),
+// bit-identical decisions across worker counts, the policy-off == fixed
+// behavior guarantee, and the explain_group diagnostic that rides along.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/smart_fifo.h"
+#include "kernel/kernel.h"
+#include "kernel/quantum_controller.h"
+#include "kernel/sync_domain.h"
+
+namespace tdsim {
+namespace {
+
+/// A policy sized for the tiny test workloads: decisions every 8 syncs,
+/// no confirmation lag unless a test asks for it.
+QuantumPolicy test_policy(Time min_quantum, Time max_quantum) {
+  QuantumPolicy policy;
+  policy.min_quantum = min_quantum;
+  policy.max_quantum = max_quantum;
+  policy.min_syncs_per_decision = 8;
+  policy.confirm_decisions = 1;
+  return policy;
+}
+
+/// Spawns `workers` threads into `domain`, each annotating `steps` steps
+/// of 10 ns through the canonical loosely-timed pattern -- pure
+/// SyncCause::Quantum churn.
+void spawn_churn(Kernel& kernel, SyncDomain& domain, int workers,
+                 std::uint64_t steps) {
+  for (int w = 0; w < workers; ++w) {
+    ThreadOptions opts;
+    opts.domain = &domain;
+    kernel.spawn_thread("churn" + std::to_string(w), [&kernel, steps] {
+      for (std::uint64_t i = 0; i < steps; ++i) {
+        kernel.current_domain().inc_and_sync_if_needed(10_ns);
+      }
+    }, opts);
+  }
+}
+
+TEST(AdaptiveQuantum, GrowsOnPureQuantumChurn) {
+  Kernel kernel;
+  SyncDomain& domain = kernel.create_domain("compute", 10_ns, false,
+                                            test_policy(10_ns, 10_us));
+  spawn_churn(kernel, domain, 2, 4000);
+  kernel.run();
+  EXPECT_GT(domain.quantum(), 10_ns);
+  EXPECT_GT(kernel.stats().quantum_adjustments, 0u);
+  EXPECT_EQ(kernel.stats().domains[domain.id()].quantum_adjustments,
+            kernel.stats().quantum_adjustments);
+  const QuantumDecision* last = domain.last_quantum_decision();
+  ASSERT_NE(last, nullptr);
+  EXPECT_GT(last->serial, 0u);
+  EXPECT_GT(last->syncs_total, 0u);
+}
+
+TEST(AdaptiveQuantum, ShrinksOnSyncPointTraffic) {
+  Kernel kernel;
+  // Every step publishes state at an exact date (paper SII.A sync point),
+  // so accuracy-relevant causes dominate and the tuner must back off.
+  SyncDomain& domain = kernel.create_domain("accurate", 10_us, false,
+                                            test_policy(10_ns, 10_us));
+  for (int w = 0; w < 2; ++w) {
+    ThreadOptions opts;
+    opts.domain = &domain;
+    kernel.spawn_thread("sp" + std::to_string(w), [&kernel] {
+      for (int i = 0; i < 400; ++i) {
+        kernel.current_domain().inc(10_ns);
+        kernel.current_domain().sync(SyncCause::SyncPoint);
+      }
+    }, opts);
+  }
+  kernel.run();
+  EXPECT_LT(domain.quantum(), 10_us);
+  const QuantumDecision* last = domain.last_quantum_decision();
+  ASSERT_NE(last, nullptr);
+  EXPECT_GT(last->syncs_accuracy, 0u);
+}
+
+TEST(AdaptiveQuantum, ClampsToPolicyRange) {
+  // Grow clamps at max_quantum...
+  {
+    Kernel kernel;
+    SyncDomain& domain = kernel.create_domain("grow", 10_ns, false,
+                                              test_policy(10_ns, 160_ns));
+    spawn_churn(kernel, domain, 2, 4000);
+    kernel.run();
+    EXPECT_EQ(domain.quantum(), 160_ns);
+  }
+  // ...shrink clamps at min_quantum.
+  {
+    Kernel kernel;
+    SyncDomain& domain = kernel.create_domain("shrink", 80_ns, false,
+                                              test_policy(20_ns, 80_ns));
+    for (int w = 0; w < 2; ++w) {
+      ThreadOptions opts;
+      opts.domain = &domain;
+      kernel.spawn_thread("sp" + std::to_string(w), [&kernel] {
+        for (int i = 0; i < 400; ++i) {
+          kernel.current_domain().inc(10_ns);
+          kernel.current_domain().sync(SyncCause::SyncPoint);
+        }
+      }, opts);
+    }
+    kernel.run();
+    EXPECT_EQ(domain.quantum(), 20_ns);
+  }
+}
+
+TEST(AdaptiveQuantum, AttachClampsTheSeedQuantumImmediately) {
+  Kernel kernel;
+  SyncDomain& domain = kernel.create_domain("seeded", 1_ms);
+  domain.set_quantum_policy(test_policy(10_ns, 10_us));
+  EXPECT_EQ(domain.quantum(), 10_us);
+  ASSERT_NE(domain.quantum_policy(), nullptr);
+  EXPECT_EQ(domain.quantum_policy()->max_quantum, 10_us);
+  // A zero-quantum domain is pulled up to the floor (the controller needs
+  // a non-zero quantum to scale).
+  SyncDomain& zero = kernel.create_domain("zero");
+  zero.set_quantum_policy(test_policy(10_ns, 10_us));
+  EXPECT_EQ(zero.quantum(), 10_ns);
+}
+
+TEST(AdaptiveQuantum, OutOfBandSetQuantumIsReclampedAtTheNextHorizon) {
+  Kernel kernel;
+  SyncDomain& domain = kernel.create_domain("escaped", 100_ns, false,
+                                            test_policy(10_ns, 10_us));
+  // set_quantum bypasses the controller; the escape is corrected at the
+  // next horizon and shows up in the decision trace as "clamped".
+  domain.set_quantum(1_ms);
+  spawn_churn(kernel, domain, 1, 64);
+  kernel.run();
+  EXPECT_LE(domain.quantum(), 10_us);
+  EXPECT_GE(domain.quantum(), 10_ns);
+  EXPECT_GT(kernel.stats().quantum_adjustments, 0u);
+  ASSERT_NE(domain.last_quantum_decision(), nullptr);
+}
+
+TEST(AdaptiveQuantum, PolicyValidationRejectsNonsense) {
+  Kernel kernel;
+  SyncDomain& domain = kernel.create_domain("d");
+  QuantumPolicy zero_min;
+  zero_min.min_quantum = Time{};
+  EXPECT_THROW(domain.set_quantum_policy(zero_min), SimulationError);
+  QuantumPolicy inverted;
+  inverted.min_quantum = 1_us;
+  inverted.max_quantum = 10_ns;
+  EXPECT_THROW(domain.set_quantum_policy(inverted), SimulationError);
+}
+
+TEST(AdaptiveQuantum, SteadyWorkloadConverges) {
+  // Hysteresis / no oscillation: on a steady churn workload, doubling the
+  // workload length must not add a single further adjustment once the
+  // quantum has converged (the tuner holds at its fixed point instead of
+  // oscillating around it).
+  const auto run_steps = [](std::uint64_t steps) {
+    Kernel kernel;
+    SyncDomain& domain = kernel.create_domain("steady", 10_ns, false,
+                                              test_policy(10_ns, 1280_ns));
+    spawn_churn(kernel, domain, 2, steps);
+    kernel.run();
+    return std::pair<Time, std::uint64_t>(
+        domain.quantum(), kernel.stats().quantum_adjustments);
+  };
+  const auto [quantum_short, adjustments_short] = run_steps(8000);
+  const auto [quantum_long, adjustments_long] = run_steps(16000);
+  EXPECT_EQ(quantum_short, 1280_ns);  // converged within the short run
+  EXPECT_EQ(quantum_long, quantum_short);
+  EXPECT_EQ(adjustments_long, adjustments_short);
+}
+
+/// The worker-count determinism model: two independent clusters (each its
+/// own concurrency group), each an adaptive churn domain plus a
+/// Smart-FIFO stream into an adaptive consumer domain.
+struct ParallelModelResult {
+  Time final_quantum_a;
+  Time final_quantum_b;
+  std::uint64_t adjustments = 0;
+  std::uint64_t sync_requests = 0;
+  std::uint64_t syncs_quantum = 0;
+  std::uint64_t delta_cycles = 0;
+  std::uint64_t end_date_ps = 0;
+
+  bool operator==(const ParallelModelResult& o) const {
+    return final_quantum_a == o.final_quantum_a &&
+           final_quantum_b == o.final_quantum_b &&
+           adjustments == o.adjustments &&
+           sync_requests == o.sync_requests &&
+           syncs_quantum == o.syncs_quantum &&
+           delta_cycles == o.delta_cycles && end_date_ps == o.end_date_ps;
+  }
+};
+
+ParallelModelResult run_parallel_model(std::size_t workers) {
+  Kernel kernel;
+  kernel.set_workers(workers);
+  SyncDomain& a = kernel.create_domain("a", 10_ns, /*concurrent=*/true,
+                                       test_policy(10_ns, 10_us));
+  SyncDomain& b = kernel.create_domain("b", 10_ns, /*concurrent=*/true,
+                                       test_policy(10_ns, 10_us));
+  spawn_churn(kernel, a, 2, 3000);
+  spawn_churn(kernel, b, 1, 5000);
+  kernel.run();
+  ParallelModelResult result;
+  result.final_quantum_a = a.quantum();
+  result.final_quantum_b = b.quantum();
+  const KernelStats& stats = kernel.stats();
+  result.adjustments = stats.quantum_adjustments;
+  result.sync_requests = stats.sync_requests;
+  result.syncs_quantum = stats.syncs(SyncCause::Quantum);
+  result.delta_cycles = stats.delta_cycles;
+  result.end_date_ps = kernel.now().ps();
+  return result;
+}
+
+TEST(AdaptiveQuantum, BitIdenticalAcrossWorkerCounts) {
+  const ParallelModelResult sequential = run_parallel_model(0);
+  const ParallelModelResult one = run_parallel_model(1);
+  const ParallelModelResult four = run_parallel_model(4);
+  EXPECT_TRUE(sequential == one);
+  EXPECT_TRUE(sequential == four);
+  EXPECT_GT(sequential.adjustments, 0u);
+}
+
+TEST(AdaptiveQuantum, PolicyOffLeavesTheKernelUntouched) {
+  // No policy, no controller: the quantum never moves, no decision trace
+  // exists, and the adjustment counters stay zero -- fixed-quantum
+  // behavior is bit-exact with the pre-controller kernel (the committed
+  // bench baselines enforce the cross-version half of this claim).
+  Kernel kernel;
+  SyncDomain& domain = kernel.create_domain("fixed", 100_ns);
+  spawn_churn(kernel, domain, 2, 2000);
+  kernel.run();
+  EXPECT_EQ(domain.quantum(), 100_ns);
+  EXPECT_EQ(domain.quantum_policy(), nullptr);
+  EXPECT_EQ(domain.last_quantum_decision(), nullptr);
+  EXPECT_EQ(kernel.stats().quantum_adjustments, 0u);
+}
+
+TEST(AdaptiveQuantum, EnvironmentSeedsADefaultPolicy) {
+  const char* saved = std::getenv("TDSIM_ADAPTIVE_QUANTUM");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  setenv("TDSIM_ADAPTIVE_QUANTUM", "1", 1);
+  {
+    Kernel kernel;
+    EXPECT_NE(kernel.sync_domain().quantum_policy(), nullptr);
+    SyncDomain& domain = kernel.create_domain("auto");
+    EXPECT_NE(domain.quantum_policy(), nullptr);
+    // The default policy's floor applies immediately.
+    EXPECT_EQ(domain.quantum(), QuantumPolicy{}.min_quantum);
+  }
+  {
+    // An explicit policy wins over the env default -- and sees the
+    // caller's seed quantum, not one pre-clamped by the default policy's
+    // range (QuantumPolicy{}.max_quantum is 100 us, below this seed).
+    Kernel kernel;
+    QuantumPolicy wide = test_policy(10_ns, 10_ms);
+    SyncDomain& domain = kernel.create_domain("explicit", 1_ms, false, wide);
+    EXPECT_EQ(domain.quantum(), 1_ms);
+    ASSERT_NE(domain.quantum_policy(), nullptr);
+    EXPECT_EQ(domain.quantum_policy()->max_quantum, 10_ms);
+  }
+  setenv("TDSIM_ADAPTIVE_QUANTUM", "0", 1);
+  {
+    Kernel kernel;
+    EXPECT_EQ(kernel.sync_domain().quantum_policy(), nullptr);
+  }
+  if (saved != nullptr) {
+    setenv("TDSIM_ADAPTIVE_QUANTUM", saved_value.c_str(), 1);
+  } else {
+    unsetenv("TDSIM_ADAPTIVE_QUANTUM");
+  }
+}
+
+TEST(AdaptiveQuantum, ExplainGroupNamesTheMergingChannel) {
+  Kernel kernel;
+  SyncDomain& a = kernel.create_domain("producer_side", 100_ns,
+                                       /*concurrent=*/true);
+  SyncDomain& b = kernel.create_domain("consumer_side", 100_ns,
+                                       /*concurrent=*/true);
+  SyncDomain& alone = kernel.create_domain("island", 100_ns,
+                                           /*concurrent=*/true);
+  SmartFifo<int> fifo(kernel, "explained_fifo", 4);
+  ThreadOptions pa;
+  pa.domain = &a;
+  kernel.spawn_thread("producer", [&] {
+    for (int i = 0; i < 8; ++i) {
+      kernel.current_domain().inc(10_ns);
+      fifo.write(i);
+    }
+  }, pa);
+  ThreadOptions pb;
+  pb.domain = &b;
+  kernel.spawn_thread("consumer", [&] {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(fifo.read(), i);
+    }
+  }, pb);
+  kernel.run();
+  EXPECT_EQ(kernel.domain_group(a), kernel.domain_group(b));
+  const std::vector<std::string> chain = kernel.explain_group(a);
+  ASSERT_EQ(chain.size(), 1u);
+  EXPECT_NE(chain[0].find("explained_fifo"), std::string::npos);
+  EXPECT_NE(chain[0].find("producer_side"), std::string::npos);
+  EXPECT_NE(chain[0].find("consumer_side"), std::string::npos);
+  EXPECT_TRUE(kernel.explain_group(alone).empty());
+  // A non-concurrent domain's explanation names the serialization rule.
+  SyncDomain& serial = kernel.create_domain("serial", 100_ns);
+  const std::vector<std::string> serial_chain = kernel.explain_group(serial);
+  ASSERT_FALSE(serial_chain.empty());
+  EXPECT_NE(serial_chain[0].find("never opted into concurrency"),
+            std::string::npos);
+}
+
+TEST(AdaptiveQuantum, DecisionTraceRecordsTheWindow) {
+  Kernel kernel;
+  SyncDomain& domain = kernel.create_domain("traced", 10_ns, false,
+                                            test_policy(10_ns, 10_us));
+  spawn_churn(kernel, domain, 2, 2000);
+  kernel.run();
+  const QuantumDecision* last = domain.last_quantum_decision();
+  ASSERT_NE(last, nullptr);
+  EXPECT_GT(last->serial, 0u);
+  EXPECT_LE(last->new_quantum, 10_us);
+  EXPECT_GE(last->new_quantum, 10_ns);
+  EXPECT_STRNE(last->reason, "");
+  // On a pure churn workload every window is all-Quantum.
+  EXPECT_EQ(last->syncs_accuracy, 0u);
+  EXPECT_EQ(last->syncs_quantum, last->syncs_total);
+}
+
+}  // namespace
+}  // namespace tdsim

@@ -19,6 +19,21 @@ Two checks, run by CI's perf-gate job (see .github/workflows/ci.yml):
    fine-quantum rows' barrier overhead cannot fail a sweep whose total is
    dominated by the realistic rows.
 
+3. Adaptive-quantum wall gate: rows carrying an "adaptive" field form a
+   fixed-vs-adaptive comparison group (per worker count and table). Every
+   adaptive row -- which the bench seeds from the *worst* fixed quantum --
+   must reach --adaptive-throughput (default 0.9) of the best fixed row's
+   wall-clock throughput: the controller has to actually close the
+   speed/accuracy loop, not just converge somewhere. When the best fixed
+   wall is below the noise floor (too fast to compare meaningfully) but
+   the *worst* fixed wall is above it, a coarser escape-the-seed gate
+   applies instead: the adaptive row must run in at most half the worst
+   fixed row's wall, so a controller stuck at its bad seed still fails CI.
+   Only when even the worst fixed wall is sub-noise is the gate skipped.
+   The adaptive rows' deterministic fields (final quantum, adjustment
+   count, per-cause sync counts, dates) are covered by check 1 like any
+   other row.
+
 Wall-clock fields (any key containing "wall" or "seconds") are never
 compared against the baseline: baselines are committed from whatever
 machine regenerated them, and absolute times do not travel.
@@ -55,25 +70,34 @@ def load_rows(path):
 
 def compare_to_baseline(name, rows, baseline_rows, out):
     """Field-exact comparison of deterministic fields; returns #failures."""
-    failures = 0
     if len(rows) != len(baseline_rows):
         out.append(f"FAIL {name}: {len(rows)} rows vs {len(baseline_rows)} "
                    "in baseline (bench invocation changed? regenerate the "
                    "baseline alongside)")
         return 1
+    drifted = []  # (row index, field, baseline value, actual value)
     for i, (row, base) in enumerate(zip(rows, baseline_rows)):
         for key, expected in base.items():
             if is_wall_key(key):
                 continue
             actual = row.get(key)
             if actual != expected:
-                out.append(f"FAIL {name} row {i}: {key} = {actual!r}, "
-                           f"baseline {expected!r}")
-                failures += 1
-    if failures == 0:
+                drifted.append((i, key, expected, actual))
+    if not drifted:
         out.append(f"ok   {name}: {len(rows)} rows match baseline "
                    "(deterministic fields)")
-    return failures
+        return 0
+    # A readable diff table: one line per drifted field, aligned.
+    out.append(f"FAIL {name}: {len(drifted)} deterministic field(s) drifted "
+               "from baseline")
+    header = ("row", "field", "baseline", "actual")
+    table = [header] + [(str(i), key, repr(expected), repr(actual))
+                        for i, key, expected, actual in drifted]
+    widths = [max(len(line[col]) for line in table) for col in range(4)]
+    for line in table:
+        out.append("       " + "  ".join(cell.ljust(width)
+                                         for cell, width in zip(line, widths)))
+    return len(drifted)
 
 
 def check_worker_walls(name, rows, tolerance, min_ref_wall, out):
@@ -105,6 +129,58 @@ def check_worker_walls(name, rows, tolerance, min_ref_wall, out):
     return failures
 
 
+def check_adaptive_walls(name, rows, min_throughput, min_ref_wall, out):
+    """Adaptive rows vs the best fixed row of their comparison group."""
+    flagged = [r for r in rows
+               if "adaptive" in r and "wall_seconds" in r]
+    if not flagged:
+        return 0
+    groups = {}
+    for row in flagged:
+        groups.setdefault((row.get("workers"), row.get("table")),
+                          []).append(row)
+    failures = 0
+    for key in sorted(groups, key=str):
+        group = groups[key]
+        fixed = [r["wall_seconds"] for r in group if not r["adaptive"]]
+        adaptive = [r for r in group if r["adaptive"]]
+        if not fixed or not adaptive:
+            continue
+        best = min(fixed)
+        worst = max(fixed)
+        label = name if key == (None, None) else f"{name} group {key}"
+        if best >= min_ref_wall:
+            for row in adaptive:
+                wall = row["wall_seconds"]
+                throughput = best / wall if wall > 0 else 1.0
+                verdict = "ok  "
+                if throughput < min_throughput:
+                    verdict = "FAIL"
+                    failures += 1
+                out.append(f"{verdict} {label}: adaptive wall {wall:.3f}s = "
+                           f"{100 * throughput:.0f}% of best fixed "
+                           f"({best:.3f}s), floor "
+                           f"{100 * min_throughput:.0f}%")
+        elif worst >= min_ref_wall:
+            # Best fixed is sub-noise; fall back to escape-the-seed: the
+            # adaptive row (seeded from the worst quantum) must at least
+            # clearly beat the worst fixed row.
+            for row in adaptive:
+                wall = row["wall_seconds"]
+                verdict = "ok  "
+                if wall > worst / 2:
+                    verdict = "FAIL"
+                    failures += 1
+                out.append(f"{verdict} {label}: adaptive wall {wall:.3f}s "
+                           f"vs worst fixed {worst:.3f}s (escape-the-seed "
+                           "gate: must be <= half; best fixed sub-noise)")
+        else:
+            out.append(f"skip {label}: all fixed walls below "
+                       f"{min_ref_wall}s noise floor, adaptive gate not "
+                       "applied")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline-dir", required=True)
@@ -114,6 +190,10 @@ def main():
     parser.add_argument("--min-ref-wall", type=float, default=0.05,
                         help="skip the worker gate when the reference sum "
                         "is below this many seconds (noise floor)")
+    parser.add_argument("--adaptive-throughput", type=float, default=0.9,
+                        help="fraction of the best fixed-quantum row's "
+                        "wall-clock throughput every adaptive row must "
+                        "reach (default 0.9)")
     parser.add_argument("--report", help="also write the comparison here")
     parser.add_argument("files", nargs="+")
     args = parser.parse_args()
@@ -133,6 +213,8 @@ def main():
             failures += 1
         failures += check_worker_walls(name, rows, args.wall_tolerance,
                                        args.min_ref_wall, out)
+        failures += check_adaptive_walls(name, rows, args.adaptive_throughput,
+                                         args.min_ref_wall, out)
 
     report = "\n".join(out) + "\n"
     sys.stdout.write(report)
