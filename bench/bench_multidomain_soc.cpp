@@ -21,8 +21,9 @@
 //
 // Usage: bench_multidomain_soc [--cpus N] [--periphs N] [--steps N]
 //                              [--stream-words N] [--clusters N]
-//                              [--workers LIST] [--work N] [--adaptive]
-//                              [--explain] [--json]
+//                              [--workers LIST] [--work N|heavy]
+//                              [--adaptive] [--explain] [--json]
+//                              [--table NAME]
 //
 // --workers takes a comma-separated list of worker counts (0 = sequential
 // scheduler); every count must reproduce the same dates, delta counts and
@@ -31,11 +32,16 @@
 // quantum policy seeded from the *worst* fixed quantum of the sweep
 // (100 ns): the controller must climb out on its own, bit-identically
 // under every worker count, without moving the CPU-domain observation or
-// the cross-domain stream date. --explain prints, for the first sweep
-// point, Kernel::explain_group()'s answer to "which channels merged each
-// domain's concurrency group" and exits. --json writes
-// BENCH_multidomain_soc.json: one row per (workers, sweep point) with
-// per-domain-kind per-cause sync counts summed over clusters.
+// the cross-domain stream date. --work also accepts the keyword "heavy"
+// (a compute-bound per-step load, for the wide sweep row CI gates the
+// lookahead speedup on). --explain stops the first sweep point mid-run and
+// prints Kernel::explain_group()'s answer to "which channels merged each
+// domain's concurrency group" (with per-link minimum latencies) plus each
+// domain's derived per-group lookahead bound, then exits. --json writes
+// BENCH_multidomain_soc.json (or BENCH_multidomain_soc_<NAME>.json under
+// --table NAME, so differently shaped sweeps keep separate baselines): one
+// row per (workers, sweep point) with per-domain-kind per-cause sync
+// counts summed over clusters.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -128,6 +134,9 @@ struct RunResult {
   std::uint64_t delta_cycles = 0;
   std::uint64_t parallel_rounds = 0;
   std::uint64_t horizon_waits = 0;
+  /// Timed waves executed inside lookahead extensions (free-running
+  /// groups). Deterministic per worker count; zero sequentially.
+  std::uint64_t lookahead_advances = 0;
 
   /// Everything the parallel scheduler must reproduce bit-exactly.
   bool deterministically_equal(const RunResult& o) const {
@@ -184,6 +193,11 @@ RunResult run_once(const BenchConfig& config, Time periph_quantum,
     std::uint64_t* work_sink = &cluster.work_acc;
     cluster.stream = std::make_unique<SmartFifo<std::uint32_t>>(
         kernel, "dma_stream" + suffix, 16);
+    // Depth x the cpu-domain quantum bounds how fast stream traffic can
+    // cross the link; --explain shows it on the dma_stream line. The link
+    // is intra-group here (the FIFO merges the cluster's two domains), so
+    // the declaration is purely diagnostic.
+    cluster.stream->declare_cell_latency(config.cpu_quantum);
 
     // The canceller shares a plain flag with the cpu workers, so it lives
     // in the cpu domain (same group -- no channel would see the coupling).
@@ -254,12 +268,22 @@ RunResult run_once(const BenchConfig& config, Time periph_quantum,
   }
 
   const auto start = std::chrono::steady_clock::now();
-  kernel.run();
+  if (explain) {
+    // Stop mid-run so the timed queue is still populated: the lookahead
+    // bounds below are computed from live queue state and would all be
+    // trivial after the run drains it.
+    kernel.run(cancel_at);
+  } else {
+    kernel.run();
+  }
   const auto stop = std::chrono::steady_clock::now();
 
   if (explain) {
     // "Why is my model not parallel": name the channels that merged each
-    // domain's concurrency group (discovered during the run).
+    // domain's concurrency group (discovered during the run), each with
+    // its declared minimum latency, plus the conservative per-group
+    // lookahead bound derived from the decoupled links (unbounded when no
+    // inbound link constrains the group).
     for (const auto& domain : kernel.domains()) {
       const std::vector<std::string> chain = kernel.explain_group(*domain);
       std::printf("group of '%s' (root %zu):%s\n", domain->name().c_str(),
@@ -267,6 +291,11 @@ RunResult run_once(const BenchConfig& config, Time periph_quantum,
       for (const std::string& line : chain) {
         std::printf("  - %s\n", line.c_str());
       }
+      const std::optional<tdsim::Time> bound =
+          kernel.lookahead_bound(*domain);
+      std::printf("  lookahead bound: %s\n",
+                  bound.has_value() ? bound->to_string().c_str()
+                                    : "unbounded");
     }
   }
 
@@ -306,6 +335,7 @@ RunResult run_once(const BenchConfig& config, Time periph_quantum,
   result.delta_cycles = kernel.stats().delta_cycles;
   result.parallel_rounds = kernel.stats().parallel_rounds;
   result.horizon_waits = kernel.stats().horizon_waits;
+  result.lookahead_advances = kernel.stats().lookahead_advances;
   return result;
 }
 
@@ -331,6 +361,7 @@ int main(int argc, char** argv) {
   bool emit_json = false;
   bool run_adaptive = false;
   bool explain = false;
+  std::string table_name;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--cpus") == 0 && i + 1 < argc) {
       config.cpu_workers = std::strtoull(argv[++i], nullptr, 10);
@@ -345,7 +376,14 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers_sweep = parse_workers_list(argv[++i]);
     } else if (std::strcmp(argv[i], "--work") == 0 && i + 1 < argc) {
-      config.work = std::strtoull(argv[++i], nullptr, 10);
+      // "heavy" is the canonical compute-bound load of the wide sweep row
+      // (see README and bench/baselines/README.md).
+      config.work = std::strcmp(argv[i + 1], "heavy") == 0
+                        ? 2000
+                        : std::strtoull(argv[i + 1], nullptr, 10);
+      ++i;
+    } else if (std::strcmp(argv[i], "--table") == 0 && i + 1 < argc) {
+      table_name = argv[++i];
     } else if (std::strcmp(argv[i], "--adaptive") == 0) {
       run_adaptive = true;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
@@ -356,7 +394,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--cpus N] [--periphs N] [--steps N] "
                    "[--stream-words N] [--clusters N] [--workers LIST] "
-                   "[--work N] [--adaptive] [--explain] [--json]\n",
+                   "[--work N|heavy] [--adaptive] [--explain] [--json] "
+                   "[--table NAME]\n",
                    argv[0]);
       return 2;
     }
@@ -383,7 +422,9 @@ int main(int argc, char** argv) {
               "periph quantum", "cpu q-syncs", "periph q-syncs",
               "cpu error[ns]", "stream done[ps]", "wall[s]");
 
-  benchjson::Report report("multidomain_soc");
+  benchjson::Report report(table_name.empty()
+                               ? "multidomain_soc"
+                               : "multidomain_soc_" + table_name);
   const std::vector<Time> sweep = {100_ns, 1_us, 10_us, 100_us};
   // The adaptive row starts from the sweep's worst (smallest) quantum and
   // may roam the sweep's own range. The periph domains carry a mix of
@@ -483,6 +524,7 @@ int main(int argc, char** argv) {
             .add("delta_cycles", r.delta_cycles)
             .add("parallel_rounds", r.parallel_rounds)
             .add("horizon_waits", r.horizon_waits)
+            .add("lookahead_advances", r.lookahead_advances)
             .add("wall_seconds", r.wall_seconds);
         struct {
           const char* prefix;

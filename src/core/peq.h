@@ -55,6 +55,12 @@ class PeqWithGet {
   /// Notified when a payload becomes (or is about to become) retrievable.
   Event& get_event() { return event_; }
 
+  /// Declares the minimum annotation delay payloads of this queue ever
+  /// carry (see DomainLink::set_min_latency).
+  void declare_min_latency(Time latency) {
+    domain_link_.set_min_latency(latency);
+  }
+
   std::size_t pending() const { return queue_.size(); }
   const std::string& name() const { return name_; }
 

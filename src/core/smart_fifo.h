@@ -344,6 +344,22 @@ class SmartFifo final : public FifoInterface<T> {
   /// Only for benchmarks measuring the check's cost.
   void set_side_order_checking(bool enabled) { check_side_order_ = enabled; }
 
+  /// Declares this FIFO's minimum modeling latency to the concurrency
+  /// machinery (DomainLink::set_min_latency): shown by
+  /// Kernel::explain_group() and the value to hand to the decoupled
+  /// Kernel::link_domains(a, b, min_latency) overload when the coupling is
+  /// restructured for per-group lookahead.
+  void declare_min_latency(Time latency) {
+    domain_link_.set_min_latency(latency);
+  }
+
+  /// Derived declaration for the common case: a hardware FIFO whose cells
+  /// each take `per_cell` to traverse imposes at least depth x per_cell of
+  /// back-pressure latency between the sides.
+  void declare_cell_latency(Time per_cell) {
+    declare_min_latency(Time::from_ps(per_cell.ps() * cells_.size()));
+  }
+
  private:
   struct Cell {
     T data{};

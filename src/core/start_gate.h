@@ -81,6 +81,14 @@ class StartGate {
   /// Notified (immediately) when a command is posted.
   Event& event() { return event_; }
 
+  /// Declares the minimum commander-to-worker start offset this gate
+  /// imposes (see DomainLink::set_min_latency): a design where the worker
+  /// never starts less than `offset` after the posting date can use it as
+  /// the lookahead latency of a decoupled Kernel::link_domains edge.
+  void declare_min_latency(Time offset) {
+    domain_link_.set_min_latency(offset);
+  }
+
  private:
   Kernel& kernel_;
   Event event_;

@@ -35,6 +35,13 @@ class SyncFifo final : public FifoInterface<T> {
   /// the pressure precisely.
   void set_data_sync_cause(SyncCause cause) { data_sync_cause_ = cause; }
 
+  /// Declares the FIFO's minimum modeling latency on both links (the
+  /// probes' own and the underlying FIFO's) -- see Fifo::declare_min_latency.
+  void declare_min_latency(Time latency) {
+    domain_link_.set_min_latency(latency);
+    fifo_.declare_min_latency(latency);
+  }
+
   void write(T value) override {
     kernel_.current_domain().sync(data_sync_cause_);
     fifo_.write(std::move(value));

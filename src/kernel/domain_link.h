@@ -52,6 +52,25 @@ class DomainLink {
     via_ = "channel '" + label + "'";
   }
 
+  /// Declares the owning channel's minimum modeling latency: the smallest
+  /// simulated-time delay the channel ever imposes between a producer-side
+  /// operation and its consumer-side visibility (FIFO depth x cell
+  /// quantum, a bus hop latency, a NoC link's header latency...). Purely
+  /// diagnostic for channel-discovered links -- the link still *merges*
+  /// the concurrency groups, because both sides mutate the same channel
+  /// object -- but Kernel::explain_group() prints it next to the channel
+  /// label, and it is the value a model author would pass to
+  /// Kernel::link_domains(a, b, min_latency) after restructuring the
+  /// coupling into a lookahead-safe (horizon-mediated) one. See README
+  /// "Parallel execution".
+  void set_min_latency(Time latency) {
+    min_latency_ps_.store(latency.ps(), std::memory_order_relaxed);
+  }
+
+  Time min_latency() const {
+    return Time::from_ps(min_latency_ps_.load(std::memory_order_relaxed));
+  }
+
   /// Records `domain` as a user of the owning channel; merges concurrency
   /// groups when the channel turns out to span domains. O(1) relaxed load
   /// and compare when the caller's domain is unchanged since the last
@@ -70,7 +89,7 @@ class DomainLink {
       // Idempotent and lock-free once the groups are already merged; via_
       // is passed by reference and only copied when a new link is
       // actually recorded.
-      domain.kernel().link_domains(*expected, domain, via_);
+      domain.kernel().link_domains(*expected, domain, via_, min_latency());
     }
   }
 
@@ -91,6 +110,9 @@ class DomainLink {
   std::atomic<SyncDomain*> first_{nullptr};
   /// The previous caller's domain -- the fast-path filter.
   std::atomic<SyncDomain*> last_{nullptr};
+  /// Declared minimum channel latency in picoseconds (see set_min_latency);
+  /// atomic for the same first-contact race the pointers tolerate.
+  std::atomic<std::uint64_t> min_latency_ps_{0};
   /// Pre-composed explain_group() attribution (see set_label).
   std::string via_ = "an unnamed channel";
 };

@@ -44,6 +44,17 @@ class Event {
   const std::string& name() const { return name_; }
   Kernel& kernel() const { return kernel_; }
 
+  /// Declares that this event may be notified by processes of a different
+  /// concurrency group than the one its waiters belong to (the
+  /// one-notifier/static-waiter relay pattern lookahead-decoupled models
+  /// use, see README "Parallel execution"). The conservative-lookahead
+  /// scheduler then never fires this event inside a group's free-running
+  /// extension -- its timed firings clamp the waiter group's window and
+  /// happen at a global wave, where the notifying group is quiescent.
+  /// Elaboration-time only.
+  void set_cross_group_notified(bool cross) { cross_group_notified_ = cross; }
+  bool cross_group_notified() const { return cross_group_notified_; }
+
  private:
   friend class Kernel;
   friend class Process;
@@ -61,6 +72,8 @@ class Event {
 
   Pending pending_ = Pending::None;
   Time pending_at_;
+  /// See set_cross_group_notified().
+  bool cross_group_notified_ = false;
   /// Bumped on cancel/override; invalidates scheduled delta/timed firings.
   std::uint64_t generation_ = 0;
   /// Entries in the kernel's timed queue still referring to this event

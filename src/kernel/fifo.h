@@ -104,6 +104,15 @@ class Fifo {
   Event& data_written_event() { return data_written_; }
   Event& data_read_event() { return data_read_; }
 
+  /// Declares this FIFO's minimum modeling latency (see
+  /// DomainLink::set_min_latency): diagnostic for the merged link, and the
+  /// value for a decoupled Kernel::link_domains(a, b, min_latency) when
+  /// the hand-off is restructured for per-group lookahead.
+  void declare_min_latency(Time latency) {
+    domain_link_.set_min_latency(latency);
+  }
+  Time declared_min_latency() const { return domain_link_.min_latency(); }
+
   // Lifetime access counters, for tests and benchmarks.
   std::uint64_t total_writes() const { return total_writes_; }
   std::uint64_t total_reads() const { return total_reads_; }

@@ -34,6 +34,23 @@ void clear_stat_delta(KernelStats& stats) {
   domains.resize(domain_count);
   stats.domains = std::move(domains);
 }
+
+/// "No date" sentinel for the lookahead bound arithmetic (compares larger
+/// than every real date).
+constexpr std::uint64_t kNoDatePs = std::uint64_t(0) - 1;
+
+/// Saturating picosecond addition: a bound beyond the representable range
+/// means "unbounded", never a wrapped-around early date.
+std::uint64_t sat_add_ps(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t sum = a + b;
+  return sum < a ? kNoDatePs : sum;
+}
+
+/// Synthetic sequence-number base for agenda entries born inside a
+/// free-running extension: sorts after every extracted (real-seq) entry of
+/// the same date -- exactly where the sequential scheduler would have
+/// queued them -- and identifies the entry as locally-born at the merge.
+constexpr std::uint64_t kLocalSeqBase = std::uint64_t(1) << 63;
 }  // namespace
 
 Kernel::Kernel() {
@@ -211,6 +228,13 @@ const QuantumDecision* Kernel::last_quantum_decision(
                              : nullptr;
 }
 
+std::vector<QuantumDecision> Kernel::decision_trace(
+    const SyncDomain& domain) const {
+  require_same_kernel(this, domain, "decision_trace");
+  return quantum_controller_ ? quantum_controller_->decision_trace(domain)
+                             : std::vector<QuantumDecision>{};
+}
+
 SyncDomain* Kernel::find_domain(const std::string& name) const {
   for (const auto& domain : domains_) {
     if (domain->name() == name) {
@@ -258,13 +282,16 @@ void Kernel::rebuild_groups_locked() {
     }
   }
   for (const DomainLinkRecord& link : domain_links_) {
+    if (link.decoupled) {
+      continue;  // weighted lookahead edges never merge groups
+    }
     unite_groups_locked(link.a, link.b);
   }
   group_version_++;
 }
 
-void Kernel::link_domains(SyncDomain& a, SyncDomain& b,
-                          const std::string& via) {
+void Kernel::link_domains(SyncDomain& a, SyncDomain& b, const std::string& via,
+                          Time min_latency) {
   if (&a.kernel() != this || &b.kernel() != this) {
     Report::error("Kernel::link_domains: domains '" + a.name() + "' and '" +
                   b.name() + "' must both belong to this kernel");
@@ -273,9 +300,34 @@ void Kernel::link_domains(SyncDomain& a, SyncDomain& b,
     return;  // already ordered; keep the channel fast path lock-free
   }
   std::lock_guard<std::mutex> lock(group_mutex_);
-  domain_links_.push_back(
-      {a.id(), b.id(), via.empty() ? "Kernel::link_domains" : via});
+  domain_links_.push_back({a.id(), b.id(),
+                           via.empty() ? "Kernel::link_domains" : via,
+                           min_latency, false});
   unite_groups_locked(a.id(), b.id());
+}
+
+void Kernel::link_domains(SyncDomain& a, SyncDomain& b, Time min_latency,
+                          const std::string& via) {
+  if (min_latency.is_zero()) {
+    // Zero lookahead means barrier: degenerate to the merging overload.
+    link_domains(a, b, via);
+    return;
+  }
+  if (&a.kernel() != this || &b.kernel() != this) {
+    Report::error("Kernel::link_domains: domains '" + a.name() + "' and '" +
+                  b.name() + "' must both belong to this kernel");
+  }
+  if (&a == &b) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(group_mutex_);
+  domain_links_.push_back(
+      {a.id(), b.id(),
+       via.empty() ? "Kernel::link_domains (decoupled)" : via, min_latency,
+       true});
+  // No unite: the groups stay separate, and the lookahead scheduler reads
+  // this record at the next horizon (which is what makes a mid-run
+  // redeclaration re-tighten the bound).
 }
 
 std::vector<std::string> Kernel::explain_group(const SyncDomain& domain) const {
@@ -314,10 +366,18 @@ std::vector<std::string> Kernel::explain_group(const SyncDomain& domain) const {
     }
   }
   for (const DomainLinkRecord& link : domain_links_) {
+    if (link.decoupled) {
+      continue;
+    }
     if (unite(link.a, link.b)) {
       merges.push_back({link.a, "'" + domains_[link.a]->name() + "' <-> '" +
                                     domains_[link.b]->name() + "' via " +
-                                    link.via});
+                                    link.via +
+                                    (link.min_latency.is_zero()
+                                         ? std::string()
+                                         : " (min latency " +
+                                               link.min_latency.to_string() +
+                                               ")")});
     }
   }
   const std::size_t root = find(domain.id());
@@ -325,6 +385,21 @@ std::vector<std::string> Kernel::explain_group(const SyncDomain& domain) const {
   for (const Merge& merge : merges) {
     if (find(merge.a) == root) {
       out.push_back(merge.text);
+    }
+  }
+  // Decoupled (weighted, non-merging) edges touching this group: the
+  // lookahead topology, printed with their latencies so "why is this
+  // group's bound what it is" is answerable from the CLI.
+  for (const DomainLinkRecord& link : domain_links_) {
+    if (!link.decoupled) {
+      continue;
+    }
+    if (find(link.a) == root || find(link.b) == root) {
+      out.push_back("'" + domains_[link.a]->name() + "' <-> '" +
+                    domains_[link.b]->name() + "' via " + link.via +
+                    ": decoupled, min latency " +
+                    link.min_latency.to_string() +
+                    " (lookahead edge; groups stay separate)");
     }
   }
   return out;
@@ -662,6 +737,27 @@ void Kernel::purge_timed_event_entries(Event& e) {
         ++it;
       }
     }
+    if (task->free_running) {
+      // Extracted (or absorbed) entries living in the extension's private
+      // agenda also count as queued; drop the unexecuted ones now so the
+      // wave loop never dereferences the destroyed event.
+      auto& agenda = task->agenda;
+      for (std::size_t i = task->agenda_pos; i < agenda.size();) {
+        if (agenda[i].kind == TimedEntry::Kind::EventFire &&
+            agenda[i].event == &e) {
+          const bool stale = e.pending_ != Event::Pending::Timed ||
+                             e.generation_ != agenda[i].event_generation;
+          if (stale && task->stale_notes > 0) {
+            task->stale_notes--;
+          }
+          e.queued_timed_entries_--;
+          agenda.erase(agenda.begin() +
+                       static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
     if (e.queued_timed_entries_ == 0) {
       return;
     }
@@ -956,7 +1052,9 @@ void Kernel::run_parallel_evaluation_phase() {
             task);
       }
       execute_group_task(*active.front());
-      pool_->wait_idle();
+      // Work stealing: instead of parking at the barrier, the main thread
+      // pulls queued group tasks off the shared deque and runs them.
+      stats_.steals += pool_->help_until_idle();
     }
     // Horizon: surface errors and stops, then route cross-group wakes --
     // all in group order, so the next round's queues are deterministic.
@@ -1009,6 +1107,549 @@ void Kernel::run_parallel_evaluation_phase() {
 }
 
 // --------------------------------------------------------------------------
+// Conservative per-group lookahead (see README "Parallel execution")
+//
+// The parallel evaluation phase above still rendezvouses every group at
+// every timed wave. When the model declares *weighted* inter-group edges
+// (link_domains(a, b, min_latency): nothing one side does can affect the
+// other sooner than min_latency of simulated time), the kernel can do
+// better: per group g it derives the Chandy-Misra-Bryant bound
+//
+//   E(g) = min(N(g), min over inbound edges (h, lat) of E(h) + lat)
+//
+// where N(g) is g's earliest live timed entry, and lets each group whose
+// entries all fall strictly below its inbound bound execute whole timed
+// waves -- dispatch, update, delta cascades, and locally-born follow-up
+// waves -- privately on its worker, without a barrier per wave. Everything
+// the barrier scheduler buffers per round is still buffered per task, and
+// the merge reconstructs the wave/delta accounting (the prepaid ledger in
+// run()), so parallel runs stay bit-identical to the sequential schedule.
+// Zero-latency links never produce decoupled records (link_domains merges
+// instead), so zero-lookahead cycles degrade to the barrier path.
+// --------------------------------------------------------------------------
+
+Time Kernel::resolve_now() const {
+  GroupTask* task = active_task();
+  if (task != nullptr && task->free_running) {
+    return task->local_now;
+  }
+  return now_;
+}
+
+std::optional<std::size_t> Kernel::sole_waiter_group(const Event& e) const {
+  std::optional<std::size_t> group;
+  for (const Process* m : e.static_waiters_) {
+    const std::size_t g = find_group(m->domain_->id());
+    if (group.has_value() && *group != g) {
+      return std::nullopt;
+    }
+    group = g;
+  }
+  for (const Process* p : e.dynamic_waiters_) {
+    const std::size_t g = find_group(p->domain_->id());
+    if (group.has_value() && *group != g) {
+      return std::nullopt;
+    }
+    group = g;
+  }
+  return group;  // nullopt when the event has no waiters at all
+}
+
+void Kernel::compute_lookahead_state(std::vector<std::uint64_t>& earliest,
+                                     std::vector<std::uint64_t>& window) const {
+  const std::size_t n = domains_.size();
+  earliest.assign(n, kNoDatePs);
+  std::vector<std::uint64_t> clamp(n, kNoDatePs);
+  // Entries no single group owns (events with no or cross-group waiters)
+  // choke every window: any group could observe their firing.
+  std::uint64_t choke = kNoDatePs;
+  for (const TimedEntry& entry : timed_queue_) {
+    if (is_stale(entry)) {
+      continue;
+    }
+    const std::uint64_t when = entry.when.ps();
+    if (entry.kind == TimedEntry::Kind::ProcessResume) {
+      const std::size_t g = find_group(entry.process->domain_->id());
+      earliest[g] = std::min(earliest[g], when);
+      continue;
+    }
+    const std::optional<std::size_t> owner = sole_waiter_group(*entry.event);
+    if (!owner.has_value()) {
+      choke = std::min(choke, when);
+      continue;
+    }
+    earliest[*owner] = std::min(earliest[*owner], when);
+    if (entry.event->cross_group_notified()) {
+      // Declared relay: fired only at global waves (the notifier may be
+      // mid-flight); until then it bounds the waiter group's free-run.
+      clamp[*owner] = std::min(clamp[*owner], when);
+    }
+  }
+  // The weighted inter-group edges, both directions per record.
+  struct Edge {
+    std::size_t from;
+    std::size_t to;
+    std::uint64_t latency;
+  };
+  std::vector<Edge> edges;
+  {
+    std::lock_guard<std::mutex> lock(group_mutex_);
+    for (const DomainLinkRecord& link : domain_links_) {
+      if (!link.decoupled) {
+        continue;
+      }
+      const std::size_t ra = find_group(link.a);
+      const std::size_t rb = find_group(link.b);
+      if (ra == rb) {
+        continue;  // merged since the declaration; the edge is moot
+      }
+      const std::uint64_t latency = link.min_latency.ps();
+      edges.push_back({ra, rb, latency});
+      edges.push_back({rb, ra, latency});
+    }
+  }
+  // The CMB fixed point. All latencies are positive (zero-latency
+  // declarations merge instead), so this is shortest-path relaxation with
+  // positive weights: at most n full rounds.
+  std::vector<std::uint64_t> reach = earliest;
+  for (std::size_t iter = 0; iter < n; ++iter) {
+    bool changed = false;
+    for (const Edge& edge : edges) {
+      const std::uint64_t via = sat_add_ps(reach[edge.from], edge.latency);
+      if (via < reach[edge.to]) {
+        reach[edge.to] = via;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+  window.assign(n, kNoDatePs);
+  for (const Edge& edge : edges) {
+    window[edge.to] = std::min(window[edge.to],
+                               sat_add_ps(reach[edge.from], edge.latency));
+  }
+  for (std::size_t g = 0; g < n; ++g) {
+    window[g] = std::min(window[g], std::min(clamp[g], choke));
+  }
+}
+
+std::optional<Time> Kernel::lookahead_bound(const SyncDomain& domain) const {
+  std::vector<std::uint64_t> earliest;
+  std::vector<std::uint64_t> window;
+  compute_lookahead_state(earliest, window);
+  const std::uint64_t bound = window[find_group(domain.id())];
+  if (bound == kNoDatePs) {
+    return std::nullopt;
+  }
+  return Time::from_ps(bound);
+}
+
+bool Kernel::run_lookahead_extension(Time until) {
+  if (lookahead_max_waves_ == 0 || !parallel_enabled()) {
+    return false;
+  }
+  if (quantum_controller_ && quantum_controller_->any_active()) {
+    // The controller's cost signal reads every domain's execution front at
+    // the horizon; a free-running group would feed it fronts the
+    // sequential schedule never produces. Adaptive kernels keep the
+    // barrier.
+    return false;
+  }
+  if (timed_queue_.size() < 2) {
+    return false;
+  }
+  const std::size_t n = domains_.size();
+  std::vector<std::uint64_t> earliest;
+  std::vector<std::uint64_t> window;
+  compute_lookahead_state(earliest, window);
+  // Exclusive per-group date cap for this extension: the lookahead window
+  // clipped to the run limit (entries at `until` itself may still run --
+  // hence the +1 -- matching the global loop, which advances to `until`).
+  const std::uint64_t until_cap = sat_add_ps(until.ps(), 1);
+  std::vector<std::uint64_t> cap(n, 0);
+  std::size_t eligible = 0;
+  for (std::size_t g = 0; g < n; ++g) {
+    if (earliest[g] == kNoDatePs) {
+      continue;
+    }
+    cap[g] = std::min(window[g], until_cap);
+    if (earliest[g] < cap[g]) {
+      eligible++;
+    }
+  }
+  if (eligible < 2) {
+    return false;  // nothing to overlap; the barrier wave is just as good
+  }
+  // Extract every eligible group's executable entries into its private
+  // agenda: in-place filter over the heap storage plus one re-heapify,
+  // like the compaction paths.
+  phase_tasks_.clear();
+  tasks_in_use_ = 0;
+  task_by_root_.assign(n, nullptr);
+  const auto live_end = std::remove_if(
+      timed_queue_.begin(), timed_queue_.end(), [&](const TimedEntry& entry) {
+        if (is_stale(entry)) {
+          return false;  // leave stale entries to the global loop's pops
+        }
+        std::size_t g;
+        if (entry.kind == TimedEntry::Kind::ProcessResume) {
+          g = find_group(entry.process->domain_->id());
+        } else {
+          if (entry.event->cross_group_notified()) {
+            return false;  // relays fire at global waves only
+          }
+          const std::optional<std::size_t> owner =
+              sole_waiter_group(*entry.event);
+          if (!owner.has_value()) {
+            return false;
+          }
+          g = *owner;
+        }
+        if (earliest[g] == kNoDatePs || earliest[g] >= cap[g] ||
+            entry.when.ps() >= cap[g]) {
+          return false;
+        }
+        task_for_group(g).agenda.push_back(entry);
+        return true;
+      });
+  timed_queue_.erase(live_end, timed_queue_.end());
+  timed_reheap();
+  const auto by_group = [](const GroupTask* a, const GroupTask* b) {
+    return a->group < b->group;
+  };
+  std::sort(phase_tasks_.begin(), phase_tasks_.end(), by_group);
+  const auto agenda_less = [](const TimedEntry& a, const TimedEntry& b) {
+    if (a.when != b.when) {
+      return a.when < b.when;
+    }
+    return a.seq < b.seq;
+  };
+  for (GroupTask* task : phase_tasks_) {
+    std::sort(task->agenda.begin(), task->agenda.end(), agenda_less);
+    task->agenda_pos = 0;
+    task->free_running = true;
+    task->local_now = now_;
+    task->window_cap = Time::from_ps(cap[task->group]);
+    task->local_seq = 0;
+    task->timed_scan_pos = 0;
+    task->wave_log.clear();
+    task->member_domains.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (find_group(i) == task->group) {
+        task->member_domains.push_back(domains_[i].get());
+      }
+    }
+  }
+  // Dispatch: every group goes onto the shared deque; the main thread
+  // steals from it until the extension drains.
+  stats_.parallel_rounds++;
+  stats_.horizon_waits += phase_tasks_.size() - 1;
+  ensure_pool();
+  free_run_live_ = true;
+  for (GroupTask* task : phase_tasks_) {
+    pool_->submit(
+        [](void* t) {
+          GroupTask& group_task = *static_cast<GroupTask*>(t);
+          group_task.kernel->free_run_group(group_task);
+        },
+        task);
+  }
+  stats_.steals += pool_->help_until_idle();
+  free_run_live_ = false;
+  // Horizon: surface errors and stops first (mirroring the round loop),
+  // then merge every group in group order.
+  std::exception_ptr first_exception;
+  for (GroupTask* task : phase_tasks_) {
+    if (task->exception != nullptr && first_exception == nullptr) {
+      first_exception = task->exception;
+    }
+    task->exception = nullptr;
+    if (task->stop) {
+      stop_requested_ = true;
+    }
+  }
+  for (GroupTask* task : phase_tasks_) {
+    // (a) Prepaid accounting: pay the merged schedule's wave and delta
+    // increments for the dates this group ran through. Same-date waves
+    // line up by index (offset by rows the global loop already consumed),
+    // and per index the merged delta count is the elementwise max across
+    // groups -- a shared delta iteration runs every group's chain at once.
+    std::map<std::uint64_t, std::size_t> next_index;
+    for (const auto& [date_ps, deltas] : task->wave_log) {
+      PrepaidDate& row = prepaid_waves_[date_ps];
+      const auto it = next_index.try_emplace(date_ps, row.consumed).first;
+      const std::size_t index = it->second++;
+      if (index < row.wave_deltas.size()) {
+        if (deltas > row.wave_deltas[index]) {
+          stats_.delta_cycles += deltas - row.wave_deltas[index];
+          row.wave_deltas[index] = deltas;
+        }
+      } else {
+        row.wave_deltas.push_back(deltas);
+        stats_.timed_waves++;
+        stats_.delta_cycles += 1 + deltas;
+      }
+    }
+    if (!task->wave_log.empty() &&
+        task->wave_log.back().first > free_run_end_.ps()) {
+      // Furthest date any extension has executed: when the queue later
+      // drains, the final now_ must land here, like the sequential
+      // schedule's last wave.
+      free_run_end_ = Time::from_ps(task->wave_log.back().first);
+    }
+    task->wave_log.clear();
+    // (b) Unexecuted agenda entries (wave cap, stop, error): extracted
+    // entries return to the global queue with their original sequence
+    // numbers; locally-born ones go back into the timed buffer at the
+    // absorb scan point, in birth order -- everything after that point
+    // was born later.
+    std::vector<TimedEntry> leftover_local;
+    for (std::size_t i = task->agenda_pos; i < task->agenda.size(); ++i) {
+      const TimedEntry& entry = task->agenda[i];
+      if (entry.seq >= kLocalSeqBase) {
+        leftover_local.push_back(entry);
+      } else {
+        timed_push(entry);
+      }
+    }
+    if (!leftover_local.empty()) {
+      std::sort(leftover_local.begin(), leftover_local.end(),
+                [](const TimedEntry& a, const TimedEntry& b) {
+                  return a.seq < b.seq;
+                });
+      std::vector<GroupTask::TimedReq> reqs;
+      reqs.reserve(leftover_local.size());
+      for (const TimedEntry& entry : leftover_local) {
+        reqs.push_back({entry.when, entry.kind, entry.event,
+                        entry.event_generation, entry.process,
+                        entry.process_generation});
+      }
+      task->timed.insert(
+          task->timed.begin() +
+              static_cast<std::ptrdiff_t>(task->timed_scan_pos),
+          reqs.begin(), reqs.end());
+    }
+    task->agenda.clear();
+    task->agenda_pos = 0;
+    task->free_running = false;
+    task->member_domains.clear();
+    // (c) The regular horizon merge: queues, wakes, timed buffer, stats.
+    flush_group_task(*task);
+  }
+  maybe_compact_timed_queue();
+  publish_domain_fronts();
+  if (first_exception != nullptr) {
+    std::rethrow_exception(first_exception);
+  }
+  return true;
+}
+
+void Kernel::free_run_group(GroupTask& task) {
+  Kernel* previous_kernel = std::exchange(g_current_kernel, this);
+  ExecContext* previous_exec = std::exchange(t_exec_, &task.exec);
+  GroupTask* previous_task = std::exchange(t_task_, &task);
+  task.exec.tsan_fiber = fiber::tsan_current_fiber();
+  try {
+    std::size_t waves = 0;
+    while (task.agenda_pos < task.agenda.size() && !task.stop &&
+           waves < lookahead_max_waves_) {
+      const Time date = task.agenda[task.agenda_pos].when;
+      task.local_now = date;
+      if (domain_delta_limits_enabled_) {
+        for (SyncDomain* domain : task.member_domains) {
+          domain->deltas_at_current_date_ = 0;
+        }
+      }
+      task.wave_log.emplace_back(date.ps(), 0);
+      waves++;
+      task.stat_delta.lookahead_advances++;
+      while (task.agenda_pos < task.agenda.size() &&
+             task.agenda[task.agenda_pos].when == date) {
+        fire_agenda_entry(task, task.agenda[task.agenda_pos]);
+        task.agenda_pos++;
+      }
+      run_local_cascade(task);
+      if (task.stop) {
+        break;
+      }
+      absorb_local_timed(task);
+    }
+  } catch (...) {
+    task.exception = std::current_exception();
+  }
+  t_task_ = previous_task;
+  t_exec_ = previous_exec;
+  g_current_kernel = previous_kernel;
+}
+
+void Kernel::fire_agenda_entry(GroupTask& task, TimedEntry& entry) {
+  // Mirrors the global timed phase's firing semantics exactly, with the
+  // stale bookkeeping going to the task's buffered notes (that is where
+  // in-extension cancels and supersedes booked theirs).
+  if (entry.kind == TimedEntry::Kind::EventFire) {
+    entry.event->queued_timed_entries_--;
+    if (is_stale(entry)) {
+      if (task.stale_notes > 0) {
+        task.stale_notes--;
+      }
+      return;
+    }
+    entry.event->pending_ = Event::Pending::None;
+    trigger_event(*entry.event);
+    return;
+  }
+  if (is_stale(entry)) {
+    if (task.stale_notes > 0) {
+      task.stale_notes--;
+    }
+    return;
+  }
+  cancel_dynamic_wait(*entry.process);
+  entry.process->woke_by_event_ = false;
+  // The live entry is the one being consumed right now, so the generation
+  // bump must not count it stale.
+  entry.process->has_live_resume_entry_ = false;
+  entry.process->wake_generation_++;
+  make_runnable(entry.process);
+}
+
+void Kernel::run_local_cascade(GroupTask& task) {
+  // One wave's evaluate -> update -> delta loop, against the task's own
+  // buffers (make_runnable and queue_delta_notification land there because
+  // this thread's t_task_ is the task).
+  for (;;) {
+    while (!task.queue.empty()) {
+      Process* p = task.queue.front();
+      task.queue.pop_front();
+      p->in_runnable_ = false;
+      p->domain_->runnable_count_--;
+      if (p->state_ == ProcessState::Terminated) {
+        continue;
+      }
+      dispatch(p);
+      if (task.stop) {
+        return;
+      }
+    }
+    while (!task.update_requests.empty()) {
+      std::vector<UpdateListener*> batch = std::move(task.update_requests);
+      task.update_requests.clear();
+      for (UpdateListener* listener : batch) {
+        listener->update();
+      }
+    }
+    if (task.delta_notifications.empty() && task.delta_resume.empty()) {
+      return;
+    }
+    std::uint32_t& deltas = task.wave_log.back().second;
+    deltas++;
+    if (delta_limit_ != 0 && deltas > delta_limit_) {
+      const SyncDomain* lagging = lagging_domain();
+      Report::error("delta-cycle limit (" + std::to_string(delta_limit_) +
+                    ") exceeded at date " + task.local_now.to_string() +
+                    (lagging != nullptr
+                         ? " (lagging domain: '" + lagging->name() + "')"
+                         : std::string()) +
+                    "; livelocked model?");
+    }
+    for (Process* p : std::exchange(task.delta_resume, {})) {
+      if (p->state_ != ProcessState::Terminated) {
+        make_runnable(p);
+      }
+    }
+    std::vector<std::pair<Event*, std::uint64_t>> batch =
+        std::move(task.delta_notifications);
+    task.delta_notifications.clear();
+    for (auto& [event, generation] : batch) {
+      if (event->pending_ == Event::Pending::Delta &&
+          event->generation_ == generation) {
+        event->pending_ = Event::Pending::None;
+        trigger_event(*event);
+      }
+    }
+    if (domain_delta_limits_enabled_) {
+      // Member domains only: foreign domains' counters belong to other
+      // workers.
+      for (SyncDomain* domain : task.member_domains) {
+        if (domain->runnable_count_ == 0) {
+          domain->deltas_at_current_date_ = 0;
+          continue;
+        }
+        domain->deltas_at_current_date_++;
+        if (domain->delta_limit_ != 0 &&
+            domain->deltas_at_current_date_ > domain->delta_limit_) {
+          Report::error("domain '" + domain->name() + "' exceeded its "
+                        "delta-cycle limit (" +
+                        std::to_string(domain->delta_limit_) + ") at date " +
+                        task.local_now.to_string() +
+                        "; livelocked subsystem?");
+        }
+      }
+    }
+  }
+}
+
+void Kernel::absorb_local_timed(GroupTask& task) {
+  // Timed requests born during the extension that fall inside this group's
+  // window join the agenda (with synthetic sequence numbers, so they sort
+  // after every extracted entry of their date); everything else stays
+  // buffered for the horizon flush. The already-scanned prefix is never
+  // revisited.
+  auto& reqs = task.timed;
+  const std::uint64_t cap = task.window_cap.ps();
+  std::size_t write = task.timed_scan_pos;
+  for (std::size_t read = task.timed_scan_pos; read < reqs.size(); ++read) {
+    GroupTask::TimedReq& req = reqs[read];
+    bool local = false;
+    if (req.when.ps() < cap) {
+      if (req.kind == TimedEntry::Kind::ProcessResume) {
+        local = find_group(req.process->domain_->id()) == task.group;
+      } else if (!req.event->cross_group_notified()) {
+        const std::optional<std::size_t> owner = sole_waiter_group(*req.event);
+        // A notification this group issued on an event nobody is waiting
+        // for (yet) is the group's own to fire: sequentially it would fire
+        // at its date and clear the pending state, letting later notifies
+        // reschedule. Leaving it buffered would swallow those reschedules
+        // ("earlier notification already pending") for the whole window.
+        local = owner.has_value() ? *owner == task.group
+                                  : req.event->static_waiters_.empty() &&
+                                        req.event->dynamic_waiters_.empty();
+      }
+    }
+    if (!local) {
+      if (write != read) {
+        reqs[write] = reqs[read];
+      }
+      write++;
+      continue;
+    }
+    TimedEntry entry;
+    entry.when = req.when;
+    entry.seq = kLocalSeqBase + task.local_seq++;
+    entry.kind = req.kind;
+    entry.event = req.event;
+    entry.event_generation = req.event_generation;
+    entry.process = req.process;
+    entry.process_generation = req.process_generation;
+    const auto agenda_less = [](const TimedEntry& a, const TimedEntry& b) {
+      if (a.when != b.when) {
+        return a.when < b.when;
+      }
+      return a.seq < b.seq;
+    };
+    task.agenda.insert(
+        std::upper_bound(task.agenda.begin() +
+                             static_cast<std::ptrdiff_t>(task.agenda_pos),
+                         task.agenda.end(), entry, agenda_less),
+        entry);
+  }
+  reqs.resize(write);
+  task.timed_scan_pos = write;
+}
+
+// --------------------------------------------------------------------------
 // The scheduler main loop
 // --------------------------------------------------------------------------
 
@@ -1020,6 +1661,7 @@ void Kernel::run(Time until) {
   ExecContext* previous_exec = std::exchange(t_exec_, &main_exec_);
   main_exec_.tsan_fiber = fiber::tsan_current_fiber();
   stop_requested_ = false;
+  prepaid_skip_deltas_ = 0;
   bool force_sequential_phase = false;
   if (!initialized_) {
     initialize_processes();
@@ -1059,7 +1701,14 @@ void Kernel::run(Time until) {
       run_update_phase();
       // Delta-notification phase.
       if (!delta_notifications_.empty() || !delta_resume_.empty()) {
-        stats_.delta_cycles++;
+        if (prepaid_skip_deltas_ > 0) {
+          // A lookahead extension already counted this iteration at its
+          // merge (prepaid ledger); counting it again would break the
+          // bit-identity with the sequential schedule.
+          prepaid_skip_deltas_--;
+        } else {
+          stats_.delta_cycles++;
+        }
         if (delta_limit_ != 0 && ++deltas_at_current_date_ > delta_limit_) {
           const SyncDomain* lagging = lagging_domain();
           Report::error("delta-cycle limit (" + std::to_string(delta_limit_) +
@@ -1097,12 +1746,22 @@ void Kernel::run(Time until) {
         }
       }
       if (timed_queue_.empty()) {
+        if (free_run_end_ > now_) {
+          now_ = free_run_end_;  // the last wave ran inside an extension
+        }
         break;
       }
       const Time next = timed_queue_.front().when;
       if (next > until) {
         now_ = until;
         break;
+      }
+      // Conservative lookahead: groups whose bound clears the next horizon
+      // free-run to it in parallel; on progress, re-enter the loop without
+      // advancing the global date (extensions may leave cross wakes or
+      // re-inserted entries behind).
+      if (run_lookahead_extension(until)) {
+        continue;
       }
       now_ = next;
       deltas_at_current_date_ = 0;
@@ -1111,8 +1770,24 @@ void Kernel::run(Time until) {
           domain->deltas_at_current_date_ = 0;
         }
       }
-      stats_.timed_waves++;
-      stats_.delta_cycles++;
+      // Consume the prepaid ledger: if an extension already executed (and
+      // paid for) this date's next wave, skip the increments it covered.
+      prepaid_skip_deltas_ = 0;
+      bool wave_prepaid = false;
+      if (!prepaid_waves_.empty()) {
+        prepaid_waves_.erase(prepaid_waves_.begin(),
+                             prepaid_waves_.lower_bound(next.ps()));
+        const auto it = prepaid_waves_.find(next.ps());
+        if (it != prepaid_waves_.end() &&
+            it->second.consumed < it->second.wave_deltas.size()) {
+          prepaid_skip_deltas_ = it->second.wave_deltas[it->second.consumed++];
+          wave_prepaid = true;
+        }
+      }
+      if (!wave_prepaid) {
+        stats_.timed_waves++;
+        stats_.delta_cycles++;
+      }
       while (!timed_queue_.empty() && timed_queue_.front().when == now_) {
         TimedEntry entry = timed_queue_.front();
         timed_pop();
@@ -1273,7 +1948,9 @@ void Kernel::wait(Time duration) {
 }
 
 void Kernel::wait_for(Process& p, Time duration) {
-  schedule_process_resume(p, now_ + duration);
+  // now() not now_: inside a free-running lookahead extension the resume
+  // date is relative to the group's local date.
+  schedule_process_resume(p, now() + duration);
   p.state_ = ProcessState::Waiting;
   yield_current_thread();
 }
@@ -1290,7 +1967,7 @@ bool Kernel::wait(Event& event, Time timeout) {
   Process* p = require_thread("wait(event, timeout)");
   event.dynamic_waiters_.push_back(p);
   p->waiting_event_ = &event;
-  schedule_process_resume(*p, now_ + timeout);
+  schedule_process_resume(*p, now() + timeout);
   p->state_ = ProcessState::Waiting;
   yield_current_thread();
   return p->woke_by_event_;
@@ -1321,7 +1998,7 @@ void Kernel::next_trigger(Time delay) {
   Process* p = require_method("next_trigger(delay)");
   cancel_dynamic_wait(*p);
   bump_wake_generation(*p);
-  schedule_process_resume(*p, now_ + delay);
+  schedule_process_resume(*p, now() + delay);
   p->trigger_override_ = true;
 }
 

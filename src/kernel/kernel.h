@@ -11,6 +11,15 @@
 // executes its processes in kernel schedule order on one worker, and all
 // scheduler side effects are buffered per group and merged in group order
 // at the horizon.
+//
+// Since PR 6, conservative per-group lookahead (Chandy-Misra-Bryant
+// style) sits on top: link_domains(a, b, min_latency) records a *weighted*
+// inter-group edge instead of merging the groups, the kernel derives per
+// group the earliest date any inbound edge could affect it, and a group
+// whose bound exceeds the next global horizon free-runs whole timed waves
+// on its worker without rendezvousing the others -- with the wave/delta
+// accounting reconstructed at the merge so results stay bit-identical.
+// Zero-latency links keep merging, i.e. fall back to the barrier.
 #pragma once
 
 #include <atomic>
@@ -18,6 +27,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -102,8 +112,14 @@ class Kernel {
   /// finish their current round deterministically first.
   void stop();
 
-  /// Current global simulated date (sc_time_stamp analog).
-  Time now() const { return now_; }
+  /// Current simulated date (sc_time_stamp analog). From a process of a
+  /// group that is free-running inside a conservative-lookahead extension
+  /// this is the group's *local* date -- the date the sequential scheduler
+  /// would show the process -- so delay arithmetic (Event::notify,
+  /// LocalClock, PEQs) is oblivious to free-running. Everywhere else it is
+  /// the global horizon date. The extra branch is only taken while an
+  /// extension is in flight.
+  Time now() const { return free_run_live_ ? resolve_now() : now_; }
 
   std::uint64_t delta_count() const { return stats_.delta_cycles; }
 
@@ -143,8 +159,42 @@ class Kernel {
   /// couplings no channel can see, e.g. a plain variable shared across
   /// concurrent domains. Idempotent and cheap when already linked. `via`
   /// names the channel (or reason) behind the link for explain_group().
+  /// `min_latency` annotates the link with the channel's declared minimum
+  /// modeling latency (shown by explain_group; see DomainLink).
   void link_domains(SyncDomain& a, SyncDomain& b,
+                    const std::string& via = std::string(),
+                    Time min_latency = Time{});
+
+  /// Declares a *decoupled* weighted ordering between two domains: nothing
+  /// either side does can affect the other sooner than `min_latency` of
+  /// simulated time. The groups stay separate, and the conservative-
+  /// lookahead scheduler uses the latency to let each side free-run ahead
+  /// of the other (see README "Parallel execution" for the safety
+  /// contract: the coupling itself must be horizon-mediated, e.g. the
+  /// relay-event pattern with Event::set_cross_group_notified). A zero
+  /// `min_latency` degenerates to the merging overload above -- zero
+  /// lookahead means barrier. Callable mid-run; a tighter redeclaration
+  /// takes effect at the next horizon.
+  void link_domains(SyncDomain& a, SyncDomain& b, Time min_latency,
                     const std::string& via = std::string());
+
+  /// Caps how many timed waves one group may execute inside a single
+  /// free-running lookahead extension (bounds divergence windows and the
+  /// prepaid-accounting state). 0 disables free-running entirely --
+  /// every group then rendezvouses at every global horizon, as before
+  /// PR 6. Default 64.
+  void set_lookahead_limit(std::size_t max_waves) {
+    lookahead_max_waves_ = max_waves;
+  }
+  std::size_t lookahead_limit() const { return lookahead_max_waves_; }
+
+  /// The derived conservative-lookahead bound of `domain`'s concurrency
+  /// group given the current timed queue and the recorded decoupled
+  /// links: no inbound edge can affect the group before the returned
+  /// date. nullopt = unbounded (no inbound decoupled edge; the group
+  /// free-runs to its wave cap). bench_multidomain_soc --explain prints
+  /// this.
+  std::optional<Time> lookahead_bound(const SyncDomain& domain) const;
 
   /// Answers "why is my model not parallel": the chain of recorded links
   /// (channel names and explicit link_domains calls) that merged
@@ -199,6 +249,11 @@ class Kernel {
   /// serial number, horizon date, old/new quantum, direction, reason and
   /// the per-cause input window behind it.
   const QuantumDecision* last_quantum_decision(const SyncDomain& domain) const;
+
+  /// The domain's recent adaptive decisions, oldest first -- the last
+  /// kQuantumTraceDepth of them (see kernel/quantum_controller.h). Empty
+  /// before the first decision or when the domain never had a policy.
+  std::vector<QuantumDecision> decision_trace(const SyncDomain& domain) const;
 
   /// The kernel's default synchronization domain: quantum policy,
   /// current-process temporal-decoupling operations, and per-cause sync
@@ -378,6 +433,37 @@ class Kernel {
     std::unique_ptr<KernelStats> stats_view;
     bool stop = false;
     std::exception_ptr exception;
+
+    // --- conservative-lookahead free-running (run_lookahead_extension) ---
+
+    /// True while this task executes a free-running extension; its
+    /// processes then see local_now through Kernel::now().
+    bool free_running = false;
+    /// The group's local date inside the extension.
+    Time local_now;
+    /// Exclusive date cap of this extension (the group's lookahead
+    /// window: inbound-edge bound, clamps, wave cap, run limit).
+    Time window_cap;
+    /// The group's extracted timed entries, sorted by (when, seq) -- the
+    /// extension's private agenda. Locally-born entries are spliced in
+    /// with synthetic sequence numbers (compared only within the agenda).
+    std::vector<TimedEntry> agenda;
+    std::size_t agenda_pos = 0;
+    /// Synthetic sequence numbers for locally-born agenda entries; they
+    /// sort after every extracted entry of the same date, exactly where
+    /// the sequential scheduler would have queued them.
+    std::uint64_t local_seq = 0;
+    /// Prefix of `timed` already examined by absorb_local_timed().
+    std::size_t timed_scan_pos = 0;
+    /// One record per executed local wave, in order: (date ps, number of
+    /// delta iterations after the wave). Source of the merge-time prepaid
+    /// accounting that keeps delta_cycles / timed_waves bit-identical to
+    /// the sequential schedule.
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> wave_log;
+    /// The group's domains, filled per extension: the per-domain
+    /// delta-limit checks inside the extension walk only these (foreign
+    /// domains' counters must not be touched from this worker).
+    std::vector<SyncDomain*> member_domains;
   };
 
   /// create_domain minus the TDSIM_ADAPTIVE_QUANTUM default-policy hook
@@ -447,6 +533,34 @@ class Kernel {
   bool parallel_enabled() const { return workers_ > 1; }
   void run_parallel_evaluation_phase();
   void execute_group_task(GroupTask& task);
+  /// The timed-phase lookahead driver: computes per-group conservative
+  /// bounds, extracts eligible groups' timed entries and free-runs them
+  /// in parallel to their windows, then merges. Returns true when any
+  /// group advanced (the caller re-enters its loop without advancing the
+  /// global date).
+  bool run_lookahead_extension(Time until);
+  /// One group's free-running extension body (worker or stealing main
+  /// thread): local waves -> dispatch -> update -> delta cascades, over
+  /// the task's private agenda.
+  void free_run_group(GroupTask& task);
+  void fire_agenda_entry(GroupTask& task, TimedEntry& entry);
+  void run_local_cascade(GroupTask& task);
+  /// Moves newly buffered timed requests that fall inside the task's
+  /// window from task.timed into the sorted agenda.
+  void absorb_local_timed(GroupTask& task);
+  /// Slow path of now() while an extension is in flight.
+  Time resolve_now() const;
+  /// The one concurrency group all of `e`'s waiters belong to, or nullopt
+  /// when the event has no waiters or waiters from several groups (its
+  /// timed firings are then not attributable to any single group).
+  std::optional<std::size_t> sole_waiter_group(const Event& e) const;
+  /// The shared bound derivation behind lookahead_bound() and
+  /// run_lookahead_extension(): per group root, the earliest live timed
+  /// entry (ps) and the exclusive free-run window (inbound-edge bound,
+  /// relay-event clamps, unattributable-entry choke). UINT64_MAX =
+  /// none/unbounded.
+  void compute_lookahead_state(std::vector<std::uint64_t>& earliest,
+                               std::vector<std::uint64_t>& window) const;
   /// Horizon-time make_runnable for wakes that crossed groups mid-round.
   void apply_cross_wake(Process* p);
   /// Merges one group's buffered side effects into the kernel structures;
@@ -540,11 +654,16 @@ class Kernel {
   std::deque<std::atomic<std::size_t>> group_parent_;
   /// A recorded inter-domain ordering declaration: the two domain ids and
   /// the channel name (or caller-supplied reason) behind it, for
-  /// explain_group().
+  /// explain_group(). `min_latency` is the declared minimum latency of
+  /// the coupling; on `decoupled` records the domains were *not* merged
+  /// and the latency weights the lookahead edge, on merging records it is
+  /// diagnostic.
   struct DomainLinkRecord {
     std::size_t a;
     std::size_t b;
     std::string via;
+    Time min_latency{};
+    bool decoupled = false;
   };
   /// Every link ever declared (channel-observed or explicit), replayed
   /// when set_concurrent rebuilds the union-find.
@@ -559,6 +678,33 @@ class Kernel {
   /// (ps; UINT64_MAX = no live process). What mid-round probes see for
   /// foreign groups.
   std::deque<std::atomic<std::uint64_t>> published_front_ps_;
+
+  // --- conservative-lookahead state (see run_lookahead_extension) ---
+
+  /// True while a free-running extension is in flight; flips now() to its
+  /// task-local resolution. Written by the run() thread with the workers
+  /// quiescent on either side of the pool dispatch (the pool mutex orders
+  /// the accesses).
+  bool free_run_live_ = false;
+  /// See set_lookahead_limit().
+  std::size_t lookahead_max_waves_ = 64;
+  /// The prepaid-wave ledger: for each future date some group free-ran
+  /// through, the per-same-date-wave delta-iteration counts already paid
+  /// into stats_ at the merge (elementwise max over groups). The global
+  /// timed phase consumes it -- skipping the increments the extension
+  /// prepaid -- so totals stay bit-identical to the sequential schedule.
+  struct PrepaidDate {
+    std::vector<std::uint32_t> wave_deltas;
+    std::size_t consumed = 0;
+  };
+  std::map<std::uint64_t, PrepaidDate> prepaid_waves_;
+  /// Delta-cycle increments of the current global wave still covered by
+  /// the prepaid ledger.
+  std::uint32_t prepaid_skip_deltas_ = 0;
+  /// Furthest date any lookahead extension has executed; when the timed
+  /// queue drains, now_ advances here so the final date matches the
+  /// sequential schedule's last wave.
+  Time free_run_end_{};
 
   /// Adaptive quantum control (see kernel/quantum_controller.h). Created
   /// lazily by the first set_quantum_policy(); the scheduler loop invokes

@@ -83,10 +83,27 @@ const QuantumPolicy* QuantumController::policy(const SyncDomain& domain) const {
 
 const QuantumDecision* QuantumController::last_decision(
     const SyncDomain& domain) const {
-  if (states_.size() <= domain.id() || !states_[domain.id()].has_decision) {
+  if (states_.size() <= domain.id()) {
     return nullptr;
   }
-  return &states_[domain.id()].last;
+  return states_[domain.id()].newest_decision();
+}
+
+std::vector<QuantumDecision> QuantumController::decision_trace(
+    const SyncDomain& domain) const {
+  std::vector<QuantumDecision> out;
+  if (states_.size() <= domain.id()) {
+    return out;
+  }
+  const DomainState& state = states_[domain.id()];
+  out.reserve(state.trace_count);
+  for (std::size_t i = 0; i < state.trace_count; ++i) {
+    const std::size_t slot =
+        (state.trace_next + kQuantumTraceDepth - state.trace_count + i) %
+        kQuantumTraceDepth;
+    out.push_back(state.trace[slot]);
+  }
+  return out;
 }
 
 void QuantumController::on_horizon(KernelStats& stats, Time now) {
@@ -109,8 +126,8 @@ void QuantumController::on_horizon(KernelStats& stats, Time now) {
     SyncDomain& domain = *domains[id];
     const Time clamped = clamp_quantum(domain.quantum(), state.policy);
     if (clamped != domain.quantum()) {
-      QuantumDecision& decision = state.last;
-      decision.serial++;
+      QuantumDecision& decision = state.push_decision();
+      decision.serial = ++state.serial;
       decision.at = now;
       decision.old_quantum = domain.quantum();
       decision.new_quantum = clamped;
@@ -118,10 +135,6 @@ void QuantumController::on_horizon(KernelStats& stats, Time now) {
                                ? QuantumDirection::Grow
                                : QuantumDirection::Shrink;
       decision.reason = "clamped";
-      decision.syncs_quantum = 0;
-      decision.syncs_accuracy = 0;
-      decision.syncs_total = 0;
-      state.has_decision = true;
       domain.set_quantum(clamped);
       domain_stats[id].quantum_adjustments++;
       stats.sync_aggregates_stale = 1;
@@ -289,9 +302,8 @@ void QuantumController::decide(SyncDomain& domain, DomainState& state,
     }
   }
 
-  state.has_decision = true;
-  QuantumDecision& decision = state.last;
-  decision.serial++;
+  QuantumDecision& decision = state.push_decision();
+  decision.serial = ++state.serial;
   decision.at = now;
   decision.old_quantum = old_quantum;
   decision.new_quantum = new_quantum;

@@ -100,6 +100,12 @@ struct QuantumPolicy {
 
 enum class QuantumDirection : std::uint8_t { Hold, Grow, Shrink };
 
+/// Depth of the per-domain decision-trace ring: the controller keeps the
+/// last this-many decisions per domain (Kernel::decision_trace /
+/// SyncDomain::decision_trace), enough to see a full confirm + escalate +
+/// clamp episode without unbounded growth.
+constexpr std::size_t kQuantumTraceDepth = 8;
+
 constexpr const char* to_string(QuantumDirection d) {
   switch (d) {
     case QuantumDirection::Hold: return "hold";
@@ -148,8 +154,14 @@ class QuantumController {
   const QuantumPolicy* policy(const SyncDomain& domain) const;
 
   /// The domain's most recent decision, or null before the first one.
-  /// Same lifetime guarantee as policy().
+  /// Same lifetime guarantee as policy(); the pointee is rewritten as
+  /// later decisions rotate through the trace ring.
   const QuantumDecision* last_decision(const SyncDomain& domain) const;
+
+  /// The domain's recent decisions, oldest first: the last
+  /// kQuantumTraceDepth of them (fewer early on). Empty for a domain that
+  /// never had a policy or has no decisions yet.
+  std::vector<QuantumDecision> decision_trace(const SyncDomain& domain) const;
 
   bool any_active() const { return active_count_ > 0; }
 
@@ -174,8 +186,33 @@ class QuantumController {
     unsigned pending_count = 0;
     /// Consecutive applied steps in pending's direction (step schedule).
     unsigned streak = 0;
-    QuantumDecision last;
-    bool has_decision = false;
+    /// 1-based decision counter; survives ring rotation (QuantumDecision
+    /// serials must keep counting after old records are recycled).
+    std::uint64_t serial = 0;
+    /// Fixed-depth decision-trace ring, written at trace_next; the last
+    /// trace_count slots (ending at trace_next - 1) are valid.
+    std::array<QuantumDecision, kQuantumTraceDepth> trace{};
+    std::size_t trace_next = 0;
+    std::size_t trace_count = 0;
+
+    /// Rotates in and zeroes a fresh trace slot; the caller fills it.
+    QuantumDecision& push_decision() {
+      QuantumDecision& decision = trace[trace_next];
+      trace_next = (trace_next + 1) % kQuantumTraceDepth;
+      if (trace_count < kQuantumTraceDepth) {
+        trace_count++;
+      }
+      decision = QuantumDecision{};
+      return decision;
+    }
+
+    const QuantumDecision* newest_decision() const {
+      if (trace_count == 0) {
+        return nullptr;
+      }
+      return &trace[(trace_next + kQuantumTraceDepth - 1) %
+                    kQuantumTraceDepth];
+    }
   };
 
   /// The horizon's group-front comparison, computed once for all ripe

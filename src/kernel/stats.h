@@ -198,6 +198,19 @@ struct KernelStats {
   /// found two groups runnable at once (no concurrency to exploit).
   std::uint64_t horizon_waits = 0;
 
+  /// Number of timed waves a concurrency group executed *inside* a
+  /// conservative-lookahead extension, i.e. without rendezvousing the other
+  /// groups at the global horizon first (see README "Parallel execution").
+  /// Deterministic: the extension schedule is derived purely from the timed
+  /// queue and the declared link latencies.
+  std::uint64_t lookahead_advances = 0;
+
+  /// Number of group tasks the horizon-waiting thread executed itself
+  /// instead of sleeping at the pool barrier (work stealing). Timing
+  /// dependent by nature -- excluded from bench baselines, unlike every
+  /// other counter here.
+  std::uint64_t steals = 0;
+
   // --- temporal-decoupling bookkeeping (maintained by SyncDomain) ---
   //
   // The sync counters below exist once per domain (KernelStats::domains)
@@ -288,6 +301,8 @@ struct KernelStats {
     r.timed_queue_compactions -= o.timed_queue_compactions;
     r.parallel_rounds -= o.parallel_rounds;
     r.horizon_waits -= o.horizon_waits;
+    r.lookahead_advances -= o.lookahead_advances;
+    r.steals -= o.steals;
     DomainStats::for_each_counter(
         r, o, [](std::uint64_t& a, const std::uint64_t& b) { a -= b; });
     // Domains created after the `o` snapshot keep their full counts.
@@ -304,7 +319,7 @@ struct KernelStats {
 /// DomainStats::for_each_counter) -- this assert forces that review.
 static_assert(sizeof(KernelStats) ==
                   sizeof(std::vector<DomainStats>) +
-                      (14 + kSyncCauseCount) * sizeof(std::uint64_t),
+                      (16 + kSyncCauseCount) * sizeof(std::uint64_t),
               "new KernelStats field? thread it through operator-, "
               "accumulate() and fold_domain_sync_aggregates(), then update "
               "this tripwire");
@@ -324,6 +339,8 @@ inline void accumulate(KernelStats& into, const KernelStats& delta) {
   into.timed_queue_compactions += delta.timed_queue_compactions;
   into.parallel_rounds += delta.parallel_rounds;
   into.horizon_waits += delta.horizon_waits;
+  into.lookahead_advances += delta.lookahead_advances;
+  into.steals += delta.steals;
   const auto add = [](std::uint64_t& a, const std::uint64_t& b) { a += b; };
   DomainStats::for_each_counter(into, delta, add);
   // A group that booked syncs leaves its buffered delta stale; merging it

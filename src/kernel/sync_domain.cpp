@@ -30,6 +30,10 @@ const QuantumDecision* SyncDomain::last_quantum_decision() const {
   return kernel_.last_quantum_decision(*this);
 }
 
+std::vector<QuantumDecision> SyncDomain::decision_trace() const {
+  return kernel_.decision_trace(*this);
+}
+
 bool SyncDomain::quantum_exceeded(const LocalClock& clock) const {
   if (quantum_.is_zero()) {
     // A zero quantum means "synchronize at every annotation", matching the

@@ -85,6 +85,11 @@ class SyncDomain {
   /// null before the first one.
   const QuantumDecision* last_quantum_decision() const;
 
+  /// The controller's recent decisions for this domain, oldest first (the
+  /// last kQuantumTraceDepth of them -- see kernel/quantum_controller.h).
+  /// Empty before the first decision or without a policy.
+  std::vector<QuantumDecision> decision_trace() const;
+
   /// Policy decision for a clock in this domain: true when the quantum is
   /// zero or the clock's offset has reached it.
   bool quantum_exceeded(const LocalClock& clock) const;

@@ -34,6 +34,31 @@ void ThreadPool::submit(TaskFn fn, void* arg) {
   work_cv_.notify_one();
 }
 
+std::uint64_t ThreadPool::help_until_idle() {
+  std::uint64_t stolen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!queue_.empty()) {
+      const auto [fn, arg] = queue_.front();
+      queue_.pop_front();
+      busy_++;
+      lock.unlock();
+      fn(arg);
+      lock.lock();
+      busy_--;
+      stolen++;
+      if (queue_.empty() && busy_ == 0) {
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    if (busy_ == 0) {
+      return stolen;
+    }
+    idle_cv_.wait(lock, [this] { return !queue_.empty() || busy_ == 0; });
+  }
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && busy_ == 0; });

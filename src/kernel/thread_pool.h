@@ -2,11 +2,16 @@
 // evaluation rounds (see README "Parallel execution").
 //
 // The kernel submits one task per runnable concurrency group and then
-// blocks on wait_idle() -- the synchronization horizon. The pool is
-// deliberately dumb: no futures, no stealing, no priorities; determinism
-// comes from the kernel's group scheduling, not from here. Tasks must not
-// throw (the kernel routes simulation errors through
-// GroupTask::exception).
+// blocks on help_until_idle() -- the synchronization horizon. The pool
+// queue is a single shared deque all workers pull from, and the waiting
+// thread *steals* queued tasks and runs them itself instead of sleeping
+// at the barrier, so uneven groups (a free-running lookahead extension
+// next to a one-wave group, say) never leave a core idle while work is
+// queued. Determinism still comes from the kernel's group scheduling, not
+// from here: which thread runs a task is timing-dependent, but the tasks
+// only touch group-exclusive state and their side effects are merged in
+// deterministic group order by the kernel. Tasks must not throw (the
+// kernel routes simulation errors through GroupTask::exception).
 //
 // Tasks are a raw (function pointer, argument) pair rather than a
 // std::function: the kernel submits every runnable group on every
@@ -16,6 +21,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <thread>
@@ -44,7 +50,14 @@ class ThreadPool {
   void submit(TaskFn fn, void* arg);
 
   /// Blocks until every submitted task has finished (the barrier the
-  /// kernel's synchronization horizons are made of).
+  /// kernel's synchronization horizons are made of) -- but while tasks are
+  /// still queued, pulls them off the shared deque and runs them on the
+  /// calling thread instead of sleeping. Returns the number of tasks the
+  /// caller stole this way.
+  std::uint64_t help_until_idle();
+
+  /// Plain barrier without helping (kept for draining from contexts that
+  /// must not run tasks).
   void wait_idle();
 
  private:

@@ -28,6 +28,16 @@ ChannelId NetworkInterfaceBase::add_tx_channel(const TxChannelConfig& config) {
                   ": invalid TX channel configuration");
   }
   tx_channels_.push_back(config);
+  // A packet is only injected after its whole payload is packetized, so
+  // the router-side link imposes at least packet_words x per_word between
+  // the accelerator side and the NoC; keep the smallest bound over the
+  // channels sharing the link.
+  const Time packetization =
+      Time::from_ps(config.per_word.ps() * config.packet_words);
+  const Time declared = to_router_.declared_min_latency();
+  if (declared.is_zero() || packetization < declared) {
+    to_router_.declare_min_latency(packetization);
+  }
   return static_cast<ChannelId>(tx_channels_.size() - 1);
 }
 
@@ -38,6 +48,12 @@ ChannelId NetworkInterfaceBase::add_rx_channel(const RxChannelConfig& config) {
                   ": invalid RX channel configuration");
   }
   rx_channels_.push_back(config);
+  // Deframing costs at least per_word before the first word reaches the
+  // accelerator side.
+  const Time declared = from_router_.declared_min_latency();
+  if (declared.is_zero() || config.per_word < declared) {
+    from_router_.declare_min_latency(config.per_word);
+  }
   return static_cast<ChannelId>(rx_channels_.size() - 1);
 }
 

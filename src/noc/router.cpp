@@ -22,10 +22,14 @@ Router::Router(Module& parent, const std::string& name, std::uint16_t x,
 
 void Router::connect_input(Port port, Fifo<Packet>& link) {
   inputs_[static_cast<std::size_t>(port)] = &link;
+  // Every packet traversing this hop pays at least the header latency;
+  // derive it as the link's minimum latency for the concurrency machinery.
+  link.declare_min_latency(timing_.header_latency);
 }
 
 void Router::connect_output(Port port, Fifo<Packet>& link) {
   outputs_[static_cast<std::size_t>(port)] = &link;
+  link.declare_min_latency(timing_.header_latency);
 }
 
 Port Router::route(NodeId dest) const {

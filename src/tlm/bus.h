@@ -15,7 +15,11 @@ class Bus final : public TransportIf {
  public:
   /// `hop_latency` is added to every transaction's delay annotation.
   Bus(std::string name, Time hop_latency)
-      : name_(std::move(name)), hop_latency_(hop_latency) {}
+      : name_(std::move(name)), hop_latency_(hop_latency) {
+    // Every routed transaction pays at least the hop latency, so it is the
+    // bus's derived minimum latency for the concurrency machinery.
+    domain_link_.set_min_latency(hop_latency_);
+  }
 
   /// Maps [base, base+size) to `target`. Regions must not overlap. The
   /// forwarded payload carries the *offset* within the region.

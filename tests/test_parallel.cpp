@@ -539,5 +539,93 @@ TEST(Parallel, RandomizedDomainMembershipStressBitExact) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Randomized *independent* clusters: same stress philosophy, but every
+// FIFO stays internal to its cluster so multiple concurrency groups
+// survive discovery and the conservative-lookahead extensions actually
+// free-run (asserted via stats().lookahead_advances). Quanta, depths,
+// declared cell latencies and step increments are all seed-randomized;
+// bit-exactness against workers=0 is the contract.
+// ---------------------------------------------------------------------------
+
+Observed run_randomized_cluster_stress(std::size_t workers, unsigned seed,
+                                       std::uint64_t* lookahead_advances) {
+  std::mt19937 rng(seed);
+  constexpr std::size_t kClusters = 4;
+  constexpr int kWords = 50;
+  Kernel k;
+  k.set_workers(workers);
+  Observed out;
+  struct Stream {
+    std::unique_ptr<SmartFifo<int>> fifo;
+    std::vector<Time> dates;
+    std::uint32_t checksum = 0;
+  };
+  std::vector<std::unique_ptr<Stream>> streams;
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    const std::string suffix = std::to_string(c);
+    SyncDomain& wd = k.create_domain(
+        "rcw" + suffix, Time((rng() % 5 + 1) * 20, TimeUnit::NS),
+        /*concurrent=*/true);
+    SyncDomain& rd = k.create_domain(
+        "rcr" + suffix, Time((rng() % 5 + 1) * 60, TimeUnit::NS),
+        /*concurrent=*/true);
+    auto stream = std::make_unique<Stream>();
+    stream->fifo = std::make_unique<SmartFifo<int>>(k, "rcf" + suffix,
+                                                    1 + rng() % 5);
+    stream->fifo->declare_cell_latency(Time(5 + rng() % 30, TimeUnit::NS));
+    Stream* raw = stream.get();
+    streams.push_back(std::move(stream));
+    const int wstep = 1 + static_cast<int>(rng() % 7);
+    const int rstep = 1 + static_cast<int>(rng() % 7);
+    ThreadOptions wopts;
+    wopts.domain = &wd;
+    k.spawn_thread("rcw" + suffix, [&k, raw, wstep] {
+      for (int i = 0; i < kWords; ++i) {
+        k.current_domain().inc(Time(static_cast<std::uint64_t>(
+            (i % wstep + 1) * 3), TimeUnit::NS));
+        raw->fifo->write(i);
+      }
+    }, wopts);
+    ThreadOptions ropts;
+    ropts.domain = &rd;
+    k.spawn_thread("rcr" + suffix, [&k, raw, rstep] {
+      for (int i = 0; i < kWords; ++i) {
+        raw->checksum =
+            raw->checksum * 31 + static_cast<std::uint32_t>(raw->fifo->read());
+        k.current_domain().inc_and_sync_if_needed(Time(
+            static_cast<std::uint64_t>((i % rstep + 1) * 4), TimeUnit::NS));
+        raw->dates.push_back(k.current_domain().local_time_stamp());
+      }
+    }, ropts);
+  }
+  k.run();
+  out.capture(k);
+  for (const auto& stream : streams) {
+    out.dates.insert(out.dates.end(), stream->dates.begin(),
+                     stream->dates.end());
+    out.dates.push_back(Time(stream->checksum, TimeUnit::PS));
+  }
+  if (lookahead_advances != nullptr) {
+    *lookahead_advances = k.stats().lookahead_advances;
+  }
+  return out;
+}
+
+TEST(Parallel, RandomizedIndependentClustersFreeRunBitExact) {
+  for (unsigned seed : {11u, 4321u}) {
+    std::uint64_t la_sequential = 0;
+    std::uint64_t la_parallel = 0;
+    const Observed sequential =
+        run_randomized_cluster_stress(0, seed, &la_sequential);
+    const Observed parallel =
+        run_randomized_cluster_stress(4, seed, &la_parallel);
+    expect_observed_equal(sequential, parallel,
+                          "seed=" + std::to_string(seed));
+    EXPECT_EQ(la_sequential, 0u) << "seed=" << seed;
+    EXPECT_GT(la_parallel, 0u) << "seed=" << seed;
+  }
+}
+
 }  // namespace
 }  // namespace tdsim

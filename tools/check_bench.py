@@ -32,7 +32,22 @@ Two checks, run by CI's perf-gate job (see .github/workflows/ci.yml):
    Only when even the worst fixed wall is sub-noise is the gate skipped.
    The adaptive rows' deterministic fields (final quantum, adjustment
    count, per-cause sync counts, dates) are covered by check 1 like any
-   other row.
+   other row. Adaptive rows are only compared against fixed rows in the
+   same execution mode (judged by whether "lookahead_advances" is
+   nonzero): with workers > 1 the fixed rows run free ahead of the
+   horizon via conservative lookahead, while a live quantum controller
+   pins its domains to the barrier path by design, so their walls are not
+   comparable.
+
+4. Lookahead speedup gate: for files whose rows carry a "workers" field,
+   the largest worker count's summed wall over the *fixed* rows must beat
+   the smallest count's sum by at least --min-speedup (default 0.10).
+   This is the headline win the per-group conservative lookahead has to
+   deliver: free-running groups on a worker pool must actually outrun the
+   sequential scheduler, not merely keep up. Adaptive rows are excluded
+   (the controller disables free-running, see above). The gate is skipped
+   when the machine cannot express parallelism (fewer than two cores, see
+   --cores) or when the reference sum is below the noise floor.
 
 Wall-clock fields (any key containing "wall" or "seconds") are never
 compared against the baseline: baselines are committed from whatever
@@ -40,8 +55,8 @@ machine regenerated them, and absolute times do not travel.
 
 Usage:
   tools/check_bench.py --baseline-dir bench/baselines \
-      [--wall-tolerance 0.25] [--min-ref-wall 0.05] [--report FILE] \
-      BENCH_foo.json [BENCH_bar.json ...]
+      [--wall-tolerance 0.25] [--min-ref-wall 0.05] [--min-speedup 0.10] \
+      [--cores N] [--report FILE] BENCH_foo.json [BENCH_bar.json ...]
 
 Exit status 0 when every check passes, 1 otherwise. --report additionally
 writes the full comparison (uploaded as a CI artifact).
@@ -129,6 +144,40 @@ def check_worker_walls(name, rows, tolerance, min_ref_wall, out):
     return failures
 
 
+def check_speedup(name, rows, min_speedup, min_ref_wall, cores, out):
+    """Largest worker count must beat the smallest on fixed-row wall sums."""
+    sums = {}
+    for row in rows:
+        if "workers" not in row or "wall_seconds" not in row:
+            return 0
+        if row.get("adaptive"):
+            continue  # barrier-bound by design, see module docstring
+        sums.setdefault(row["workers"], 0.0)
+        sums[row["workers"]] += row["wall_seconds"]
+    if len(sums) < 2 or max(sums) < 2:
+        return 0
+    if cores < 2:
+        out.append(f"skip {name}: {cores} core(s) available, speedup gate "
+                   "needs a multicore machine")
+        return 0
+    reference_workers = min(sums)
+    parallel_workers = max(sums)
+    reference = sums[reference_workers]
+    if reference < min_ref_wall:
+        out.append(f"skip {name}: reference wall {reference:.3f}s below "
+                   f"{min_ref_wall}s noise floor, speedup gate not applied")
+        return 0
+    wall = sums[parallel_workers]
+    speedup = reference / wall if wall > 0 else float("inf")
+    required = 1.0 / (1.0 - min_speedup)
+    verdict = "ok  " if speedup >= required else "FAIL"
+    out.append(f"{verdict} {name}: workers={parallel_workers} fixed-row wall "
+               f"{wall:.3f}s, {speedup:.2f}x over workers="
+               f"{reference_workers} ({reference:.3f}s), floor "
+               f"{required:.2f}x")
+    return 0 if verdict == "ok  " else 1
+
+
 def check_adaptive_walls(name, rows, min_throughput, min_ref_wall, out):
     """Adaptive rows vs the best fixed row of their comparison group."""
     flagged = [r for r in rows
@@ -142,13 +191,25 @@ def check_adaptive_walls(name, rows, min_throughput, min_ref_wall, out):
     failures = 0
     for key in sorted(groups, key=str):
         group = groups[key]
-        fixed = [r["wall_seconds"] for r in group if not r["adaptive"]]
         adaptive = [r for r in group if r["adaptive"]]
-        if not fixed or not adaptive:
+        if not adaptive:
+            continue
+        # Free-running fixed rows (lookahead_advances > 0) and
+        # barrier-bound adaptive rows are different execution modes; only
+        # compare like with like.
+        adaptive_free = bool(adaptive[0].get("lookahead_advances", 0))
+        fixed = [r["wall_seconds"] for r in group
+                 if not r["adaptive"]
+                 and bool(r.get("lookahead_advances", 0)) == adaptive_free]
+        label = name if key == (None, None) else f"{name} group {key}"
+        if not fixed:
+            out.append(f"skip {label}: no fixed rows in the adaptive rows' "
+                       "execution mode (fixed rows free-run ahead of the "
+                       "horizon, adaptive rows are barrier-bound), adaptive "
+                       "gate not applied")
             continue
         best = min(fixed)
         worst = max(fixed)
-        label = name if key == (None, None) else f"{name} group {key}"
         if best >= min_ref_wall:
             for row in adaptive:
                 wall = row["wall_seconds"]
@@ -190,6 +251,14 @@ def main():
     parser.add_argument("--min-ref-wall", type=float, default=0.05,
                         help="skip the worker gate when the reference sum "
                         "is below this many seconds (noise floor)")
+    parser.add_argument("--min-speedup", type=float, default=0.10,
+                        help="fractional wall improvement the largest "
+                        "worker count's fixed rows must show over the "
+                        "smallest count (default 0.10)")
+    parser.add_argument("--cores", type=int, default=os.cpu_count() or 1,
+                        help="cores available to the benched run; the "
+                        "speedup gate is skipped below 2 (default: this "
+                        "machine's count)")
     parser.add_argument("--adaptive-throughput", type=float, default=0.9,
                         help="fraction of the best fixed-quantum row's "
                         "wall-clock throughput every adaptive row must "
@@ -213,6 +282,8 @@ def main():
             failures += 1
         failures += check_worker_walls(name, rows, args.wall_tolerance,
                                        args.min_ref_wall, out)
+        failures += check_speedup(name, rows, args.min_speedup,
+                                  args.min_ref_wall, args.cores, out)
         failures += check_adaptive_walls(name, rows, args.adaptive_throughput,
                                          args.min_ref_wall, out)
 
