@@ -8,8 +8,23 @@
 //
 // Each benchmark runs a complete mini-simulation per batch; the reported
 // rate is per FIFO operation.
+//
+// `bench_fifo_ops --json [--words N]` instead runs the deterministic
+// chunked-vs-per-element transfer sweep and writes BENCH_fifo_ops.json:
+// one row per (chunk_mode, depth), with a "wide" flag on the deep-FIFO
+// rows. CI's perf-gate feeds the file to tools/check_bench.py, which
+// holds the deterministic fields to the committed baseline and requires
+// the chunked rows to beat the per-element rows on the wide sweep
+// (--chunked-speedup). The sweep itself asserts chunked/element end-date
+// equality before writing anything.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench_json.h"
 #include "core/arbiter.h"
 #include "kernel/sync_domain.h"
 #include "core/smart_fifo.h"
@@ -232,6 +247,131 @@ void BM_TransferSmartNoOrderCheck(benchmark::State& state) {
 }
 BENCHMARK(BM_TransferSmartNoOrderCheck);
 
+// ---------------------------------------------------------------------
+// --json: deterministic chunked-vs-per-element sweep (perf-gated by CI)
+// ---------------------------------------------------------------------
+
+struct SweepResult {
+  double wall_seconds = 0;
+  /// The data-path dates the chunked mode must reproduce bit-exactly:
+  /// each side's local date after its last transfer. (The kernel's *end*
+  /// date is not compared across modes -- it includes trailing
+  /// external-view notifications nobody observes, whose schedule is
+  /// legitimately batched in chunked mode.)
+  Time producer_end;
+  Time consumer_end;
+  tdsim::KernelStats stats;
+  std::uint64_t writer_blocks = 0;
+  std::uint64_t reader_blocks = 0;
+};
+
+/// One decoupled producer/consumer transfer, pinned to the given chunk
+/// capacity (1 = per-element, environment-proof against TDSIM_CHUNKED).
+SweepResult transfer_sweep(std::size_t depth, std::uint64_t words,
+                           std::size_t chunk_capacity) {
+  Kernel kernel;
+  SmartFifo<std::uint32_t> fifo(kernel, "bench.fifo", depth);
+  fifo.set_chunk_capacity(chunk_capacity);
+  SweepResult result;
+  kernel.spawn_thread("producer", [&] {
+    for (std::uint64_t i = 0; i < words; ++i) {
+      kernel.sync_domain().inc(3_ns);
+      fifo.write(static_cast<std::uint32_t>(i));
+    }
+    result.producer_end = kernel.sync_domain().local_time_stamp();
+  });
+  kernel.spawn_thread("consumer", [&] {
+    std::uint32_t sum = 0;
+    for (std::uint64_t i = 0; i < words; ++i) {
+      sum += fifo.read();
+      kernel.sync_domain().inc(2_ns);
+    }
+    benchmark::DoNotOptimize(sum);
+    result.consumer_end = kernel.sync_domain().local_time_stamp();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  kernel.run();
+  const auto stop = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  result.stats = kernel.stats();
+  result.writer_blocks = fifo.writer_blocks();
+  result.reader_blocks = fifo.reader_blocks();
+  return result;
+}
+
+void add_sweep_row(benchjson::Report& report, const char* mode,
+                   std::size_t depth, bool wide, std::uint64_t words,
+                   const SweepResult& r) {
+  report.row()
+      .add("chunk_mode", std::string(mode))
+      .add("depth", static_cast<std::uint64_t>(depth))
+      .add("wide", static_cast<std::uint64_t>(wide ? 1 : 0))
+      .add("words", words)
+      .add("wall_seconds", r.wall_seconds)
+      .add("producer_end_ps", r.producer_end.ps())
+      .add("consumer_end_ps", r.consumer_end.ps())
+      .add("context_switches", r.stats.context_switches)
+      .add("delta_cycles", r.stats.delta_cycles)
+      .add("writer_blocks", r.writer_blocks)
+      .add("reader_blocks", r.reader_blocks)
+      .add("syncs_fifo_full", r.stats.syncs(tdsim::SyncCause::FifoFull))
+      .add("syncs_fifo_empty", r.stats.syncs(tdsim::SyncCause::FifoEmpty));
+}
+
+int json_main(std::uint64_t words) {
+  constexpr std::size_t kChunkCapacity = 16;
+  constexpr std::size_t kDepths[] = {4, 64, 256};
+  benchjson::Report report("fifo_ops");
+  std::printf("chunked-vs-element transfer sweep: %llu words per run\n",
+              static_cast<unsigned long long>(words));
+  std::printf("%7s | %12s %12s | %9s | %s\n", "depth", "element[s]",
+              "chunked[s]", "el/ch", "dates");
+  bool all_ok = true;
+  for (std::size_t depth : kDepths) {
+    const bool wide = depth >= 64;
+    const SweepResult element = transfer_sweep(depth, words, 1);
+    const SweepResult chunked = transfer_sweep(depth, words, kChunkCapacity);
+    const bool dates_equal =
+        element.producer_end == chunked.producer_end &&
+        element.consumer_end == chunked.consumer_end &&
+        element.writer_blocks == chunked.writer_blocks &&
+        element.reader_blocks == chunked.reader_blocks;
+    all_ok = all_ok && dates_equal;
+    std::printf("%7zu | %12.3f %12.3f | %9.2f | %s\n", depth,
+                element.wall_seconds, chunked.wall_seconds,
+                element.wall_seconds / chunked.wall_seconds,
+                dates_equal ? "equal" : "MISMATCH");
+    add_sweep_row(report, "element", depth, wide, words, element);
+    add_sweep_row(report, "chunked", depth, wide, words, chunked);
+  }
+  if (!all_ok) {
+    std::fprintf(stderr,
+                 "ERROR: chunked/element date or block-count mismatch\n");
+    return 1;
+  }
+  return report.write() ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool emit_json = false;
+  std::uint64_t words = 1 << 19;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+    } else if (std::strcmp(argv[i], "--words") == 0 && i + 1 < argc) {
+      words = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  if (emit_json) {
+    return json_main(words);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

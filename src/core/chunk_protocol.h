@@ -1,0 +1,123 @@
+// The chunk publication protocol behind the chunked channel modes
+// (SmartFifo / Fifo / SyncFifo, see README "Channels").
+//
+// Temporal decoupling amortizes synchronization over many operations; the
+// chunked channel modes amortize the *channel-side* costs the same way.
+// Instead of booking a delta notification, an external-view event check
+// and a DomainLink touch on every element, a producer fills a span of the
+// channel's ring ("a chunk") privately and publishes the whole span with
+// a single atomic release store; notifications, external-view transition
+// checks and sync books run once per span instead of once per element.
+//
+// The protocol is expressed over *absolute* 64-bit operation counters,
+// not ring indices:
+//
+//   produced (channel-owned)   total elements the producer has stamped;
+//   published_produced         the prefix notifications have covered;
+//   consumed (channel-owned)   total elements the consumer has drained;
+//   published_consumed         the prefix notifications have covered.
+//
+// Ring positions are derived (`counter % depth`), so occupancy tests are
+// plain subtractions that never wrap, and a channel can switch between
+// per-element and chunked mode mid-run by reconciling the counters (the
+// per-element cursors are provably `counter % depth`).
+//
+// Occupancy -- fullness and emptiness, for both the blocking paths and
+// the is_full()/is_empty() probes -- is always computed from the
+// channel-owned totals, never from the published prefixes: the two sides
+// of one channel share a concurrency group (DomainLink::touch merges
+// them on first contact), so every access is serialized by the kernel
+// and the totals are the ground truth on both sides. Chunked occupancy,
+// blocking conditions and block counters are therefore *bit-identical*
+// to per-element mode. What the published counters delimit is purely the
+// notification state: the spans whose delta wakes, external-view events
+// and accounting have not fired yet. The release/acquire pair on the
+// published counters additionally fences the stamped cells for group
+// executions that migrate between worker threads.
+//
+// Scheduling contract (what makes batching *bit-exact* on the data
+// path): every publication happens at a simulated date no later than the
+// dates stamped on the published elements. Producers publish at chunk
+// boundaries from their own process context; blocking paths force-flush
+// both sides before suspending; and the kernel publishes every dirty
+// chunk once per delta-cascade iteration (post-update, both in
+// Kernel::run() and, group-filtered, in the lookahead free-run cascades)
+// -- so nothing unpublished survives a drained cascade and simulated
+// time never advances past a dirty chunk (Kernel::ChunkFlushListener). A
+// woken blocked side therefore always resumes at a date the element
+// stamps dominate, and the Smart-FIFO timing recurrence computes exactly
+// the per-element dates. Only the *counts* batched per chunk (delta
+// notifications, per-cause sync accounting, external-event schedulings)
+// change -- never data-path dates. One visible artifact of the batched
+// event scheduling: a run whose last pending work is an *unobserved*
+// external-view re-arm can end at a slightly different kernel date,
+// because chunked mode schedules fewer of those notifications; a
+// synchronized observer of the events still sees every state change at
+// the stamped dates. See README "Channels".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace tdsim {
+
+/// The publication-cursor core of the chunk protocol. The owning channel
+/// keeps the `produced` / `consumed` totals (they double as its lifetime
+/// counters); this class owns the published prefixes.
+class ChunkSpscCore {
+ public:
+  // --- producer side ---
+
+  /// The prefix of produced elements already covered by notifications.
+  std::uint64_t produced_published() const { return produced_published_; }
+
+  /// Makes [produced_published(), produced) visible with one release
+  /// store. Returns false when nothing was pending.
+  bool publish_produced(std::uint64_t produced) {
+    if (produced == produced_published_) {
+      return false;
+    }
+    published_produced_.store(produced, std::memory_order_release);
+    produced_published_ = produced;
+    return true;
+  }
+
+  // --- consumer side (mirror image) ---
+
+  std::uint64_t consumed_published() const { return consumed_published_; }
+
+  bool publish_consumed(std::uint64_t consumed) {
+    if (consumed == consumed_published_) {
+      return false;
+    }
+    published_consumed_.store(consumed, std::memory_order_release);
+    consumed_published_ = consumed;
+    return true;
+  }
+
+  // --- mode transitions ---
+
+  /// Re-seeds both prefixes as fully published at the given totals --
+  /// entering chunked mode from per-element state, where everything the
+  /// channel ever did has already been notified per element. Callers
+  /// switch modes only from quiescent or group-serialized contexts.
+  void reset(std::uint64_t produced, std::uint64_t consumed) {
+    produced_published_ = produced;
+    consumed_published_ = consumed;
+    published_produced_.store(produced, std::memory_order_relaxed);
+    published_consumed_.store(consumed, std::memory_order_relaxed);
+  }
+
+ private:
+  /// Each side's view of its own published prefix (only ever read and
+  /// written under the group serialization).
+  std::uint64_t produced_published_ = 0;
+  std::uint64_t consumed_published_ = 0;
+  /// The fencing mirrors, one cache line each, release-stored at every
+  /// publish: a group execution resuming on another worker thread sees
+  /// the stamped cells of every span published before the handoff.
+  alignas(64) std::atomic<std::uint64_t> published_produced_{0};
+  alignas(64) std::atomic<std::uint64_t> published_consumed_{0};
+};
+
+}  // namespace tdsim

@@ -34,6 +34,14 @@ class FifoInterface {
 
   virtual std::size_t depth() const = 0;
 
+  /// Chunked-transfer opt-in (see core/chunk_protocol.h): a capacity >= 2
+  /// batches the channel's per-element bookkeeping (delta notifications,
+  /// per-access syncs, external-view transitions) once per chunk; 0 or 1
+  /// restores per-element mode. Channels without a chunked mode ignore
+  /// it. Data-path dates are bit-exact across modes; only counts change.
+  virtual void set_chunk_capacity(std::size_t) {}
+  virtual std::size_t chunk_capacity() const { return 0; }
+
   /// Lifetime counters for benchmarks and tests.
   virtual std::uint64_t total_writes() const = 0;
   virtual std::uint64_t total_reads() const = 0;

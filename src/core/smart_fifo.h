@@ -30,13 +30,30 @@
 // SyncDomain (Kernel::current_domain()), so the writer and the reader may
 // belong to different domains with different quanta: the cell date stamps
 // carry the timing across the domain boundary unchanged.
+//
+// Chunked mode (set_chunk_capacity >= 2, or the TDSIM_CHUNKED default;
+// see core/chunk_protocol.h): the per-element bookkeeping -- delta
+// notification, DomainLink touch, external-view transition checks -- is
+// batched once per chunk. The writer stamps cells privately and
+// publishes whole spans with one release store; occupancy, blocking
+// conditions and block counters read the serialized operation totals
+// directly and are bit-identical to per-element mode (the ring indices
+// become derived views of the totals, `total_writes_ % depth`, so the
+// channel can switch modes mid-run). Blocking paths force-flush both
+// sides before suspending, and the kernel flushes every dirty chunk once
+// per delta-cascade iteration (Kernel::ChunkFlushListener), so every
+// date stays bit-exact with per-element mode -- only notification and
+// accounting *counts* change. The mutation hooks apply to per-element
+// mode only.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/chunk_protocol.h"
 #include "core/fifo_interface.h"
 #include "core/mutations.h"
 #include "kernel/domain_link.h"
@@ -50,7 +67,7 @@
 namespace tdsim {
 
 template <typename T>
-class SmartFifo final : public FifoInterface<T> {
+class SmartFifo final : public FifoInterface<T>, public ChunkFlushListener {
  public:
   /// A Smart FIFO with as many cells as the hardware FIFO it models.
   /// `mutations`, when non-null, must outlive the FIFO (testing only).
@@ -66,6 +83,18 @@ class SmartFifo final : public FifoInterface<T> {
         not_full_(kernel, name_ + ".not_full") {
     if (depth == 0) {
       Report::error("SmartFifo " + name_ + ": depth must be >= 1");
+    }
+    // Mutation-injected FIFOs (testing only) stay per-element: the
+    // mutation hooks live on the per-element paths, and silently ignoring
+    // an injected bug under the env default would defeat their tests.
+    if (mutations_ == nullptr && kernel_.default_chunk_capacity() > 1) {
+      set_chunk_capacity(kernel_.default_chunk_capacity());
+    }
+  }
+
+  ~SmartFifo() override {
+    if (chunked_) {
+      kernel_.unregister_chunk_flush(this);
     }
   }
 
@@ -85,6 +114,10 @@ class SmartFifo final : public FifoInterface<T> {
     Process& p = require_process("write");
     SyncDomain& domain = p.domain();
     LocalClock& clock = p.clock();
+    if (chunked_) {
+      write_chunked(std::move(value), domain, clock);
+      return;
+    }
     domain_link_.touch(domain);
     check_side_order(clock, last_write_date_, "write");
     if (busy_count_ == cells_.size()) {
@@ -142,6 +175,21 @@ class SmartFifo final : public FifoInterface<T> {
   bool is_full() override {
     Process* p = kernel_.current_process();
     domain_link_.touch(p != nullptr ? p->domain() : kernel_.sync_domain());
+    if (chunked_) {
+      // Occupancy reads the serialized totals -- the ground truth on both
+      // sides (chunk_protocol.h) -- so the chunked view is bit-identical
+      // to the per-element busy_count_ test; only the re-arm notification
+      // below is batched differently.
+      if (total_writes_ - total_reads_ == cells_.size()) {
+        return true;
+      }
+      const Time freeing = cell_at(total_writes_).freeing_date;
+      if (freeing > (p != nullptr ? p->clock().now() : kernel_.now())) {
+        schedule_external_chunked(not_full_, freeing);
+        return true;
+      }
+      return false;
+    }
     if (busy_count_ == cells_.size()) {
       return true;
     }
@@ -174,6 +222,9 @@ class SmartFifo final : public FifoInterface<T> {
     Process& p = require_process("read");
     SyncDomain& domain = p.domain();
     LocalClock& clock = p.clock();
+    if (chunked_) {
+      return read_chunked(domain, clock);
+    }
     domain_link_.touch(domain);
     check_side_order(clock, last_read_date_, "read");
     if (busy_count_ == 0) {
@@ -229,6 +280,19 @@ class SmartFifo final : public FifoInterface<T> {
   bool is_empty() override {
     Process* p = kernel_.current_process();
     domain_link_.touch(p != nullptr ? p->domain() : kernel_.sync_domain());
+    if (chunked_) {
+      // Mirror of the chunked is_full() view: the serialized totals are
+      // the per-element busy_count_ test, bit-identically.
+      if (total_writes_ == total_reads_) {
+        return true;
+      }
+      const Time insertion = cell_at(total_reads_).insertion_date;
+      if (insertion > (p != nullptr ? p->clock().now() : kernel_.now())) {
+        schedule_external_chunked(not_empty_, insertion);
+        return true;
+      }
+      return false;
+    }
     if (busy_count_ == 0) {
       return true;
     }
@@ -330,7 +394,58 @@ class SmartFifo final : public FifoInterface<T> {
 
   /// Internal occupancy (how many cells hold data, regardless of dates).
   /// Debug only -- the real occupancy is get_size().
-  std::size_t internal_size() const { return busy_count_; }
+  std::size_t internal_size() const {
+    return chunked_ ? static_cast<std::size_t>(total_writes_ - total_reads_)
+                    : busy_count_;
+  }
+
+  /// Chunked-transfer opt-in (see the header comment and
+  /// core/chunk_protocol.h). A capacity >= 2 enters chunked mode (or
+  /// re-sizes the chunk from a flushed boundary); 0 or 1 publishes
+  /// everything and returns to per-element mode. Mode switches are legal
+  /// mid-run from any context serialized with both sides -- typically one
+  /// of the channel's own processes, or elaboration -- even while the
+  /// peer is suspended in a blocking access (the blocking paths
+  /// re-dispatch on resume when the mode changed under them).
+  void set_chunk_capacity(std::size_t capacity) override {
+    if (capacity >= 2) {
+      if (chunked_) {
+        flush_chunks();  // re-size from a clean chunk boundary
+      } else {
+        // Entering chunked mode: per-element state is fully visible by
+        // definition, and the per-element cursors are provably
+        // total % depth, so the counters reconcile exactly.
+        chunk_.reset(total_writes_, total_reads_);
+        chunked_ = true;
+        kernel_.register_chunk_flush(this);
+      }
+      chunk_capacity_ = capacity;
+    } else if (chunked_) {
+      flush_chunks();
+      first_free_ = static_cast<std::size_t>(total_writes_ % cells_.size());
+      first_busy_ = static_cast<std::size_t>(total_reads_ % cells_.size());
+      busy_count_ = static_cast<std::size_t>(total_writes_ - total_reads_);
+      chunked_ = false;
+      chunk_capacity_ = 0;
+      kernel_.unregister_chunk_flush(this);
+    }
+  }
+  std::size_t chunk_capacity() const override { return chunk_capacity_; }
+
+  /// Kernel flush point (horizons, lookahead waves, blocking paths):
+  /// publishes both sides' pending spans. Returns whether anything was
+  /// published (the kernel re-runs the delta cascade if so).
+  bool flush_chunks() override {
+    const bool wrote = publish_writes();
+    const bool freed = publish_reads();
+    return wrote || freed;
+  }
+
+  /// The channel's concurrency group, for group-filtered flushes inside
+  /// lookahead free-run extensions.
+  SyncDomain* chunk_home_domain() const override {
+    return domain_link_.first_domain();
+  }
 
   std::uint64_t total_writes() const override { return total_writes_; }
   std::uint64_t total_reads() const override { return total_reads_; }
@@ -418,6 +533,152 @@ class SmartFifo final : public FifoInterface<T> {
     event.notify(at - kernel_.now());
   }
 
+  /// Chunked-mode variant: flush points can run from scheduler context at
+  /// a date past the stamped one, so a stale `at` degrades to a delta
+  /// notification instead of underflowing the delay.
+  void schedule_external_chunked(Event& event, Time at) {
+    const Time now = kernel_.now();
+    if (at >= now) {
+      event.notify(at - now);
+    } else {
+      event.notify_delta();
+    }
+  }
+
+  Cell& cell_at(std::uint64_t counter) {
+    return cells_[static_cast<std::size_t>(counter % cells_.size())];
+  }
+
+  /// Chunked write (see the header comment): stamp privately, publish at
+  /// chunk boundaries. The blocking condition reads the serialized totals
+  /// -- exactly the per-element busy_count_ test, so blocking happens (and
+  /// writer_blocks_ counts) precisely when per-element mode blocks.
+  void write_chunked(T value, SyncDomain& domain, LocalClock& clock) {
+    if (total_writes_ == chunk_.produced_published()) {
+      domain_link_.touch(domain);  // once per chunk, not per element
+    }
+    check_side_order(clock, last_write_date_, "write");
+    if (total_writes_ - total_reads_ == cells_.size()) {
+      // Publish both sides before suspending: the blocked span's delta
+      // wake must exist for a reader waiting on internal_data_, and the
+      // reader's next publish is what fires internal_space_ below.
+      flush_chunks();
+      writer_blocks_++;
+      domain.sync(SyncCause::FifoFull);
+      while (total_writes_ - total_reads_ == cells_.size()) {
+        kernel_.wait(internal_space_);
+      }
+      if (!chunked_) {
+        // The mode was switched back to per-element while we were
+        // suspended (set_chunk_capacity reconstructed the cursors before
+        // this element was written); finishing on the chunked tail would
+        // leave them one element behind. Re-dispatch: write() re-checks a
+        // now-false full condition, so nothing double-counts.
+        write(std::move(value));
+        return;
+      }
+    }
+    Cell& cell = cell_at(total_writes_);
+    clock.advance_to(cell.freeing_date);
+    const Time date = clock.now();
+    last_write_date_ = date;
+    cell.data = std::move(value);
+    cell.busy = true;
+    cell.insertion_date = date;
+    total_writes_++;
+    if (total_writes_ - chunk_.produced_published() >= chunk_capacity_) {
+      publish_writes();
+    }
+  }
+
+  /// Chunked read, symmetric to write_chunked().
+  T read_chunked(SyncDomain& domain, LocalClock& clock) {
+    if (total_reads_ == chunk_.consumed_published()) {
+      domain_link_.touch(domain);
+    }
+    check_side_order(clock, last_read_date_, "read");
+    if (total_writes_ == total_reads_) {
+      flush_chunks();
+      reader_blocks_++;
+      domain.sync(SyncCause::FifoEmpty);
+      while (total_writes_ == total_reads_) {
+        kernel_.wait(internal_data_);
+      }
+      if (!chunked_) {
+        // Mode switched away while suspended -- see write_chunked().
+        return read();
+      }
+    }
+    Cell& cell = cell_at(total_reads_);
+    clock.advance_to(cell.insertion_date);
+    const Time date = clock.now();
+    last_read_date_ = date;
+    T value = std::move(cell.data);
+    cell.busy = false;
+    cell.freeing_date = date;
+    total_reads_++;
+    if (total_reads_ - chunk_.consumed_published() >= chunk_capacity_) {
+      publish_reads();
+    }
+    return value;
+  }
+
+  /// One release store for the whole pending write span, one delta wake,
+  /// and the external-view checks per-element ran on every write run once
+  /// against the span's boundary cells.
+  bool publish_writes() {
+    if (total_writes_ == chunk_.produced_published()) {
+      return false;
+    }
+    const std::uint64_t from = chunk_.produced_published();
+    // Transition tests run on the *published* view (what the events have
+    // told observers so far); the published view catches up to the totals
+    // at every cascade iteration, so every empty->nonempty transition
+    // fires here no later than one flush after the truth changed -- at
+    // the same simulated date.
+    const bool was_published_empty = (from == chunk_.consumed_published());
+    chunk_.publish_produced(total_writes_);
+    internal_data_.notify_delta();
+    if (was_published_empty) {
+      // not_empty case 1: data appears at the first published insertion.
+      schedule_external_chunked(not_empty_, cell_at(from).insertion_date);
+    }
+    // not_full case 2: the next write target exists but stays occupied in
+    // real time until its freeing date.
+    if (total_writes_ - chunk_.consumed_published() < cells_.size()) {
+      const Time freeing = cell_at(total_writes_).freeing_date;
+      if (freeing > last_write_date_) {
+        schedule_external_chunked(not_full_, freeing);
+      }
+    }
+    return true;
+  }
+
+  /// Reader-side mirror of publish_writes().
+  bool publish_reads() {
+    if (total_reads_ == chunk_.consumed_published()) {
+      return false;
+    }
+    const std::uint64_t from = chunk_.consumed_published();
+    const bool was_published_full =
+        (chunk_.produced_published() - from == cells_.size());
+    chunk_.publish_consumed(total_reads_);
+    internal_space_.notify_delta();
+    if (was_published_full) {
+      // not_full case 1: space appears at the first published freeing.
+      schedule_external_chunked(not_full_, cell_at(from).freeing_date);
+    }
+    // not_empty case 2: published data remains but only arrives in real
+    // time at its insertion date.
+    if (chunk_.produced_published() != total_reads_) {
+      const Time insertion = cell_at(total_reads_).insertion_date;
+      if (insertion > last_read_date_) {
+        schedule_external_chunked(not_empty_, insertion);
+      }
+    }
+    return true;
+  }
+
   Kernel& kernel_;
   std::string name_;
   std::vector<Cell> cells_;
@@ -453,6 +714,14 @@ class SmartFifo final : public FifoInterface<T> {
   std::uint64_t writer_blocks_ = 0;
   std::uint64_t reader_blocks_ = 0;
   std::uint64_t monitor_queries_ = 0;
+
+  /// Chunked mode (see core/chunk_protocol.h). In chunked mode the
+  /// per-element cursors (first_free_ / first_busy_ / busy_count_) are
+  /// dormant -- the totals are the cursors -- and are reconstructed on
+  /// the way back to per-element mode.
+  bool chunked_ = false;
+  std::size_t chunk_capacity_ = 0;
+  ChunkSpscCore chunk_;
 };
 
 }  // namespace tdsim

@@ -3,6 +3,18 @@
 // access, but "it represents the behavior and the timing of the real system
 // as faithfully as possible" -- the Smart FIFO must match its dates exactly.
 //
+// Chunked mode (set_chunk_capacity >= 2, or the TDSIM_CHUNKED default)
+// batches the data-path sync *accounting*: every access still performs
+// the identical date-faithful synchronization (the timing recurrence of
+// the reference model is untouchable), but only one access per
+// chunk_capacity books the per-cause sync (SyncDomain::sync_unbooked for
+// the rest), and the capacity is forwarded to the underlying Fifo's
+// notification batching. Data-path dates are bit-exact with per-element
+// mode; the syncs_fifo books (and the accuracy signals the adaptive
+// quantum controller derives from them) shrink by the chunk factor. The
+// low-rate probes (is_full / is_empty / get_size) keep full per-access
+// accounting.
+//
 // Also UntimedFifo, the regular FIFO behind the FifoInterface, for the
 // untimed model of the paper's Fig. 5 benchmark.
 #pragma once
@@ -24,6 +36,8 @@ class SyncFifo final : public FifoInterface<T> {
   SyncFifo(Kernel& kernel, std::string name, std::size_t depth)
       : kernel_(kernel), fifo_(kernel, std::move(name), depth) {
     domain_link_.set_label(fifo_.name());
+    // fifo_ adopted the kernel default itself; mirror it on the sync side.
+    chunk_capacity_ = kernel_.default_chunk_capacity();
   }
 
   /// Sync-cause hint for the adaptive quantum controller: the per-access
@@ -43,12 +57,24 @@ class SyncFifo final : public FifoInterface<T> {
   }
 
   void write(T value) override {
-    kernel_.current_domain().sync(data_sync_cause_);
+    SyncDomain& domain = kernel_.current_domain();
+    if (chunk_capacity_ <= 1 || write_accesses_ % chunk_capacity_ == 0) {
+      domain.sync(data_sync_cause_);
+    } else {
+      domain.sync_unbooked();
+    }
+    write_accesses_++;
     fifo_.write(std::move(value));
   }
 
   T read() override {
-    kernel_.current_domain().sync(data_sync_cause_);
+    SyncDomain& domain = kernel_.current_domain();
+    if (chunk_capacity_ <= 1 || read_accesses_ % chunk_capacity_ == 0) {
+      domain.sync(data_sync_cause_);
+    } else {
+      domain.sync_unbooked();
+    }
+    read_accesses_++;
     return fifo_.read();
   }
 
@@ -82,6 +108,14 @@ class SyncFifo final : public FifoInterface<T> {
   std::uint64_t total_writes() const override { return fifo_.total_writes(); }
   std::uint64_t total_reads() const override { return fifo_.total_reads(); }
 
+  /// Chunked sync elision (see the header comment); also forwarded to the
+  /// underlying Fifo's notification batching.
+  void set_chunk_capacity(std::size_t capacity) override {
+    chunk_capacity_ = capacity >= 2 ? capacity : 0;
+    fifo_.set_chunk_capacity(capacity);
+  }
+  std::size_t chunk_capacity() const override { return chunk_capacity_; }
+
   Fifo<T>& underlying() { return fifo_; }
 
  private:
@@ -91,6 +125,10 @@ class SyncFifo final : public FifoInterface<T> {
   Fifo<T> fifo_;
   /// See set_data_sync_cause().
   SyncCause data_sync_cause_ = SyncCause::Explicit;
+  /// Chunked sync elision (0 = sync on every data access).
+  std::size_t chunk_capacity_ = 0;
+  std::uint64_t write_accesses_ = 0;
+  std::uint64_t read_accesses_ = 0;
 };
 
 /// The plain FIFO behind the common interface, for untimed models: accesses
@@ -112,6 +150,15 @@ class UntimedFifo final : public FifoInterface<T> {
   std::size_t depth() const override { return fifo_.depth(); }
   std::uint64_t total_writes() const override { return fifo_.total_writes(); }
   std::uint64_t total_reads() const override { return fifo_.total_reads(); }
+
+  /// Forward to the underlying Fifo's notification batching (there is no
+  /// sync to elide in an untimed model).
+  void set_chunk_capacity(std::size_t capacity) override {
+    fifo_.set_chunk_capacity(capacity);
+  }
+  std::size_t chunk_capacity() const override {
+    return fifo_.chunk_capacity();
+  }
 
   Fifo<T>& underlying() { return fifo_; }
 

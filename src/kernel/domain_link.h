@@ -93,6 +93,15 @@ class DomainLink {
     }
   }
 
+  /// The first domain that ever touched the owning channel, or null
+  /// before any traffic. Every later toucher is merged into its
+  /// concurrency group, so this single domain identifies the channel's
+  /// group (chunked channels report it as their flush home -- see
+  /// Kernel::ChunkFlushListener).
+  SyncDomain* first_domain() const {
+    return first_.load(std::memory_order_relaxed);
+  }
+
   /// Ambient-kernel variant for components not bound to a kernel at
   /// construction (buses, register banks): resolves the calling process's
   /// domain through Kernel::current(); no-op outside a running simulation

@@ -3,6 +3,14 @@
 // thread processes; non-blocking accessors and events serve method
 // processes. This is the channel used by the paper's untimed model and, via
 // SyncFifo, by the "TDless" reference model.
+//
+// Chunked mode (set_chunk_capacity >= 2, or the TDSIM_CHUNKED default):
+// the buffer itself stays immediately visible -- only the data_written /
+// data_read delta notifications are batched, firing on the empty<->non-empty
+// and full<->non-full transitions (the only wake-relevant ones for the
+// blocking loops), every chunk_capacity-th access, and at every kernel
+// flush point (Kernel::ChunkFlushListener). Blocking dates are unchanged;
+// only the number of delta notifications observers see drops.
 #pragma once
 
 #include <cstddef>
@@ -18,7 +26,7 @@
 namespace tdsim {
 
 template <typename T>
-class Fifo {
+class Fifo : public ChunkFlushListener {
  public:
   /// A FIFO with `depth` cells (depth must be at least one, matching a
   /// hardware FIFO).
@@ -31,6 +39,15 @@ class Fifo {
     if (depth_ == 0) {
       Report::error("Fifo " + name_ + ": depth must be >= 1");
     }
+    if (kernel_.default_chunk_capacity() > 1) {
+      set_chunk_capacity(kernel_.default_chunk_capacity());
+    }
+  }
+
+  ~Fifo() override {
+    if (chunk_registered_) {
+      kernel_.unregister_chunk_flush(this);
+    }
   }
 
   /// Blocking write; suspends the calling thread while the FIFO is full.
@@ -42,7 +59,7 @@ class Fifo {
     }
     buffer_.push_back(std::move(value));
     total_writes_++;
-    data_written_.notify_delta();
+    note_written();
   }
 
   /// Blocking read; suspends the calling thread while the FIFO is empty.
@@ -55,7 +72,7 @@ class Fifo {
     T value = std::move(buffer_.front());
     buffer_.pop_front();
     total_reads_++;
-    data_read_.notify_delta();
+    note_read();
     return value;
   }
 
@@ -67,7 +84,7 @@ class Fifo {
     }
     buffer_.push_back(std::move(value));
     total_writes_++;
-    data_written_.notify_delta();
+    note_written();
     return true;
   }
 
@@ -80,7 +97,7 @@ class Fifo {
     out = std::move(buffer_.front());
     buffer_.pop_front();
     total_reads_++;
-    data_read_.notify_delta();
+    note_read();
     return true;
   }
 
@@ -113,6 +130,46 @@ class Fifo {
   }
   Time declared_min_latency() const { return domain_link_.min_latency(); }
 
+  /// Chunked notification batching (see the header comment). A capacity
+  /// >= 2 registers the FIFO as a kernel flush listener; 0 or 1 flushes
+  /// any pending notifications and restores per-access delta notifies.
+  void set_chunk_capacity(std::size_t capacity) {
+    if (capacity >= 2) {
+      chunk_capacity_ = capacity;
+      if (!chunk_registered_) {
+        kernel_.register_chunk_flush(this);
+        chunk_registered_ = true;
+      }
+    } else if (chunk_registered_) {
+      flush_chunks();
+      chunk_capacity_ = 0;
+      kernel_.unregister_chunk_flush(this);
+      chunk_registered_ = false;
+    }
+  }
+  std::size_t chunk_capacity() const { return chunk_capacity_; }
+
+  /// Kernel flush point (horizons, lookahead waves, run() exit): fire the
+  /// batched delta notifications so pollers observe a settled channel.
+  bool flush_chunks() override {
+    bool any = false;
+    if (pending_written_ != 0) {
+      pending_written_ = 0;
+      data_written_.notify_delta();
+      any = true;
+    }
+    if (pending_read_ != 0) {
+      pending_read_ = 0;
+      data_read_.notify_delta();
+      any = true;
+    }
+    return any;
+  }
+
+  SyncDomain* chunk_home_domain() const override {
+    return domain_link_.first_domain();
+  }
+
   // Lifetime access counters, for tests and benchmarks.
   std::uint64_t total_writes() const { return total_writes_; }
   std::uint64_t total_reads() const { return total_reads_; }
@@ -120,6 +177,28 @@ class Fifo {
   std::uint64_t reads_blocked() const { return reads_blocked_; }
 
  private:
+  /// Post-write notification: per access in per-element mode; in chunked
+  /// mode only on the empty->non-empty transition (the wake-relevant one),
+  /// every chunk_capacity_-th pending write, and at kernel flush points.
+  void note_written() {
+    pending_written_++;
+    if (chunk_capacity_ <= 1 || buffer_.size() == 1 ||
+        pending_written_ >= chunk_capacity_) {
+      pending_written_ = 0;
+      data_written_.notify_delta();
+    }
+  }
+
+  /// Post-read analog of note_written() (full->non-full transition).
+  void note_read() {
+    pending_read_++;
+    if (chunk_capacity_ <= 1 || buffer_.size() == depth_ - 1 ||
+        pending_read_ >= chunk_capacity_) {
+      pending_read_ = 0;
+      data_read_.notify_delta();
+    }
+  }
+
   Kernel& kernel_;
   std::string name_;
   std::size_t depth_;
@@ -133,6 +212,11 @@ class Fifo {
   std::uint64_t total_reads_ = 0;
   std::uint64_t writes_blocked_ = 0;
   std::uint64_t reads_blocked_ = 0;
+  /// Chunked notification batching (0 = per-element mode).
+  std::size_t chunk_capacity_ = 0;
+  std::size_t pending_written_ = 0;
+  std::size_t pending_read_ = 0;
+  bool chunk_registered_ = false;
 };
 
 }  // namespace tdsim

@@ -80,6 +80,24 @@ Kernel::Kernel() {
       set_quantum_policy(sync_domain(), QuantumPolicy{});
     }
   }
+  // Opts every channel into chunked transfer (see core/chunk_protocol.h):
+  // a number >= 2 is the chunk capacity, "1" or any other truthy value
+  // picks the default capacity, unset/"0" keeps per-element mode.
+  // Per-channel set_chunk_capacity overrides.
+  if (const char* env = std::getenv("TDSIM_CHUNKED")) {
+    constexpr std::size_t kDefaultChunkCapacity = 16;
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0') {
+      if (value >= 2) {
+        default_chunk_capacity_ = static_cast<std::size_t>(value);
+      } else if (value == 1) {
+        default_chunk_capacity_ = kDefaultChunkCapacity;
+      }
+    } else if (env[0] != '\0') {
+      default_chunk_capacity_ = kDefaultChunkCapacity;
+    }
+  }
 }
 
 Kernel::~Kernel() {
@@ -190,8 +208,87 @@ void Kernel::set_quantum_policy(SyncDomain& domain,
   }
   if (!quantum_controller_) {
     quantum_controller_ = std::make_unique<QuantumController>(*this);
+    if (quantum_trace_depth_ != 0) {
+      quantum_controller_->set_trace_depth(quantum_trace_depth_);
+    }
   }
   quantum_controller_->set_policy(domain, policy);
+}
+
+void Kernel::set_quantum_trace_depth(std::size_t depth) {
+  if (depth == 0) {
+    Report::error("Kernel::set_quantum_trace_depth: depth must be >= 1");
+  }
+  if (active_task() != nullptr) {
+    Report::error("Kernel::set_quantum_trace_depth: cannot resize the "
+                  "decision trace from inside a parallel evaluation round");
+  }
+  quantum_trace_depth_ = depth;
+  if (quantum_controller_) {
+    quantum_controller_->set_trace_depth(depth);
+  }
+}
+
+std::size_t Kernel::quantum_trace_depth() const {
+  return quantum_trace_depth_ != 0 ? quantum_trace_depth_
+                                   : kQuantumTraceDepth;
+}
+
+// --------------------------------------------------------------------------
+// Chunked channels (see core/chunk_protocol.h and ChunkFlushListener)
+// --------------------------------------------------------------------------
+
+void Kernel::register_chunk_flush(ChunkFlushListener* listener) {
+  std::lock_guard<std::mutex> lock(chunk_flush_mutex_);
+  for (ChunkFlushListener* existing : chunk_flush_listeners_) {
+    if (existing == listener) {
+      return;
+    }
+  }
+  chunk_flush_listeners_.push_back(listener);
+  chunk_flush_count_.store(chunk_flush_listeners_.size(),
+                           std::memory_order_relaxed);
+}
+
+void Kernel::unregister_chunk_flush(ChunkFlushListener* listener) {
+  std::lock_guard<std::mutex> lock(chunk_flush_mutex_);
+  chunk_flush_listeners_.erase(
+      std::remove(chunk_flush_listeners_.begin(), chunk_flush_listeners_.end(),
+                  listener),
+      chunk_flush_listeners_.end());
+  chunk_flush_count_.store(chunk_flush_listeners_.size(),
+                           std::memory_order_relaxed);
+}
+
+bool Kernel::flush_chunked_channels() {
+  // Main-loop horizon flush: the workers are quiescent, but a listener's
+  // registration may have raced in from the last round -- take the lock
+  // (uncontended here) rather than reason about it.
+  std::lock_guard<std::mutex> lock(chunk_flush_mutex_);
+  bool any = false;
+  for (ChunkFlushListener* listener : chunk_flush_listeners_) {
+    any = listener->flush_chunks() || any;
+  }
+  return any;
+}
+
+bool Kernel::flush_group_chunks(GroupTask& task) {
+  // Local-wave flush inside a free-running extension: only this group's
+  // channels (both sides of a channel always share one group, so the
+  // flush is serialized with every user of the channel). The lock guards
+  // the *list* against concurrent register/unregister from other groups'
+  // processes; a foreign listener added mid-walk belongs to a foreign
+  // group and is skipped by the group check either way.
+  std::lock_guard<std::mutex> lock(chunk_flush_mutex_);
+  bool any = false;
+  for (ChunkFlushListener* listener : chunk_flush_listeners_) {
+    SyncDomain* home = listener->chunk_home_domain();
+    if (home == nullptr || find_group(home->id()) != task.group) {
+      continue;
+    }
+    any = listener->flush_chunks() || any;
+  }
+  return any;
 }
 
 namespace {
@@ -1540,6 +1637,14 @@ void Kernel::run_local_cascade(GroupTask& task) {
         listener->update();
       }
     }
+    // Per-iteration chunk flush, group-filtered -- the free-running analog
+    // of the main loop's post-update flush (see Kernel::run): keeps this
+    // group's flush-induced delta iterations at the same chain depth as
+    // the sequential schedule, and never lets the local date outrun one of
+    // the group's own unpublished chunks.
+    if (chunk_flush_count_.load(std::memory_order_relaxed) != 0) {
+      flush_group_chunks(task);
+    }
     if (task.delta_notifications.empty() && task.delta_resume.empty()) {
       return;
     }
@@ -1699,6 +1804,18 @@ void Kernel::run(Time until) {
       }
       // Update phase.
       run_update_phase();
+      // Chunked-channel flush, folded into every cascade iteration: a
+      // group's flush-induced notifications enter the iteration right
+      // after its chunks became pending -- a depth determined by the
+      // group's own delta chain, so the lookahead extensions' per-group
+      // cascades (which flush at the same point in run_local_cascade)
+      // line up with the sequential schedule index-for-index and the
+      // prepaid elementwise-max merge stays exact. It also maintains the
+      // chunked-mode invariant: nothing unpublished survives a drained
+      // cascade, so time never advances past a dirty chunk.
+      if (chunk_flush_count_.load(std::memory_order_relaxed) != 0) {
+        flush_chunked_channels();
+      }
       // Delta-notification phase.
       if (!delta_notifications_.empty() || !delta_resume_.empty()) {
         if (prepaid_skip_deltas_ > 0) {

@@ -56,6 +56,28 @@ class UpdateListener {
   virtual void update() = 0;
 };
 
+/// Implemented by channels running in chunked mode (see
+/// core/chunk_protocol.h). The scheduler calls flush_chunks() at every
+/// cascade-drained point *before* simulated time advances -- the global
+/// horizon in run(), and each group-local wave boundary inside a lookahead
+/// free-run extension -- so a partially filled chunk is never outrun by
+/// the date its stamps were made at. That invariant is what keeps chunked
+/// data-path dates bit-exact with per-element mode.
+class ChunkFlushListener {
+ public:
+  virtual ~ChunkFlushListener() = default;
+  /// Publishes any partially filled chunk on either side. Returns true
+  /// when something was published (publishing queues delta notifications,
+  /// so the scheduler re-enters the cascade).
+  virtual bool flush_chunks() = 0;
+  /// A domain identifying the channel's concurrency group (a channel's
+  /// sides are always merged into one group), or null before any traffic
+  /// touched the channel -- there is nothing to flush then. Free-running
+  /// extension workers use this to flush their own group's channels
+  /// without touching a foreign group's.
+  virtual SyncDomain* chunk_home_domain() const = 0;
+};
+
 /// Options for spawning a thread process.
 struct ThreadOptions {
   std::size_t stack_size = 256 * 1024;
@@ -208,6 +230,28 @@ class Kernel {
   /// groups differ. Mainly for tests and diagnostics.
   std::size_t domain_group(const SyncDomain& domain) const;
 
+  // --- chunked channels (see core/chunk_protocol.h) ---
+
+  /// Registers a channel running in chunked mode; the scheduler flushes
+  /// it at every cascade-drained point before time advances. Channels
+  /// call this when entering chunked mode (set_chunk_capacity > 1) and
+  /// unregister when leaving it or on destruction. Registration order is
+  /// the deterministic flush order. Safe from inside a parallel round.
+  void register_chunk_flush(ChunkFlushListener* listener);
+  void unregister_chunk_flush(ChunkFlushListener* listener);
+
+  /// Chunk capacity channels adopt at construction: 0 or 1 means
+  /// per-element mode (the default -- existing models and baselines are
+  /// bit-identical), >= 2 opts every new channel into chunked transfer
+  /// with that capacity. Seeded from $TDSIM_CHUNKED ("1" or a non-numeric
+  /// truthy value picks the default capacity of 16, a number >= 2 is the
+  /// capacity, unset/"0" stays per-element); per-channel
+  /// set_chunk_capacity overrides either way.
+  std::size_t default_chunk_capacity() const { return default_chunk_capacity_; }
+  void set_default_chunk_capacity(std::size_t capacity) {
+    default_chunk_capacity_ = capacity;
+  }
+
   // --- synchronization domains ---
 
   /// Creates a new synchronization domain with its own quantum policy and
@@ -251,9 +295,20 @@ class Kernel {
   const QuantumDecision* last_quantum_decision(const SyncDomain& domain) const;
 
   /// The domain's recent adaptive decisions, oldest first -- the last
-  /// kQuantumTraceDepth of them (see kernel/quantum_controller.h). Empty
-  /// before the first decision or when the domain never had a policy.
+  /// quantum_trace_depth() of them (see kernel/quantum_controller.h).
+  /// Empty before the first decision or when the domain never had a
+  /// policy.
   std::vector<QuantumDecision> decision_trace(const SyncDomain& domain) const;
+
+  /// Sets how many recent decisions every domain's trace ring keeps
+  /// (default kQuantumTraceDepth = 8). Raising it is the phase-mining
+  /// prerequisite: offline analysis wants whole episodes, not the last
+  /// eight records. Takes effect immediately on every existing ring,
+  /// preserving the newest min(old, new) decisions; pointers previously
+  /// returned by last_quantum_decision() are invalidated. Must be >= 1;
+  /// only callable with no parallel round in flight.
+  void set_quantum_trace_depth(std::size_t depth);
+  std::size_t quantum_trace_depth() const;
 
   /// The kernel's default synchronization domain: quantum policy,
   /// current-process temporal-decoupling operations, and per-cause sync
@@ -548,6 +603,16 @@ class Kernel {
   /// Moves newly buffered timed requests that fall inside the task's
   /// window from task.timed into the sorted agenda.
   void absorb_local_timed(GroupTask& task);
+  /// Publishes every registered chunked channel's pending chunks; run()
+  /// calls it once per delta-cascade iteration, after the update phase
+  /// (see ChunkFlushListener). Returns true when anything was published.
+  bool flush_chunked_channels();
+  /// Per-group analog, called at the same per-iteration point of a
+  /// free-running extension's local cascade: flushes only channels of
+  /// `task`'s concurrency group (a foreign group's channel state belongs
+  /// to another worker), keeping each group's flush-induced deltas at the
+  /// chain depth the sequential schedule gives them.
+  bool flush_group_chunks(GroupTask& task);
   /// Slow path of now() while an extension is in flight.
   Time resolve_now() const;
   /// The one concurrency group all of `e`'s waiters belong to, or nullopt
@@ -714,6 +779,23 @@ class Kernel {
   /// TDSIM_ADAPTIVE_QUANTUM was set: every domain gets a default policy
   /// at creation.
   bool env_adaptive_ = false;
+  /// See set_quantum_trace_depth(); 0 = the controller default
+  /// (kQuantumTraceDepth), stored here until the controller exists.
+  std::size_t quantum_trace_depth_ = 0;
+
+  /// Chunked channels currently registered for horizon flushing, in
+  /// registration order (the deterministic flush order). Guarded by
+  /// chunk_flush_mutex_: channels may enter/leave chunked mode from a
+  /// process inside a parallel round while an extension worker walks the
+  /// list. Empty on every kernel that never opts a channel in -- the
+  /// scheduler then pays one empty() check per horizon.
+  std::vector<ChunkFlushListener*> chunk_flush_listeners_;
+  mutable std::mutex chunk_flush_mutex_;
+  /// Lock-free emptiness pre-check for the per-wave flush points (a
+  /// worker may probe while another group's process registers a channel).
+  std::atomic<std::size_t> chunk_flush_count_{0};
+  /// See default_chunk_capacity().
+  std::size_t default_chunk_capacity_ = 0;
 };
 
 /// Free-function conveniences mirroring SystemC's global wait()/time API.

@@ -121,6 +121,15 @@ void SyncDomain::sync(SyncCause cause) {
   perform_sync_in(ctx, ctx.process->clock(), cause);
 }
 
+void SyncDomain::sync_unbooked() {
+  const SyncContext ctx = kernel_.sync_context();
+  if (ctx.process == nullptr) {
+    Report::error("temporal decoupling used outside of a simulation process");
+  }
+  perform_sync_in(ctx, ctx.process->clock(), SyncCause::Explicit,
+                  /*book=*/false);
+}
+
 void SyncDomain::inc_and_sync_if_needed(Time duration, SyncCause cause) {
   // The loosely-timed hot path: one thread-local read resolves the
   // process, its clock and the counter sink for the whole operation.
@@ -200,28 +209,39 @@ void SyncDomain::perform_sync(LocalClock& clock, SyncCause cause) {
 }
 
 void SyncDomain::perform_sync_in(const SyncContext& ctx, LocalClock& clock,
-                                 SyncCause cause) {
+                                 SyncCause cause, bool book) {
   Process& p = clock.owner();
   // A sync through a foreign domain would apply the wrong quantum policy
   // and book the switch against the wrong subsystem.
   require_member(p);
-  // Only the owning domain's entry is touched per event; the kernel-wide
-  // aggregate is folded from the domain entries when stats() is read (the
-  // stale mark tells it to).
-  ctx.stats->sync_aggregates_stale = 1;
-  DomainStats& domain_stats = ctx.stats->domains[id_];
-  domain_stats.sync_requests++;
   const Time offset = clock.offset();
-  if (offset.is_zero()) {
-    domain_stats.syncs_elided++;
-    return;
+  if (book) {
+    // Only the owning domain's entry is touched per event; the
+    // kernel-wide aggregate is folded from the domain entries when
+    // stats() is read (the stale mark tells it to).
+    ctx.stats->sync_aggregates_stale = 1;
+    DomainStats& domain_stats = ctx.stats->domains[id_];
+    domain_stats.sync_requests++;
+    if (offset.is_zero()) {
+      domain_stats.syncs_elided++;
+      return;
+    }
+    if (p.kind() == ProcessKind::Method) {
+      Report::error("sync() called from method process '" + p.name() +
+                    "' with a non-zero local offset; use "
+                    "method_sync_trigger() instead");
+    }
+    domain_stats.syncs_by_cause[static_cast<std::size_t>(cause)]++;
+  } else {
+    if (offset.is_zero()) {
+      return;
+    }
+    if (p.kind() == ProcessKind::Method) {
+      Report::error("sync() called from method process '" + p.name() +
+                    "' with a non-zero local offset; use "
+                    "method_sync_trigger() instead");
+    }
   }
-  if (p.kind() == ProcessKind::Method) {
-    Report::error("sync() called from method process '" + p.name() +
-                  "' with a non-zero local offset; use "
-                  "method_sync_trigger() instead");
-  }
-  domain_stats.syncs_by_cause[static_cast<std::size_t>(cause)]++;
   clock.set_offset(Time{});
   kernel_.wait_for(p, offset);
 }

@@ -1,0 +1,267 @@
+// Chunked channel modes (core/chunk_protocol.h): cross-domain SmartFifo
+// transfer under lookahead free-running stays bit-exact with per-element
+// mode and with itself across worker counts, mid-run mode switches are
+// clean, partial chunks flush at horizons and at run() exit, and the
+// SyncFifo / Fifo chunked modes batch their accounting without moving a
+// date.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/smart_fifo.h"
+#include "core/sync_fifo.h"
+#include "kernel/fifo.h"
+#include "kernel/kernel.h"
+#include "kernel/sync_domain.h"
+
+namespace tdsim {
+namespace {
+
+/// What must not move between chunked and per-element mode: every date
+/// and every blocking decision. (Delta-cycle and notification counts do
+/// legitimately shrink with batching, so they are compared only across
+/// worker counts within one mode, never across modes.)
+struct DateTrace {
+  Time end;
+  std::uint64_t writer_blocks = 0;
+  std::uint64_t reader_blocks = 0;
+  std::vector<Time> dates;
+};
+
+void expect_dates_equal(const DateTrace& a, const DateTrace& b,
+                        const std::string& what) {
+  EXPECT_EQ(a.end, b.end) << what;
+  EXPECT_EQ(a.writer_blocks, b.writer_blocks) << what;
+  EXPECT_EQ(a.reader_blocks, b.reader_blocks) << what;
+  EXPECT_EQ(a.dates, b.dates) << what;
+}
+
+/// The scheduler-level fingerprint that must be identical across worker
+/// counts within one mode (chunked or not): the parallel schedule may
+/// never change what the sequential one computes.
+struct SchedulerTrace {
+  std::uint64_t delta_cycles = 0;
+  std::uint64_t timed_waves = 0;
+  std::uint64_t context_switches = 0;
+  std::uint64_t event_triggers = 0;
+  std::uint64_t lookahead_advances = 0;
+};
+
+struct ClusterRun {
+  DateTrace dates;
+  SchedulerTrace sched;
+};
+
+/// Independent producer/consumer clusters, one cross-domain SmartFifo
+/// each (the test_lookahead shape): groups free-run past the global
+/// horizon, so chunk flushes happen inside lookahead extensions as well
+/// as in the main loop. `chunk_capacity` 1 pins per-element mode even
+/// when the TDSIM_CHUNKED env default is active, making the reference
+/// side of the comparisons environment-proof.
+ClusterRun run_clusters(std::size_t workers, std::size_t chunk_capacity,
+                        std::size_t writes_per_cluster = 40,
+                        std::size_t switch_capacity_at = 0) {
+  Kernel k;
+  k.set_workers(workers);
+  k.set_lookahead_limit(64);
+  struct Cluster {
+    SyncDomain* producer_side;
+    SyncDomain* consumer_side;
+    std::unique_ptr<SmartFifo<int>> fifo;
+    std::vector<Time> dates;
+  };
+  constexpr std::size_t kClusters = 3;
+  std::vector<Cluster> clusters(kClusters);
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    Cluster& cluster = clusters[c];
+    const std::string suffix = std::to_string(c);
+    cluster.producer_side =
+        &k.create_domain("chp" + suffix, 40_ns, /*concurrent=*/true);
+    cluster.consumer_side =
+        &k.create_domain("chc" + suffix, 300_ns, /*concurrent=*/true);
+    cluster.fifo = std::make_unique<SmartFifo<int>>(k, "chf" + suffix, 3);
+    cluster.fifo->set_chunk_capacity(chunk_capacity);
+    cluster.fifo->declare_cell_latency(40_ns);
+    ThreadOptions popts;
+    popts.domain = cluster.producer_side;
+    k.spawn_thread("producer" + suffix,
+                   [&k, &cluster, c, writes_per_cluster, switch_capacity_at,
+                    chunk_capacity] {
+      for (std::size_t i = 0; i < writes_per_cluster; ++i) {
+        if (switch_capacity_at != 0 && i == switch_capacity_at) {
+          // Mid-run mode switch from a process serialized with both
+          // sides: element -> chunked on even clusters, chunked ->
+          // element on odd ones (both directions must be clean).
+          cluster.fifo->set_chunk_capacity(
+              c % 2 == 0 ? chunk_capacity : 1);
+        }
+        k.current_domain().inc(
+            (i % 5 + 1 + static_cast<int>(c)) * 3_ns);
+        cluster.fifo->write(static_cast<int>(i));
+      }
+    }, popts);
+    ThreadOptions copts;
+    copts.domain = cluster.consumer_side;
+    k.spawn_thread("consumer" + suffix,
+                   [&k, &cluster, c, writes_per_cluster] {
+      for (std::size_t i = 0; i < writes_per_cluster; ++i) {
+        const int v = cluster.fifo->read();
+        k.current_domain().inc((i % 3 + 1 + static_cast<int>(c)) * 4_ns);
+        cluster.dates.push_back(k.current_domain().local_time_stamp());
+        if (v != static_cast<int>(i)) {
+          cluster.dates.push_back(Time::max());  // corruption marker
+        }
+      }
+    }, copts);
+  }
+  k.run();
+  ClusterRun result;
+  result.dates.end = k.now();
+  const KernelStats& stats = k.stats();
+  result.sched.delta_cycles = stats.delta_cycles;
+  result.sched.timed_waves = stats.timed_waves;
+  result.sched.context_switches = stats.context_switches;
+  result.sched.event_triggers = stats.event_triggers;
+  result.sched.lookahead_advances = stats.lookahead_advances;
+  for (Cluster& cluster : clusters) {
+    result.dates.writer_blocks += cluster.fifo->writer_blocks();
+    result.dates.reader_blocks += cluster.fifo->reader_blocks();
+    result.dates.dates.insert(result.dates.dates.end(),
+                              cluster.dates.begin(), cluster.dates.end());
+  }
+  return result;
+}
+
+TEST(ChunkedFifo, ChunkedDatesMatchPerElementMode) {
+  const ClusterRun element = run_clusters(0, 1);
+  for (std::size_t capacity : {2u, 5u, 16u, 64u}) {
+    const ClusterRun chunked = run_clusters(0, capacity);
+    expect_dates_equal(element.dates, chunked.dates,
+                       "capacity=" + std::to_string(capacity));
+  }
+}
+
+TEST(ChunkedFifo, ChunkedBitExactAcrossWorkersUnderFreeRun) {
+  const ClusterRun sequential = run_clusters(0, 16);
+  EXPECT_EQ(sequential.sched.lookahead_advances, 0u);
+  for (std::size_t workers : {1u, 2u, 4u}) {
+    const ClusterRun parallel = run_clusters(workers, 16);
+    const std::string what = "workers=" + std::to_string(workers);
+    expect_dates_equal(sequential.dates, parallel.dates, what);
+    EXPECT_EQ(sequential.sched.delta_cycles, parallel.sched.delta_cycles)
+        << what;
+    EXPECT_EQ(sequential.sched.timed_waves, parallel.sched.timed_waves)
+        << what;
+    EXPECT_EQ(sequential.sched.context_switches,
+              parallel.sched.context_switches)
+        << what;
+    EXPECT_EQ(sequential.sched.event_triggers, parallel.sched.event_triggers)
+        << what;
+    if (workers >= 2) {
+      // The chunked clusters must actually have free-run past the global
+      // horizon (flushing partial chunks inside the extensions), not
+      // fallen back to the barrier.
+      EXPECT_GT(parallel.sched.lookahead_advances, 0u) << what;
+    }
+  }
+}
+
+TEST(ChunkedFifo, MidRunCapacitySwitchKeepsDatesExact) {
+  const ClusterRun element = run_clusters(0, 1);
+  for (std::size_t workers : {0u, 2u}) {
+    const ClusterRun switched =
+        run_clusters(workers, 16, 40, /*switch_capacity_at=*/20);
+    expect_dates_equal(element.dates, switched.dates,
+                       "mid-run switch, workers=" + std::to_string(workers));
+  }
+}
+
+TEST(ChunkedFifo, PartialChunksFlushAtHorizonsAndRunExit) {
+  // 37 writes with capacity 64: no write ever reaches a chunk boundary,
+  // so every element the consumer sees was published by a flush point
+  // (cascade iterations, lookahead waves, or the blocking paths). The
+  // run completing with exact dates is the assertion -- an unflushed
+  // chunk would leave the consumer suspended forever.
+  const ClusterRun element = run_clusters(0, 1, 37);
+  for (std::size_t workers : {0u, 2u}) {
+    const ClusterRun chunked = run_clusters(workers, 64, 37);
+    expect_dates_equal(element.dates, chunked.dates,
+                       "partial chunks, workers=" + std::to_string(workers));
+  }
+}
+
+/// SyncFifo chunked mode: every access still synchronizes date-faithfully
+/// (end dates identical), but only one access per chunk books the
+/// per-cause sync.
+TEST(ChunkedFifo, SyncFifoChunkingBatchesSyncBooksNotDates) {
+  const auto run = [](std::size_t capacity) {
+    Kernel k;
+    SyncDomain& prod = k.create_domain("sfp", 100_ns);
+    SyncDomain& cons = k.create_domain("sfc", 100_ns);
+    SyncFifo<int> fifo(k, "sf_chunk", 4);
+    fifo.set_chunk_capacity(capacity);
+    ThreadOptions popts;
+    popts.domain = &prod;
+    k.spawn_thread("sf_writer", [&] {
+      for (int i = 0; i < 200; ++i) {
+        k.current_domain().inc(7_ns);
+        fifo.write(i);
+      }
+    }, popts);
+    ThreadOptions copts;
+    copts.domain = &cons;
+    k.spawn_thread("sf_reader", [&] {
+      for (int i = 0; i < 200; ++i) {
+        EXPECT_EQ(fifo.read(), i);
+        k.current_domain().inc(9_ns);
+      }
+    }, copts);
+    k.run();
+    return std::pair<Time, std::uint64_t>{
+        k.now(), prod.syncs(SyncCause::Explicit) +
+                     cons.syncs(SyncCause::Explicit)};
+  };
+  const auto [element_end, element_syncs] = run(1);
+  const auto [chunked_end, chunked_syncs] = run(8);
+  EXPECT_EQ(element_end, chunked_end);
+  EXPECT_GT(element_syncs, 0u);
+  // One booked sync per 8 accesses instead of per access (the rest run
+  // as sync_unbooked: same suspension, no per-cause entry).
+  EXPECT_LT(chunked_syncs, element_syncs / 4);
+}
+
+/// Plain kernel Fifo chunked mode: notification batching only -- data
+/// order, completion and the (untimed) end date are unchanged.
+TEST(ChunkedFifo, PlainFifoChunkingKeepsOrderAndEndDate) {
+  const auto run = [](std::size_t capacity) {
+    Kernel k;
+    Fifo<int> fifo(k, "pf_chunk", 4);
+    fifo.set_chunk_capacity(capacity);
+    std::uint64_t sum = 0;
+    k.spawn_thread("pf_writer", [&] {
+      for (int i = 0; i < 100; ++i) {
+        fifo.write(i);
+        k.wait(3_ns);
+      }
+    });
+    k.spawn_thread("pf_reader", [&] {
+      for (int i = 0; i < 100; ++i) {
+        const int v = fifo.read();
+        EXPECT_EQ(v, i);
+        sum += static_cast<std::uint64_t>(v);
+        k.wait(5_ns);
+      }
+    });
+    k.run();
+    return std::pair<Time, std::uint64_t>{k.now(), sum};
+  };
+  const auto [element_end, element_sum] = run(1);
+  const auto [chunked_end, chunked_sum] = run(16);
+  EXPECT_EQ(element_end, chunked_end);
+  EXPECT_EQ(element_sum, chunked_sum);
+}
+
+}  // namespace
+}  // namespace tdsim

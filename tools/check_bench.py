@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Benchmark regression gate for the BENCH_*.json files the benches emit.
 
-Two checks, run by CI's perf-gate job (see .github/workflows/ci.yml):
+Five checks, run by CI's perf-gate job (see .github/workflows/ci.yml):
 
 1. Determinism vs committed baseline (bench/baselines/): every numeric
    field except wall-clock ones must match the baseline bit-for-bit.
@@ -48,6 +48,19 @@ Two checks, run by CI's perf-gate job (see .github/workflows/ci.yml):
    (the controller disables free-running, see above). The gate is skipped
    when the machine cannot express parallelism (fewer than two cores, see
    --cores) or when the reference sum is below the noise floor.
+
+5. Chunked-channel speedup gate: rows carrying a "chunk_mode" field
+   (bench_fifo_ops --json) form a chunked-vs-per-element comparison. The
+   summed wall of the chunked rows flagged "wide" must beat the element
+   wide rows' sum by at least --chunked-speedup (default 0.10): batching
+   the per-element notifications and sync books has to actually pay on
+   the wide-FIFO sweep, where blocking is rare and the per-op overhead
+   dominates. Narrow (non-wide) rows are informational only -- they are
+   blocking-dominated, so batching has nothing to amortize there. The
+   gate is skipped when the element reference is below the noise floor.
+   The rows' deterministic fields (dates, block and sync counts) are
+   covered by check 1, which is what holds chunked mode to per-element
+   bit-exactness on every push.
 
 Wall-clock fields (any key containing "wall" or "seconds") are never
 compared against the baseline: baselines are committed from whatever
@@ -178,6 +191,35 @@ def check_speedup(name, rows, min_speedup, min_ref_wall, cores, out):
     return 0 if verdict == "ok  " else 1
 
 
+def check_chunked_speedup(name, rows, min_speedup, min_ref_wall, out):
+    """Chunked rows must beat per-element rows on the wide-FIFO sweep."""
+    flagged = [r for r in rows
+               if "chunk_mode" in r and "wall_seconds" in r]
+    if not flagged:
+        return 0
+    sums = {}
+    for row in flagged:
+        if not row.get("wide"):
+            continue  # narrow FIFOs are blocking-dominated, not gated
+        sums.setdefault(row["chunk_mode"], 0.0)
+        sums[row["chunk_mode"]] += row["wall_seconds"]
+    element = sums.get("element", 0.0)
+    chunked = sums.get("chunked")
+    if chunked is None or element == 0.0:
+        return 0
+    if element < min_ref_wall:
+        out.append(f"skip {name}: element wide wall {element:.3f}s below "
+                   f"{min_ref_wall}s noise floor, chunked gate not applied")
+        return 0
+    speedup = element / chunked if chunked > 0 else float("inf")
+    required = 1.0 / (1.0 - min_speedup)
+    verdict = "ok  " if speedup >= required else "FAIL"
+    out.append(f"{verdict} {name}: chunked wide wall {chunked:.3f}s, "
+               f"{speedup:.2f}x over element ({element:.3f}s), floor "
+               f"{required:.2f}x")
+    return 0 if verdict == "ok  " else 1
+
+
 def check_adaptive_walls(name, rows, min_throughput, min_ref_wall, out):
     """Adaptive rows vs the best fixed row of their comparison group."""
     flagged = [r for r in rows
@@ -259,6 +301,10 @@ def main():
                         help="cores available to the benched run; the "
                         "speedup gate is skipped below 2 (default: this "
                         "machine's count)")
+    parser.add_argument("--chunked-speedup", type=float, default=0.10,
+                        help="fractional wall improvement the chunked "
+                        "rows must show over the per-element rows on the "
+                        "wide-FIFO sweep (default 0.10)")
     parser.add_argument("--adaptive-throughput", type=float, default=0.9,
                         help="fraction of the best fixed-quantum row's "
                         "wall-clock throughput every adaptive row must "
@@ -284,6 +330,8 @@ def main():
                                        args.min_ref_wall, out)
         failures += check_speedup(name, rows, args.min_speedup,
                                   args.min_ref_wall, args.cores, out)
+        failures += check_chunked_speedup(name, rows, args.chunked_speedup,
+                                          args.min_ref_wall, out)
         failures += check_adaptive_walls(name, rows, args.adaptive_throughput,
                                          args.min_ref_wall, out)
 
