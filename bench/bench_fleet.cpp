@@ -1,0 +1,316 @@
+// Fleet benchmark: simulation-as-a-service throughput (README "Fleet /
+// scheduler"). One platform is warmed once through Kernel::build() steps,
+// snapshotted, and forked into many scenario variants -- each variant
+// grafts a scenario-specific pipeline at the warm point (ForkOptions::
+// diverge) and runs to completion on the process-wide Scheduler, several
+// forks alive at once with interleaved run() windows.
+//
+// Every scenario is verified in-bench against a cold standalone kernel
+// built with the same steps: end date, delta count, and the consumed-word
+// checksum must match bit-for-bit, or the bench exits 1 before writing
+// anything. The cold pass doubles as the throughput reference.
+//
+// `bench_fleet --json [--scenarios N] [--words N]` writes BENCH_fleet.json:
+// a "fork" and a "cold" summary row (shared deterministic digest, separate
+// walls) plus a few per-scenario sample rows. CI's perf-gate feeds the
+// file to tools/check_bench.py, which holds the deterministic fields to
+// the committed baseline and requires the fork path to reach
+// --fleet-throughput of the cold path's scenarios/sec.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "core/smart_fifo.h"
+#include "kernel/kernel.h"
+#include "kernel/snapshot.h"
+#include "kernel/sync_domain.h"
+
+namespace {
+
+using tdsim::ForkOptions;
+using tdsim::Kernel;
+using tdsim::KernelConfig;
+using tdsim::SmartFifo;
+using tdsim::Snapshot;
+using tdsim::SyncDomain;
+using tdsim::ThreadOptions;
+using tdsim::Time;
+using namespace tdsim::time_literals;
+
+/// Per-kernel, per-pipeline model state, looked up by kernel address so
+/// that build steps replayed into forks construct fresh state (same
+/// discipline as tests/test_snapshot.cpp). Slots must be dropped before
+/// their kernel dies: channel destructors touch the kernel.
+struct PipeState {
+  std::unique_ptr<SmartFifo<int>> fifo;
+  std::uint32_t checksum = 0;
+  std::uint64_t consumed = 0;
+};
+
+struct Model {
+  std::map<std::string, PipeState> pipes;
+};
+
+struct ModelRegistry {
+  std::map<const Kernel*, Model> slots;
+  Model& of(const Kernel& k) { return slots[&k]; }
+  void drop(const Kernel& k) { slots.erase(&k); }
+};
+
+ModelRegistry g_models;
+
+/// One replayable platform component: a producer/consumer pair over a
+/// Smart FIFO in two concurrent domains, transfer length `words`.
+void build_pipeline(Kernel& k, const std::string& tag, int words) {
+  k.build([tag, words](Kernel& kk) {
+    PipeState& state = g_models.of(kk).pipes[tag];
+    SyncDomain& prod = kk.create_domain(
+        {.name = tag + "_prod", .quantum = 40_ns, .concurrent = true});
+    SyncDomain& cons = kk.create_domain(
+        {.name = tag + "_cons", .quantum = 300_ns, .concurrent = true});
+    state.fifo = std::make_unique<SmartFifo<int>>(kk, tag + "_fifo", 4);
+    SmartFifo<int>* fifo = state.fifo.get();
+    ThreadOptions popts;
+    popts.domain = &prod;
+    kk.spawn_thread(tag + "_producer", [&kk, fifo, words] {
+      for (int i = 0; i < words; ++i) {
+        kk.current_domain().inc((i % 5 + 1) * 3_ns);
+        fifo->write(i);
+      }
+    }, popts);
+    ThreadOptions copts;
+    copts.domain = &cons;
+    kk.spawn_thread(tag + "_consumer", [&kk, fifo, &state, words] {
+      for (int i = 0; i < words; ++i) {
+        state.checksum = state.checksum * 31 +
+                         static_cast<std::uint32_t>(fifo->read());
+        state.consumed++;
+        kk.current_domain().inc((i % 3 + 1) * 4_ns);
+      }
+    }, copts);
+  });
+}
+
+/// The shared platform: three pipelines warmed together. Scenario
+/// pipelines graft on top of this at the warm point.
+void build_platform(Kernel& k, int words) {
+  build_pipeline(k, "cpu", words);
+  build_pipeline(k, "dma", words / 2);
+  build_pipeline(k, "io", words / 4);
+}
+
+int scenario_words(int scenario, int words) {
+  return words / 4 + scenario % 7;
+}
+
+struct ScenarioResult {
+  std::uint64_t end_ps = 0;
+  std::uint64_t delta_cycles = 0;
+  std::uint32_t checksum = 0;
+  std::uint64_t consumed = 0;
+
+  void capture(const Kernel& k) {
+    end_ps = k.now().ps();
+    delta_cycles = k.stats().delta_cycles;
+    checksum = 0;
+    consumed = 0;
+    for (const auto& [tag, state] : g_models.of(k).pipes) {
+      checksum = checksum * 16777619u + state.checksum;
+      consumed += state.consumed;
+    }
+  }
+
+  bool operator==(const ScenarioResult& o) const {
+    return end_ps == o.end_ps && delta_cycles == o.delta_cycles &&
+           checksum == o.checksum && consumed == o.consumed;
+  }
+};
+
+/// Cold reference: the scenario's full construction from scratch, warm-up
+/// included, in a standalone kernel.
+ScenarioResult run_cold(int scenario, int words, Time warm_slice) {
+  Kernel k(KernelConfig{.workers = 2});
+  build_platform(k, words);
+  k.run(warm_slice);
+  build_pipeline(k, "scn" + std::to_string(scenario),
+                 scenario_words(scenario, words));
+  k.run();
+  ScenarioResult result;
+  result.capture(k);
+  g_models.drop(k);
+  return result;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+int json_main(int scenarios, int words) {
+  // Mid-flight for the default --words 64 platform (natural end ~600 ns),
+  // so forks genuinely replay a half-run schedule, not a finished one.
+  constexpr Time kWarmSlice = 300_ns;
+  constexpr int kBatch = 4;  // forks alive at once, run windows interleaved
+
+  // Warm the platform once and snapshot it; every scenario starts here.
+  Kernel warm(KernelConfig{.workers = 2});
+  build_platform(warm, words);
+  warm.run(kWarmSlice);
+  const Snapshot snap = warm.snapshot();
+
+  std::vector<ScenarioResult> fork_results(
+      static_cast<std::size_t>(scenarios));
+  const auto fork_start = std::chrono::steady_clock::now();
+  for (int base = 0; base < scenarios; base += kBatch) {
+    const int batch = std::min(kBatch, scenarios - base);
+    std::vector<std::unique_ptr<Kernel>> fleet;
+    for (int i = 0; i < batch; ++i) {
+      const int scenario = base + i;
+      ForkOptions options;
+      options.diverge = [scenario, words](Kernel& kk) {
+        build_pipeline(kk, "scn" + std::to_string(scenario),
+                       scenario_words(scenario, words));
+      };
+      fleet.push_back(Kernel::fork(snap, std::move(options)));
+    }
+    // Interleaved windows: every fork advances one slice before any
+    // finishes, so the batch's kernels genuinely coexist as Scheduler
+    // clients mid-run.
+    for (auto& kernel : fleet) {
+      kernel->run(kWarmSlice + 500_ns);
+    }
+    for (int i = 0; i < batch; ++i) {
+      fleet[static_cast<std::size_t>(i)]->run();
+      fork_results[static_cast<std::size_t>(base + i)].capture(
+          *fleet[static_cast<std::size_t>(i)]);
+    }
+    for (auto& kernel : fleet) {
+      g_models.drop(*kernel);
+    }
+  }
+  const double fork_wall = seconds_since(fork_start);
+
+  // Cold pass: every scenario rebuilt standalone -- the bit-exactness
+  // reference and the throughput reference in one.
+  int mismatches = 0;
+  const auto cold_start = std::chrono::steady_clock::now();
+  for (int scenario = 0; scenario < scenarios; ++scenario) {
+    const ScenarioResult cold = run_cold(scenario, words, kWarmSlice);
+    if (!(cold == fork_results[static_cast<std::size_t>(scenario)])) {
+      const ScenarioResult& fork = fork_results[
+          static_cast<std::size_t>(scenario)];
+      std::fprintf(stderr,
+                   "ERROR: scenario %d diverged: fork end=%llu deltas=%llu "
+                   "checksum=%u consumed=%llu vs cold end=%llu deltas=%llu "
+                   "checksum=%u consumed=%llu\n",
+                   scenario,
+                   static_cast<unsigned long long>(fork.end_ps),
+                   static_cast<unsigned long long>(fork.delta_cycles),
+                   fork.checksum,
+                   static_cast<unsigned long long>(fork.consumed),
+                   static_cast<unsigned long long>(cold.end_ps),
+                   static_cast<unsigned long long>(cold.delta_cycles),
+                   cold.checksum,
+                   static_cast<unsigned long long>(cold.consumed));
+      mismatches++;
+    }
+  }
+  const double cold_wall = seconds_since(cold_start);
+  if (mismatches != 0) {
+    std::fprintf(stderr, "ERROR: %d of %d scenarios diverged from their "
+                 "cold runs\n", mismatches, scenarios);
+    return 1;
+  }
+
+  // Fleet digest: one number covering every scenario's deterministic
+  // result, so the committed baseline pins the whole fleet.
+  std::uint64_t digest = 14695981039346656037ull;
+  std::uint64_t end_ps_sum = 0;
+  std::uint64_t delta_sum = 0;
+  for (const ScenarioResult& r : fork_results) {
+    for (std::uint64_t v : {r.end_ps, r.delta_cycles,
+                            static_cast<std::uint64_t>(r.checksum),
+                            r.consumed}) {
+      digest = (digest ^ v) * 1099511628211ull;
+    }
+    end_ps_sum += r.end_ps;
+    delta_sum += r.delta_cycles;
+  }
+
+  const double fork_rate = fork_wall > 0 ? scenarios / fork_wall : 0.0;
+  const double cold_rate = cold_wall > 0 ? scenarios / cold_wall : 0.0;
+  std::printf("fleet: %d scenarios, all bit-identical to cold runs\n",
+              scenarios);
+  std::printf("%6s | %10s | %14s\n", "path", "wall[s]", "scenarios/s");
+  std::printf("%6s | %10.3f | %14.1f\n", "fork", fork_wall, fork_rate);
+  std::printf("%6s | %10.3f | %14.1f\n", "cold", cold_wall, cold_rate);
+
+  benchjson::Report report("fleet");
+  report.row()
+      .add("fleet_mode", std::string("fork"))
+      .add("scenarios", static_cast<std::uint64_t>(scenarios))
+      .add("words", static_cast<std::uint64_t>(words))
+      .add("digest", digest)
+      .add("end_ps_sum", end_ps_sum)
+      .add("delta_cycles_sum", delta_sum)
+      .add("wall_seconds", fork_wall)
+      .add("scenarios_per_wall_sec", fork_rate);
+  report.row()
+      .add("fleet_mode", std::string("cold"))
+      .add("scenarios", static_cast<std::uint64_t>(scenarios))
+      .add("words", static_cast<std::uint64_t>(words))
+      .add("digest", digest)
+      .add("end_ps_sum", end_ps_sum)
+      .add("delta_cycles_sum", delta_sum)
+      .add("wall_seconds", cold_wall)
+      .add("scenarios_per_wall_sec", cold_rate);
+  for (int scenario : {0, 1, scenarios / 2, scenarios - 1}) {
+    const ScenarioResult& r = fork_results[
+        static_cast<std::size_t>(scenario)];
+    report.row()
+        .add("scenario", static_cast<std::uint64_t>(scenario))
+        .add("scn_words",
+             static_cast<std::uint64_t>(scenario_words(scenario, words)))
+        .add("end_ps", r.end_ps)
+        .add("delta_cycles", r.delta_cycles)
+        .add("checksum", static_cast<std::uint64_t>(r.checksum))
+        .add("consumed", r.consumed);
+  }
+  // Forking must leave the donor kernel exactly where snapshot() saw it.
+  const int still_warm = warm.now() == snap.warmed_to ? 1 : 0;
+  report.row().add("warm_platform_intact",
+                   static_cast<std::uint64_t>(still_warm));
+  g_models.drop(warm);
+  return report.write() && still_warm == 1 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int scenarios = 100;
+  int words = 64;
+  bool emit_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+    } else if (std::strcmp(argv[i], "--scenarios") == 0 && i + 1 < argc) {
+      scenarios = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--words") == 0 && i + 1 < argc) {
+      words = std::atoi(argv[++i]);
+    }
+  }
+  if (scenarios < 2 || words < 8) {
+    std::fprintf(stderr, "need --scenarios >= 2 and --words >= 8\n");
+    return 1;
+  }
+  (void)emit_json;  // the fleet sweep is the only mode
+  return json_main(scenarios, words);
+}

@@ -181,14 +181,16 @@ RunResult run_once(const BenchConfig& config, Time periph_quantum,
     // Concurrent domains: each cluster forms its own concurrency group
     // (the stream FIFO links cpu<c> and periph<c> back together), so
     // independent clusters run on separate workers under --workers >= 2.
-    cluster.cpu = &kernel.create_domain("cpu" + suffix, config.cpu_quantum,
-                                        /*concurrent=*/true);
-    cluster.periph =
-        periph_policy != nullptr
-            ? &kernel.create_domain("periph" + suffix, periph_quantum,
-                                    /*concurrent=*/true, *periph_policy)
-            : &kernel.create_domain("periph" + suffix, periph_quantum,
-                                    /*concurrent=*/true);
+    cluster.cpu = &kernel.create_domain({.name = "cpu" + suffix,
+                                         .quantum = config.cpu_quantum,
+                                         .concurrent = true});
+    tdsim::DomainOptions periph_options{.name = "periph" + suffix,
+                                 .quantum = periph_quantum,
+                                 .concurrent = true};
+    if (periph_policy != nullptr) {
+      periph_options.policy = *periph_policy;
+    }
+    cluster.periph = &kernel.create_domain(periph_options);
     cluster.observed.resize(config.cpu_workers);
     std::uint64_t* work_sink = &cluster.work_acc;
     cluster.stream = std::make_unique<SmartFifo<std::uint32_t>>(

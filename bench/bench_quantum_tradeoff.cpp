@@ -176,12 +176,13 @@ ChurnResult run_churn(Time initial_quantum, bool adaptive,
     // "win" by leaving the swept space.
     policy.min_quantum = 10_ns;
     policy.max_quantum = 100_us;
-    compute = &kernel.create_domain("compute", initial_quantum,
-                                    /*concurrent=*/false, policy);
+    compute = &kernel.create_domain(
+        {.name = "compute", .quantum = initial_quantum, .policy = policy});
   } else {
-    compute = &kernel.create_domain("compute", initial_quantum);
+    compute = &kernel.create_domain(
+        {.name = "compute", .quantum = initial_quantum});
   }
-  SyncDomain& stream_domain = kernel.create_domain("stream");
+  SyncDomain& stream_domain = kernel.create_domain(tdsim::DomainOptions{.name = "stream"});
   SmartFifo<std::uint32_t> fifo(kernel, "churn_stream", 16);
 
   for (int w = 0; w < 2; ++w) {

@@ -8,7 +8,7 @@
 #include "kernel/fiber_sanitizer.h"
 #include "kernel/quantum_controller.h"
 #include "kernel/report.h"
-#include "kernel/thread_pool.h"
+#include "kernel/scheduler.h"
 
 namespace tdsim {
 
@@ -53,7 +53,9 @@ std::uint64_t sat_add_ps(std::uint64_t a, std::uint64_t b) {
 constexpr std::uint64_t kLocalSeqBase = std::uint64_t(1) << 63;
 }  // namespace
 
-Kernel::Kernel() {
+Kernel::Kernel() : Kernel(KernelConfig{}) {}
+
+Kernel::Kernel(const KernelConfig& config) {
   // The default domain always exists, so single-domain code never has to
   // know domains do.
   domains_.emplace_back(new SyncDomain(*this, "default", 0, Time{}));
@@ -63,45 +65,40 @@ Kernel::Kernel() {
   published_front_ps_.emplace_back(std::uint64_t{0} - 1);
   main_exec_.kernel = this;
   main_exec_.stats = &stats_;
-  // CI forces the whole suite parallel through this variable (see
-  // .github/workflows/ci.yml, tsan job); set_workers() overrides it.
-  if (const char* env = std::getenv("TDSIM_WORKERS")) {
-    char* end = nullptr;
-    const unsigned long value = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0') {
-      workers_ = static_cast<std::size_t>(value);
-    }
+  // The one resolution point for every execution knob: explicit config >
+  // environment > built-in default (see kernel_config.h; CI forces the
+  // whole suite parallel through TDSIM_WORKERS this way). After this,
+  // config_ is fully resolved -- every field set.
+  config_ = config.resolved_over(KernelConfig::from_env());
+  if (!config_.workers) config_.workers = 0;
+  if (!config_.default_chunk_capacity) config_.default_chunk_capacity = 0;
+  if (!config_.adaptive_quantum) config_.adaptive_quantum = false;
+  if (!config_.quantum_trace_depth) {
+    config_.quantum_trace_depth = kQuantumTraceDepth;
   }
+  if (!config_.lookahead_limit) config_.lookahead_limit = lookahead_max_waves_;
+  if (!config_.delta_cycle_limit) config_.delta_cycle_limit = 0;
+  workers_ = *config_.workers;
+  default_chunk_capacity_ = *config_.default_chunk_capacity;
+  quantum_trace_depth_ = *config_.quantum_trace_depth;
+  lookahead_max_waves_ = *config_.lookahead_limit;
+  delta_limit_ = *config_.delta_cycle_limit;
+  // This kernel is one client of the process-wide scheduler; workers_ is
+  // its quota there (see kernel/scheduler.h).
+  scheduler_client_ = Scheduler::instance().register_client(workers_);
   // Seeds a default adaptive quantum policy on every domain (the default
-  // one included); set_quantum_policy() with an explicit policy overrides.
-  if (const char* env = std::getenv("TDSIM_ADAPTIVE_QUANTUM")) {
-    env_adaptive_ = env[0] != '\0' && std::string(env) != "0";
-    if (env_adaptive_) {
-      set_quantum_policy(sync_domain(), QuantumPolicy{});
-    }
+  // one included); an explicit policy (DomainOptions::policy,
+  // set_quantum_policy) overrides.
+  env_adaptive_ = *config_.adaptive_quantum;
+  if (env_adaptive_) {
+    set_quantum_policy(sync_domain(), QuantumPolicy{});
   }
-  // Opts every channel into chunked transfer (see core/chunk_protocol.h):
-  // a number >= 2 is the chunk capacity, "1" or any other truthy value
-  // picks the default capacity, unset/"0" keeps per-element mode.
-  // Per-channel set_chunk_capacity overrides.
-  if (const char* env = std::getenv("TDSIM_CHUNKED")) {
-    constexpr std::size_t kDefaultChunkCapacity = 16;
-    char* end = nullptr;
-    const unsigned long value = std::strtoul(env, &end, 10);
-    if (end != env && *end == '\0') {
-      if (value >= 2) {
-        default_chunk_capacity_ = static_cast<std::size_t>(value);
-      } else if (value == 1) {
-        default_chunk_capacity_ = kDefaultChunkCapacity;
-      }
-    } else if (env[0] != '\0') {
-      default_chunk_capacity_ = kDefaultChunkCapacity;
-    }
-  }
+  constructing_ = false;
 }
 
 Kernel::~Kernel() {
   kill_all_threads();
+  Scheduler::instance().unregister_client(scheduler_client_);
 }
 
 Kernel* Kernel::current() {
@@ -149,14 +146,30 @@ void Kernel::note_timed_event_stale() {
 // Synchronization domains and concurrency groups
 // --------------------------------------------------------------------------
 
-SyncDomain& Kernel::create_domain(std::string name, Time quantum,
-                                  bool concurrent) {
-  SyncDomain& domain = create_domain_impl(std::move(name), quantum,
-                                          concurrent);
-  if (env_adaptive_) {
+SyncDomain& Kernel::create_domain(const DomainOptions& options) {
+  SyncDomain& domain =
+      create_domain_impl(options.name, options.quantum, options.concurrent);
+  if (options.policy.has_value()) {
+    // An explicit policy bypasses the adaptive_quantum default-policy
+    // hook: attaching the default first would clamp `quantum` into *its*
+    // range before the explicit policy ever saw the caller's seed.
+    set_quantum_policy(domain, *options.policy);
+  } else if (env_adaptive_) {
     set_quantum_policy(domain, QuantumPolicy{});
   }
+  if (options.delta_cycle_limit != 0) {
+    domain.set_delta_cycle_limit(options.delta_cycle_limit);
+  }
   return domain;
+}
+
+SyncDomain& Kernel::create_domain(std::string name, Time quantum,
+                                  bool concurrent) {
+  DomainOptions options;
+  options.name = std::move(name);
+  options.quantum = quantum;
+  options.concurrent = concurrent;
+  return create_domain(options);
 }
 
 SyncDomain& Kernel::create_domain_impl(std::string name, Time quantum,
@@ -169,6 +182,7 @@ SyncDomain& Kernel::create_domain_impl(std::string name, Time quantum,
     Report::error("Kernel::create_domain: domain '" + name +
                   "' already exists");
   }
+  note_external_elaboration();
   const std::size_t id = domains_.size();
   domains_.emplace_back(new SyncDomain(*this, name, id, quantum));
   domains_.back()->concurrent_ = concurrent;
@@ -186,13 +200,12 @@ SyncDomain& Kernel::create_domain_impl(std::string name, Time quantum,
 SyncDomain& Kernel::create_domain(std::string name, Time quantum,
                                   bool concurrent,
                                   const QuantumPolicy& policy) {
-  // Bypasses the TDSIM_ADAPTIVE_QUANTUM default-policy hook: attaching the
-  // env default first would clamp `quantum` into *its* range before the
-  // explicit policy ever saw the caller's seed.
-  SyncDomain& domain = create_domain_impl(std::move(name), quantum,
-                                          concurrent);
-  set_quantum_policy(domain, policy);
-  return domain;
+  DomainOptions options;
+  options.name = std::move(name);
+  options.quantum = quantum;
+  options.concurrent = concurrent;
+  options.policy = policy;
+  return create_domain(options);
 }
 
 void Kernel::set_quantum_policy(SyncDomain& domain,
@@ -206,6 +219,7 @@ void Kernel::set_quantum_policy(SyncDomain& domain,
                   "domain '" + domain.name() +
                   "' from inside a parallel evaluation round");
   }
+  note_external_elaboration();
   if (!quantum_controller_) {
     quantum_controller_ = std::make_unique<QuantumController>(*this);
     if (quantum_trace_depth_ != 0) {
@@ -224,6 +238,7 @@ void Kernel::set_quantum_trace_depth(std::size_t depth) {
                   "decision trace from inside a parallel evaluation round");
   }
   quantum_trace_depth_ = depth;
+  config_.quantum_trace_depth = depth;
   if (quantum_controller_) {
     quantum_controller_->set_trace_depth(depth);
   }
@@ -308,6 +323,7 @@ void require_same_kernel(const Kernel* kernel, const SyncDomain& domain,
 
 void Kernel::clear_quantum_policy(SyncDomain& domain) {
   require_same_kernel(this, domain, "clear_quantum_policy");
+  note_external_elaboration();
   if (quantum_controller_) {
     quantum_controller_->clear_policy(domain);
   }
@@ -396,6 +412,7 @@ void Kernel::link_domains(SyncDomain& a, SyncDomain& b, const std::string& via,
   if (&a == &b || find_group(a.id()) == find_group(b.id())) {
     return;  // already ordered; keep the channel fast path lock-free
   }
+  note_external_elaboration();
   std::lock_guard<std::mutex> lock(group_mutex_);
   domain_links_.push_back({a.id(), b.id(),
                            via.empty() ? "Kernel::link_domains" : via,
@@ -417,6 +434,7 @@ void Kernel::link_domains(SyncDomain& a, SyncDomain& b, Time min_latency,
   if (&a == &b) {
     return;
   }
+  note_external_elaboration();
   std::lock_guard<std::mutex> lock(group_mutex_);
   domain_links_.push_back(
       {a.id(), b.id(),
@@ -512,6 +530,7 @@ void Kernel::set_domain_concurrent(SyncDomain& domain, bool concurrent) {
                   "' can only change concurrency during elaboration (the "
                   "first run() has already initialized processes)");
   }
+  note_external_elaboration();
   domain.concurrent_ = concurrent;
   std::lock_guard<std::mutex> lock(group_mutex_);
   rebuild_groups_locked();
@@ -523,7 +542,32 @@ void Kernel::set_workers(std::size_t n) {
         "Kernel::set_workers is only callable from outside a running "
         "simulation");
   }
+  if (initialized_) {
+    // The worker count is this kernel's quota on the process-wide
+    // Scheduler; renegotiating it after the first run() would resize a
+    // shared resource under other live kernels mid-fleet. Elaboration-only
+    // since PR 8 -- prefer KernelConfig{.workers = n} at construction.
+    Report::error(
+        "Kernel::set_workers is elaboration-only: the first run() has "
+        "already initialized processes; construct the kernel with "
+        "KernelConfig{.workers = n} instead");
+  }
   workers_ = n;
+  config_.workers = n;
+  Scheduler::instance().set_client_quota(scheduler_client_, n);
+}
+
+void Kernel::note_external_elaboration() {
+  // Construction seeding, build() steps, fork() replay, and anything a
+  // running simulation process does are all replayable; everything else
+  // makes the construction log incomplete.
+  if (constructing_ || in_build_ || replaying_) {
+    return;
+  }
+  if (current_process() != nullptr || active_task() != nullptr) {
+    return;
+  }
+  external_elaboration_ = true;
 }
 
 SyncDomain* Kernel::lagging_domain() const {
@@ -582,6 +626,7 @@ void Kernel::assign_domain(Process& process, SyncDomain& domain) {
   if (process.domain_ == &domain) {
     return;
   }
+  note_external_elaboration();
   auto& members = process.domain_->members_;
   members.erase(std::remove(members.begin(), members.end(), &process),
                 members.end());
@@ -642,6 +687,7 @@ SyncDomain& resolve_spawn_domain(Kernel& kernel, SyncDomain* requested,
 
 Process* Kernel::spawn_thread(std::string name, std::function<void()> body,
                               ThreadOptions opts) {
+  note_external_elaboration();
   GroupTask* task = active_task();
   std::unique_lock<std::mutex> lock(spawn_mutex_, std::defer_lock);
   if (task != nullptr) {
@@ -666,12 +712,16 @@ Process* Kernel::spawn_thread(std::string name, std::function<void()> body,
   active_stats().processes_spawned++;
   if (initialized_ && !raw->dont_initialize_) {
     make_runnable(raw);  // dynamically spawned: runs in the current phase
+    if (task == nullptr && current_process() == nullptr) {
+      graft_init_pending_ = true;  // grafted between runs, see kernel.h
+    }
   }
   return raw;
 }
 
 Process* Kernel::spawn_method(std::string name, std::function<void()> body,
                               MethodOptions opts) {
+  note_external_elaboration();
   GroupTask* task = active_task();
   std::unique_lock<std::mutex> lock(spawn_mutex_, std::defer_lock);
   if (task != nullptr) {
@@ -699,6 +749,9 @@ Process* Kernel::spawn_method(std::string name, std::function<void()> body,
   }
   if (initialized_ && !raw->dont_initialize_) {
     make_runnable(raw);
+    if (task == nullptr && current_process() == nullptr) {
+      graft_init_pending_ = true;  // grafted between runs, see kernel.h
+    }
   }
   return raw;
 }
@@ -707,6 +760,7 @@ void Kernel::add_static_sensitivity(Process* method, Event& event) {
   if (method->kind() != ProcessKind::Method) {
     Report::error("static sensitivity is only supported for method processes");
   }
+  note_external_elaboration();
   event.static_waiters_.push_back(method);
   method->static_sensitivity_.push_back(&event);
 }
@@ -988,14 +1042,6 @@ void Kernel::fire_delta_notifications() {
 // sequential scheduler by construction.
 // --------------------------------------------------------------------------
 
-void Kernel::ensure_pool() {
-  const std::size_t threads = workers_ - 1;  // the main thread participates
-  if (!pool_ || pool_->size() != threads) {
-    pool_.reset();
-    pool_ = std::make_unique<ThreadPool>(threads);
-  }
-}
-
 Kernel::GroupTask& Kernel::task_for_group(std::size_t group_root) {
   if (GroupTask* existing = task_by_root_[group_root]) {
     return *existing;
@@ -1138,10 +1184,11 @@ void Kernel::run_parallel_evaluation_phase() {
       execute_group_task(*active.front());
     } else {
       stats_.horizon_waits += active.size() - 1;
-      ensure_pool();
+      Scheduler& scheduler = Scheduler::instance();
       for (std::size_t i = 1; i < active.size(); ++i) {
         GroupTask* task = active[i];
-        pool_->submit(
+        scheduler.submit(
+            scheduler_client_,
             [](void* t) {
               GroupTask& group_task = *static_cast<GroupTask*>(t);
               group_task.kernel->execute_group_task(group_task);
@@ -1149,9 +1196,10 @@ void Kernel::run_parallel_evaluation_phase() {
             task);
       }
       execute_group_task(*active.front());
-      // Work stealing: instead of parking at the barrier, the main thread
-      // pulls queued group tasks off the shared deque and runs them.
-      stats_.steals += pool_->help_until_idle();
+      // Work stealing: instead of parking at the barrier, the driving
+      // thread pulls this kernel's queued group tasks off the shared
+      // scheduler and runs them.
+      stats_.steals += scheduler.help_until_done(scheduler_client_);
     }
     // Horizon: surface errors and stops, then route cross-group wakes --
     // all in group order, so the next round's queues are deterministic.
@@ -1443,17 +1491,18 @@ bool Kernel::run_lookahead_extension(Time until) {
   // steals from it until the extension drains.
   stats_.parallel_rounds++;
   stats_.horizon_waits += phase_tasks_.size() - 1;
-  ensure_pool();
+  Scheduler& scheduler = Scheduler::instance();
   free_run_live_ = true;
   for (GroupTask* task : phase_tasks_) {
-    pool_->submit(
+    scheduler.submit(
+        scheduler_client_,
         [](void* t) {
           GroupTask& group_task = *static_cast<GroupTask*>(t);
           group_task.kernel->free_run_group(group_task);
         },
         task);
   }
-  stats_.steals += pool_->help_until_idle();
+  stats_.steals += scheduler.help_until_done(scheduler_client_);
   free_run_live_ = false;
   // Horizon: surface errors and stops first (mirroring the round loop),
   // then merge every group in group order.
@@ -1762,6 +1811,12 @@ void Kernel::run(Time until) {
   if (current_process() != nullptr || active_task() != nullptr) {
     Report::error("Kernel::run() called from inside a simulation process");
   }
+  if (!build_log_.empty() && !in_build_ && !replaying_) {
+    // A snapshot-capable kernel's warm-up is part of its construction
+    // log: fork() replays these run() calls in order (see
+    // kernel/snapshot.h).
+    build_log_.push_back([until](Kernel& k) { k.run(until); });
+  }
   Kernel* previous = std::exchange(g_current_kernel, this);
   ExecContext* previous_exec = std::exchange(t_exec_, &main_exec_);
   main_exec_.tsan_fiber = fiber::tsan_current_fiber();
@@ -1774,7 +1829,12 @@ void Kernel::run(Time until) {
     // mode: it is where channels first see their callers' domains and
     // record the links the concurrency grouping is derived from.
     force_sequential_phase = true;
+  } else if (graft_init_pending_) {
+    // Same rule for processes grafted between runs (e.g. a fork's diverge
+    // step): their first dispatch is their initialization wave.
+    force_sequential_phase = true;
   }
+  graft_init_pending_ = false;
   if (parallel_enabled()) {
     publish_domain_fronts();
   }

@@ -36,7 +36,9 @@
 #include <vector>
 
 #include "kernel/event.h"
+#include "kernel/kernel_config.h"
 #include "kernel/process.h"
+#include "kernel/snapshot.h"
 #include "kernel/stats.h"
 #include "kernel/sync_domain.h"
 #include "kernel/time.h"
@@ -45,8 +47,6 @@ namespace tdsim {
 
 class QuantumController;
 struct QuantumDecision;
-struct QuantumPolicy;
-class ThreadPool;
 
 /// Implemented by primitive channels (e.g. Signal) that need the SystemC
 /// evaluate/update two-phase protocol.
@@ -101,10 +101,24 @@ struct MethodOptions {
 /// run() is reachable via Kernel::current() for SystemC-style free functions.
 class Kernel {
  public:
+  /// Equivalent to Kernel(KernelConfig{}): every knob resolves from the
+  /// environment, then from the built-in defaults.
   Kernel();
+
+  /// Constructs a kernel with the given execution config. Unset fields
+  /// resolve environment > default -- see kernel_config.h for the full
+  /// precedence contract and the TDSIM_* variable list. This constructor
+  /// is the *only* point where the environment is consulted.
+  explicit Kernel(const KernelConfig& config);
+
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
   ~Kernel();
+
+  /// The fully resolved execution config this kernel runs under: every
+  /// field is set (explicit > environment > default), and the setters
+  /// below (set_workers, set_lookahead_limit, ...) keep it current.
+  const KernelConfig& config() const { return config_; }
 
   // --- elaboration ---
 
@@ -161,16 +175,52 @@ class Kernel {
   /// processes and the thread driving run().
   const KernelStats& stats() const;
 
+  // --- snapshot forking (see kernel/snapshot.h) ---
+
+  /// Runs `step(*this)` immediately AND records it in the construction
+  /// log, so snapshot() can later capture a replayable recipe for this
+  /// kernel. All elaboration of a snapshot-capable kernel goes through
+  /// build(); run() calls are recorded automatically once the log is
+  /// non-empty. Nested build() calls execute inline (the outer step is
+  /// the recorded unit). Elaboration performed outside any build step
+  /// marks the kernel snapshot-incapable.
+  void build(std::function<void(Kernel&)> step);
+
+  /// Captures a replayable checkpoint: the resolved config, the recorded
+  /// construction/run log, and the warm-state fingerprint (date + delta
+  /// cycles). Cheap -- no simulation state is copied. Only callable from
+  /// outside a running simulation, and only when every piece of
+  /// elaboration went through build() (reports an error otherwise).
+  Snapshot snapshot() const;
+
+  /// Builds a fresh kernel from `snapshot`: resolves options.config over
+  /// the snapshot's config (execution-only knobs -- workers, chunking,
+  /// adaptive control -- may vary per fork without affecting dates),
+  /// replays the recorded log, verifies the warm-state fingerprint, then
+  /// applies options.diverge through build() so the fork is itself
+  /// snapshot-capable. The returned kernel is bit-identical to the
+  /// snapshot source at its warm point and diverges from there.
+  static std::unique_ptr<Kernel> fork(const Snapshot& snapshot,
+                                      ForkOptions options = {});
+
   // --- parallel execution ---
 
   /// Enables parallel per-domain execution: evaluation phases dispatch
   /// each runnable concurrency group (domains transitively linked by
-  /// channels or link_domains; see SyncDomain::set_concurrent) onto up to
-  /// `n` OS threads between synchronization horizons. 0 and 1 keep the
-  /// sequential scheduler; n >= 2 is opt-in and yields bit-identical
-  /// dates, delta counts and per-cause sync counts. The initial value
-  /// comes from $TDSIM_WORKERS when set (CI forces the suite parallel
-  /// this way). Only callable from outside a running simulation.
+  /// channels or link_domains; see DomainOptions::concurrent) onto up to
+  /// `n` threads of the process-wide Scheduler between synchronization
+  /// horizons. 0 and 1 keep the sequential scheduler; n >= 2 is opt-in
+  /// and yields bit-identical dates, delta counts and per-cause sync
+  /// counts. The resolved initial value comes from KernelConfig::workers
+  /// (explicit > $TDSIM_WORKERS > 0; CI forces the suite parallel through
+  /// the environment).
+  ///
+  /// Elaboration-only: `n` is this kernel's worker *quota* on the shared
+  /// Scheduler, and the quota is fixed once the first run() has
+  /// initialized processes -- resizing a warm kernel would let one client
+  /// of the shared pool re-negotiate capacity mid-flight under other
+  /// kernels. Calling it after the first run() (or from inside one)
+  /// reports an error. Prefer KernelConfig{.workers = n} at construction.
   void set_workers(std::size_t n);
   std::size_t workers() const { return workers_; }
 
@@ -207,6 +257,7 @@ class Kernel {
   /// PR 6. Default 64.
   void set_lookahead_limit(std::size_t max_waves) {
     lookahead_max_waves_ = max_waves;
+    config_.lookahead_limit = max_waves;
   }
   std::size_t lookahead_limit() const { return lookahead_max_waves_; }
 
@@ -250,22 +301,26 @@ class Kernel {
   std::size_t default_chunk_capacity() const { return default_chunk_capacity_; }
   void set_default_chunk_capacity(std::size_t capacity) {
     default_chunk_capacity_ = capacity;
+    config_.default_chunk_capacity = capacity;
   }
 
   // --- synchronization domains ---
 
   /// Creates a new synchronization domain with its own quantum policy and
-  /// per-cause sync statistics. Names must be unique within the kernel.
-  /// Domains live as long as the kernel; processes join one at spawn time
-  /// (ThreadOptions/MethodOptions::domain, Module::set_default_domain).
-  /// `concurrent` seeds the domain's concurrency-group membership -- see
-  /// SyncDomain::set_concurrent.
+  /// per-cause sync statistics -- the one canonical way to make a domain
+  /// (see DomainOptions in kernel_config.h for every knob). Names must be
+  /// unique within the kernel. Domains live as long as the kernel;
+  /// processes join one at spawn time (ThreadOptions/MethodOptions::domain,
+  /// Module::set_default_domain).
+  SyncDomain& create_domain(const DomainOptions& options);
+
+  /// Positional legacy surface; forwards to the DomainOptions overload.
+  [[deprecated("use create_domain(DomainOptions) -- see the README migration table")]]
   SyncDomain& create_domain(std::string name, Time quantum = Time{},
                             bool concurrent = false);
 
-  /// As above, and attaches `policy` (see set_quantum_policy) in the same
-  /// call; `quantum` seeds the adaptive starting point and is clamped into
-  /// the policy's [min_quantum, max_quantum].
+  /// Positional legacy surface; forwards to the DomainOptions overload.
+  [[deprecated("use create_domain(DomainOptions) -- see the README migration table")]]
   SyncDomain& create_domain(std::string name, Time quantum, bool concurrent,
                             const QuantumPolicy& policy);
 
@@ -359,7 +414,10 @@ class Kernel {
   /// re-triggering each other without time advancing): when non-zero,
   /// run() raises a SimulationError after this many consecutive delta
   /// cycles at the same simulated date.
-  void set_delta_cycle_limit(std::uint64_t limit) { delta_limit_ = limit; }
+  void set_delta_cycle_limit(std::uint64_t limit) {
+    delta_limit_ = limit;
+    config_.delta_cycle_limit = limit;
+  }
 
   /// The kernel currently executing run() on this OS thread, or null.
   static Kernel* current();
@@ -632,7 +690,6 @@ class Kernel {
   /// called at the horizon in group order.
   void flush_group_task(GroupTask& task);
   GroupTask& task_for_group(std::size_t group_root);
-  void ensure_pool();
   /// Union-find over domain ids; readers are lock-free (workers resolve
   /// groups on every wake), writers serialize on group_mutex_.
   std::size_t find_group(std::size_t domain_id) const;
@@ -663,6 +720,12 @@ class Kernel {
   /// teardown; drives compaction.
   std::size_t timed_stale_count_ = 0;
   bool initialized_ = false;
+  /// Processes spawned outside a simulation context after initialization
+  /// (mid-run grafts, e.g. a fork's diverge step): their first dispatch
+  /// records channel links the concurrency grouping is derived from, so
+  /// the next run()'s first evaluation phase must stay sequential, exactly
+  /// like the initialization wave.
+  bool graft_init_pending_ = false;
   bool stop_requested_ = false;
   /// True once any domain ever armed a per-domain delta-cycle limit; the
   /// scheduler skips the per-domain delta bookkeeping while false.
@@ -700,8 +763,10 @@ class Kernel {
   ExecContext main_exec_;
 
   /// Parallel-execution state. workers_ <= 1 leaves all of it idle.
+  /// workers_ doubles as this kernel's quota on the process-wide
+  /// Scheduler (see kernel/scheduler.h) under scheduler_client_.
   std::size_t workers_ = 0;
-  std::unique_ptr<ThreadPool> pool_;
+  std::size_t scheduler_client_ = 0;
   std::vector<std::unique_ptr<GroupTask>> tasks_;
   /// Tasks handed out for the current phase (prefix of tasks_).
   std::size_t tasks_in_use_ = 0;
@@ -796,6 +861,33 @@ class Kernel {
   std::atomic<std::size_t> chunk_flush_count_{0};
   /// See default_chunk_capacity().
   std::size_t default_chunk_capacity_ = 0;
+
+  // --- construction config + snapshot forking (see kernel/snapshot.h) ---
+
+  /// The fully resolved execution config (every field set); kept current
+  /// by the setters so config() and snapshot() always see the truth.
+  KernelConfig config_;
+  /// True only inside the constructor body: the ctor seeds env-driven
+  /// state (default adaptive policy) through the same code paths users
+  /// call, and those must not mark the kernel snapshot-incapable.
+  bool constructing_ = true;
+  /// The replayable construction log: every build() step plus every
+  /// top-level run() call made after the first build().
+  std::vector<std::function<void(Kernel&)>> build_log_;
+  /// True while a build() step runs (nested elaboration is then part of
+  /// the recorded unit).
+  bool in_build_ = false;
+  /// True while fork() replays the log into this kernel (replayed steps
+  /// must not re-record or mark external elaboration).
+  bool replaying_ = false;
+  /// Elaboration happened outside any build step -- the log can no
+  /// longer reproduce this kernel, snapshot() refuses.
+  bool external_elaboration_ = false;
+  /// Flags external (non-build, non-replay, elaboration-context)
+  /// mutations of simulated state; called by every elaboration entry
+  /// point. Mutations from running processes are part of the
+  /// deterministic schedule and never mark.
+  void note_external_elaboration();
 };
 
 /// Free-function conveniences mirroring SystemC's global wait()/time API.

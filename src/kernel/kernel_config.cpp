@@ -1,0 +1,80 @@
+#include "kernel/kernel_config.h"
+
+#include <cstdlib>
+
+namespace tdsim {
+
+namespace {
+
+/// Strict numeric parse; nullopt on empty/garbage (the knob is then
+/// treated per-knob: ignored for TDSIM_WORKERS, truthy for TDSIM_CHUNKED).
+std::optional<std::uint64_t> parse_number(const char* s) {
+  if (s == nullptr || *s == '\0') {
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    return std::nullopt;
+  }
+  return static_cast<std::uint64_t>(value);
+}
+
+bool truthy(const char* s) {
+  return s != nullptr && s[0] != '\0' && std::string(s) != "0";
+}
+
+}  // namespace
+
+KernelConfig KernelConfig::from_env() {
+  KernelConfig config;
+  if (const char* env = std::getenv("TDSIM_WORKERS")) {
+    if (const auto n = parse_number(env)) {
+      config.workers = static_cast<std::size_t>(*n);
+    }
+  }
+  if (const char* env = std::getenv("TDSIM_ADAPTIVE_QUANTUM")) {
+    config.adaptive_quantum = truthy(env);
+  }
+  if (const char* env = std::getenv("TDSIM_CHUNKED")) {
+    constexpr std::size_t kDefaultChunkCapacity = 16;
+    if (const auto n = parse_number(env)) {
+      if (*n >= 2) {
+        config.default_chunk_capacity = static_cast<std::size_t>(*n);
+      } else if (*n == 1) {
+        config.default_chunk_capacity = kDefaultChunkCapacity;
+      } else {
+        config.default_chunk_capacity = 0;
+      }
+    } else if (env[0] != '\0') {
+      config.default_chunk_capacity = kDefaultChunkCapacity;
+    }
+  }
+  if (const char* env = std::getenv("TDSIM_QUANTUM_TRACE")) {
+    if (const auto n = parse_number(env); n.has_value() && *n >= 1) {
+      config.quantum_trace_depth = static_cast<std::size_t>(*n);
+    }
+  }
+  return config;
+}
+
+KernelConfig KernelConfig::resolved_over(const KernelConfig& fallback) const {
+  KernelConfig merged = *this;
+  if (!merged.workers) merged.workers = fallback.workers;
+  if (!merged.default_chunk_capacity) {
+    merged.default_chunk_capacity = fallback.default_chunk_capacity;
+  }
+  if (!merged.adaptive_quantum) {
+    merged.adaptive_quantum = fallback.adaptive_quantum;
+  }
+  if (!merged.quantum_trace_depth) {
+    merged.quantum_trace_depth = fallback.quantum_trace_depth;
+  }
+  if (!merged.lookahead_limit) merged.lookahead_limit = fallback.lookahead_limit;
+  if (!merged.delta_cycle_limit) {
+    merged.delta_cycle_limit = fallback.delta_cycle_limit;
+  }
+  return merged;
+}
+
+}  // namespace tdsim

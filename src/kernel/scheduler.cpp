@@ -1,0 +1,167 @@
+#include "kernel/scheduler.h"
+
+namespace tdsim {
+
+Scheduler& Scheduler::instance() {
+  // Function-local static: constructed on first use, destroyed (threads
+  // joined) after main returns. Kernels are expected to be gone by then
+  // (they unregister in their destructors), so teardown only parks and
+  // joins idle workers.
+  static Scheduler scheduler;
+  return scheduler;
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+Scheduler::ClientId Scheduler::register_client(std::size_t quota) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ClientId id;
+  if (!free_slots_.empty()) {
+    id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    id = clients_.size();
+    clients_.emplace_back(new Client);
+  }
+  Client& client = *clients_[id];
+  client.queue.clear();
+  client.pool_running = 0;
+  client.self_running = 0;
+  client.allowance = quota > 1 ? quota - 1 : 0;
+  client.in_use = true;
+  live_clients_++;
+  return id;
+}
+
+void Scheduler::unregister_client(ClientId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Client& client = *clients_[id];
+  client.in_use = false;
+  client.queue.clear();
+  live_clients_--;
+  free_slots_.push_back(id);
+}
+
+void Scheduler::set_client_quota(ClientId id, std::size_t quota) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clients_[id]->allowance = quota > 1 ? quota - 1 : 0;
+}
+
+void Scheduler::submit(ClientId id, TaskFn fn, void* arg) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Client& client = *clients_[id];
+    client.queue.emplace_back(fn, arg);
+    // The pool tracks the largest allowance ever needed; submission is
+    // the dispatch point, so grow here (never from the hot pick loop).
+    ensure_threads_locked(client.allowance);
+  }
+  work_cv_.notify_one();
+}
+
+bool Scheduler::pick_task_locked(ClientId& id, TaskFn& fn, void*& arg) {
+  const std::size_t n = clients_.size();
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t i = (rr_cursor_ + step) % n;
+    Client& client = *clients_[i];
+    if (!client.in_use || client.queue.empty() ||
+        client.pool_running >= client.allowance) {
+      continue;
+    }
+    id = i;
+    fn = client.queue.front().first;
+    arg = client.queue.front().second;
+    client.queue.pop_front();
+    client.pool_running++;
+    rr_cursor_ = (i + 1) % n;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::help_until_done(ClientId id) {
+  std::uint64_t ran = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  Client& client = *clients_[id];
+  for (;;) {
+    if (!client.queue.empty()) {
+      const auto [fn, arg] = client.queue.front();
+      client.queue.pop_front();
+      client.self_running++;
+      lock.unlock();
+      fn(arg);
+      lock.lock();
+      client.self_running--;
+      ran++;
+      if (client.queue.empty() &&
+          client.pool_running + client.self_running == 0) {
+        done_cv_.notify_all();
+      }
+      continue;
+    }
+    if (client.pool_running + client.self_running == 0) {
+      return ran;
+    }
+    done_cv_.wait(lock, [&client] {
+      return !client.queue.empty() ||
+             client.pool_running + client.self_running == 0;
+    });
+  }
+}
+
+std::size_t Scheduler::threads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return threads_.size();
+}
+
+std::size_t Scheduler::clients() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_clients_;
+}
+
+void Scheduler::ensure_threads_locked(std::size_t want) {
+  while (threads_.size() < want) {
+    threads_.emplace_back([this] { worker_main(); });
+  }
+}
+
+void Scheduler::worker_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    ClientId id;
+    TaskFn fn;
+    void* arg;
+    if (pick_task_locked(id, fn, arg)) {
+      lock.unlock();
+      fn(arg);
+      lock.lock();
+      Client& client = *clients_[id];
+      client.pool_running--;
+      if (client.queue.empty() &&
+          client.pool_running + client.self_running == 0) {
+        done_cv_.notify_all();
+      }
+      // More eligible work may remain (we only took one task); wake a
+      // sibling before looping back to pick again ourselves.
+      if (live_clients_ > 0) {
+        work_cv_.notify_one();
+      }
+      continue;
+    }
+    if (shutdown_) {
+      return;
+    }
+    work_cv_.wait(lock);
+  }
+}
+
+}  // namespace tdsim

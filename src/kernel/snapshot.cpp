@@ -1,0 +1,98 @@
+// Kernel::build / snapshot / fork -- the restart-from-log checkpoint
+// machinery declared in kernel/snapshot.h.
+#include "kernel/snapshot.h"
+
+#include <memory>
+#include <utility>
+
+#include "kernel/kernel.h"
+#include "kernel/report.h"
+
+namespace tdsim {
+
+namespace {
+
+/// Exception-safe flag flip (a throwing build step must not leave the
+/// kernel stuck "inside a build").
+class FlagScope {
+ public:
+  FlagScope(bool& flag, bool value) : flag_(flag), saved_(flag) {
+    flag_ = value;
+  }
+  ~FlagScope() { flag_ = saved_; }
+  FlagScope(const FlagScope&) = delete;
+  FlagScope& operator=(const FlagScope&) = delete;
+
+ private:
+  bool& flag_;
+  bool saved_;
+};
+
+}  // namespace
+
+void Kernel::build(std::function<void(Kernel&)> step) {
+  if (step == nullptr) {
+    return;
+  }
+  if (in_build_) {
+    step(*this);  // nested: the outer step is the recorded unit
+    return;
+  }
+  if (!replaying_) {
+    build_log_.push_back(step);
+  }
+  FlagScope scope(in_build_, true);
+  step(*this);
+}
+
+Snapshot Kernel::snapshot() const {
+  if (current_process() != nullptr || active_task() != nullptr) {
+    Report::error(
+        "Kernel::snapshot is only callable from outside a running "
+        "simulation");
+  }
+  if (external_elaboration_) {
+    Report::error(
+        "Kernel::snapshot: elaboration happened outside Kernel::build "
+        "steps, so the construction log cannot replay this kernel; route "
+        "all elaboration through build() to make it snapshot-capable");
+  }
+  Snapshot snapshot;
+  snapshot.config = config_;
+  snapshot.log = build_log_;
+  snapshot.warmed_to = now_;
+  snapshot.warm_delta_cycles = stats_.delta_cycles;
+  return snapshot;
+}
+
+std::unique_ptr<Kernel> Kernel::fork(const Snapshot& snapshot,
+                                     ForkOptions options) {
+  auto kernel = std::make_unique<Kernel>(
+      options.config.resolved_over(snapshot.config));
+  // The fork inherits the log up front, so it is itself snapshot-capable
+  // (and further forkable) from the moment the replay lands.
+  kernel->build_log_ = snapshot.log;
+  {
+    FlagScope scope(kernel->replaying_, true);
+    for (const auto& step : snapshot.log) {
+      step(*kernel);
+    }
+  }
+  if (kernel->now_ != snapshot.warmed_to ||
+      kernel->stats_.delta_cycles != snapshot.warm_delta_cycles) {
+    Report::error(
+        "Kernel::fork: replay fingerprint mismatch (snapshot warm date " +
+        snapshot.warmed_to.to_string() + ", " +
+        std::to_string(snapshot.warm_delta_cycles) +
+        " delta cycles; replay reached " + kernel->now_.to_string() + ", " +
+        std::to_string(kernel->stats_.delta_cycles) +
+        " delta cycles) -- a build step is nondeterministic or mutated "
+        "state outside the kernel");
+  }
+  if (options.diverge != nullptr) {
+    kernel->build(std::move(options.diverge));
+  }
+  return kernel;
+}
+
+}  // namespace tdsim

@@ -76,6 +76,10 @@ class SyncDomain {
 
   /// Opts this domain into adaptive quantum control (delegates to
   /// Kernel::set_quantum_policy; see kernel/quantum_controller.h).
+  /// Deprecated: pass DomainOptions::policy at creation, or use
+  /// Kernel::set_quantum_policy for mid-run re-policying.
+  [[deprecated("pass DomainOptions::policy to Kernel::create_domain, or use "
+               "Kernel::set_quantum_policy")]]
   void set_quantum_policy(const QuantumPolicy& policy);
 
   /// The attached adaptive policy, or null when the quantum is fixed.
@@ -113,6 +117,8 @@ class SyncDomain {
   /// results stay bit-identical to the sequential schedule. Couplings no
   /// channel can see (a plain variable shared across domains) must be
   /// declared with Kernel::link_domains by hand. Elaboration-only.
+  /// Deprecated: pass DomainOptions::concurrent at creation.
+  [[deprecated("pass DomainOptions::concurrent to Kernel::create_domain")]]
   void set_concurrent(bool concurrent);
   bool concurrent() const { return concurrent_; }
 

@@ -33,14 +33,15 @@ SocPlatform::SocPlatform(Kernel& kernel, const SocConfig& config)
   SyncDomain* periph_domain = nullptr;
   SyncDomain* noc_domain = nullptr;
   if (config_.split_domains) {
-    cpu_domain = &kernel.create_domain("soc.cpu", config_.quantum);
-    periph_domain = &kernel.create_domain("soc.periph", config_.quantum);
-    noc_domain = &kernel.create_domain("soc.noc", config_.quantum);
-    if (config_.adaptive.has_value()) {
-      for (SyncDomain* domain : {cpu_domain, periph_domain, noc_domain}) {
-        kernel.set_quantum_policy(*domain, *config_.adaptive);
-      }
-    }
+    cpu_domain = &kernel.create_domain({.name = "soc.cpu",
+                                        .quantum = config_.quantum,
+                                        .policy = config_.adaptive});
+    periph_domain = &kernel.create_domain({.name = "soc.periph",
+                                           .quantum = config_.quantum,
+                                           .policy = config_.adaptive});
+    noc_domain = &kernel.create_domain({.name = "soc.noc",
+                                        .quantum = config_.quantum,
+                                        .policy = config_.adaptive});
   }
 
   bus_ = std::make_unique<tlm::Bus>("soc.bus", 2_ns);

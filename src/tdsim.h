@@ -9,15 +9,17 @@
 #include "kernel/event.h"
 #include "kernel/fifo.h"
 #include "kernel/kernel.h"
+#include "kernel/kernel_config.h"
 #include "kernel/local_clock.h"
 #include "kernel/module.h"
 #include "kernel/process.h"
 #include "kernel/quantum_controller.h"
 #include "kernel/report.h"
+#include "kernel/scheduler.h"
 #include "kernel/signal.h"
+#include "kernel/snapshot.h"
 #include "kernel/stats.h"
 #include "kernel/sync_domain.h"
-#include "kernel/thread_pool.h"
 #include "kernel/time.h"
 
 // Temporal decoupling and the Smart FIFO (the paper's contribution).

@@ -46,8 +46,8 @@ void spawn_churn(Kernel& kernel, SyncDomain& domain, int workers,
 
 TEST(AdaptiveQuantum, GrowsOnPureQuantumChurn) {
   Kernel kernel;
-  SyncDomain& domain = kernel.create_domain("compute", 10_ns, false,
-                                            test_policy(10_ns, 10_us));
+  SyncDomain& domain = kernel.create_domain(
+      {.name = "compute", .quantum = 10_ns, .policy = test_policy(10_ns, 10_us)});
   spawn_churn(kernel, domain, 2, 4000);
   kernel.run();
   EXPECT_GT(domain.quantum(), 10_ns);
@@ -64,8 +64,8 @@ TEST(AdaptiveQuantum, ShrinksOnSyncPointTraffic) {
   Kernel kernel;
   // Every step publishes state at an exact date (paper SII.A sync point),
   // so accuracy-relevant causes dominate and the tuner must back off.
-  SyncDomain& domain = kernel.create_domain("accurate", 10_us, false,
-                                            test_policy(10_ns, 10_us));
+  SyncDomain& domain = kernel.create_domain(
+      {.name = "accurate", .quantum = 10_us, .policy = test_policy(10_ns, 10_us)});
   for (int w = 0; w < 2; ++w) {
     ThreadOptions opts;
     opts.domain = &domain;
@@ -87,8 +87,8 @@ TEST(AdaptiveQuantum, ClampsToPolicyRange) {
   // Grow clamps at max_quantum...
   {
     Kernel kernel;
-    SyncDomain& domain = kernel.create_domain("grow", 10_ns, false,
-                                              test_policy(10_ns, 160_ns));
+    SyncDomain& domain = kernel.create_domain(
+        {.name = "grow", .quantum = 10_ns, .policy = test_policy(10_ns, 160_ns)});
     spawn_churn(kernel, domain, 2, 4000);
     kernel.run();
     EXPECT_EQ(domain.quantum(), 160_ns);
@@ -96,8 +96,8 @@ TEST(AdaptiveQuantum, ClampsToPolicyRange) {
   // ...shrink clamps at min_quantum.
   {
     Kernel kernel;
-    SyncDomain& domain = kernel.create_domain("shrink", 80_ns, false,
-                                              test_policy(20_ns, 80_ns));
+    SyncDomain& domain = kernel.create_domain(
+        {.name = "shrink", .quantum = 80_ns, .policy = test_policy(20_ns, 80_ns)});
     for (int w = 0; w < 2; ++w) {
       ThreadOptions opts;
       opts.domain = &domain;
@@ -115,22 +115,22 @@ TEST(AdaptiveQuantum, ClampsToPolicyRange) {
 
 TEST(AdaptiveQuantum, AttachClampsTheSeedQuantumImmediately) {
   Kernel kernel;
-  SyncDomain& domain = kernel.create_domain("seeded", 1_ms);
-  domain.set_quantum_policy(test_policy(10_ns, 10_us));
+  SyncDomain& domain = kernel.create_domain({.name = "seeded", .quantum = 1_ms});
+  kernel.set_quantum_policy(domain, test_policy(10_ns, 10_us));
   EXPECT_EQ(domain.quantum(), 10_us);
   ASSERT_NE(domain.quantum_policy(), nullptr);
   EXPECT_EQ(domain.quantum_policy()->max_quantum, 10_us);
   // A zero-quantum domain is pulled up to the floor (the controller needs
   // a non-zero quantum to scale).
-  SyncDomain& zero = kernel.create_domain("zero");
-  zero.set_quantum_policy(test_policy(10_ns, 10_us));
+  SyncDomain& zero = kernel.create_domain(DomainOptions{.name = "zero"});
+  kernel.set_quantum_policy(zero, test_policy(10_ns, 10_us));
   EXPECT_EQ(zero.quantum(), 10_ns);
 }
 
 TEST(AdaptiveQuantum, OutOfBandSetQuantumIsReclampedAtTheNextHorizon) {
   Kernel kernel;
-  SyncDomain& domain = kernel.create_domain("escaped", 100_ns, false,
-                                            test_policy(10_ns, 10_us));
+  SyncDomain& domain = kernel.create_domain(
+      {.name = "escaped", .quantum = 100_ns, .policy = test_policy(10_ns, 10_us)});
   // set_quantum bypasses the controller; the escape is corrected at the
   // next horizon and shows up in the decision trace as "clamped".
   domain.set_quantum(1_ms);
@@ -144,14 +144,18 @@ TEST(AdaptiveQuantum, OutOfBandSetQuantumIsReclampedAtTheNextHorizon) {
 
 TEST(AdaptiveQuantum, PolicyValidationRejectsNonsense) {
   Kernel kernel;
-  SyncDomain& domain = kernel.create_domain("d");
+  SyncDomain& domain = kernel.create_domain(DomainOptions{.name = "d"});
   QuantumPolicy zero_min;
   zero_min.min_quantum = Time{};
-  EXPECT_THROW(domain.set_quantum_policy(zero_min), SimulationError);
+  EXPECT_THROW(kernel.set_quantum_policy(domain, zero_min), SimulationError);
   QuantumPolicy inverted;
   inverted.min_quantum = 1_us;
   inverted.max_quantum = 10_ns;
-  EXPECT_THROW(domain.set_quantum_policy(inverted), SimulationError);
+  EXPECT_THROW(kernel.set_quantum_policy(domain, inverted), SimulationError);
+  // The same validation guards policies handed to create_domain.
+  EXPECT_THROW(
+      kernel.create_domain({.name = "bad", .policy = inverted}),
+      SimulationError);
 }
 
 TEST(AdaptiveQuantum, SteadyWorkloadConverges) {
@@ -161,8 +165,10 @@ TEST(AdaptiveQuantum, SteadyWorkloadConverges) {
   // oscillating around it).
   const auto run_steps = [](std::uint64_t steps) {
     Kernel kernel;
-    SyncDomain& domain = kernel.create_domain("steady", 10_ns, false,
-                                              test_policy(10_ns, 1280_ns));
+    SyncDomain& domain = kernel.create_domain(
+        {.name = "steady",
+         .quantum = 10_ns,
+         .policy = test_policy(10_ns, 1280_ns)});
     spawn_churn(kernel, domain, 2, steps);
     kernel.run();
     return std::pair<Time, std::uint64_t>(
@@ -200,10 +206,14 @@ struct ParallelModelResult {
 ParallelModelResult run_parallel_model(std::size_t workers) {
   Kernel kernel;
   kernel.set_workers(workers);
-  SyncDomain& a = kernel.create_domain("a", 10_ns, /*concurrent=*/true,
-                                       test_policy(10_ns, 10_us));
-  SyncDomain& b = kernel.create_domain("b", 10_ns, /*concurrent=*/true,
-                                       test_policy(10_ns, 10_us));
+  SyncDomain& a = kernel.create_domain({.name = "a",
+                                        .quantum = 10_ns,
+                                        .concurrent = true,
+                                        .policy = test_policy(10_ns, 10_us)});
+  SyncDomain& b = kernel.create_domain({.name = "b",
+                                        .quantum = 10_ns,
+                                        .concurrent = true,
+                                        .policy = test_policy(10_ns, 10_us)});
   spawn_churn(kernel, a, 2, 3000);
   spawn_churn(kernel, b, 1, 5000);
   kernel.run();
@@ -234,7 +244,7 @@ TEST(AdaptiveQuantum, PolicyOffLeavesTheKernelUntouched) {
   // behavior is bit-exact with the pre-controller kernel (the committed
   // bench baselines enforce the cross-version half of this claim).
   Kernel kernel;
-  SyncDomain& domain = kernel.create_domain("fixed", 100_ns);
+  SyncDomain& domain = kernel.create_domain({.name = "fixed", .quantum = 100_ns});
   spawn_churn(kernel, domain, 2, 2000);
   kernel.run();
   EXPECT_EQ(domain.quantum(), 100_ns);
@@ -250,7 +260,7 @@ TEST(AdaptiveQuantum, EnvironmentSeedsADefaultPolicy) {
   {
     Kernel kernel;
     EXPECT_NE(kernel.sync_domain().quantum_policy(), nullptr);
-    SyncDomain& domain = kernel.create_domain("auto");
+    SyncDomain& domain = kernel.create_domain(DomainOptions{.name = "auto"});
     EXPECT_NE(domain.quantum_policy(), nullptr);
     // The default policy's floor applies immediately.
     EXPECT_EQ(domain.quantum(), QuantumPolicy{}.min_quantum);
@@ -261,7 +271,8 @@ TEST(AdaptiveQuantum, EnvironmentSeedsADefaultPolicy) {
     // range (QuantumPolicy{}.max_quantum is 100 us, below this seed).
     Kernel kernel;
     QuantumPolicy wide = test_policy(10_ns, 10_ms);
-    SyncDomain& domain = kernel.create_domain("explicit", 1_ms, false, wide);
+    SyncDomain& domain = kernel.create_domain(
+        {.name = "explicit", .quantum = 1_ms, .policy = wide});
     EXPECT_EQ(domain.quantum(), 1_ms);
     ASSERT_NE(domain.quantum_policy(), nullptr);
     EXPECT_EQ(domain.quantum_policy()->max_quantum, 10_ms);
@@ -280,12 +291,12 @@ TEST(AdaptiveQuantum, EnvironmentSeedsADefaultPolicy) {
 
 TEST(AdaptiveQuantum, ExplainGroupNamesTheMergingChannel) {
   Kernel kernel;
-  SyncDomain& a = kernel.create_domain("producer_side", 100_ns,
-                                       /*concurrent=*/true);
-  SyncDomain& b = kernel.create_domain("consumer_side", 100_ns,
-                                       /*concurrent=*/true);
-  SyncDomain& alone = kernel.create_domain("island", 100_ns,
-                                           /*concurrent=*/true);
+  SyncDomain& a = kernel.create_domain(
+      {.name = "producer_side", .quantum = 100_ns, .concurrent = true});
+  SyncDomain& b = kernel.create_domain(
+      {.name = "consumer_side", .quantum = 100_ns, .concurrent = true});
+  SyncDomain& alone = kernel.create_domain(
+      {.name = "island", .quantum = 100_ns, .concurrent = true});
   SmartFifo<int> fifo(kernel, "explained_fifo", 4);
   ThreadOptions pa;
   pa.domain = &a;
@@ -311,7 +322,7 @@ TEST(AdaptiveQuantum, ExplainGroupNamesTheMergingChannel) {
   EXPECT_NE(chain[0].find("consumer_side"), std::string::npos);
   EXPECT_TRUE(kernel.explain_group(alone).empty());
   // A non-concurrent domain's explanation names the serialization rule.
-  SyncDomain& serial = kernel.create_domain("serial", 100_ns);
+  SyncDomain& serial = kernel.create_domain({.name = "serial", .quantum = 100_ns});
   const std::vector<std::string> serial_chain = kernel.explain_group(serial);
   ASSERT_FALSE(serial_chain.empty());
   EXPECT_NE(serial_chain[0].find("never opted into concurrency"),
@@ -320,8 +331,8 @@ TEST(AdaptiveQuantum, ExplainGroupNamesTheMergingChannel) {
 
 TEST(AdaptiveQuantum, DecisionTraceRecordsTheWindow) {
   Kernel kernel;
-  SyncDomain& domain = kernel.create_domain("traced", 10_ns, false,
-                                            test_policy(10_ns, 10_us));
+  SyncDomain& domain = kernel.create_domain(
+      {.name = "traced", .quantum = 10_ns, .policy = test_policy(10_ns, 10_us)});
   spawn_churn(kernel, domain, 2, 2000);
   kernel.run();
   const QuantumDecision* last = domain.last_quantum_decision();

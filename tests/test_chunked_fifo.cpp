@@ -77,10 +77,10 @@ ClusterRun run_clusters(std::size_t workers, std::size_t chunk_capacity,
   for (std::size_t c = 0; c < kClusters; ++c) {
     Cluster& cluster = clusters[c];
     const std::string suffix = std::to_string(c);
-    cluster.producer_side =
-        &k.create_domain("chp" + suffix, 40_ns, /*concurrent=*/true);
-    cluster.consumer_side =
-        &k.create_domain("chc" + suffix, 300_ns, /*concurrent=*/true);
+    cluster.producer_side = &k.create_domain(
+        {.name = "chp" + suffix, .quantum = 40_ns, .concurrent = true});
+    cluster.consumer_side = &k.create_domain(
+        {.name = "chc" + suffix, .quantum = 300_ns, .concurrent = true});
     cluster.fifo = std::make_unique<SmartFifo<int>>(k, "chf" + suffix, 3);
     cluster.fifo->set_chunk_capacity(chunk_capacity);
     cluster.fifo->declare_cell_latency(40_ns);
@@ -198,8 +198,8 @@ TEST(ChunkedFifo, PartialChunksFlushAtHorizonsAndRunExit) {
 TEST(ChunkedFifo, SyncFifoChunkingBatchesSyncBooksNotDates) {
   const auto run = [](std::size_t capacity) {
     Kernel k;
-    SyncDomain& prod = k.create_domain("sfp", 100_ns);
-    SyncDomain& cons = k.create_domain("sfc", 100_ns);
+    SyncDomain& prod = k.create_domain({.name = "sfp", .quantum = 100_ns});
+    SyncDomain& cons = k.create_domain({.name = "sfc", .quantum = 100_ns});
     SyncFifo<int> fifo(k, "sf_chunk", 4);
     fifo.set_chunk_capacity(capacity);
     ThreadOptions popts;

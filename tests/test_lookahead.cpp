@@ -71,10 +71,10 @@ ClusterRun run_clusters(std::size_t workers, std::size_t cluster_count,
   for (std::size_t c = 0; c < cluster_count; ++c) {
     Cluster& cluster = clusters[c];
     const std::string suffix = std::to_string(c);
-    cluster.producer_side =
-        &k.create_domain("lap" + suffix, 40_ns, /*concurrent=*/true);
-    cluster.consumer_side =
-        &k.create_domain("lac" + suffix, 300_ns, /*concurrent=*/true);
+    cluster.producer_side = &k.create_domain(
+        {.name = "lap" + suffix, .quantum = 40_ns, .concurrent = true});
+    cluster.consumer_side = &k.create_domain(
+        {.name = "lac" + suffix, .quantum = 300_ns, .concurrent = true});
     cluster.fifo = std::make_unique<SmartFifo<int>>(k, "laf" + suffix, 3);
     cluster.fifo->declare_cell_latency(40_ns);
     ThreadOptions popts;
@@ -140,8 +140,10 @@ TEST(Lookahead, ZeroLatencyLinkCycleDegradesToBarrier) {
   const auto run = [](std::size_t workers) {
     Kernel k;
     k.set_workers(workers);
-    SyncDomain& a = k.create_domain("cyc_a", 40_ns, /*concurrent=*/true);
-    SyncDomain& b = k.create_domain("cyc_b", 70_ns, /*concurrent=*/true);
+    SyncDomain& a = k.create_domain(
+        {.name = "cyc_a", .quantum = 40_ns, .concurrent = true});
+    SyncDomain& b = k.create_domain(
+        {.name = "cyc_b", .quantum = 70_ns, .concurrent = true});
     k.link_domains(a, b, 50_ns, "a_to_b");
     k.link_domains(b, a, Time{}, "b_to_a");  // zero lookahead = barrier
     Fingerprint out;
@@ -170,9 +172,12 @@ TEST(Lookahead, ZeroLatencyLinkCycleDegradesToBarrier) {
 
 TEST(Lookahead, MidRunRedeclarationRetightensBound) {
   Kernel k;
-  SyncDomain& a = k.create_domain("bnd_a", 50_ns, /*concurrent=*/true);
-  SyncDomain& b = k.create_domain("bnd_b", 50_ns, /*concurrent=*/true);
-  SyncDomain& lone = k.create_domain("bnd_lone", 50_ns, /*concurrent=*/true);
+  SyncDomain& a = k.create_domain(
+      {.name = "bnd_a", .quantum = 50_ns, .concurrent = true});
+  SyncDomain& b = k.create_domain(
+      {.name = "bnd_b", .quantum = 50_ns, .concurrent = true});
+  SyncDomain& lone = k.create_domain(
+      {.name = "bnd_lone", .quantum = 50_ns, .concurrent = true});
   k.link_domains(a, b, 1_ms, "slow_path");
   for (auto [domain, label] :
        {std::pair<SyncDomain*, const char*>{&a, "a"}, {&b, "b"},
@@ -205,8 +210,10 @@ TEST(Lookahead, MidRunRedeclarationRetightensBound) {
 
 TEST(Lookahead, ExplainGroupShowsLinkLatency) {
   Kernel k;
-  SyncDomain& a = k.create_domain("exp_a", 40_ns, /*concurrent=*/true);
-  SyncDomain& b = k.create_domain("exp_b", 40_ns, /*concurrent=*/true);
+  SyncDomain& a = k.create_domain(
+      {.name = "exp_a", .quantum = 40_ns, .concurrent = true});
+  SyncDomain& b = k.create_domain(
+      {.name = "exp_b", .quantum = 40_ns, .concurrent = true});
   SmartFifo<int> fifo(k, "exp_fifo", 4);
   fifo.declare_cell_latency(25_ns);  // 4 cells x 25 ns = 100 ns
   ThreadOptions aopts;
@@ -247,7 +254,8 @@ TEST(Lookahead, DecisionTraceRingKeepsNewestDecisions) {
   policy.min_syncs_per_decision = 8;
   policy.confirm_decisions = 1;
   Kernel k;
-  SyncDomain& domain = k.create_domain("trace", 10_ns, false, policy);
+  SyncDomain& domain = k.create_domain(
+      {.name = "trace", .quantum = 10_ns, .policy = policy});
   ThreadOptions opts;
   opts.domain = &domain;
   k.spawn_thread("churn", [&k] {
@@ -275,7 +283,8 @@ TEST(Lookahead, DecisionTraceRingKeepsNewestDecisions) {
   }
   // A domain without a controller has no trace.
   Kernel plain;
-  SyncDomain& untuned = plain.create_domain("untuned", 10_ns, false);
+  SyncDomain& untuned =
+      plain.create_domain({.name = "untuned", .quantum = 10_ns});
   EXPECT_TRUE(untuned.decision_trace().empty());
 }
 

@@ -177,10 +177,10 @@ ClusterResult run_clusters(std::size_t workers, std::size_t cluster_count) {
   for (std::size_t c = 0; c < cluster_count; ++c) {
     Cluster& cluster = clusters[c];
     const std::string suffix = std::to_string(c);
-    cluster.producer_side =
-        &k.create_domain("prod" + suffix, 40_ns, /*concurrent=*/true);
-    cluster.consumer_side =
-        &k.create_domain("cons" + suffix, 300_ns, /*concurrent=*/true);
+    cluster.producer_side = &k.create_domain(
+        {.name = "prod" + suffix, .quantum = 40_ns, .concurrent = true});
+    cluster.consumer_side = &k.create_domain(
+        {.name = "cons" + suffix, .quantum = 300_ns, .concurrent = true});
     cluster.fifo = std::make_unique<SmartFifo<int>>(k, "f" + suffix, 3);
     ThreadOptions popts;
     popts.domain = cluster.producer_side;
@@ -247,8 +247,10 @@ TEST(Parallel, ChannelLinksDiscoveredMidRunSerializeFromThenOn) {
   const auto run = [](std::size_t workers) {
     Kernel k;
     k.set_workers(workers);
-    SyncDomain& a = k.create_domain("late_a", 50_ns, /*concurrent=*/true);
-    SyncDomain& b = k.create_domain("late_b", 50_ns, /*concurrent=*/true);
+    SyncDomain& a = k.create_domain(
+        {.name = "late_a", .quantum = 50_ns, .concurrent = true});
+    SyncDomain& b = k.create_domain(
+        {.name = "late_b", .quantum = 50_ns, .concurrent = true});
     SmartFifo<int> fifo(k, "late_fifo", 2);
     Observed out;
     ThreadOptions aopts;
@@ -287,8 +289,10 @@ TEST(Parallel, RepeatedRunReentryMatchesSequential) {
                              const std::vector<Time>& slices) {
     Kernel k;
     k.set_workers(workers);
-    SyncDomain& a = k.create_domain("ra", 30_ns, /*concurrent=*/true);
-    SyncDomain& b = k.create_domain("rb", 90_ns, /*concurrent=*/true);
+    SyncDomain& a = k.create_domain(
+        {.name = "ra", .quantum = 30_ns, .concurrent = true});
+    SyncDomain& b = k.create_domain(
+        {.name = "rb", .quantum = 90_ns, .concurrent = true});
     Observed out;
     for (auto [domain, label] : {std::pair<SyncDomain*, const char*>{&a, "a"},
                                  {&b, "b"}}) {
@@ -349,9 +353,12 @@ TEST(Parallel, MidRunProbesAreSafeAndHorizonConsistent) {
   // least the last synchronization horizon.
   Kernel k;
   k.set_workers(4);
-  SyncDomain& probe_domain = k.create_domain("probe", Time{}, true);
-  SyncDomain& busy_a = k.create_domain("busy_a", 50_ns, true);
-  SyncDomain& busy_b = k.create_domain("busy_b", 50_ns, true);
+  SyncDomain& probe_domain =
+      k.create_domain(DomainOptions{.name = "probe", .concurrent = true});
+  SyncDomain& busy_a = k.create_domain(
+      {.name = "busy_a", .quantum = 50_ns, .concurrent = true});
+  SyncDomain& busy_b = k.create_domain(
+      {.name = "busy_b", .quantum = 50_ns, .concurrent = true});
   for (auto [domain, label] :
        {std::pair<SyncDomain*, const char*>{&busy_a, "a"}, {&busy_b, "b"}}) {
     ThreadOptions opts;
@@ -396,8 +403,10 @@ TEST(Parallel, ExplicitLinkSerializesSharedVariableDomains) {
   const auto run = [](std::size_t workers) {
     Kernel k;
     k.set_workers(workers);
-    SyncDomain& a = k.create_domain("shared_a", 20_ns, true);
-    SyncDomain& b = k.create_domain("shared_b", 20_ns, true);
+    SyncDomain& a = k.create_domain(
+        {.name = "shared_a", .quantum = 20_ns, .concurrent = true});
+    SyncDomain& b = k.create_domain(
+        {.name = "shared_b", .quantum = 20_ns, .concurrent = true});
     k.link_domains(a, b);
     EXPECT_EQ(k.domain_group(a), k.domain_group(b));
     int shared = 0;
@@ -466,9 +475,9 @@ Observed run_randomized_stress(std::size_t workers, unsigned seed) {
   std::vector<SyncDomain*> domains;
   domains.push_back(&k.sync_domain());
   for (std::size_t d = 1; d < kDomains; ++d) {
-    domains.push_back(&k.create_domain("d" + std::to_string(d),
-                                       Time(d * 20, TimeUnit::NS),
-                                       /*concurrent=*/(d % 2) == 1));
+    domains.push_back(&k.create_domain({.name = "d" + std::to_string(d),
+                                        .quantum = Time(d * 20, TimeUnit::NS),
+                                        .concurrent = (d % 2) == 1}));
   }
   Observed out;
   struct Stream {
@@ -565,11 +574,13 @@ Observed run_randomized_cluster_stress(std::size_t workers, unsigned seed,
   for (std::size_t c = 0; c < kClusters; ++c) {
     const std::string suffix = std::to_string(c);
     SyncDomain& wd = k.create_domain(
-        "rcw" + suffix, Time((rng() % 5 + 1) * 20, TimeUnit::NS),
-        /*concurrent=*/true);
+        {.name = "rcw" + suffix,
+         .quantum = Time((rng() % 5 + 1) * 20, TimeUnit::NS),
+         .concurrent = true});
     SyncDomain& rd = k.create_domain(
-        "rcr" + suffix, Time((rng() % 5 + 1) * 60, TimeUnit::NS),
-        /*concurrent=*/true);
+        {.name = "rcr" + suffix,
+         .quantum = Time((rng() % 5 + 1) * 60, TimeUnit::NS),
+         .concurrent = true});
     auto stream = std::make_unique<Stream>();
     stream->fifo = std::make_unique<SmartFifo<int>>(k, "rcf" + suffix,
                                                     1 + rng() % 5);

@@ -1,0 +1,216 @@
+// The process-wide Scheduler (kernel/scheduler.h): kernels as clients of
+// one shared worker pool. Multi-kernel coexistence must be bit-exact --
+// two kernels with interleaved run() slices on the shared pool produce
+// exactly the dates and counters of their solo runs, at every worker
+// count -- plus client accounting (registration, slot recycling, lazy
+// pool growth) and the elaboration-only contract of Kernel::set_workers.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/smart_fifo.h"
+#include "kernel/kernel.h"
+#include "kernel/report.h"
+#include "kernel/scheduler.h"
+#include "kernel/sync_domain.h"
+
+namespace tdsim {
+namespace {
+
+struct Fingerprint {
+  std::vector<Time> dates;
+  Time end;
+  std::uint64_t delta_cycles = 0;
+  std::uint64_t context_switches = 0;
+  std::uint64_t sync_requests = 0;
+  std::uint64_t parallel_rounds = 0;
+
+  void capture(const Kernel& k) {
+    end = k.now();
+    delta_cycles = k.stats().delta_cycles;
+    context_switches = k.stats().context_switches;
+    sync_requests = k.stats().sync_requests;
+    parallel_rounds = k.stats().parallel_rounds;
+  }
+};
+
+void expect_fingerprint_equal(const Fingerprint& a, const Fingerprint& b,
+                              const std::string& what) {
+  EXPECT_EQ(a.end, b.end) << what;
+  EXPECT_EQ(a.delta_cycles, b.delta_cycles) << what;
+  EXPECT_EQ(a.context_switches, b.context_switches) << what;
+  EXPECT_EQ(a.sync_requests, b.sync_requests) << what;
+  EXPECT_EQ(a.dates, b.dates) << what;
+}
+
+/// Per-kernel workload state; lives in a deque so channel/date addresses
+/// stay stable while several kernels run side by side. Each concurrency
+/// group writes its own dates vector (groups may run on different workers
+/// mid-run); captures concatenate them in cluster order afterwards.
+struct Model {
+  std::deque<std::unique_ptr<SmartFifo<int>>> fifos;
+  std::deque<std::vector<Time>> cluster_dates;
+
+  std::vector<Time> dates() const {
+    std::vector<Time> all;
+    for (const std::vector<Time>& cluster : cluster_dates) {
+      all.insert(all.end(), cluster.begin(), cluster.end());
+    }
+    return all;
+  }
+};
+
+/// Two independent concurrency groups (producer/consumer over a Smart
+/// FIFO each), seeded so different kernels carry visibly different
+/// schedules. The same model is used solo and multiplexed.
+void build_model(Kernel& k, Model& model, int seed, int words) {
+  for (int c = 0; c < 2; ++c) {
+    const std::string suffix = std::to_string(seed) + "_" + std::to_string(c);
+    SyncDomain& prod = k.create_domain(
+        {.name = "mp" + suffix, .quantum = 40_ns, .concurrent = true});
+    SyncDomain& cons = k.create_domain(
+        {.name = "mc" + suffix, .quantum = 300_ns, .concurrent = true});
+    model.fifos.push_back(std::make_unique<SmartFifo<int>>(k, "mf" + suffix, 3));
+    SmartFifo<int>* fifo = model.fifos.back().get();
+    model.cluster_dates.emplace_back();
+    std::vector<Time>* dates = &model.cluster_dates.back();
+    ThreadOptions popts;
+    popts.domain = &prod;
+    k.spawn_thread("producer" + suffix, [&k, fifo, seed, c, words] {
+      for (int i = 0; i < words; ++i) {
+        k.current_domain().inc((i % 5 + 1 + seed + c) * 3_ns);
+        fifo->write(i);
+      }
+    }, popts);
+    ThreadOptions copts;
+    copts.domain = &cons;
+    k.spawn_thread("consumer" + suffix, [&k, fifo, dates, seed, c, words] {
+      for (int i = 0; i < words; ++i) {
+        const int v = fifo->read();
+        k.current_domain().inc((i % 3 + 1 + seed + c) * 4_ns);
+        dates->push_back(k.current_domain().local_time_stamp());
+        if (v != i) {
+          dates->push_back(Time::max());  // corruption marker
+        }
+      }
+    }, copts);
+  }
+}
+
+Fingerprint run_solo(std::size_t workers, int seed, int words) {
+  Kernel k(KernelConfig{.workers = workers});
+  Model model;
+  build_model(k, model, seed, words);
+  k.run();
+  Fingerprint out;
+  out.capture(k);
+  out.dates = model.dates();
+  return out;
+}
+
+TEST(Scheduler, TwoKernelsInterleavedMatchTheirSoloRuns) {
+  constexpr int kWords = 40;
+  for (std::size_t workers : {0u, 1u, 4u}) {
+    const std::string what = "workers=" + std::to_string(workers);
+    const Fingerprint solo_a = run_solo(workers, /*seed=*/0, kWords);
+    const Fingerprint solo_b = run_solo(workers, /*seed=*/7, kWords);
+
+    // Same two kernels, but alive at once on the shared pool, their
+    // run() windows interleaved slice by slice.
+    Kernel ka(KernelConfig{.workers = workers});
+    Kernel kb(KernelConfig{.workers = workers});
+    Model ma;
+    Model mb;
+    build_model(ka, ma, /*seed=*/0, kWords);
+    build_model(kb, mb, /*seed=*/7, kWords);
+    for (Time slice : {100_ns, 300_ns, 650_ns}) {
+      ka.run(slice);
+      kb.run(slice);
+    }
+    ka.run();
+    kb.run();
+    Fingerprint inter_a;
+    inter_a.capture(ka);
+    inter_a.dates = ma.dates();
+    Fingerprint inter_b;
+    inter_b.capture(kb);
+    inter_b.dates = mb.dates();
+    expect_fingerprint_equal(solo_a, inter_a, "kernel A, " + what);
+    expect_fingerprint_equal(solo_b, inter_b, "kernel B, " + what);
+    if (workers >= 2) {
+      // Both kernels really multiplexed parallel rounds over the pool.
+      EXPECT_GT(inter_a.parallel_rounds, 0u) << what;
+      EXPECT_GT(inter_b.parallel_rounds, 0u) << what;
+    }
+  }
+}
+
+TEST(Scheduler, MixedWorkerCountsCoexist) {
+  // A parallel kernel and a sequential kernel share the process; the
+  // sequential one must stay bit-exact with its solo run (its quota is
+  // zero -- pool workers never touch it).
+  constexpr int kWords = 30;
+  const Fingerprint solo_seq = run_solo(0, /*seed=*/3, kWords);
+  Kernel parallel(KernelConfig{.workers = 4});
+  Kernel sequential(KernelConfig{.workers = 0});
+  Model mp;
+  Model ms;
+  build_model(parallel, mp, /*seed=*/5, kWords);
+  build_model(sequential, ms, /*seed=*/3, kWords);
+  parallel.run(400_ns);
+  sequential.run(400_ns);
+  parallel.run();
+  sequential.run();
+  Fingerprint seq;
+  seq.capture(sequential);
+  seq.dates = ms.dates();
+  expect_fingerprint_equal(solo_seq, seq, "sequential beside parallel");
+  EXPECT_TRUE(mp.dates() == run_solo(4, /*seed=*/5, kWords).dates);
+}
+
+TEST(Scheduler, ClientAccountingAndSlotRecycling) {
+  Scheduler& scheduler = Scheduler::instance();
+  const std::size_t base = scheduler.clients();
+  {
+    Kernel a;
+    EXPECT_EQ(scheduler.clients(), base + 1);
+    Kernel b;
+    EXPECT_EQ(scheduler.clients(), base + 2);
+  }
+  EXPECT_EQ(scheduler.clients(), base);
+  // Churning kernels recycles slots instead of growing the table.
+  for (int i = 0; i < 100; ++i) {
+    Kernel churn;
+    EXPECT_EQ(scheduler.clients(), base + 1);
+  }
+  EXPECT_EQ(scheduler.clients(), base);
+}
+
+TEST(Scheduler, PoolGrowsToTheLargestQuota) {
+  Scheduler& scheduler = Scheduler::instance();
+  Kernel k(KernelConfig{.workers = 3});
+  Model model;
+  build_model(k, model, /*seed=*/11, /*words=*/20);
+  k.run();
+  // Quota 3 = the driving thread + 2 pool workers; the pool never
+  // shrinks, so by now it holds at least those 2 (other tests may have
+  // grown it further).
+  EXPECT_GE(scheduler.threads(), 2u);
+}
+
+TEST(Scheduler, SetWorkersIsElaborationOnly) {
+  Kernel k;
+  k.set_workers(2);  // before the first run(): fine
+  EXPECT_EQ(k.workers(), 2u);
+  EXPECT_EQ(k.config().workers.value(), 2u);
+  k.spawn_thread("t", [&k] { k.wait(1_ns); });
+  k.run();
+  EXPECT_THROW(k.set_workers(4), SimulationError);
+  EXPECT_EQ(k.workers(), 2u);  // the failed call must not half-apply
+}
+
+}  // namespace
+}  // namespace tdsim

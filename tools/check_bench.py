@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Benchmark regression gate for the BENCH_*.json files the benches emit.
 
-Five checks, run by CI's perf-gate job (see .github/workflows/ci.yml):
+Six checks, run by CI's perf-gate job (see .github/workflows/ci.yml):
 
 1. Determinism vs committed baseline (bench/baselines/): every numeric
    field except wall-clock ones must match the baseline bit-for-bit.
@@ -61,6 +61,19 @@ Five checks, run by CI's perf-gate job (see .github/workflows/ci.yml):
    The rows' deterministic fields (dates, block and sync counts) are
    covered by check 1, which is what holds chunked mode to per-element
    bit-exactness on every push.
+
+6. Fleet throughput gate: rows carrying a "fleet_mode" field
+   (bench_fleet --json) compare the snapshot-fork path against cold
+   standalone rebuilds of the same scenarios. The fork path must reach
+   --fleet-throughput (default 0.35) of the cold path's scenarios/sec:
+   forking through the construction log replays the same work as a cold
+   build, so the gate bounds the scheduler-multiplexing and fork overhead
+   rather than demanding a speedup. The fleet's deterministic fields (the
+   per-scenario digest, date and delta sums) are covered by check 1 --
+   that is where the bench's fork-equals-cold bit-exactness guarantee is
+   held to the committed baseline (the bench itself additionally exits
+   nonzero if any scenario diverges from its cold run). Noise-floored on
+   the cold wall like the other relative gates.
 
 Wall-clock fields (any key containing "wall" or "seconds") are never
 compared against the baseline: baselines are committed from whatever
@@ -220,6 +233,28 @@ def check_chunked_speedup(name, rows, min_speedup, min_ref_wall, out):
     return 0 if verdict == "ok  " else 1
 
 
+def check_fleet_throughput(name, rows, min_throughput, min_ref_wall, out):
+    """Fork path must reach a fraction of the cold path's scenarios/sec."""
+    walls = {}
+    for row in rows:
+        if "fleet_mode" in row and "wall_seconds" in row:
+            walls[row["fleet_mode"]] = row["wall_seconds"]
+    fork = walls.get("fork")
+    cold = walls.get("cold")
+    if fork is None or cold is None:
+        return 0
+    if cold < min_ref_wall:
+        out.append(f"skip {name}: cold wall {cold:.3f}s below "
+                   f"{min_ref_wall}s noise floor, fleet gate not applied")
+        return 0
+    throughput = cold / fork if fork > 0 else float("inf")
+    verdict = "ok  " if throughput >= min_throughput else "FAIL"
+    out.append(f"{verdict} {name}: fork wall {fork:.3f}s = "
+               f"{100 * throughput:.0f}% of cold throughput "
+               f"({cold:.3f}s), floor {100 * min_throughput:.0f}%")
+    return 0 if verdict == "ok  " else 1
+
+
 def check_adaptive_walls(name, rows, min_throughput, min_ref_wall, out):
     """Adaptive rows vs the best fixed row of their comparison group."""
     flagged = [r for r in rows
@@ -305,6 +340,10 @@ def main():
                         help="fractional wall improvement the chunked "
                         "rows must show over the per-element rows on the "
                         "wide-FIFO sweep (default 0.10)")
+    parser.add_argument("--fleet-throughput", type=float, default=0.35,
+                        help="fraction of the cold path's scenarios/sec "
+                        "the fork path must reach in bench_fleet "
+                        "(default 0.35)")
     parser.add_argument("--adaptive-throughput", type=float, default=0.9,
                         help="fraction of the best fixed-quantum row's "
                         "wall-clock throughput every adaptive row must "
@@ -332,6 +371,8 @@ def main():
                                   args.min_ref_wall, args.cores, out)
         failures += check_chunked_speedup(name, rows, args.chunked_speedup,
                                           args.min_ref_wall, out)
+        failures += check_fleet_throughput(name, rows, args.fleet_throughput,
+                                           args.min_ref_wall, out)
         failures += check_adaptive_walls(name, rows, args.adaptive_throughput,
                                          args.min_ref_wall, out)
 
