@@ -3,7 +3,9 @@
 // snapshotted, and forked into many scenario variants -- each variant
 // grafts a scenario-specific pipeline at the warm point (ForkOptions::
 // diverge) and runs to completion on the process-wide Scheduler, several
-// forks alive at once with interleaved run() windows.
+// forks alive at once with interleaved run() windows. The batching,
+// interleaving and failure handling are fleet::Supervisor's (this bench is
+// its reference consumer).
 //
 // Every scenario is verified in-bench against a cold standalone kernel
 // built with the same steps: end date, delta count, and the consumed-word
@@ -16,9 +18,20 @@
 // file to tools/check_bench.py, which holds the deterministic fields to
 // the committed baseline and requires the fork path to reach
 // --fleet-throughput of the cold path's scenarios/sec.
+//
+// `--chaos N` additionally arms a FaultPlan on the first N scenarios --
+// even indices carry a persistent injected throw (a "model bug": fails
+// again on the sequential retry, quarantined), odd indices a
+// parallel-only throw (a "scheduling bug": the workers=0 retry survives).
+// The bench then asserts the Supervisor's classification, verifies every
+// survivor bit-identical against its cold run, and holds the survivors'
+// fork throughput to --fleet-throughput of their cold throughput
+// in-bench. Chaos results go to BENCH_fleet_chaos.json (table
+// "fleet_chaos"), so the committed normal-mode baseline is untouched.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <map>
@@ -28,12 +41,18 @@
 
 #include "bench_json.h"
 #include "core/smart_fifo.h"
+#include "fleet/supervisor.h"
+#include "kernel/failure.h"
+#include "kernel/fault_plan.h"
 #include "kernel/kernel.h"
 #include "kernel/snapshot.h"
 #include "kernel/sync_domain.h"
 
 namespace {
 
+using tdsim::FailureKind;
+using tdsim::FailureReport;
+using tdsim::FaultPlan;
 using tdsim::ForkOptions;
 using tdsim::Kernel;
 using tdsim::KernelConfig;
@@ -42,6 +61,11 @@ using tdsim::Snapshot;
 using tdsim::SyncDomain;
 using tdsim::ThreadOptions;
 using tdsim::Time;
+using tdsim::fleet::FleetOptions;
+using tdsim::fleet::ScenarioOutcome;
+using tdsim::fleet::ScenarioSpec;
+using tdsim::fleet::ScenarioStatus;
+using tdsim::fleet::Supervisor;
 using namespace tdsim::time_literals;
 
 /// Per-kernel, per-pipeline model state, looked up by kernel address so
@@ -154,7 +178,7 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-int json_main(int scenarios, int words) {
+int json_main(int scenarios, int words, int chaos, double fleet_floor) {
   // Mid-flight for the default --words 64 platform (natural end ~600 ns),
   // so forks genuinely replay a half-run schedule, not a finished one.
   constexpr Time kWarmSlice = 300_ns;
@@ -166,43 +190,100 @@ int json_main(int scenarios, int words) {
   warm.run(kWarmSlice);
   const Snapshot snap = warm.snapshot();
 
-  std::vector<ScenarioResult> fork_results(
-      static_cast<std::size_t>(scenarios));
-  const auto fork_start = std::chrono::steady_clock::now();
-  for (int base = 0; base < scenarios; base += kBatch) {
-    const int batch = std::min(kBatch, scenarios - base);
-    std::vector<std::unique_ptr<Kernel>> fleet;
-    for (int i = 0; i < batch; ++i) {
-      const int scenario = base + i;
-      ForkOptions options;
-      options.diverge = [scenario, words](Kernel& kk) {
-        build_pipeline(kk, "scn" + std::to_string(scenario),
-                       scenario_words(scenario, words));
-      };
-      fleet.push_back(Kernel::fork(snap, std::move(options)));
-    }
-    // Interleaved windows: every fork advances one slice before any
-    // finishes, so the batch's kernels genuinely coexist as Scheduler
-    // clients mid-run.
-    for (auto& kernel : fleet) {
-      kernel->run(kWarmSlice + 500_ns);
-    }
-    for (int i = 0; i < batch; ++i) {
-      fleet[static_cast<std::size_t>(i)]->run();
-      fork_results[static_cast<std::size_t>(base + i)].capture(
-          *fleet[static_cast<std::size_t>(i)]);
-    }
-    for (auto& kernel : fleet) {
-      g_models.drop(*kernel);
+  // Scenario specs. The first `chaos` scenarios carry an injected fault
+  // in their grafted producer: even index -> persistent throw
+  // (quarantined), odd index -> parallel-only throw (the sequential
+  // retry survives it).
+  std::vector<ScenarioSpec> specs(static_cast<std::size_t>(scenarios));
+  for (int scenario = 0; scenario < scenarios; ++scenario) {
+    ScenarioSpec& spec = specs[static_cast<std::size_t>(scenario)];
+    spec.name = std::to_string(scenario);
+    spec.fork.diverge = [scenario, words](Kernel& kk) {
+      build_pipeline(kk, "scn" + std::to_string(scenario),
+                     scenario_words(scenario, words));
+    };
+    if (scenario < chaos) {
+      const std::string victim =
+          "scn" + std::to_string(scenario) + "_producer";
+      spec.faults = FaultPlan::parse(scenario % 2 == 0
+                                         ? "throw:" + victim + "@3"
+                                         : "throw:" + victim + "@3!par");
     }
   }
+
+  // Supervised fork pass: batches of kBatch, every member advanced
+  // through the interleaved window before any finishes, failures retried
+  // sequentially (see fleet/supervisor.h).
+  std::vector<ScenarioResult> fork_results(
+      static_cast<std::size_t>(scenarios));
+  std::vector<char> survived(static_cast<std::size_t>(scenarios), 0);
+  Supervisor supervisor(snap, {},
+                        FleetOptions{.batch = kBatch,
+                                     .windows = {kWarmSlice + 500_ns}});
+  const auto fork_start = std::chrono::steady_clock::now();
+  const std::vector<ScenarioOutcome> outcomes = supervisor.run(
+      specs,
+      [&](Kernel& kernel, const ScenarioSpec& spec, const ScenarioOutcome&) {
+        const std::size_t index = std::stoul(spec.name);
+        fork_results[index].capture(kernel);
+        survived[index] = 1;
+        g_models.drop(kernel);
+      },
+      [&](Kernel* kernel, const ScenarioSpec&, const FailureReport&) {
+        if (kernel != nullptr) {
+          g_models.drop(*kernel);  // before the Supervisor destroys it
+        }
+      });
   const double fork_wall = seconds_since(fork_start);
 
-  // Cold pass: every scenario rebuilt standalone -- the bit-exactness
-  // reference and the throughput reference in one.
+  // Classification must match the chaos plan exactly: N/2 (rounded up)
+  // quarantined model bugs, N/2 retried scheduling bugs, everyone else
+  // completed first try -- and every first failure must be the injection.
+  int completed = 0;
+  int retried = 0;
+  int quarantined = 0;
+  for (const ScenarioOutcome& outcome : outcomes) {
+    switch (outcome.status) {
+      case ScenarioStatus::Completed:
+        completed++;
+        break;
+      case ScenarioStatus::Retried:
+        retried++;
+        break;
+      case ScenarioStatus::Quarantined:
+        quarantined++;
+        break;
+    }
+    if (outcome.first_failure &&
+        outcome.first_failure->kind != FailureKind::Injected) {
+      std::fprintf(stderr,
+                   "ERROR: scenario %s failed outside the chaos plan: %s\n",
+                   outcome.name.c_str(),
+                   outcome.first_failure->to_string().c_str());
+      return 1;
+    }
+  }
+  const int expected_quarantined = (chaos + 1) / 2;
+  const int expected_retried = chaos / 2;
+  if (quarantined != expected_quarantined || retried != expected_retried ||
+      completed != scenarios - chaos) {
+    std::fprintf(stderr,
+                 "ERROR: chaos classification off: %d completed, %d "
+                 "retried, %d quarantined (expected %d/%d/%d)\n",
+                 completed, retried, quarantined, scenarios - chaos,
+                 expected_retried, expected_quarantined);
+    return 1;
+  }
+
+  // Cold pass over the survivors: every survivor rebuilt standalone --
+  // the bit-exactness reference and the throughput reference in one.
+  const int survivors = completed + retried;
   int mismatches = 0;
   const auto cold_start = std::chrono::steady_clock::now();
   for (int scenario = 0; scenario < scenarios; ++scenario) {
+    if (!survived[static_cast<std::size_t>(scenario)]) {
+      continue;
+    }
     const ScenarioResult cold = run_cold(scenario, words, kWarmSlice);
     if (!(cold == fork_results[static_cast<std::size_t>(scenario)])) {
       const ScenarioResult& fork = fork_results[
@@ -226,16 +307,21 @@ int json_main(int scenarios, int words) {
   const double cold_wall = seconds_since(cold_start);
   if (mismatches != 0) {
     std::fprintf(stderr, "ERROR: %d of %d scenarios diverged from their "
-                 "cold runs\n", mismatches, scenarios);
+                 "cold runs\n", mismatches, survivors);
     return 1;
   }
 
-  // Fleet digest: one number covering every scenario's deterministic
-  // result, so the committed baseline pins the whole fleet.
+  // Fleet digest over the survivors: one number covering every surviving
+  // scenario's deterministic result, so the committed baseline pins the
+  // whole fleet (with --chaos 0 that is every scenario).
   std::uint64_t digest = 14695981039346656037ull;
   std::uint64_t end_ps_sum = 0;
   std::uint64_t delta_sum = 0;
-  for (const ScenarioResult& r : fork_results) {
+  for (int scenario = 0; scenario < scenarios; ++scenario) {
+    if (!survived[static_cast<std::size_t>(scenario)]) {
+      continue;
+    }
+    const ScenarioResult& r = fork_results[static_cast<std::size_t>(scenario)];
     for (std::uint64_t v : {r.end_ps, r.delta_cycles,
                             static_cast<std::uint64_t>(r.checksum),
                             r.consumed}) {
@@ -245,15 +331,36 @@ int json_main(int scenarios, int words) {
     delta_sum += r.delta_cycles;
   }
 
-  const double fork_rate = fork_wall > 0 ? scenarios / fork_wall : 0.0;
-  const double cold_rate = cold_wall > 0 ? scenarios / cold_wall : 0.0;
-  std::printf("fleet: %d scenarios, all bit-identical to cold runs\n",
-              scenarios);
+  const double fork_rate = fork_wall > 0 ? survivors / fork_wall : 0.0;
+  const double cold_rate = cold_wall > 0 ? survivors / cold_wall : 0.0;
+  std::printf("fleet: %d scenarios, %d survivors bit-identical to cold "
+              "runs (%d retried, %d quarantined)\n",
+              scenarios, survivors, retried, quarantined);
   std::printf("%6s | %10s | %14s\n", "path", "wall[s]", "scenarios/s");
   std::printf("%6s | %10.3f | %14.1f\n", "fork", fork_wall, fork_rate);
   std::printf("%6s | %10.3f | %14.1f\n", "cold", cold_wall, cold_rate);
 
-  benchjson::Report report("fleet");
+  if (chaos > 0) {
+    // In-bench survivor throughput gate, same shape as check_bench.py's
+    // fleet gate (ratio floor, noise-floored on the cold wall): retries
+    // and quarantines must not drag the surviving fleet below the floor.
+    if (cold_wall >= 0.05 && cold_rate > 0 &&
+        fork_rate < fleet_floor * cold_rate) {
+      std::fprintf(stderr,
+                   "ERROR: survivor fork throughput %.1f/s is below "
+                   "%.0f%% of cold (%.1f/s)\n",
+                   fork_rate, 100 * fleet_floor, cold_rate);
+      return 1;
+    }
+  }
+
+  // Forking must leave the donor kernel exactly where snapshot() saw it.
+  const int still_warm = warm.now() == snap.warmed_to ? 1 : 0;
+
+  // Chaos runs report to their own table so the committed normal-mode
+  // baseline (BENCH_fleet.json) stays byte-comparable across chaos runs
+  // in the same build directory.
+  benchjson::Report report(chaos > 0 ? "fleet_chaos" : "fleet");
   report.row()
       .add("fleet_mode", std::string("fork"))
       .add("scenarios", static_cast<std::uint64_t>(scenarios))
@@ -272,20 +379,27 @@ int json_main(int scenarios, int words) {
       .add("delta_cycles_sum", delta_sum)
       .add("wall_seconds", cold_wall)
       .add("scenarios_per_wall_sec", cold_rate);
-  for (int scenario : {0, 1, scenarios / 2, scenarios - 1}) {
-    const ScenarioResult& r = fork_results[
-        static_cast<std::size_t>(scenario)];
+  if (chaos > 0) {
     report.row()
-        .add("scenario", static_cast<std::uint64_t>(scenario))
-        .add("scn_words",
-             static_cast<std::uint64_t>(scenario_words(scenario, words)))
-        .add("end_ps", r.end_ps)
-        .add("delta_cycles", r.delta_cycles)
-        .add("checksum", static_cast<std::uint64_t>(r.checksum))
-        .add("consumed", r.consumed);
+        .add("chaos", static_cast<std::uint64_t>(chaos))
+        .add("survivors", static_cast<std::uint64_t>(survivors))
+        .add("retried", static_cast<std::uint64_t>(retried))
+        .add("quarantined", static_cast<std::uint64_t>(quarantined))
+        .add("supervisor_retries", supervisor.retries());
+  } else {
+    for (int scenario : {0, 1, scenarios / 2, scenarios - 1}) {
+      const ScenarioResult& r = fork_results[
+          static_cast<std::size_t>(scenario)];
+      report.row()
+          .add("scenario", static_cast<std::uint64_t>(scenario))
+          .add("scn_words",
+               static_cast<std::uint64_t>(scenario_words(scenario, words)))
+          .add("end_ps", r.end_ps)
+          .add("delta_cycles", r.delta_cycles)
+          .add("checksum", static_cast<std::uint64_t>(r.checksum))
+          .add("consumed", r.consumed);
+    }
   }
-  // Forking must leave the donor kernel exactly where snapshot() saw it.
-  const int still_warm = warm.now() == snap.warmed_to ? 1 : 0;
   report.row().add("warm_platform_intact",
                    static_cast<std::uint64_t>(still_warm));
   g_models.drop(warm);
@@ -297,6 +411,8 @@ int json_main(int scenarios, int words) {
 int main(int argc, char** argv) {
   int scenarios = 100;
   int words = 64;
+  int chaos = 0;
+  double fleet_floor = 0.35;
   bool emit_json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -305,12 +421,21 @@ int main(int argc, char** argv) {
       scenarios = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--words") == 0 && i + 1 < argc) {
       words = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--chaos") == 0 && i + 1 < argc) {
+      chaos = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--fleet-throughput") == 0 &&
+               i + 1 < argc) {
+      fleet_floor = std::atof(argv[++i]);
     }
   }
   if (scenarios < 2 || words < 8) {
     std::fprintf(stderr, "need --scenarios >= 2 and --words >= 8\n");
     return 1;
   }
+  if (chaos < 0 || chaos > scenarios / 2) {
+    std::fprintf(stderr, "need 0 <= --chaos <= scenarios/2\n");
+    return 1;
+  }
   (void)emit_json;  // the fleet sweep is the only mode
-  return json_main(scenarios, words);
+  return json_main(scenarios, words, chaos, fleet_floor);
 }

@@ -1,0 +1,174 @@
+// fleet::Supervisor -- batched, interleaved, supervised scenario execution
+// (see fleet/supervisor.h for the control-flow contract).
+#include "fleet/supervisor.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace tdsim::fleet {
+
+namespace {
+
+/// A batch member's live state during the first attempt.
+struct LiveRun {
+  std::size_t index = 0;  ///< scenario index in the input vector
+  std::unique_ptr<Kernel> kernel;
+  bool failed = false;
+  FailureReport failure;
+};
+
+/// Post-mortem for `kernel` after a caught exception: the kernel's own
+/// structured report when it reached Failed, else a synthetic ModelError
+/// (fork/replay/diverge threw before or outside run()).
+FailureReport post_mortem(const Kernel* kernel, const std::exception& e) {
+  if (kernel != nullptr && kernel->failure() != nullptr) {
+    return *kernel->failure();
+  }
+  FailureReport report;
+  report.kind = FailureKind::ModelError;
+  report.message = e.what();
+  return report;
+}
+
+}  // namespace
+
+const char* to_string(ScenarioStatus status) {
+  switch (status) {
+    case ScenarioStatus::Completed:
+      return "Completed";
+    case ScenarioStatus::Retried:
+      return "Retried";
+    case ScenarioStatus::Quarantined:
+      return "Quarantined";
+  }
+  return "?";
+}
+
+Supervisor::Supervisor(Snapshot snapshot, RetryPolicy retry,
+                       FleetOptions fleet)
+    : snapshot_(std::move(snapshot)), retry_(retry), fleet_(std::move(fleet)) {}
+
+std::vector<ScenarioOutcome> Supervisor::run(
+    const std::vector<ScenarioSpec>& scenarios,
+    const CompletionFn& on_complete, const FailureFn& on_failure) {
+  std::vector<ScenarioOutcome> outcomes(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    outcomes[i].name = scenarios[i].name;
+  }
+
+  const std::size_t batch_size = std::max<std::size_t>(1, fleet_.batch);
+  for (std::size_t base = 0; base < scenarios.size(); base += batch_size) {
+    const std::size_t end = std::min(scenarios.size(), base + batch_size);
+
+    // --- First attempt: fork the whole batch, drive it interleaved. ---
+    std::vector<LiveRun> batch;
+    batch.reserve(end - base);
+    for (std::size_t i = base; i < end; ++i) {
+      LiveRun live;
+      live.index = i;
+      try {
+        live.kernel = Kernel::fork(snapshot_, scenarios[i].fork);
+        if (!scenarios[i].faults.empty()) {
+          live.kernel->arm_faults(scenarios[i].faults);
+        }
+      } catch (const std::exception& e) {
+        live.failed = true;
+        live.failure = post_mortem(live.kernel.get(), e);
+        if (on_failure) {
+          on_failure(live.kernel.get(), scenarios[i], live.failure);
+        }
+        live.kernel.reset();
+      }
+      batch.push_back(std::move(live));
+    }
+
+    // One milestone at a time across the whole batch, so every member is
+    // genuinely multiplexed on the shared Scheduler, then run each
+    // survivor to completion. A member that fails is destroyed on the
+    // spot and skipped for the remaining milestones.
+    auto drive = [&](Time until) {
+      for (LiveRun& live : batch) {
+        if (live.failed) {
+          continue;
+        }
+        try {
+          live.kernel->run(
+              RunOptions{.until = until,
+                         .wall_limit_ms = fleet_.wall_limit_ms});
+        } catch (const std::exception& e) {
+          live.failed = true;
+          live.failure = post_mortem(live.kernel.get(), e);
+          if (on_failure) {
+            on_failure(live.kernel.get(), scenarios[live.index],
+                       live.failure);
+          }
+          live.kernel.reset();
+        }
+      }
+    };
+    for (Time window : fleet_.windows) {
+      drive(window);
+    }
+    drive(Time::max());
+
+    // --- Classify, complete, retry. Sequential retries run one at a
+    // time, after the parallel batch has fully drained. ---
+    for (LiveRun& live : batch) {
+      const ScenarioSpec& spec = scenarios[live.index];
+      ScenarioOutcome& outcome = outcomes[live.index];
+      outcome.attempts = 1;
+      if (!live.failed) {
+        outcome.status = ScenarioStatus::Completed;
+        if (on_complete) {
+          on_complete(*live.kernel, spec, outcome);
+        }
+        live.kernel.reset();
+        continue;
+      }
+
+      outcome.first_failure = live.failure;
+      if (retry_.max_attempts <= 1) {
+        outcome.status = ScenarioStatus::Quarantined;
+        outcome.final_failure = std::move(live.failure);
+        ++quarantined_;
+        continue;
+      }
+
+      ForkOptions retry_fork = spec.fork;
+      if (retry_.retry_sequential) {
+        retry_fork.config.workers = 0;
+      }
+      ++retries_;
+      outcome.attempts = 2;
+      std::unique_ptr<Kernel> kernel;
+      try {
+        kernel = Kernel::fork(snapshot_, std::move(retry_fork));
+        kernel->note_retry();
+        if (!spec.faults.empty()) {
+          kernel->arm_faults(spec.faults);
+        }
+        for (Time window : fleet_.windows) {
+          kernel->run(RunOptions{.until = window,
+                                 .wall_limit_ms = fleet_.wall_limit_ms});
+        }
+        kernel->run(RunOptions{.until = Time::max(),
+                               .wall_limit_ms = fleet_.wall_limit_ms});
+        outcome.status = ScenarioStatus::Retried;
+        if (on_complete) {
+          on_complete(*kernel, spec, outcome);
+        }
+      } catch (const std::exception& e) {
+        outcome.status = ScenarioStatus::Quarantined;
+        outcome.final_failure = post_mortem(kernel.get(), e);
+        if (on_failure) {
+          on_failure(kernel.get(), spec, *outcome.final_failure);
+        }
+        ++quarantined_;
+      }
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace tdsim::fleet

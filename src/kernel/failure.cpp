@@ -1,0 +1,71 @@
+#include "kernel/failure.h"
+
+#include <sstream>
+
+namespace tdsim {
+
+const char* to_string(Health health) {
+  switch (health) {
+    case Health::Idle:
+      return "Idle";
+    case Health::Running:
+      return "Running";
+    case Health::Failed:
+      return "Failed";
+  }
+  return "?";
+}
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::ModelError:
+      return "ModelError";
+    case FailureKind::DeltaLivelock:
+      return "DeltaLivelock";
+    case FailureKind::Watchdog:
+      return "Watchdog";
+    case FailureKind::Injected:
+      return "Injected";
+    case FailureKind::Unknown:
+      return "Unknown";
+  }
+  return "?";
+}
+
+std::string FailureReport::to_string() const {
+  std::ostringstream out;
+  out << "FailureReport{" << tdsim::to_string(kind) << "} at " << at.ps()
+      << " ps, delta_cycles=" << delta_cycles
+      << ", timed_waves=" << timed_waves << '\n';
+  out << "  cause: " << message << '\n';
+  if (!process.empty()) {
+    out << "  process: " << process;
+    if (!domain.empty()) {
+      out << " (domain " << domain << ")";
+    }
+    out << '\n';
+  } else if (!domain.empty()) {
+    out << "  domain: " << domain << '\n';
+  }
+  if (has_lookahead_bound) {
+    out << "  lookahead bound: ";
+    if (lookahead_bound == Time::max()) {
+      out << "unbounded";
+    } else {
+      out << lookahead_bound.ps() << " ps";
+    }
+    out << '\n';
+  }
+  for (const auto& front : fronts) {
+    out << "  front " << front.domain << ": " << front.front.ps()
+        << " ps, syncs=" << front.syncs << '\n';
+  }
+  for (const auto& decision : last_decisions) {
+    out << "  quantum decision #" << decision.serial << " at "
+        << decision.at.ps() << " ps: " << decision.old_quantum.ps() << " -> "
+        << decision.new_quantum.ps() << " (" << decision.reason << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace tdsim

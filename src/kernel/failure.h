@@ -1,0 +1,74 @@
+// Defined failure semantics for the kernel.
+//
+// Any exception leaving Kernel::run() transitions the kernel to
+// Health::Failed, carrying a structured FailureReport: what threw
+// (classified by exception type), where (failing process/domain), and the
+// simulation state at the point of failure (execution fronts, last quantum
+// decisions, delta/wave counters). A Failed kernel refuses further run()
+// and snapshot() calls; its fibers are already terminated and its
+// Scheduler worker slots released, so destruction is leak-free and
+// siblings on the shared scheduler are unaffected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/quantum_controller.h"
+#include "kernel/time.h"
+
+namespace tdsim {
+
+/// Kernel lifecycle with respect to run(). Idle -> Running on run() entry,
+/// Running -> Idle on clean return, Running -> Failed when an exception
+/// unwinds out of run(). Failed is terminal.
+enum class Health { Idle, Running, Failed };
+
+const char* to_string(Health health);
+
+/// Why a kernel failed, classified from the escaping exception's type.
+enum class FailureKind {
+  ModelError,     ///< user model / channel misuse (SimulationError or any
+                  ///< other exception not listed below)
+  DeltaLivelock,  ///< DeltaLivelockError: delta-cycle limit exceeded
+  Watchdog,       ///< WatchdogError: wall-clock budget exceeded
+  Injected,       ///< InjectedFault: armed FaultPlan action fired
+  Unknown,        ///< non-std::exception payload
+};
+
+const char* to_string(FailureKind kind);
+
+/// One domain's position at the instant of failure.
+struct DomainFront {
+  std::string domain;
+  /// Domain execution front (max local date over live member processes);
+  /// Time::max() when the domain has no live process.
+  Time front{};
+  std::uint64_t syncs = 0;  ///< performed syncs charged to the domain
+};
+
+/// Structured post-mortem attached to a Failed kernel. Everything here is
+/// copied out of the kernel at failure time; the report stays valid for
+/// the kernel's lifetime and is safe to copy out before destruction.
+struct FailureReport {
+  FailureKind kind = FailureKind::Unknown;
+  std::string message;   ///< exception what() (or a placeholder)
+  std::string process;   ///< process whose dispatch raised, if attributable
+  std::string domain;    ///< that process's domain (or the lagging domain)
+  Time at{};             ///< kernel simulated time at failure
+  std::uint64_t delta_cycles = 0;
+  std::uint64_t timed_waves = 0;
+  std::vector<DomainFront> fronts;  ///< execution fronts, registry order
+  /// Last adaptive-quantum decision per domain that has one, registry
+  /// order (parallel to a subset of fronts by domain name in reason).
+  std::vector<QuantumDecision> last_decisions;
+  /// Watchdog trips record the conservative lookahead bound that was in
+  /// force (Time::max() when unbounded / not applicable).
+  bool has_lookahead_bound = false;
+  Time lookahead_bound{};
+
+  /// Multi-line human-readable rendering for logs and quarantine records.
+  std::string to_string() const;
+};
+
+}  // namespace tdsim

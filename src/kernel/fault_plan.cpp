@@ -1,0 +1,196 @@
+#include "kernel/fault_plan.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "kernel/report.h"
+
+namespace tdsim {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  Report::error("FaultPlan::parse: " + why + " in \"" + spec + "\"");
+}
+
+/// "200ns" / "1500ps" / "2us" / "3ms" / "1s" -> Time.
+Time parse_duration(const std::string& text, const std::string& spec) {
+  char* end = nullptr;
+  const unsigned long long count = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str()) {
+    bad_spec(spec, "bad duration \"" + text + "\"");
+  }
+  const std::string unit(end);
+  if (unit == "ps") return Time(count, TimeUnit::PS);
+  if (unit == "ns") return Time(count, TimeUnit::NS);
+  if (unit == "us") return Time(count, TimeUnit::US);
+  if (unit == "ms") return Time(count, TimeUnit::MS);
+  if (unit == "s") return Time(count, TimeUnit::S);
+  bad_spec(spec, "bad duration unit \"" + unit + "\"");
+}
+
+const char* kind_name(FaultAction::Kind kind) {
+  switch (kind) {
+    case FaultAction::Kind::Throw: return "throw";
+    case FaultAction::Kind::Stall: return "stall";
+    case FaultAction::Kind::FlipMutation: return "flip";
+    case FaultAction::Kind::Stop: return "stop";
+  }
+  return "?";
+}
+
+struct FlagEntry {
+  const char* name;
+  bool SmartFifoMutations::* member;
+};
+
+constexpr FlagEntry kFlagTable[] = {
+    {"skip_writer_time_bump", &SmartFifoMutations::skip_writer_time_bump},
+    {"skip_reader_time_bump", &SmartFifoMutations::skip_reader_time_bump},
+    {"skip_insertion_date", &SmartFifoMutations::skip_insertion_date},
+    {"skip_freeing_date", &SmartFifoMutations::skip_freeing_date},
+    {"naive_is_empty", &SmartFifoMutations::naive_is_empty},
+    {"naive_is_full", &SmartFifoMutations::naive_is_full},
+    {"undelayed_external_events",
+     &SmartFifoMutations::undelayed_external_events},
+    {"naive_get_size", &SmartFifoMutations::naive_get_size},
+    {"skip_sync_on_block", &SmartFifoMutations::skip_sync_on_block},
+};
+
+const char* flag_name(bool SmartFifoMutations::* member) {
+  for (const FlagEntry& entry : kFlagTable) {
+    if (entry.member == member) {
+      return entry.name;
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool SmartFifoMutations::* resolve_mutation_flag(const std::string& name) {
+  for (const FlagEntry& entry : kFlagTable) {
+    if (name == entry.name) {
+      return entry.member;
+    }
+  }
+  return nullptr;
+}
+
+std::string FaultAction::to_string() const {
+  std::ostringstream out;
+  out << kind_name(kind) << ':' << process << '@' << activation;
+  switch (kind) {
+    case Kind::Throw:
+      if (only_parallel) {
+        out << "!par";
+      }
+      break;
+    case Kind::Stall:
+      out << '=' << stall.ps() << "ps";
+      break;
+    case Kind::FlipMutation:
+      out << '=' << flag_name(flag);
+      break;
+    case Kind::Stop:
+      break;
+  }
+  return out.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::istringstream stream(spec);
+  std::string entry;
+  while (std::getline(stream, entry, ';')) {
+    if (entry.empty()) {
+      continue;
+    }
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      bad_spec(spec, "missing ':' in action \"" + entry + "\"");
+    }
+    const std::string verb = entry.substr(0, colon);
+    std::string rest = entry.substr(colon + 1);
+
+    FaultAction action;
+    if (verb == "throw") {
+      action.kind = FaultAction::Kind::Throw;
+    } else if (verb == "stall") {
+      action.kind = FaultAction::Kind::Stall;
+    } else if (verb == "flip") {
+      action.kind = FaultAction::Kind::FlipMutation;
+    } else if (verb == "stop") {
+      action.kind = FaultAction::Kind::Stop;
+    } else {
+      bad_spec(spec, "unknown action \"" + verb + "\"");
+    }
+
+    // Optional "!par" suffix (throw only).
+    if (const std::size_t bang = rest.rfind("!par");
+        bang != std::string::npos && bang + 4 == rest.size()) {
+      if (action.kind != FaultAction::Kind::Throw) {
+        bad_spec(spec, "!par is only valid on throw actions");
+      }
+      action.only_parallel = true;
+      rest.resize(bang);
+    }
+
+    // Optional "=payload" (stall duration / mutation flag).
+    std::string payload;
+    if (const std::size_t eq = rest.find('='); eq != std::string::npos) {
+      payload = rest.substr(eq + 1);
+      rest.resize(eq);
+    }
+
+    const std::size_t at = rest.rfind('@');
+    if (at == std::string::npos || at == 0 || at + 1 == rest.size()) {
+      bad_spec(spec, "expected <process>@<activation> in \"" + entry + "\"");
+    }
+    action.process = rest.substr(0, at);
+    const std::string count = rest.substr(at + 1);
+    char* end = nullptr;
+    action.activation = std::strtoull(count.c_str(), &end, 10);
+    if (end == count.c_str() || *end != '\0' || action.activation == 0) {
+      bad_spec(spec, "bad activation \"" + count + "\"");
+    }
+
+    switch (action.kind) {
+      case FaultAction::Kind::Stall:
+        if (payload.empty()) {
+          bad_spec(spec, "stall needs =<duration>");
+        }
+        action.stall = parse_duration(payload, spec);
+        break;
+      case FaultAction::Kind::FlipMutation:
+        action.flag = resolve_mutation_flag(payload);
+        if (action.flag == nullptr) {
+          bad_spec(spec, "unknown mutation flag \"" + payload + "\"");
+        }
+        break;
+      case FaultAction::Kind::Throw:
+      case FaultAction::Kind::Stop:
+        if (!payload.empty()) {
+          bad_spec(spec, "unexpected =payload on " + std::string(kind_name(
+                             action.kind)));
+        }
+        break;
+    }
+    plan.actions.push_back(std::move(action));
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const FaultAction& action : actions) {
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += action.to_string();
+  }
+  return out;
+}
+
+}  // namespace tdsim

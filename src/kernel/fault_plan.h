@@ -1,0 +1,89 @@
+// Deterministic chaos harness: a FaultPlan armed on a kernel injects
+// failures at exact points of the deterministic schedule.
+//
+// Every trigger is keyed on (process name, activation number). Activation
+// counts are part of the bit-exactness guarantee -- identical across
+// workers 0/1/N and across lookahead free-running -- so an armed fault
+// fires at the same simulated instant no matter how the kernel is
+// scheduled. That is what makes the isolation tests meaningful: a sibling
+// kernel's digest can be compared bit-for-bit between a solo run and a run
+// interleaved with a deliberately crashing kernel.
+//
+// Actions (see FaultAction::Kind):
+//   Throw        raise InjectedFault from inside the process dispatch; in
+//                parallel mode it is captured into GroupTask::exception and
+//                rethrown at the horizon like any model error.
+//   Stall        advance the process's local clock by `stall` before the
+//                activation runs -- the domain lags behind and the
+//                lagging-domain / watchdog machinery sees it.
+//   FlipMutation toggle one SmartFifoMutations flag mid-run (the paper's
+//                SIV.A campaign, but triggered from the kernel schedule).
+//   Stop         call Kernel::stop() from the dispatch -- including from a
+//                worker-run group task, exercising the buffered stop path.
+//
+// Plans parse from an args-style spec so benches and CI can inject chaos
+// without recompiling:
+//
+//   "throw:producer@3;stall:dma@5=200ns;flip:producer@7=naive_is_full;
+//    stop:sink@2"
+//
+// with an optional "!par" suffix on throw ("throw:p@3!par") restricting
+// the action to parallel runs (workers >= 2) -- the Supervisor's
+// sequential retry then succeeds, modelling a scheduling-dependent bug.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mutations.h"
+#include "kernel/time.h"
+
+namespace tdsim {
+
+/// One armed fault. Fires once, when the named process reaches its
+/// `activation`-th dispatch (1-based).
+struct FaultAction {
+  enum class Kind { Throw, Stall, FlipMutation, Stop };
+
+  Kind kind = Kind::Throw;
+  std::string process;           ///< trigger: process name
+  std::uint64_t activation = 1;  ///< trigger: 1-based activation number
+  /// Throw only when the kernel runs parallel (workers >= 2): models a
+  /// scheduling-dependent bug that a sequential retry survives.
+  bool only_parallel = false;
+
+  Time stall{};  ///< Kind::Stall: local-clock advance
+
+  /// Kind::FlipMutation: flag to toggle. `mutations` must outlive the run;
+  /// `flag` is a pointer-to-member into it. In specs the flag is named
+  /// textually ("naive_is_full"); resolve_mutation_flag maps the name.
+  SmartFifoMutations* mutations = nullptr;
+  bool SmartFifoMutations::* flag = nullptr;
+
+  std::string to_string() const;
+};
+
+/// Maps a SmartFifoMutations field name ("naive_is_full", ...) to its
+/// pointer-to-member; null for unknown names.
+bool SmartFifoMutations::* resolve_mutation_flag(const std::string& name);
+
+/// A set of armed faults plus the spec parser. Arm with
+/// Kernel::arm_faults(); the kernel keeps its own copy and tracks
+/// per-action fired state, so one plan can arm many kernels.
+struct FaultPlan {
+  std::vector<FaultAction> actions;
+
+  bool empty() const { return actions.empty(); }
+
+  /// Parses the ';'-separated spec described in the header comment.
+  /// FlipMutation actions parse their *flag name* into `flag` but leave
+  /// `mutations` null -- the caller points them at the live instance
+  /// before arming (specs cannot name heap objects). Throws
+  /// SimulationError on malformed specs.
+  static FaultPlan parse(const std::string& spec);
+
+  std::string to_string() const;
+};
+
+}  // namespace tdsim

@@ -51,6 +51,15 @@ std::uint64_t sat_add_ps(std::uint64_t a, std::uint64_t b) {
 /// the same date -- exactly where the sequential scheduler would have
 /// queued them -- and identifies the entry as locally-born at the merge.
 constexpr std::uint64_t kLocalSeqBase = std::uint64_t(1) << 63;
+
+/// All delta-livelock raises funnel through here so they reach the report
+/// sink AND carry the DeltaLivelockError type the failure classifier keys
+/// on (FailureKind::DeltaLivelock) -- Report::error would throw the
+/// untyped SimulationError.
+[[noreturn]] void raise_delta_livelock(const std::string& message) {
+  Report::notify(Severity::Error, message);
+  throw DeltaLivelockError(message);
+}
 }  // namespace
 
 Kernel::Kernel() : Kernel(KernelConfig{}) {}
@@ -78,6 +87,7 @@ Kernel::Kernel(const KernelConfig& config) {
   }
   if (!config_.lookahead_limit) config_.lookahead_limit = lookahead_max_waves_;
   if (!config_.delta_cycle_limit) config_.delta_cycle_limit = 0;
+  if (!config_.wall_limit_ms) config_.wall_limit_ms = 0;
   workers_ = *config_.workers;
   default_chunk_capacity_ = *config_.default_chunk_capacity;
   quantum_trace_depth_ = *config_.quantum_trace_depth;
@@ -1206,8 +1216,12 @@ void Kernel::run_parallel_evaluation_phase() {
     for (GroupTask* task : active) {
       if (task->exception != nullptr && first_exception == nullptr) {
         first_exception = task->exception;
+        failing_process_ = std::move(task->failed_process);
+        failing_domain_ = std::move(task->failed_domain);
       }
       task->exception = nullptr;
+      task->failed_process.clear();
+      task->failed_domain.clear();
       if (task->stop) {
         stop_requested_ = true;
       }
@@ -1510,8 +1524,12 @@ bool Kernel::run_lookahead_extension(Time until) {
   for (GroupTask* task : phase_tasks_) {
     if (task->exception != nullptr && first_exception == nullptr) {
       first_exception = task->exception;
+      failing_process_ = std::move(task->failed_process);
+      failing_domain_ = std::move(task->failed_domain);
     }
     task->exception = nullptr;
+    task->failed_process.clear();
+    task->failed_domain.clear();
     if (task->stop) {
       stop_requested_ = true;
     }
@@ -1701,12 +1719,13 @@ void Kernel::run_local_cascade(GroupTask& task) {
     deltas++;
     if (delta_limit_ != 0 && deltas > delta_limit_) {
       const SyncDomain* lagging = lagging_domain();
-      Report::error("delta-cycle limit (" + std::to_string(delta_limit_) +
-                    ") exceeded at date " + task.local_now.to_string() +
-                    (lagging != nullptr
-                         ? " (lagging domain: '" + lagging->name() + "')"
-                         : std::string()) +
-                    "; livelocked model?");
+      raise_delta_livelock(
+          "delta-cycle limit (" + std::to_string(delta_limit_) +
+          ") exceeded at date " + task.local_now.to_string() +
+          (lagging != nullptr
+               ? " (lagging domain: '" + lagging->name() + "')"
+               : std::string()) +
+          "; livelocked model?");
     }
     for (Process* p : std::exchange(task.delta_resume, {})) {
       if (p->state_ != ProcessState::Terminated) {
@@ -1734,11 +1753,11 @@ void Kernel::run_local_cascade(GroupTask& task) {
         domain->deltas_at_current_date_++;
         if (domain->delta_limit_ != 0 &&
             domain->deltas_at_current_date_ > domain->delta_limit_) {
-          Report::error("domain '" + domain->name() + "' exceeded its "
-                        "delta-cycle limit (" +
-                        std::to_string(domain->delta_limit_) + ") at date " +
-                        task.local_now.to_string() +
-                        "; livelocked subsystem?");
+          raise_delta_livelock("domain '" + domain->name() + "' exceeded its "
+                               "delta-cycle limit (" +
+                               std::to_string(domain->delta_limit_) +
+                               ") at date " + task.local_now.to_string() +
+                               "; livelocked subsystem?");
         }
       }
     }
@@ -1808,20 +1827,35 @@ void Kernel::absorb_local_timed(GroupTask& task) {
 // --------------------------------------------------------------------------
 
 void Kernel::run(Time until) {
+  run(RunOptions{.until = until});
+}
+
+void Kernel::run(const RunOptions& options) {
+  const Time until = options.until;
   if (current_process() != nullptr || active_task() != nullptr) {
     Report::error("Kernel::run() called from inside a simulation process");
+  }
+  if (health_ == Health::Failed) {
+    Report::error("Kernel::run(): kernel is Failed (" +
+                  std::string(to_string(failure_report_.kind)) + ": " +
+                  failure_report_.message +
+                  "); Failed is terminal -- fork a fresh kernel");
   }
   if (!build_log_.empty() && !in_build_ && !replaying_) {
     // A snapshot-capable kernel's warm-up is part of its construction
     // log: fork() replays these run() calls in order (see
     // kernel/snapshot.h).
-    build_log_.push_back([until](Kernel& k) { k.run(until); });
+    build_log_.push_back([options](Kernel& k) { k.run(options); });
   }
   Kernel* previous = std::exchange(g_current_kernel, this);
   ExecContext* previous_exec = std::exchange(t_exec_, &main_exec_);
   main_exec_.tsan_fiber = fiber::tsan_current_fiber();
   stop_requested_ = false;
   prepaid_skip_deltas_ = 0;
+  health_ = Health::Running;
+  failing_process_.clear();
+  failing_domain_.clear();
+  arm_watchdog(options.wall_limit_ms);
   bool force_sequential_phase = false;
   if (!initialized_) {
     initialize_processes();
@@ -1840,6 +1874,10 @@ void Kernel::run(Time until) {
   }
   try {
     while (!stop_requested_) {
+      // Wall-clock watchdog, checked once per scheduler iteration -- a
+      // synchronization horizon (delta or timed-wave boundary), where
+      // every group is quiescent. One branch while disarmed.
+      check_watchdog();
       // Evaluation phase.
       if (parallel_enabled() && !force_sequential_phase) {
         run_parallel_evaluation_phase();
@@ -1888,12 +1926,13 @@ void Kernel::run(Time until) {
         }
         if (delta_limit_ != 0 && ++deltas_at_current_date_ > delta_limit_) {
           const SyncDomain* lagging = lagging_domain();
-          Report::error("delta-cycle limit (" + std::to_string(delta_limit_) +
-                        ") exceeded at date " + now_.to_string() +
-                        (lagging != nullptr
-                             ? " (lagging domain: '" + lagging->name() + "')"
-                             : std::string()) +
-                        "; livelocked model?");
+          raise_delta_livelock(
+              "delta-cycle limit (" + std::to_string(delta_limit_) +
+              ") exceeded at date " + now_.to_string() +
+              (lagging != nullptr
+                   ? " (lagging domain: '" + lagging->name() + "')"
+                   : std::string()) +
+              "; livelocked model?");
         }
         for (Process* p : std::exchange(delta_resume_, {})) {
           if (p->state_ != ProcessState::Terminated) {
@@ -1997,10 +2036,19 @@ void Kernel::run(Time until) {
     }
   } catch (...) {
     stats_.fold_domain_sync_aggregates();
+    // Running -> Failed: assemble the post-mortem, terminate live fibers,
+    // release this kernel's slots on the shared Scheduler. The buffered
+    // GroupTask side effects were already merged -- both parallel paths
+    // flush every task before rethrowing the first exception -- so the
+    // kernel is inert and leak-free to destroy, and sibling kernels on
+    // the scheduler are unaffected.
+    enter_failed_state(std::current_exception());
     t_exec_ = previous_exec;
     g_current_kernel = previous;
     throw;
   }
+  watchdog_armed_ = false;
+  health_ = Health::Idle;
   // Leave with the aggregate cache current, so post-run stats() reads are
   // pure (see stats()).
   stats_.fold_domain_sync_aggregates();
@@ -2021,6 +2069,12 @@ void Kernel::stop() {
 
 void Kernel::dispatch(Process* p) {
   p->activation_count_++;
+  // Chaos harness: armed faults trigger on (process, activation) -- a
+  // deterministic point of the schedule. One relaxed load on fault-free
+  // kernels.
+  if (faults_pending_.load(std::memory_order_relaxed) != 0) {
+    apply_faults(*p);
+  }
   if (p->kind() == ProcessKind::Thread) {
     dispatch_thread(p);
   } else {
@@ -2043,6 +2097,7 @@ void Kernel::dispatch_thread(Process* p) {
   exec.current_process = previous;
   if (p->pending_exception_) {
     std::exception_ptr ex = std::exchange(p->pending_exception_, nullptr);
+    note_failing_process(*p);
     std::rethrow_exception(ex);
   }
 }
@@ -2066,6 +2121,7 @@ void Kernel::dispatch_method(Process* p) {
   } catch (...) {
     exec.current_process = previous;
     p->state_ = ProcessState::Terminated;
+    note_failing_process(*p);
     throw;
   }
   exec.current_process = previous;
@@ -2192,10 +2248,11 @@ void Kernel::check_domain_delta_limits() {
     domain->deltas_at_current_date_++;
     if (domain->delta_limit_ != 0 &&
         domain->deltas_at_current_date_ > domain->delta_limit_) {
-      Report::error("domain '" + domain->name() + "' exceeded its "
-                    "delta-cycle limit (" +
-                    std::to_string(domain->delta_limit_) + ") at date " +
-                    now_.to_string() + "; livelocked subsystem?");
+      raise_delta_livelock("domain '" + domain->name() + "' exceeded its "
+                           "delta-cycle limit (" +
+                           std::to_string(domain->delta_limit_) +
+                           ") at date " + now_.to_string() +
+                           "; livelocked subsystem?");
     }
   }
 }
@@ -2240,6 +2297,183 @@ void Kernel::kill_all_threads() {
     }
   }
   t_exec_ = previous_exec;
+}
+
+// --------------------------------------------------------------------------
+// Failure semantics, watchdog, chaos harness (see kernel/failure.h)
+// --------------------------------------------------------------------------
+
+void Kernel::note_failing_process(Process& p) {
+  // First attribution wins: the exception the horizon surfaces is the
+  // first one raised in group order, and so is the first note.
+  if (GroupTask* task = active_task()) {
+    if (task->failed_process.empty()) {
+      task->failed_process = p.name();
+      task->failed_domain = p.domain().name();
+    }
+    return;
+  }
+  if (failing_process_.empty()) {
+    failing_process_ = p.name();
+    failing_domain_ = p.domain().name();
+  }
+}
+
+void Kernel::enter_failed_state(std::exception_ptr cause) {
+  health_ = Health::Failed;
+  stats_.failures++;
+  FailureReport& report = failure_report_;
+  report = FailureReport{};
+  // Classify by exception type; the typed raises (raise_delta_livelock,
+  // check_watchdog, apply_faults) already notified the report sink.
+  try {
+    std::rethrow_exception(cause);
+  } catch (const DeltaLivelockError& e) {
+    report.kind = FailureKind::DeltaLivelock;
+    report.message = e.what();
+  } catch (const WatchdogError& e) {
+    report.kind = FailureKind::Watchdog;
+    report.message = e.what();
+  } catch (const InjectedFault& e) {
+    report.kind = FailureKind::Injected;
+    report.message = e.what();
+  } catch (const std::exception& e) {
+    report.kind = FailureKind::ModelError;
+    report.message = e.what();
+  } catch (...) {
+    report.kind = FailureKind::Unknown;
+    report.message = "non-std::exception payload escaped run()";
+  }
+  report.process = std::move(failing_process_);
+  report.domain = std::move(failing_domain_);
+  failing_process_.clear();
+  failing_domain_.clear();
+  report.at = now_;
+  report.delta_cycles = stats_.delta_cycles;
+  report.timed_waves = stats_.timed_waves;
+  for (const auto& domain : domains_) {
+    DomainFront front;
+    front.domain = domain->name();
+    front.front = domain->execution_front().value_or(Time::max());
+    front.syncs = stats_.domains[domain->id()].syncs_performed();
+    report.fronts.push_back(std::move(front));
+    if (const QuantumDecision* decision = last_quantum_decision(*domain)) {
+      report.last_decisions.push_back(*decision);
+    }
+  }
+  if (report.kind == FailureKind::Watchdog ||
+      report.kind == FailureKind::DeltaLivelock) {
+    if (SyncDomain* lagging = lagging_domain()) {
+      if (report.domain.empty()) {
+        report.domain = lagging->name();
+      }
+      report.has_lookahead_bound = true;
+      report.lookahead_bound = lookahead_bound(*lagging).value_or(Time::max());
+    }
+  }
+  // Terminate live fibers now (ProcessKilled unwind, destructors run), so
+  // a Failed kernel holds no suspended stacks regardless of when it is
+  // destroyed.
+  kill_all_threads();
+  // Release this kernel's worker slots on the process-wide Scheduler --
+  // a Failed kernel never runs again, and the quota belongs to the
+  // surviving siblings. The client stays registered until destruction.
+  if (workers_ > 1) {
+    Scheduler::instance().set_client_quota(scheduler_client_, 0);
+  }
+  workers_ = 0;
+  watchdog_armed_ = false;
+}
+
+void Kernel::arm_watchdog(const std::optional<std::uint64_t>& override_ms) {
+  const std::uint64_t limit =
+      override_ms.has_value() ? *override_ms : config_.wall_limit_ms.value_or(0);
+  watchdog_limit_ms_ = limit;
+  watchdog_armed_ = limit != 0;
+  if (watchdog_armed_) {
+    watchdog_deadline_ = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(limit);
+  }
+}
+
+void Kernel::check_watchdog() {
+  if (!watchdog_armed_) {
+    return;
+  }
+  if (std::chrono::steady_clock::now() < watchdog_deadline_) {
+    return;
+  }
+  stats_.watchdog_trips++;
+  std::string message = "watchdog: wall limit (" +
+                        std::to_string(watchdog_limit_ms_) +
+                        " ms) exceeded at date " + now_.to_string();
+  if (const SyncDomain* lagging = lagging_domain()) {
+    message += " (lagging domain: '" + lagging->name() + "')";
+  }
+  Report::notify(Severity::Error, message);
+  throw WatchdogError(message);
+}
+
+void Kernel::arm_faults(FaultPlan plan) {
+  for (const FaultAction& action : plan.actions) {
+    if (action.kind == FaultAction::Kind::FlipMutation &&
+        (action.mutations == nullptr || action.flag == nullptr)) {
+      Report::error("Kernel::arm_faults: FlipMutation action '" +
+                    action.to_string() +
+                    "' has no target SmartFifoMutations instance");
+    }
+  }
+  fault_plan_ = std::move(plan);
+  fault_fired_.assign(fault_plan_.actions.size(), 0);
+  faults_pending_.store(fault_plan_.actions.size(),
+                        std::memory_order_relaxed);
+}
+
+void Kernel::apply_faults(Process& p) {
+  for (std::size_t i = 0; i < fault_plan_.actions.size(); ++i) {
+    if (fault_fired_[i] != 0) {
+      continue;
+    }
+    const FaultAction& action = fault_plan_.actions[i];
+    if (p.activation_count_ != action.activation ||
+        p.name() != action.process) {
+      continue;
+    }
+    // Latch before acting: a fault fires (or is consumed) exactly once.
+    // Only the thread dispatching the trigger process writes here, and a
+    // process is dispatched by one thread at a time (scheduler-serialized
+    // within its group), so relaxed ordering suffices.
+    fault_fired_[i] = 1;
+    faults_pending_.fetch_sub(1, std::memory_order_relaxed);
+    switch (action.kind) {
+      case FaultAction::Kind::Throw: {
+        if (action.only_parallel && workers_ <= 1) {
+          break;  // scheduling-dependent bug: sequential retry survives
+        }
+        const std::string message =
+            "fault injection: throw in '" + p.name() + "' at activation " +
+            std::to_string(action.activation);
+        note_failing_process(p);
+        Report::notify(Severity::Warning, message);
+        throw InjectedFault(message);
+      }
+      case FaultAction::Kind::Stall:
+        // Advance the process's local clock: its domain falls behind by
+        // `stall`, which the lagging-domain / watchdog machinery reports.
+        p.clock_.set_offset(p.clock_.offset() + action.stall);
+        break;
+      case FaultAction::Kind::FlipMutation:
+        action.mutations->*(action.flag) =
+            !(action.mutations->*(action.flag));
+        break;
+      case FaultAction::Kind::Stop:
+        // stop() routes to the active GroupTask's buffered stop when this
+        // dispatch runs on a worker -- the "stop from a worker-run group"
+        // path.
+        stop();
+        break;
+    }
+  }
 }
 
 // --------------------------------------------------------------------------

@@ -23,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <exception>
@@ -36,6 +37,8 @@
 #include <vector>
 
 #include "kernel/event.h"
+#include "kernel/failure.h"
+#include "kernel/fault_plan.h"
 #include "kernel/kernel_config.h"
 #include "kernel/process.h"
 #include "kernel/snapshot.h"
@@ -86,6 +89,17 @@ struct ThreadOptions {
   /// spawning module's default domain (Module::set_default_domain) or the
   /// kernel default domain.
   SyncDomain* domain = nullptr;
+};
+
+/// Per-call options of Kernel::run(). The plain run(Time) overload is
+/// equivalent to RunOptions{.until = t}.
+struct RunOptions {
+  /// Run until no activity remains or this date is reached.
+  Time until = Time::max();
+  /// Wall-clock watchdog budget for this call, in milliseconds; overrides
+  /// KernelConfig::wall_limit_ms (0 = explicitly disabled for this call,
+  /// nullopt = inherit the config). See kernel_config.h.
+  std::optional<std::uint64_t> wall_limit_ms;
 };
 
 /// Options for spawning a method process.
@@ -139,7 +153,48 @@ class Kernel {
 
   /// Runs until no activity remains or `until` is reached (time is then
   /// left at `until`). May be called repeatedly to advance further.
+  ///
+  /// Failure semantics: any exception leaving run() transitions the kernel
+  /// to Health::Failed with a structured FailureReport (see failure.h and
+  /// health()/failure() below). The failing kernel's fibers are terminated
+  /// and its Scheduler worker slots released before the exception
+  /// propagates, so a Failed kernel is inert, leak-free to destroy, and
+  /// cannot affect sibling kernels on the shared scheduler. Failed is
+  /// terminal: further run() calls report an error.
   void run(Time until = Time::max());
+
+  /// run() with per-call options (deadline + wall-clock watchdog). The
+  /// watchdog is checked at synchronization horizons; a trip raises
+  /// WatchdogError and fails the kernel with the lagging domain and the
+  /// lookahead bound in the report, instead of hanging.
+  void run(const RunOptions& options);
+
+  // --- failure semantics (see kernel/failure.h) ---
+
+  /// Idle before/between runs, Running inside run(), Failed (terminal)
+  /// once an exception has escaped run().
+  Health health() const { return health_; }
+
+  /// The post-mortem of a Failed kernel, or null while health() is not
+  /// Failed. Valid until the kernel is destroyed.
+  const FailureReport* failure() const {
+    return health_ == Health::Failed ? &failure_report_ : nullptr;
+  }
+
+  /// Arms a deterministic fault plan (chaos harness; see
+  /// kernel/fault_plan.h). Actions trigger on (process name, activation
+  /// number) -- deterministic points of the schedule, identical across
+  /// worker counts. Replaces any previously armed plan; fired-state is
+  /// reset. Faults are a test-harness overlay, not modeled elaboration:
+  /// arming does not affect snapshot capability, and snapshots do not
+  /// record armed plans.
+  void arm_faults(FaultPlan plan);
+  const FaultPlan& armed_faults() const { return fault_plan_; }
+
+  /// Marks this kernel as the product of a supervised sequential retry
+  /// (fleet::Supervisor bumps KernelStats::retries through this, so the
+  /// counter rides the same stats plumbing as every other one).
+  void note_retry() { stats_.retries++; }
 
   /// Requests the current run() to return after the current delta cycle.
   /// Callable from inside a process. In parallel mode a stop only takes
@@ -546,6 +601,12 @@ class Kernel {
     std::unique_ptr<KernelStats> stats_view;
     bool stop = false;
     std::exception_ptr exception;
+    /// Failure attribution riding alongside `exception`: the process whose
+    /// dispatch raised it and that process's domain (empty when the raise
+    /// was not attributable to a process). Copied into the kernel's
+    /// failure report when the horizon rethrows.
+    std::string failed_process;
+    std::string failed_domain;
 
     // --- conservative-lookahead free-running (run_lookahead_extension) ---
 
@@ -634,6 +695,25 @@ class Kernel {
   void kill_all_threads();
   void run_update_phase();
   void fire_delta_notifications();
+
+  // --- failure semantics / watchdog / chaos (see kernel/failure.h) ---
+
+  /// The Running -> Failed transition: classifies `cause`, assembles the
+  /// FailureReport from the kernel's current state, terminates live
+  /// fibers (ProcessKilled unwind), and releases this kernel's worker
+  /// quota on the shared Scheduler. Called from run()'s unwind path only.
+  void enter_failed_state(std::exception_ptr cause);
+  /// Records `p` as the process whose dispatch is about to rethrow, into
+  /// the active GroupTask (parallel) or the kernel (sequential).
+  void note_failing_process(Process& p);
+  /// Arms the per-run wall-clock deadline from `options` over the config.
+  void arm_watchdog(const std::optional<std::uint64_t>& override_ms);
+  /// Deadline check at synchronization horizons; throws WatchdogError on
+  /// trip. No-op (one branch) while no deadline is armed.
+  void check_watchdog();
+  /// Fires any armed fault whose (process, activation) trigger matches;
+  /// called from dispatch(). May throw InjectedFault.
+  void apply_faults(Process& p);
 
   // --- parallel scheduling (see kernel.cpp "Parallel evaluation") ---
 
@@ -730,6 +810,31 @@ class Kernel {
   /// True once any domain ever armed a per-domain delta-cycle limit; the
   /// scheduler skips the per-domain delta bookkeeping while false.
   bool domain_delta_limits_enabled_ = false;
+
+  // --- failure semantics state (see kernel/failure.h) ---
+
+  Health health_ = Health::Idle;
+  /// Valid once health_ == Failed; handed out by failure().
+  FailureReport failure_report_;
+  /// Sequential-mode failure attribution (parallel mode buffers it in
+  /// GroupTask::failed_process/failed_domain); consumed by
+  /// enter_failed_state.
+  std::string failing_process_;
+  std::string failing_domain_;
+  /// Wall-clock watchdog: armed per run() call (RunOptions override >
+  /// config), checked at synchronization horizons.
+  bool watchdog_armed_ = false;
+  std::chrono::steady_clock::time_point watchdog_deadline_{};
+  std::uint64_t watchdog_limit_ms_ = 0;
+  /// Armed chaos plan + per-action fired latches (see arm_faults()).
+  FaultPlan fault_plan_;
+  std::vector<char> fault_fired_;
+  /// Lock-free gate for the dispatch hot path: number of armed, not yet
+  /// fired actions. Zero on every kernel without a plan -- dispatch then
+  /// pays one relaxed load. (Fired-latch updates happen on whichever
+  /// thread dispatches the trigger process; the count is only decremented
+  /// there too, and the trigger process itself is scheduler-serialized.)
+  std::atomic<std::size_t> faults_pending_{0};
 
   std::vector<std::unique_ptr<Process>> processes_;
   std::deque<Process*> runnable_;

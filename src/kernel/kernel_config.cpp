@@ -55,6 +55,11 @@ KernelConfig KernelConfig::from_env() {
       config.quantum_trace_depth = static_cast<std::size_t>(*n);
     }
   }
+  if (const char* env = std::getenv("TDSIM_WALL_LIMIT_MS")) {
+    if (const auto n = parse_number(env)) {
+      config.wall_limit_ms = *n;
+    }
+  }
   return config;
 }
 
@@ -73,6 +78,9 @@ KernelConfig KernelConfig::resolved_over(const KernelConfig& fallback) const {
   if (!merged.lookahead_limit) merged.lookahead_limit = fallback.lookahead_limit;
   if (!merged.delta_cycle_limit) {
     merged.delta_cycle_limit = fallback.delta_cycle_limit;
+  }
+  if (!merged.wall_limit_ms) {
+    merged.wall_limit_ms = fallback.wall_limit_ms;
   }
   return merged;
 }

@@ -25,8 +25,11 @@
 //   TDSIM_QUANTUM_TRACE     -> KernelConfig::quantum_trace_depth
 //       Numeric depth (>= 1) of every domain's adaptive-decision trace
 //       ring (default kQuantumTraceDepth = 8).
+//   TDSIM_WALL_LIMIT_MS     -> KernelConfig::wall_limit_ms
+//       Wall-clock watchdog budget per run() call, in milliseconds;
+//       unset/"0" disables the watchdog (the default).
 //
-// All four are read by KernelConfig::from_env() and nowhere else; the
+// All five are read by KernelConfig::from_env() and nowhere else; the
 // legacy scattered getenv sites in the kernel are gone.
 #pragma once
 
@@ -73,6 +76,16 @@ struct KernelConfig {
   /// Kernel-wide delta-cycle livelock limit; 0 = unlimited. Default 0.
   /// (No environment variable.)
   std::optional<std::uint64_t> delta_cycle_limit;
+
+  /// Wall-clock watchdog budget per run() call, in milliseconds; 0
+  /// disables. Checked deterministically at synchronization horizons
+  /// (delta and timed-wave boundaries): a trip raises WatchdogError and
+  /// fails the kernel with a FailureReport naming the lagging domain and
+  /// the lookahead bound in force, instead of hanging the fleet. The
+  /// *decision to check* is deterministic; whether a given run trips
+  /// obviously depends on the host. Override per call with
+  /// RunOptions::wall_limit_ms.
+  std::optional<std::uint64_t> wall_limit_ms;
 
   /// The environment layer of the precedence stack: a config whose fields
   /// are set exactly where the corresponding TDSIM_* variable is set (and

@@ -9,7 +9,12 @@
 namespace tdsim {
 namespace {
 
-std::mutex g_mutex;
+// Two locks: g_handler_mutex guards the handler slot only (so set_handler
+// never blocks behind a slow handler invocation), g_emit_mutex serializes
+// handler invocations across threads. The emission lock is recursive so a
+// handler may itself emit() on the same thread without deadlocking.
+std::mutex g_handler_mutex;
+std::recursive_mutex g_emit_mutex;
 Report::Handler g_handler;
 std::atomic<std::uint64_t> g_warning_count{0};
 
@@ -27,25 +32,34 @@ void default_sink(Severity severity, const std::string& message) {
   }
 }
 
-}  // namespace
-
-void Report::emit(Severity severity, const std::string& message) {
+void dispatch(Severity severity, const std::string& message) {
   if (severity == Severity::Warning) {
     g_warning_count.fetch_add(1, std::memory_order_relaxed);
   }
-  Handler handler;
+  Report::Handler handler;
   {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    std::lock_guard<std::mutex> lock(g_handler_mutex);
     handler = g_handler;
   }
+  std::lock_guard<std::recursive_mutex> emit_lock(g_emit_mutex);
   if (handler) {
     handler(severity, message);
   } else {
     default_sink(severity, message);
   }
+}
+
+}  // namespace
+
+void Report::emit(Severity severity, const std::string& message) {
+  dispatch(severity, message);
   if (severity == Severity::Error) {
     throw SimulationError(message);
   }
+}
+
+void Report::notify(Severity severity, const std::string& message) {
+  dispatch(severity, message);
 }
 
 void Report::error(const std::string& message) {
@@ -56,7 +70,7 @@ void Report::error(const std::string& message) {
 }
 
 Report::Handler Report::set_handler(Handler handler) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  std::lock_guard<std::mutex> lock(g_handler_mutex);
   return std::exchange(g_handler, std::move(handler));
 }
 

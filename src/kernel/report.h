@@ -3,6 +3,22 @@
 // Errors raise SimulationError (an exception) so tests can assert on misuse
 // of the kernel or of the channels; warnings and infos go to a stream that
 // can be silenced or captured.
+//
+// Thread-safety contract (process-wide state reachable from worker threads
+// via probes and channel code):
+//   - emit()/info()/warning()/error()/notify() may be called concurrently
+//     from any thread. Handler invocations are serialized under an internal
+//     emission lock, so a user handler never runs reentrantly from two
+//     threads at once and never needs its own synchronization for state it
+//     owns exclusively.
+//   - set_handler() may race with emit(): an in-flight emission completes
+//     with either the old or the new handler (never a torn std::function),
+//     and the swap itself is atomic under the same lock.
+//   - warning_count() is a relaxed atomic read; it may trail concurrent
+//     warnings by a few but never tears or loses increments.
+//   - Reentrancy: a handler that itself calls emit() (e.g. logging an info
+//     while formatting a warning) is supported on the same thread; the
+//     emission lock is recursive.
 #pragma once
 
 #include <functional>
@@ -19,16 +35,45 @@ class SimulationError : public std::runtime_error {
       : std::runtime_error(what) {}
 };
 
+/// Raised when a kernel exceeds its delta-cycle livelock limit (global or
+/// per-domain). Derives from SimulationError so existing catch sites keep
+/// working; the kernel classifies it as FailureKind::DeltaLivelock.
+class DeltaLivelockError : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
+/// Raised when a wall-clock watchdog (KernelConfig::wall_limit_ms or the
+/// RunOptions per-call override) trips at a synchronization horizon.
+/// Classified as FailureKind::Watchdog.
+class WatchdogError : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
+/// Raised by an armed FaultPlan action (deterministic chaos harness).
+/// Classified as FailureKind::Injected.
+class InjectedFault : public SimulationError {
+ public:
+  using SimulationError::SimulationError;
+};
+
 enum class Severity { Info, Warning, Error };
 
 /// Process-wide report sink. Defaults to stderr for warnings and stdout for
-/// infos; replaceable for tests.
+/// infos; replaceable for tests. See the thread-safety contract at the top
+/// of this header.
 class Report {
  public:
   using Handler = std::function<void(Severity, const std::string&)>;
 
   /// Emits a report. Severity::Error additionally throws SimulationError.
   static void emit(Severity severity, const std::string& message);
+
+  /// Emits a report WITHOUT throwing, regardless of severity. For callers
+  /// that raise their own typed exception (DeltaLivelockError,
+  /// WatchdogError, InjectedFault) after notifying the sink.
+  static void notify(Severity severity, const std::string& message);
 
   static void info(const std::string& message) {
     emit(Severity::Info, message);
@@ -39,10 +84,11 @@ class Report {
   [[noreturn]] static void error(const std::string& message);
 
   /// Replaces the sink; returns the previous one. Pass nullptr to restore
-  /// the default sink.
+  /// the default sink. Atomic with respect to concurrent emissions.
   static Handler set_handler(Handler handler);
 
-  /// Number of warnings emitted since process start (for tests).
+  /// Number of warnings emitted since process start (for tests). Relaxed
+  /// atomic: safe from any thread, may trail in-flight warnings.
   static std::uint64_t warning_count();
 };
 

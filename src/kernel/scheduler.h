@@ -35,8 +35,14 @@
 // results to their solo runs (tests/test_scheduler.cpp enforces it, and
 // bench_fleet's in-bench assertion rides on it).
 //
-// Tasks must not throw (kernels route simulation errors through
-// GroupTask::exception).
+// Tasks must not throw. Kernels uphold this by construction: both group
+// execution paths (Kernel::execute_group_task and Kernel::free_run_group)
+// wrap their entire body in a catch-all that captures into
+// GroupTask::exception, and both horizon merges drain every task's
+// buffers before rethrowing the first captured exception on the driving
+// thread -- where it transitions that kernel (and only that kernel) to
+// Health::Failed (see kernel/failure.h). A throwing task would otherwise
+// unwind a worker every sibling kernel depends on.
 #pragma once
 
 #include <condition_variable>

@@ -57,6 +57,12 @@ Snapshot Kernel::snapshot() const {
         "steps, so the construction log cannot replay this kernel; route "
         "all elaboration through build() to make it snapshot-capable");
   }
+  if (health_ == Health::Failed) {
+    Report::error(
+        "Kernel::snapshot: kernel is Failed (" + failure_report_.message +
+        "); a failed run is not a replayable warm point -- snapshot before "
+        "running, or fork from an earlier snapshot");
+  }
   Snapshot snapshot;
   snapshot.config = config_;
   snapshot.log = build_log_;

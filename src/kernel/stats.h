@@ -211,6 +211,23 @@ struct KernelStats {
   /// other counter here.
   std::uint64_t steals = 0;
 
+  // --- fault-containment bookkeeping (see README "Failure semantics") ---
+
+  /// Number of run() calls that ended in Health::Failed (at most 1: Failed
+  /// is terminal, but the counter survives stat snapshots/diffs like every
+  /// other field and sums meaningfully across a fleet via accumulate()).
+  std::uint64_t failures = 0;
+
+  /// Number of wall-clock watchdog trips (KernelConfig::wall_limit_ms /
+  /// RunOptions::wall_limit_ms). Each trip also counts in failures.
+  std::uint64_t watchdog_trips = 0;
+
+  /// Number of supervised retries this kernel is the product of: the
+  /// fleet::Supervisor marks a sequential-retry kernel with note_retry()
+  /// so fleet-wide stats can separate first-try completions from
+  /// retried ones.
+  std::uint64_t retries = 0;
+
   // --- temporal-decoupling bookkeeping (maintained by SyncDomain) ---
   //
   // The sync counters below exist once per domain (KernelStats::domains)
@@ -303,6 +320,9 @@ struct KernelStats {
     r.horizon_waits -= o.horizon_waits;
     r.lookahead_advances -= o.lookahead_advances;
     r.steals -= o.steals;
+    r.failures -= o.failures;
+    r.watchdog_trips -= o.watchdog_trips;
+    r.retries -= o.retries;
     DomainStats::for_each_counter(
         r, o, [](std::uint64_t& a, const std::uint64_t& b) { a -= b; });
     // Domains created after the `o` snapshot keep their full counts.
@@ -319,7 +339,7 @@ struct KernelStats {
 /// DomainStats::for_each_counter) -- this assert forces that review.
 static_assert(sizeof(KernelStats) ==
                   sizeof(std::vector<DomainStats>) +
-                      (16 + kSyncCauseCount) * sizeof(std::uint64_t),
+                      (19 + kSyncCauseCount) * sizeof(std::uint64_t),
               "new KernelStats field? thread it through operator-, "
               "accumulate() and fold_domain_sync_aggregates(), then update "
               "this tripwire");
@@ -341,6 +361,9 @@ inline void accumulate(KernelStats& into, const KernelStats& delta) {
   into.horizon_waits += delta.horizon_waits;
   into.lookahead_advances += delta.lookahead_advances;
   into.steals += delta.steals;
+  into.failures += delta.failures;
+  into.watchdog_trips += delta.watchdog_trips;
+  into.retries += delta.retries;
   const auto add = [](std::uint64_t& a, const std::uint64_t& b) { a += b; };
   DomainStats::for_each_counter(into, delta, add);
   // A group that booked syncs leaves its buffered delta stale; merging it
