@@ -1,0 +1,386 @@
+// Scale-out platform bench: O(100) SyncDomains / O(10k) processes -- the
+// paper's "large heterogeneous platform" regime that the other benches
+// never reach, and the workload the PR 10 allocation/locality hardening
+// (kernel/stack_pool.h, Kernel::reserve_scheduler_arena, cache-line
+// grouping) is gated on.
+//
+// The model is a NoC mesh of SoC clusters. Each cluster is one
+// *concurrent* SyncDomain holding a slice of the worker processes: every
+// worker annotates fine-grained steps under the cluster quantum, folds a
+// deterministic spin hash into the cluster's checksum sink, and
+// terminates; a per-cluster manager then respawns the next generation --
+// the process-churn pattern (kill/respawn, fork fan-out) that makes
+// fiber-stack allocation a steady-state cost, not just an elaboration
+// one. --topology declares *decoupled* inter-domain links between mesh
+// (or ring) neighbours: no data crosses them, so the clusters stay
+// independent concurrency groups (what --workers parallelizes over), but
+// the conservative-lookahead machinery derives per-group bounds over the
+// whole O(100)-node link graph every horizon.
+//
+// Every invocation runs the whole sweep twice: once with the legacy
+// per-process heap fiber stacks (KernelConfig::pooled_stacks = false --
+// a value-initializing make_unique<char[]> per spawn) and once with the
+// pooled mmap allocator. Allocation mode is execution-only: all rows,
+// across both modes and every worker count, must reproduce identical
+// dates, checksums and deterministic counters, and the bench fails
+// otherwise. check_bench.py gates the pooled rows >= 10% faster than the
+// malloc rows on both the elaboration and steady-state walls.
+//
+// Usage: bench_scale [--domains N] [--procs N] [--lives N] [--steps N]
+//                    [--work N] [--stack-bytes N]
+//                    [--topology mesh|ring|none] [--workers LIST]
+//                    [--json] [--table NAME]
+//
+// Rows deliberately emit elab_wall_seconds / run_wall_seconds and no
+// plain "wall_seconds": the generic worker-wall and speedup gates in
+// check_bench.py key on wall_seconds and would mis-gate rows whose
+// elaboration half is worker-independent; the scale table has its own
+// alloc-mode gate instead.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "kernel/kernel.h"
+#include "kernel/sync_domain.h"
+
+namespace {
+
+using tdsim::Kernel;
+using tdsim::KernelConfig;
+using tdsim::SyncDomain;
+using tdsim::ThreadOptions;
+using tdsim::Time;
+using namespace tdsim::time_literals;
+
+enum class Topology { Mesh, Ring, None };
+
+struct BenchConfig {
+  std::size_t domains = 100;
+  std::size_t procs = 10'000;     ///< worker processes per generation
+  std::uint64_t lives = 3;        ///< generations per worker slot
+  std::uint64_t steps = 100;      ///< fine-grained steps per life
+  std::uint64_t work = 0;         ///< spin_work iterations per step
+  std::size_t stack_bytes = 128 * 1024;
+  Topology topology = Topology::Mesh;
+  Time step = 10_ns;
+  Time quantum = 100_ns;
+};
+
+/// Deterministic per-step computation, folded into the cluster checksum
+/// so it cannot be optimized away.
+std::uint64_t spin_work(std::uint64_t seed, std::uint64_t iters) {
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ULL;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+  }
+  return x;
+}
+
+struct RunResult {
+  double elab_wall_seconds = 0;
+  double run_wall_seconds = 0;
+  std::uint64_t final_date_ps = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t context_switches = 0;
+  std::uint64_t delta_cycles = 0;
+  std::uint64_t processes_spawned = 0;
+  std::uint64_t stack_acquires = 0;
+  std::uint64_t arena_reserved_bytes = 0;
+  /// Diagnostic only: timing dependent in parallel mode (spawns race
+  /// over the shared pool), excluded from rows and equality like steals.
+  std::uint64_t stack_recycles = 0;
+
+  /// Everything that must be bit-identical across worker counts AND
+  /// allocation modes (allocation is execution-only by contract).
+  bool deterministically_equal(const RunResult& o) const {
+    return final_date_ps == o.final_date_ps && checksum == o.checksum &&
+           context_switches == o.context_switches &&
+           delta_cycles == o.delta_cycles &&
+           processes_spawned == o.processes_spawned &&
+           stack_acquires == o.stack_acquires &&
+           arena_reserved_bytes == o.arena_reserved_bytes;
+  }
+};
+
+RunResult run_once(const BenchConfig& config, bool pooled,
+                   std::size_t workers) {
+  const auto elab_start = std::chrono::steady_clock::now();
+  Kernel kernel(KernelConfig{.workers = workers, .pooled_stacks = pooled});
+
+  struct Cluster {
+    SyncDomain* domain = nullptr;
+    /// Checksum sink; group-serialized, folded in cluster order below.
+    std::uint64_t sink = 0;
+  };
+  std::vector<Cluster> clusters(config.domains);
+  const Time life_span =
+      Time::from_ps(config.steps * config.step.ps());
+
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    clusters[c].domain =
+        &kernel.create_domain({.name = "cl" + std::to_string(c),
+                               .quantum = config.quantum,
+                               .concurrent = true});
+  }
+
+  // Decoupled neighbour links: each declares "nothing crosses sooner
+  // than 1 us", keeps the groups separate, and feeds the per-group
+  // lookahead derivation an O(domains)-edge graph.
+  const auto link = [&](std::size_t a, std::size_t b, const char* via) {
+    kernel.link_domains(*clusters[a].domain, *clusters[b].domain, 1_us, via);
+  };
+  if (config.topology == Topology::Mesh && config.domains > 1) {
+    const std::size_t rows = static_cast<std::size_t>(
+        std::floor(std::sqrt(static_cast<double>(config.domains))));
+    const std::size_t cols = (config.domains + rows - 1) / rows;
+    for (std::size_t c = 0; c < config.domains; ++c) {
+      if ((c % cols) + 1 < cols && c + 1 < config.domains) {
+        link(c, c + 1, "mesh_x");
+      }
+      if (c + cols < config.domains) {
+        link(c, c + cols, "mesh_y");
+      }
+    }
+  } else if (config.topology == Topology::Ring && config.domains > 1) {
+    for (std::size_t c = 0; c < config.domains; ++c) {
+      link(c, (c + 1) % config.domains, "ring");
+    }
+  }
+
+  // One worker slot = `lives` successive short-lived processes; the
+  // cluster checksum folds each life's hash in group-schedule order, so
+  // it is bit-identical across worker counts and allocation modes.
+  const auto spawn_worker = [&kernel, &config, &clusters](
+                                std::size_t c, std::size_t slot,
+                                std::uint64_t gen) {
+    Cluster& cluster = clusters[c];
+    ThreadOptions opts;
+    opts.domain = cluster.domain;
+    opts.stack_size = config.stack_bytes;
+    const std::uint64_t seed = (c * 0x10003ULL + slot) * 0x3f1ULL + gen;
+    kernel.spawn_thread(
+        "c" + std::to_string(c) + "_w" + std::to_string(slot) + "_g" +
+            std::to_string(gen),
+        [&kernel, &config, &cluster, seed] {
+          std::uint64_t acc = seed;
+          for (std::uint64_t s = 0; s < config.steps; ++s) {
+            acc = spin_work(acc, config.work);
+            kernel.current_domain().inc_and_sync_if_needed(config.step);
+          }
+          cluster.sink = cluster.sink * 31 + acc;
+        },
+        opts);
+  };
+
+  const auto slots_of = [&config](std::size_t c) {
+    return config.procs / config.domains +
+           (c < config.procs % config.domains ? 1 : 0);
+  };
+
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    const std::size_t slots = slots_of(c);
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+      spawn_worker(c, slot, 0);
+    }
+    if (config.lives > 1 && slots > 0) {
+      // The churn manager: respawns the cluster's worker generation when
+      // the previous one has run its span. Dynamic spawns from process
+      // context land in the manager's own group -- deterministic.
+      ThreadOptions opts;
+      opts.domain = clusters[c].domain;
+      kernel.spawn_thread(
+          "mgr" + std::to_string(c),
+          [&kernel, &config, &spawn_worker, &slots_of, c, life_span] {
+            for (std::uint64_t gen = 1; gen < config.lives; ++gen) {
+              kernel.wait(life_span);
+              const std::size_t slots = slots_of(c);
+              for (std::size_t slot = 0; slot < slots; ++slot) {
+                spawn_worker(c, slot, gen);
+              }
+            }
+          },
+          opts);
+    }
+  }
+  const auto elab_stop = std::chrono::steady_clock::now();
+
+  kernel.run();
+  const auto run_stop = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.elab_wall_seconds =
+      std::chrono::duration<double>(elab_stop - elab_start).count();
+  result.run_wall_seconds =
+      std::chrono::duration<double>(run_stop - elab_stop).count();
+  result.final_date_ps = kernel.now().ps();
+  for (const Cluster& cluster : clusters) {
+    result.checksum = result.checksum * 1099511628211ULL + cluster.sink;
+  }
+  const tdsim::KernelStats& stats = kernel.stats();
+  result.context_switches = stats.context_switches;
+  result.delta_cycles = stats.delta_cycles;
+  result.processes_spawned = stats.processes_spawned;
+  result.stack_acquires = stats.stack_acquires;
+  result.arena_reserved_bytes = stats.arena_reserved_bytes;
+  result.stack_recycles = stats.stack_recycles;
+  return result;
+}
+
+std::vector<std::size_t> parse_workers_list(const char* arg) {
+  std::vector<std::size_t> workers;
+  const char* p = arg;
+  while (*p != '\0') {
+    char* end = nullptr;
+    workers.push_back(std::strtoull(p, &end, 10));
+    if (end == p) {
+      return {};
+    }
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return workers;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config;
+  std::vector<std::size_t> workers_sweep = {0};
+  bool emit_json = false;
+  std::string table_name;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--domains") == 0 && i + 1 < argc) {
+      config.domains = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--procs") == 0 && i + 1 < argc) {
+      config.procs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--lives") == 0 && i + 1 < argc) {
+      config.lives = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      config.steps = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--work") == 0 && i + 1 < argc) {
+      config.work = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--stack-bytes") == 0 && i + 1 < argc) {
+      config.stack_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--topology") == 0 && i + 1 < argc) {
+      const char* t = argv[++i];
+      if (std::strcmp(t, "mesh") == 0) {
+        config.topology = Topology::Mesh;
+      } else if (std::strcmp(t, "ring") == 0) {
+        config.topology = Topology::Ring;
+      } else if (std::strcmp(t, "none") == 0) {
+        config.topology = Topology::None;
+      } else {
+        std::fprintf(stderr, "unknown --topology %s\n", t);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers_sweep = parse_workers_list(argv[++i]);
+    } else if (std::strcmp(argv[i], "--table") == 0 && i + 1 < argc) {
+      table_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--domains N] [--procs N] [--lives N] "
+                   "[--steps N] [--work N] [--stack-bytes N] "
+                   "[--topology mesh|ring|none] [--workers LIST] [--json] "
+                   "[--table NAME]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (workers_sweep.empty() || config.domains == 0 || config.procs == 0 ||
+      config.lives == 0) {
+    std::fprintf(stderr, "invalid --workers/--domains/--procs/--lives\n");
+    return 2;
+  }
+
+  const char* topology_name = config.topology == Topology::Mesh   ? "mesh"
+                              : config.topology == Topology::Ring ? "ring"
+                                                                  : "none";
+  std::printf(
+      "Scale-out platform: %zu domains (%s), %zu procs x %llu lives, "
+      "%llu steps/life, %zu KiB stacks\n\n",
+      config.domains, topology_name, config.procs,
+      static_cast<unsigned long long>(config.lives),
+      static_cast<unsigned long long>(config.steps),
+      config.stack_bytes / 1024);
+  std::printf("%7s | %7s | %10s | %9s | %9s | %12s | %9s\n", "alloc",
+              "workers", "spawned", "elab[s]", "run[s]", "ctx switches",
+              "recycled");
+
+  benchjson::Report report(table_name.empty() ? "scale"
+                                              : "scale_" + table_name);
+  bool ok = true;
+  RunResult reference;
+  bool have_reference = false;
+  double elab_sum[2] = {0, 0};  // [malloc, pooled]
+  double run_sum[2] = {0, 0};
+  // Legacy heap mode first, pooled second; the pool is process-wide, so
+  // this order also exercises recycling across kernel lifetimes inside
+  // the pooled half.
+  for (int pooled = 0; pooled <= 1; ++pooled) {
+    for (std::size_t workers : workers_sweep) {
+      const RunResult r = run_once(config, pooled != 0, workers);
+      if (!have_reference) {
+        reference = r;
+        have_reference = true;
+      } else if (!r.deterministically_equal(reference)) {
+        std::fprintf(stderr,
+                     "ERROR: alloc=%s workers=%zu diverged from the "
+                     "reference row (allocation mode and worker count "
+                     "must not change simulation results)\n",
+                     pooled ? "pooled" : "malloc", workers);
+        ok = false;
+      }
+      elab_sum[pooled] += r.elab_wall_seconds;
+      run_sum[pooled] += r.run_wall_seconds;
+      std::printf("%7s | %7zu | %10llu | %9.3f | %9.3f | %12llu | %9llu\n",
+                  pooled ? "pooled" : "malloc", workers,
+                  static_cast<unsigned long long>(r.processes_spawned),
+                  r.elab_wall_seconds, r.run_wall_seconds,
+                  static_cast<unsigned long long>(r.context_switches),
+                  static_cast<unsigned long long>(r.stack_recycles));
+      if (emit_json) {
+        report.row()
+            .add("alloc_mode", pooled ? "pooled" : "malloc")
+            .add("workers", static_cast<std::uint64_t>(workers))
+            .add("domains", static_cast<std::uint64_t>(config.domains))
+            .add("procs", static_cast<std::uint64_t>(config.procs))
+            .add("lives", config.lives)
+            .add("steps", config.steps)
+            .add("topology", topology_name)
+            .add("final_date_ps", r.final_date_ps)
+            .add("checksum", r.checksum)
+            .add("context_switches", r.context_switches)
+            .add("delta_cycles", r.delta_cycles)
+            .add("processes_spawned", r.processes_spawned)
+            .add("stack_acquires", r.stack_acquires)
+            .add("arena_reserved_bytes", r.arena_reserved_bytes)
+            .add("elab_wall_seconds", r.elab_wall_seconds)
+            .add("run_wall_seconds", r.run_wall_seconds);
+      }
+    }
+  }
+
+  if (emit_json && !report.write()) {
+    return 1;
+  }
+  if (!ok) {
+    return 1;
+  }
+  std::printf(
+      "\nall rows bit-identical across %zu worker count(s) and both "
+      "allocation modes: yes\n"
+      "pooled vs malloc: elaboration %.3fs vs %.3fs (%+.1f%%), run %.3fs "
+      "vs %.3fs (%+.1f%%)\n",
+      workers_sweep.size(), elab_sum[1], elab_sum[0],
+      elab_sum[0] > 0 ? (1 - elab_sum[1] / elab_sum[0]) * 100 : 0,
+      run_sum[1], run_sum[0],
+      run_sum[0] > 0 ? (1 - run_sum[1] / run_sum[0]) * 100 : 0);
+  return 0;
+}

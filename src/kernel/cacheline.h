@@ -1,0 +1,36 @@
+// Cache-line layout helpers for the scheduler's shared hot state.
+//
+// At O(100) domains the per-domain hot fields (quantum, runnable count,
+// delta bookkeeping) and the per-domain published execution fronts are
+// touched from different workers for different concurrency groups. Packed
+// naively -- eight 8-byte atomics per line in a deque, or adjacent heap
+// allocations -- two groups that never share simulation state still share
+// cache lines, and every horizon publication invalidates the other
+// worker's line (false sharing). The helpers here isolate each domain's
+// hot state on its own line; domains executed by the same worker then
+// share lines only through their own group's accesses.
+#pragma once
+
+#include <cstddef>
+
+namespace tdsim {
+
+/// Fixed 64 rather than std::hardware_destructive_interference_size: the
+/// standard constant varies with -mtune (GCC warns about exactly that for
+/// ABI-relevant uses like ours), and 64 is the destructive-interference
+/// granularity on every target this kernel runs on.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a value so it occupies (at least) one whole cache line. Used for
+/// per-domain entries of shared containers read and written from different
+/// workers (e.g. Kernel::published_front_ps_).
+template <typename T>
+struct alignas(kCacheLineSize) CacheLinePadded {
+  T value;
+
+  template <typename... Args>
+  explicit CacheLinePadded(Args&&... args)
+      : value(static_cast<Args&&>(args)...) {}
+};
+
+}  // namespace tdsim

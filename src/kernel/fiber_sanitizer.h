@@ -48,6 +48,7 @@
 #endif
 
 #ifdef TDSIM_ASAN_FIBERS
+#include <sanitizer/asan_interface.h>
 #include <sanitizer/common_interface_defs.h>
 #endif
 #ifdef TDSIM_TSAN_FIBERS
@@ -114,6 +115,21 @@ inline void finish_switch(void* fake_stack_save, const void** old_bottom,
   (void)fake_stack_save;
   (void)old_bottom;
   (void)old_size;
+#endif
+}
+
+/// Clears ASan shadow poison left on a dead fiber's stack region so the
+/// StackPool can hand the block to a new fiber. The trampoline's final
+/// null-save switch frees the fake stack, but red zones painted onto the
+/// real stack's shadow by the dead frames stay behind; a recycled stack
+/// must start with clean shadow or the next fiber's first frames read as
+/// poisoned.
+inline void unpoison_stack(void* bottom, std::size_t size) {
+#ifdef TDSIM_ASAN_FIBERS
+  __asan_unpoison_memory_region(bottom, size);
+#else
+  (void)bottom;
+  (void)size;
 #endif
 }
 

@@ -9,6 +9,7 @@
 #include "kernel/quantum_controller.h"
 #include "kernel/report.h"
 #include "kernel/scheduler.h"
+#include "kernel/stack_pool.h"
 
 namespace tdsim {
 
@@ -88,11 +89,15 @@ Kernel::Kernel(const KernelConfig& config) {
   if (!config_.lookahead_limit) config_.lookahead_limit = lookahead_max_waves_;
   if (!config_.delta_cycle_limit) config_.delta_cycle_limit = 0;
   if (!config_.wall_limit_ms) config_.wall_limit_ms = 0;
+  if (!config_.pooled_stacks) config_.pooled_stacks = true;
+  if (!config_.stack_guard) config_.stack_guard = true;
   workers_ = *config_.workers;
   default_chunk_capacity_ = *config_.default_chunk_capacity;
   quantum_trace_depth_ = *config_.quantum_trace_depth;
   lookahead_max_waves_ = *config_.lookahead_limit;
   delta_limit_ = *config_.delta_cycle_limit;
+  pooled_stacks_ = *config_.pooled_stacks;
+  stack_guard_ = *config_.stack_guard;
   // This kernel is one client of the process-wide scheduler; workers_ is
   // its quota there (see kernel/scheduler.h).
   scheduler_client_ = Scheduler::instance().register_client(workers_);
@@ -603,7 +608,7 @@ bool Kernel::foreign_group_read(const SyncDomain& domain) const {
 
 std::optional<Time> Kernel::published_front(std::size_t domain_id) const {
   const std::uint64_t ps =
-      published_front_ps_[domain_id].load(std::memory_order_relaxed);
+      published_front_ps_[domain_id].value.load(std::memory_order_relaxed);
   if (ps == std::uint64_t{0} - 1) {
     return std::nullopt;
   }
@@ -615,7 +620,7 @@ void Kernel::publish_domain_fronts() {
   // safe; the atomics are for the mid-round readers on worker threads.
   for (const auto& domain : domains_) {
     const std::optional<Time> front = domain->execution_front();
-    published_front_ps_[domain->id()].store(
+    published_front_ps_[domain->id()].value.store(
         front.has_value() ? front->ps() : std::uint64_t{0} - 1,
         std::memory_order_relaxed);
   }
@@ -694,6 +699,28 @@ SyncDomain& resolve_spawn_domain(Kernel& kernel, SyncDomain* requested,
 }
 
 }  // namespace
+
+void Kernel::acquire_fiber_stack(Process& p) {
+  KernelStats& stats = active_stats();
+  stats.stack_acquires++;
+  if (!pooled_stacks_) {
+    // Legacy mode (TDSIM_STACK_POOL=0): the pre-pool value-initializing
+    // heap allocation -- zeroes the whole stack at spawn. Kept as the
+    // comparison baseline for bench_scale's alloc-mode rows.
+    p.heap_stack_ = std::make_unique<char[]>(p.stack_size_);
+    return;
+  }
+  StackPool::Acquired acquired =
+      StackPool::instance().acquire(p.stack_size_, stack_guard_);
+  p.stack_block_ = acquired.block;
+  if (acquired.recycled) {
+    stats.stack_recycles++;  // timing-dependent in parallel mode, see stats.h
+  }
+}
+
+void Kernel::note_fiber_stack_released() {
+  active_stats().stack_releases++;
+}
 
 Process* Kernel::spawn_thread(std::string name, std::function<void()> body,
                               ThreadOptions opts) {
@@ -1005,11 +1032,38 @@ bool Kernel::is_stale(const TimedEntry& entry) const {
 
 void Kernel::initialize_processes() {
   initialized_ = true;
+  reserve_scheduler_arena();
   for (const auto& p : processes_) {
     if (!p->dont_initialize_) {
       make_runnable(p.get());
     }
   }
+}
+
+void Kernel::reserve_scheduler_arena() {
+  // Pre-size the scheduler's event containers to the elaborated platform:
+  // in steady state every process has at most one live timed entry and
+  // one delta record, so capacity == process count means the hot loops
+  // never reallocate mid-run. Runs once, sequentially, before the first
+  // wave -- the booked byte count is deterministic.
+  const std::size_t n = processes_.size();
+  if (n == 0) {
+    return;
+  }
+  const auto reserved_bytes = [this] {
+    return static_cast<std::uint64_t>(timed_queue_.capacity()) *
+               sizeof(TimedEntry) +
+           static_cast<std::uint64_t>(delta_notifications_.capacity()) *
+               sizeof(delta_notifications_[0]) +
+           static_cast<std::uint64_t>(delta_resume_.capacity()) *
+               sizeof(Process*);
+  };
+  const std::uint64_t before = reserved_bytes();
+  timed_queue_.reserve(n);
+  delta_notifications_.reserve(n);
+  delta_resume_.reserve(n);
+  const std::uint64_t after = reserved_bytes();
+  stats_.arena_reserved_bytes += after - before;
 }
 
 void Kernel::run_update_phase() {
@@ -2090,11 +2144,20 @@ void Kernel::dispatch_thread(Process* p) {
   }
   p->state_ = ProcessState::Running;
   Process* previous = std::exchange(exec.current_process, p);
-  fiber::start_switch(&exec.scheduler_fake_stack, p->stack_.get(),
-                      p->stack_size_, p->tsan_fiber_);
+  fiber::start_switch(&exec.scheduler_fake_stack, p->stack_bottom(),
+                      p->stack_usable_size(), p->tsan_fiber_);
   swapcontext(&exec.scheduler_context, &p->context_);
   fiber::finish_switch(exec.scheduler_fake_stack, nullptr, nullptr);
   exec.current_process = previous;
+  if (p->state_ == ProcessState::Terminated) {
+    // Eager stack reclamation: a platform that churns processes (kill /
+    // respawn generations, snapshot-fork fan-out) would otherwise hold
+    // every dead fiber's stack until kernel destruction. The fiber just
+    // made its final switch off this stack (and ASan freed its fake
+    // stack via the trampoline's null save), so the block can go back to
+    // the pool now.
+    p->release_stack(/*abandoned=*/false);
+  }
   if (p->pending_exception_) {
     std::exception_ptr ex = std::exchange(p->pending_exception_, nullptr);
     note_failing_process(*p);
@@ -2284,14 +2347,16 @@ void Kernel::kill_all_threads() {
         p->state_ != ProcessState::Terminated) {
       p->kill_requested_ = true;
       Process* previous = std::exchange(main_exec_.current_process, p.get());
-      fiber::start_switch(&main_exec_.scheduler_fake_stack, p->stack_.get(),
-                          p->stack_size_, p->tsan_fiber_);
+      fiber::start_switch(&main_exec_.scheduler_fake_stack, p->stack_bottom(),
+                          p->stack_usable_size(), p->tsan_fiber_);
       swapcontext(&main_exec_.scheduler_context, &p->context_);
       fiber::finish_switch(main_exec_.scheduler_fake_stack, nullptr, nullptr);
       main_exec_.current_process = previous;
       if (p->state_ != ProcessState::Terminated) {
         Report::warning("process " + p->name() +
                         " survived kill request; abandoning its stack");
+      } else {
+        p->release_stack(/*abandoned=*/false);
       }
       p->pending_exception_ = nullptr;
     }

@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "kernel/cacheline.h"
 #include "kernel/event.h"
 #include "kernel/failure.h"
 #include "kernel/fault_plan.h"
@@ -696,6 +697,22 @@ class Kernel {
   void run_update_phase();
   void fire_delta_notifications();
 
+  // --- fiber-stack pool + scheduler arena (see kernel/stack_pool.h) ---
+
+  /// Allocates `p`'s fiber stack: a pooled StackBlock when
+  /// KernelConfig::pooled_stacks (the default), the legacy value-initialized
+  /// heap allocation otherwise. Books stack_acquires / stack_recycles into
+  /// active_stats(). Called from the Process constructor.
+  void acquire_fiber_stack(Process& p);
+  /// Counter hook for Process::release_stack (the pool itself is
+  /// process-wide; the kernel only keeps the books).
+  void note_fiber_stack_released();
+  /// Pre-sizes the scheduler's per-event containers (timed queue,
+  /// delta-notification and delta-resume buffers) to the elaborated
+  /// process count, so steady state never grows them. Runs once, at
+  /// initialize_processes(); booked as KernelStats::arena_reserved_bytes.
+  void reserve_scheduler_arena();
+
   // --- failure semantics / watchdog / chaos (see kernel/failure.h) ---
 
   /// The Running -> Failed transition: classifies `cause`, assembles the
@@ -810,6 +827,12 @@ class Kernel {
   /// True once any domain ever armed a per-domain delta-cycle limit; the
   /// scheduler skips the per-domain delta bookkeeping while false.
   bool domain_delta_limits_enabled_ = false;
+  /// Resolved KernelConfig::pooled_stacks / stack_guard (see
+  /// kernel/stack_pool.h). Fixed at construction; every fiber stack of
+  /// this kernel uses the same mode so bench_scale's alloc-mode rows
+  /// compare whole builds, not mixed pools.
+  bool pooled_stacks_ = true;
+  bool stack_guard_ = true;
 
   // --- failure semantics state (see kernel/failure.h) ---
 
@@ -911,8 +934,12 @@ class Kernel {
   std::mutex timed_purge_mutex_;
   /// Per-domain execution fronts as of the last synchronization horizon
   /// (ps; UINT64_MAX = no live process). What mid-round probes see for
-  /// foreign groups.
-  std::deque<std::atomic<std::uint64_t>> published_front_ps_;
+  /// foreign groups. Each entry is cache-line padded: fronts are written
+  /// per domain per horizon and read by foreign-group probes, and the
+  /// deque would otherwise pack eight domains' atomics per line -- at
+  /// O(100) domains that false sharing is measurable (see
+  /// kernel/cacheline.h).
+  std::deque<CacheLinePadded<std::atomic<std::uint64_t>>> published_front_ps_;
 
   // --- conservative-lookahead state (see run_lookahead_extension) ---
 

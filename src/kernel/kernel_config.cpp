@@ -1,23 +1,77 @@
 #include "kernel/kernel_config.h"
 
+#include <cerrno>
 #include <cstdlib>
+
+#include "kernel/report.h"
 
 namespace tdsim {
 
 namespace {
 
-/// Strict numeric parse; nullopt on empty/garbage (the knob is then
-/// treated per-knob: ignored for TDSIM_WORKERS, truthy for TDSIM_CHUNKED).
-std::optional<std::uint64_t> parse_number(const char* s) {
+/// Outcome of parsing one numeric TDSIM_* value. Unset (empty string)
+/// silently falls through to the next precedence layer; Garbage and
+/// Overflow are user mistakes and warn (see warn_rejected) -- the
+/// pre-PR-10 parser dropped both on the floor, so TDSIM_WORKERS=4x ran
+/// sequentially without a word and an out-of-range value silently
+/// clamped to ULLONG_MAX.
+enum class ParseStatus { Ok, Unset, Garbage, Overflow };
+
+struct Parsed {
+  ParseStatus status;
+  std::uint64_t value = 0;
+};
+
+/// Strict base-10 parse of a whole environment value. Rejects trailing
+/// garbage ("4x"), negatives (strtoull would silently wrap "-3" to a
+/// huge count), and out-of-range values (strtoull clamps those to
+/// ULLONG_MAX with errno=ERANGE, which the old parser never checked).
+Parsed parse_number(const char* s) {
   if (s == nullptr || *s == '\0') {
-    return std::nullopt;
+    return {ParseStatus::Unset};
   }
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == '-') {
+      return {ParseStatus::Garbage};
+    }
+  }
+  errno = 0;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(s, &end, 10);
   if (end == s || *end != '\0') {
-    return std::nullopt;
+    return {ParseStatus::Garbage};
   }
-  return static_cast<std::uint64_t>(value);
+  if (errno == ERANGE) {
+    return {ParseStatus::Overflow};
+  }
+  return {ParseStatus::Ok, static_cast<std::uint64_t>(value)};
+}
+
+void warn_rejected(const char* var, const char* value, ParseStatus status) {
+  Report::warning(std::string(var) + "=\"" + value + "\" " +
+                  (status == ParseStatus::Overflow
+                       ? "is out of range"
+                       : "is not a number") +
+                  "; ignoring it");
+}
+
+/// The numeric value of `var`, or nullopt when unset/empty (silent) or
+/// rejected (warned): the knob then resolves from the next layer of the
+/// precedence stack.
+std::optional<std::uint64_t> checked_number(const char* var,
+                                            const char* value) {
+  const Parsed parsed = parse_number(value);
+  switch (parsed.status) {
+    case ParseStatus::Ok:
+      return parsed.value;
+    case ParseStatus::Unset:
+      return std::nullopt;
+    case ParseStatus::Garbage:
+    case ParseStatus::Overflow:
+      warn_rejected(var, value, parsed.status);
+      return std::nullopt;
+  }
+  return std::nullopt;
 }
 
 bool truthy(const char* s) {
@@ -29,7 +83,7 @@ bool truthy(const char* s) {
 KernelConfig KernelConfig::from_env() {
   KernelConfig config;
   if (const char* env = std::getenv("TDSIM_WORKERS")) {
-    if (const auto n = parse_number(env)) {
+    if (const auto n = checked_number("TDSIM_WORKERS", env)) {
       config.workers = static_cast<std::size_t>(*n);
     }
   }
@@ -38,27 +92,54 @@ KernelConfig KernelConfig::from_env() {
   }
   if (const char* env = std::getenv("TDSIM_CHUNKED")) {
     constexpr std::size_t kDefaultChunkCapacity = 16;
-    if (const auto n = parse_number(env)) {
-      if (*n >= 2) {
-        config.default_chunk_capacity = static_cast<std::size_t>(*n);
-      } else if (*n == 1) {
+    const Parsed parsed = parse_number(env);
+    switch (parsed.status) {
+      case ParseStatus::Ok:
+        if (parsed.value >= 2) {
+          config.default_chunk_capacity =
+              static_cast<std::size_t>(parsed.value);
+        } else if (parsed.value == 1) {
+          config.default_chunk_capacity = kDefaultChunkCapacity;
+        } else {
+          config.default_chunk_capacity = 0;
+        }
+        break;
+      case ParseStatus::Unset:
+        break;
+      case ParseStatus::Garbage:
+        // Documented: any truthy non-numeric value selects the default
+        // capacity ("TDSIM_CHUNKED=on"). Not a parse error.
         config.default_chunk_capacity = kDefaultChunkCapacity;
-      } else {
-        config.default_chunk_capacity = 0;
-      }
-    } else if (env[0] != '\0') {
-      config.default_chunk_capacity = kDefaultChunkCapacity;
+        break;
+      case ParseStatus::Overflow:
+        // A number was clearly intended; warn, then honor the truthy
+        // intent with the default capacity.
+        warn_rejected("TDSIM_CHUNKED", env, parsed.status);
+        config.default_chunk_capacity = kDefaultChunkCapacity;
+        break;
     }
   }
   if (const char* env = std::getenv("TDSIM_QUANTUM_TRACE")) {
-    if (const auto n = parse_number(env); n.has_value() && *n >= 1) {
-      config.quantum_trace_depth = static_cast<std::size_t>(*n);
+    if (const auto n = checked_number("TDSIM_QUANTUM_TRACE", env)) {
+      if (*n >= 1) {
+        config.quantum_trace_depth = static_cast<std::size_t>(*n);
+      } else {
+        Report::warning(
+            "TDSIM_QUANTUM_TRACE=\"0\" rejected: the trace ring needs a "
+            "depth >= 1; ignoring it");
+      }
     }
   }
   if (const char* env = std::getenv("TDSIM_WALL_LIMIT_MS")) {
-    if (const auto n = parse_number(env)) {
+    if (const auto n = checked_number("TDSIM_WALL_LIMIT_MS", env)) {
       config.wall_limit_ms = *n;
     }
+  }
+  if (const char* env = std::getenv("TDSIM_STACK_POOL")) {
+    config.pooled_stacks = truthy(env);
+  }
+  if (const char* env = std::getenv("TDSIM_STACK_GUARD")) {
+    config.stack_guard = truthy(env);
   }
   return config;
 }
@@ -82,6 +163,8 @@ KernelConfig KernelConfig::resolved_over(const KernelConfig& fallback) const {
   if (!merged.wall_limit_ms) {
     merged.wall_limit_ms = fallback.wall_limit_ms;
   }
+  if (!merged.pooled_stacks) merged.pooled_stacks = fallback.pooled_stacks;
+  if (!merged.stack_guard) merged.stack_guard = fallback.stack_guard;
   return merged;
 }
 

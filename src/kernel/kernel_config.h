@@ -14,7 +14,7 @@
 //
 //   TDSIM_WORKERS           -> KernelConfig::workers
 //       Numeric worker count for parallel per-domain execution; 0/1 keep
-//       the sequential scheduler. Non-numeric values are ignored.
+//       the sequential scheduler.
 //   TDSIM_ADAPTIVE_QUANTUM  -> KernelConfig::adaptive_quantum
 //       Any value but "" and "0" seeds a default QuantumPolicy on every
 //       domain at creation (DomainOptions::policy overrides per domain).
@@ -28,9 +28,29 @@
 //   TDSIM_WALL_LIMIT_MS     -> KernelConfig::wall_limit_ms
 //       Wall-clock watchdog budget per run() call, in milliseconds;
 //       unset/"0" disables the watchdog (the default).
+//   TDSIM_STACK_POOL        -> KernelConfig::pooled_stacks
+//       "0" falls back to the legacy per-process heap fiber stacks
+//       (value-initialized make_unique<char[]>); anything else (and
+//       unset) uses the pooled mmap allocator (kernel/stack_pool.h).
+//       Execution-only: simulation results are identical in both modes
+//       (bench_scale asserts this); the legacy mode exists as the
+//       alloc-mode comparison baseline.
+//   TDSIM_STACK_GUARD       -> KernelConfig::stack_guard
+//       "0" disables the PROT_NONE guard page below each pooled fiber
+//       stack; default on. Ignored in legacy heap mode (there is
+//       nowhere to put a guard page in a malloc block -- that is the
+//       bug the pool fixes).
 //
-// All five are read by KernelConfig::from_env() and nowhere else; the
+// All of these are read by KernelConfig::from_env() and nowhere else; the
 // legacy scattered getenv sites in the kernel are gone.
+//
+// Numeric variables are parsed strictly: trailing garbage ("4x"),
+// values that overflow an unsigned 64-bit, and negative values are
+// rejected with a Report warning naming the variable, and the knob falls
+// back to the next layer of the precedence stack (empty string means
+// "unset" -- silently ignored). TDSIM_CHUNKED keeps its documented
+// any-truthy-value behavior, so garbage there still selects the default
+// capacity (but numeric overflow warns and falls back to it too).
 #pragma once
 
 #include <cstddef>
@@ -86,6 +106,17 @@ struct KernelConfig {
   /// obviously depends on the host. Override per call with
   /// RunOptions::wall_limit_ms.
   std::optional<std::uint64_t> wall_limit_ms;
+
+  /// Fiber stacks come from the process-wide pooled mmap allocator
+  /// (kernel/stack_pool.h): size-classed recycling, 16-byte-aligned
+  /// stack tops, optional guard pages. false = legacy per-process heap
+  /// stacks. Default true.
+  std::optional<bool> pooled_stacks;
+
+  /// Arm the PROT_NONE guard page below each pooled fiber stack so a
+  /// stack overflow faults instead of corrupting a neighbour. Only
+  /// meaningful with pooled_stacks. Default true.
+  std::optional<bool> stack_guard;
 
   /// The environment layer of the precedence stack: a config whose fields
   /// are set exactly where the corresponding TDSIM_* variable is set (and

@@ -18,12 +18,44 @@ Process::Process(Kernel& kernel, std::string name, ProcessKind kind,
       id_(id),
       stack_size_(kind == ProcessKind::Thread ? stack_size : 0) {
   if (kind_ == ProcessKind::Thread) {
-    stack_ = std::make_unique<char[]>(stack_size_);
+    kernel_.acquire_fiber_stack(*this);
   }
 }
 
 Process::~Process() {
+  // A fiber that survived a kill request may still reference its stack
+  // through the suspended ucontext; everything else is safe to recycle.
+  release_stack(/*abandoned=*/thread_started_ &&
+                state_ != ProcessState::Terminated);
+}
+
+void Process::release_stack(bool abandoned) {
+  if (!stack_block_ && !heap_stack_) {
+    return;
+  }
+  // Order matters (see the header): the TSan fiber must be gone before
+  // the pool can hand the block to a new fiber, which would create its
+  // own handle over the same pages.
   fiber::tsan_destroy_fiber(tsan_fiber_);
+  tsan_fiber_ = nullptr;
+  if (stack_block_) {
+    if (abandoned) {
+      StackPool::instance().retire(stack_block_);
+    } else {
+      StackPool::instance().release(stack_block_);
+      kernel_.note_fiber_stack_released();
+    }
+    stack_block_ = StackBlock{};
+  } else {
+    if (abandoned) {
+      // Matches the pooled path: the suspended context still points into
+      // the allocation, so leak it deliberately.
+      heap_stack_.release();
+    } else {
+      heap_stack_.reset();
+      kernel_.note_fiber_stack_released();
+    }
+  }
 }
 
 void Process::trampoline(unsigned hi, unsigned lo) {
@@ -61,8 +93,8 @@ void Process::start_thread_context() {
   if (getcontext(&context_) != 0) {
     Report::error("getcontext failed for process " + name_);
   }
-  context_.uc_stack.ss_sp = stack_.get();
-  context_.uc_stack.ss_size = stack_size_;
+  context_.uc_stack.ss_sp = stack_bottom();
+  context_.uc_stack.ss_size = stack_usable_size();
   // The trampoline's final explicit swapcontext is the only exit; uc_link
   // must not pin one particular scheduler context (fibers may finish under
   // a different worker than the one that started them).

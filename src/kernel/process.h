@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "kernel/local_clock.h"
+#include "kernel/stack_pool.h"
 #include "kernel/time.h"
 
 namespace tdsim {
@@ -83,6 +84,27 @@ class Process {
   void start_thread_context();
   static void trampoline(unsigned hi, unsigned lo);
 
+  /// Bottom of this thread's fiber stack (pooled block or legacy heap
+  /// allocation), as handed to makecontext and the sanitizer switches.
+  char* stack_bottom() const {
+    return stack_block_ ? stack_block_.sp : heap_stack_.get();
+  }
+
+  /// Usable stack bytes: the pool rounds the requested size up to its
+  /// size class, the heap path allocates exactly what was asked.
+  std::size_t stack_usable_size() const {
+    return stack_block_ ? stack_block_.size : stack_size_;
+  }
+
+  /// Frees the fiber's stack and sanitizer state, in the order the
+  /// teardown audit requires: TSan fiber destroyed first (the ASan fake
+  /// stack was already freed by the trampoline's final null-save switch),
+  /// then the block returned to the StackPool -- or retired when
+  /// `abandoned` (a fiber that survived a kill request still references
+  /// its pages). Idempotent; must only be called while a scheduler
+  /// context is current, never from the fiber itself.
+  void release_stack(bool abandoned);
+
   Kernel& kernel_;
   std::string name_;
   ProcessKind kind_;
@@ -119,7 +141,11 @@ class Process {
 
   // --- thread-only state ---
   std::size_t stack_size_ = 0;
-  std::unique_ptr<char[]> stack_;
+  /// Pooled stack block (KernelConfig::pooled_stacks, the default).
+  StackBlock stack_block_;
+  /// Legacy per-process heap stack (TDSIM_STACK_POOL=0): kept as the
+  /// comparison baseline for bench_scale's alloc-mode rows.
+  std::unique_ptr<char[]> heap_stack_;
   ucontext_t context_{};
   bool thread_started_ = false;
   bool kill_requested_ = false;

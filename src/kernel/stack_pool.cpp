@@ -1,0 +1,137 @@
+#include "kernel/stack_pool.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "kernel/fiber_sanitizer.h"
+#include "kernel/report.h"
+
+namespace tdsim {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t size =
+      static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+}  // namespace
+
+StackPool& StackPool::instance() {
+  // Meyers singleton, same lifetime discipline as Scheduler::instance():
+  // constructed on first use, destroyed at process exit (any block still
+  // live in a static kernel then is reclaimed by the OS).
+  static StackPool pool;
+  return pool;
+}
+
+StackPool::~StackPool() {
+  for (auto& list : free_) {
+    for (const StackBlock& block : list) {
+      ::munmap(block.map_base, block.map_size);
+    }
+  }
+}
+
+std::size_t StackPool::class_index(std::size_t min_size) {
+  std::size_t size = kMinStackClass;
+  std::size_t index = 0;
+  while (size < min_size) {
+    size <<= 1;
+    ++index;
+  }
+  return index;
+}
+
+StackPool::Acquired StackPool::acquire(std::size_t min_size, bool guard) {
+  const std::size_t index = class_index(min_size);
+  const std::size_t usable = kMinStackClass << index;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index < free_.size() && !free_[index].empty()) {
+      StackBlock block = free_[index].back();
+      free_[index].pop_back();
+      recycled_count_++;
+      if (guard && !block.guarded) {
+        // Upgrade in place: the guard page was reserved (RW) when the
+        // block was created unguarded, one mprotect arms it.
+        if (::mprotect(block.map_base, page_size(), PROT_NONE) == 0) {
+          block.guarded = true;
+        }
+      }
+      return {block, true};
+    }
+  }
+  // Fresh mapping: guard page + usable region. Pages are zero-on-demand
+  // -- unlike make_unique<char[]>, nothing is written until the fiber
+  // actually grows into a page.
+  const std::size_t page = page_size();
+  const std::size_t total = usable + page;
+  void* base = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) {
+    Report::error("StackPool: mmap of " + std::to_string(total) +
+                  " bytes failed (out of memory or vm.max_map_count?)");
+  }
+  StackBlock block;
+  block.map_base = base;
+  block.map_size = total;
+  block.sp = static_cast<char*>(base) + page;
+  block.size = usable;
+  if (guard) {
+    block.guarded = ::mprotect(base, page, PROT_NONE) == 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    mapped_bytes_ += total;
+  }
+  return {block, false};
+}
+
+void StackPool::release(const StackBlock& block) {
+  if (!block) {
+    return;
+  }
+  // The dead fiber's frames may have left poisoned ASan shadow behind
+  // (the null-save final switch frees the fake stack, not the real
+  // stack's shadow); scrub it so the next fiber starts clean.
+  fiber::unpoison_stack(block.sp, block.size);
+  const std::size_t index = class_index(block.size);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (free_.size() <= index) {
+    free_.resize(index + 1);
+  }
+  free_[index].push_back(block);
+}
+
+void StackPool::retire(const StackBlock& block) {
+  if (!block) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  retired_blocks_++;
+}
+
+std::size_t StackPool::free_blocks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& list : free_) {
+    count += list.size();
+  }
+  return count;
+}
+
+std::uint64_t StackPool::mapped_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return mapped_bytes_;
+}
+
+std::uint64_t StackPool::recycled_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recycled_count_;
+}
+
+}  // namespace tdsim

@@ -211,6 +211,30 @@ struct KernelStats {
   /// other counter here.
   std::uint64_t steals = 0;
 
+  // --- allocation bookkeeping (see kernel/stack_pool.h, README "Scale &
+  // memory layout") ---
+
+  /// Fiber-stack allocations (pooled or legacy heap), one per thread
+  /// process ever given a stack.
+  std::uint64_t stack_acquires = 0;
+
+  /// Fiber-stack acquisitions served from the process-wide StackPool's
+  /// free lists instead of a fresh mapping. Timing dependent in parallel
+  /// mode (spawns from concurrent rounds race over the shared free
+  /// lists) -- excluded from bench baselines, like steals.
+  std::uint64_t stack_recycles = 0;
+
+  /// Fiber stacks returned for reuse (eagerly at process termination,
+  /// else at kernel destruction). Abandoned stacks -- fibers that
+  /// survived a kill request -- are retired, not released, and do not
+  /// count here.
+  std::uint64_t stack_releases = 0;
+
+  /// Bytes of scheduler container capacity pre-reserved at elaboration
+  /// (timed queue, delta buffers) so steady state never reallocates --
+  /// see Kernel::reserve_scheduler_arena().
+  std::uint64_t arena_reserved_bytes = 0;
+
   // --- fault-containment bookkeeping (see README "Failure semantics") ---
 
   /// Number of run() calls that ended in Health::Failed (at most 1: Failed
@@ -320,6 +344,10 @@ struct KernelStats {
     r.horizon_waits -= o.horizon_waits;
     r.lookahead_advances -= o.lookahead_advances;
     r.steals -= o.steals;
+    r.stack_acquires -= o.stack_acquires;
+    r.stack_recycles -= o.stack_recycles;
+    r.stack_releases -= o.stack_releases;
+    r.arena_reserved_bytes -= o.arena_reserved_bytes;
     r.failures -= o.failures;
     r.watchdog_trips -= o.watchdog_trips;
     r.retries -= o.retries;
@@ -339,7 +367,7 @@ struct KernelStats {
 /// DomainStats::for_each_counter) -- this assert forces that review.
 static_assert(sizeof(KernelStats) ==
                   sizeof(std::vector<DomainStats>) +
-                      (19 + kSyncCauseCount) * sizeof(std::uint64_t),
+                      (23 + kSyncCauseCount) * sizeof(std::uint64_t),
               "new KernelStats field? thread it through operator-, "
               "accumulate() and fold_domain_sync_aggregates(), then update "
               "this tripwire");
@@ -361,6 +389,10 @@ inline void accumulate(KernelStats& into, const KernelStats& delta) {
   into.horizon_waits += delta.horizon_waits;
   into.lookahead_advances += delta.lookahead_advances;
   into.steals += delta.steals;
+  into.stack_acquires += delta.stack_acquires;
+  into.stack_recycles += delta.stack_recycles;
+  into.stack_releases += delta.stack_releases;
+  into.arena_reserved_bytes += delta.arena_reserved_bytes;
   into.failures += delta.failures;
   into.watchdog_trips += delta.watchdog_trips;
   into.retries += delta.retries;

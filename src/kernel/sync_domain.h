@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "kernel/cacheline.h"
 #include "kernel/stats.h"
 #include "kernel/time.h"
 
@@ -237,14 +238,22 @@ class SyncDomain {
   Kernel& kernel_;
   std::string name_;
   std::size_t id_;
-  Time quantum_{};
+  // --- hot per-wave state, on its own cache line ---
+  // Written every delta cycle / quantum check by whichever worker runs
+  // this domain's group. Domains are individually heap-allocated, but at
+  // O(100) domains the allocator packs several per line; the alignas
+  // pair below (line-start here, next-line-start at members_) keeps one
+  // domain's wave bookkeeping from false-sharing with a neighbour's --
+  // see kernel/cacheline.h.
+  alignas(kCacheLineSize) Time quantum_{};
   /// See set_concurrent(); seeds the concurrency-group membership.
   bool concurrent_ = false;
   std::uint64_t delta_limit_ = 0;
   /// Consecutive delta cycles at the current date with members runnable.
   std::uint64_t deltas_at_current_date_ = 0;
   std::size_t runnable_count_ = 0;
-  std::vector<Process*> members_;
+  /// Line-aligned so the hot group above gets padded to a full line.
+  alignas(kCacheLineSize) std::vector<Process*> members_;
 };
 
 /// The domain of the process currently executing inside the kernel

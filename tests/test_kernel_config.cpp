@@ -1,0 +1,195 @@
+// KernelConfig::from_env strict parsing (PR 10 bugfix): trailing garbage,
+// out-of-range and negative values of the numeric TDSIM_* variables are
+// rejected with a Report warning naming the variable and fall back to the
+// next precedence layer, instead of being silently dropped (garbage) or
+// silently clamped to ULLONG_MAX (overflow) as strtoull would.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel.h"
+#include "kernel/kernel_config.h"
+#include "kernel/report.h"
+
+namespace tdsim {
+namespace {
+
+/// Sets one environment variable for the test body and restores the
+/// previous value (or unsets) on destruction.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      saved_ = old;
+    }
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvGuard() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+/// Captures warnings emitted through Report while alive.
+class WarningCapture {
+ public:
+  WarningCapture() {
+    previous_ = Report::set_handler(
+        [this](Severity severity, const std::string& message) {
+          if (severity == Severity::Warning) {
+            warnings_.push_back(message);
+          }
+        });
+  }
+  ~WarningCapture() { Report::set_handler(previous_); }
+
+  const std::vector<std::string>& warnings() const { return warnings_; }
+  bool any_mentions(const std::string& needle) const {
+    for (const std::string& w : warnings_) {
+      if (w.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  Report::Handler previous_;
+  std::vector<std::string> warnings_;
+};
+
+TEST(KernelConfigEnv, AcceptsPlainNumber) {
+  EnvGuard env("TDSIM_WORKERS", "3");
+  WarningCapture capture;
+  const KernelConfig config = KernelConfig::from_env();
+  ASSERT_TRUE(config.workers.has_value());
+  EXPECT_EQ(*config.workers, 3u);
+  EXPECT_TRUE(capture.warnings().empty());
+}
+
+TEST(KernelConfigEnv, RejectsTrailingGarbageWithWarning) {
+  EnvGuard env("TDSIM_WORKERS", "4x");
+  WarningCapture capture;
+  const KernelConfig config = KernelConfig::from_env();
+  EXPECT_FALSE(config.workers.has_value());
+  ASSERT_EQ(capture.warnings().size(), 1u);
+  // The warning must name the offending variable and value.
+  EXPECT_TRUE(capture.any_mentions("TDSIM_WORKERS"));
+  EXPECT_TRUE(capture.any_mentions("4x"));
+}
+
+TEST(KernelConfigEnv, RejectsOverflowWithWarning) {
+  // ULLONG_MAX is 18446744073709551615; one digit more overflows. The
+  // pre-fix parser let strtoull clamp this to ULLONG_MAX silently.
+  EnvGuard env("TDSIM_WORKERS", "184467440737095516150");
+  WarningCapture capture;
+  const KernelConfig config = KernelConfig::from_env();
+  EXPECT_FALSE(config.workers.has_value());
+  ASSERT_EQ(capture.warnings().size(), 1u);
+  EXPECT_TRUE(capture.any_mentions("TDSIM_WORKERS"));
+  EXPECT_TRUE(capture.any_mentions("out of range"));
+}
+
+TEST(KernelConfigEnv, RejectsNegativeWithWarning) {
+  // strtoull parses "-2" by wrapping it to 18446744073709551614 -- a
+  // nonsense worker count the old parser accepted.
+  EnvGuard env("TDSIM_WORKERS", "-2");
+  WarningCapture capture;
+  const KernelConfig config = KernelConfig::from_env();
+  EXPECT_FALSE(config.workers.has_value());
+  ASSERT_EQ(capture.warnings().size(), 1u);
+  EXPECT_TRUE(capture.any_mentions("TDSIM_WORKERS"));
+}
+
+TEST(KernelConfigEnv, EmptyStringIsSilentlyUnset) {
+  EnvGuard env("TDSIM_WORKERS", "");
+  WarningCapture capture;
+  const KernelConfig config = KernelConfig::from_env();
+  EXPECT_FALSE(config.workers.has_value());
+  EXPECT_TRUE(capture.warnings().empty());
+}
+
+TEST(KernelConfigEnv, RejectedWorkersFallBackToDefaultInKernel) {
+  EnvGuard env("TDSIM_WORKERS", "4x");
+  WarningCapture capture;
+  Kernel kernel;
+  EXPECT_EQ(kernel.workers(), 0u);  // built-in default, not garbage
+  EXPECT_TRUE(capture.any_mentions("TDSIM_WORKERS"));
+}
+
+TEST(KernelConfigEnv, ExplicitConfigBeatsRejectedEnv) {
+  EnvGuard env("TDSIM_WORKERS", "4x");
+  WarningCapture capture;
+  Kernel kernel(KernelConfig{.workers = 2});
+  EXPECT_EQ(kernel.workers(), 2u);
+}
+
+TEST(KernelConfigEnv, QuantumTraceZeroWarnsAndFallsBack) {
+  EnvGuard env("TDSIM_QUANTUM_TRACE", "0");
+  WarningCapture capture;
+  const KernelConfig config = KernelConfig::from_env();
+  EXPECT_FALSE(config.quantum_trace_depth.has_value());
+  EXPECT_TRUE(capture.any_mentions("TDSIM_QUANTUM_TRACE"));
+}
+
+TEST(KernelConfigEnv, ChunkedKeepsTruthyGarbageWithoutWarning) {
+  // Documented behavior: TDSIM_CHUNKED=on means "chunked, default
+  // capacity" -- non-numeric is not a parse error for this knob.
+  EnvGuard env("TDSIM_CHUNKED", "on");
+  WarningCapture capture;
+  const KernelConfig config = KernelConfig::from_env();
+  ASSERT_TRUE(config.default_chunk_capacity.has_value());
+  EXPECT_EQ(*config.default_chunk_capacity, 16u);
+  EXPECT_TRUE(capture.warnings().empty());
+}
+
+TEST(KernelConfigEnv, ChunkedOverflowWarnsAndUsesDefaultCapacity) {
+  EnvGuard env("TDSIM_CHUNKED", "184467440737095516150");
+  WarningCapture capture;
+  const KernelConfig config = KernelConfig::from_env();
+  ASSERT_TRUE(config.default_chunk_capacity.has_value());
+  EXPECT_EQ(*config.default_chunk_capacity, 16u);
+  EXPECT_TRUE(capture.any_mentions("TDSIM_CHUNKED"));
+}
+
+TEST(KernelConfigEnv, StackPoolKnobs) {
+  {
+    EnvGuard pool("TDSIM_STACK_POOL", "0");
+    EnvGuard guard("TDSIM_STACK_GUARD", "0");
+    const KernelConfig config = KernelConfig::from_env();
+    ASSERT_TRUE(config.pooled_stacks.has_value());
+    EXPECT_FALSE(*config.pooled_stacks);
+    ASSERT_TRUE(config.stack_guard.has_value());
+    EXPECT_FALSE(*config.stack_guard);
+    Kernel kernel;
+    EXPECT_FALSE(*kernel.config().pooled_stacks);
+  }
+  {
+    EnvGuard pool("TDSIM_STACK_POOL", nullptr);
+    EnvGuard guard("TDSIM_STACK_GUARD", nullptr);
+    const KernelConfig config = KernelConfig::from_env();
+    EXPECT_FALSE(config.pooled_stacks.has_value());
+    EXPECT_FALSE(config.stack_guard.has_value());
+    // Kernel resolution defaults both on.
+    Kernel kernel;
+    EXPECT_TRUE(*kernel.config().pooled_stacks);
+    EXPECT_TRUE(*kernel.config().stack_guard);
+  }
+}
+
+}  // namespace
+}  // namespace tdsim
